@@ -1,0 +1,121 @@
+//! Criterion benches, one group per table/figure of the paper. Each
+//! prints its reproduced (quick) table once, then times a representative
+//! configuration so regressions in the simulation or protocol stack are
+//! caught. The full-resolution tables come from
+//! `cargo run --release -p rdmc-bench --bin report`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdmc::Algorithm;
+use rdmc_bench::experiments as e;
+use rdmc_bench::MB;
+use rdmc_sim::{run_offloaded_chain, run_single_multicast, ClusterSpec};
+
+fn print_once(name: &str, table: &str, done: &AtomicBool) {
+    if !done.swap(true, Ordering::Relaxed) {
+        println!("\n===== {name} (quick reproduction) =====\n{table}");
+    }
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $name:literal, $table_fn:path, $work:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            static PRINTED: AtomicBool = AtomicBool::new(false);
+            print_once($name, &$table_fn(true), &PRINTED);
+            let mut group = c.benchmark_group($name);
+            group.sample_size(10);
+            group.bench_function("representative", |b| b.iter(|| $work));
+            group.finish();
+        }
+    };
+}
+
+figure_bench!(fig4, "fig4_latency", e::fig4_latency, {
+    run_single_multicast(
+        &ClusterSpec::fractus(16),
+        8,
+        Algorithm::BinomialPipeline,
+        8 * MB,
+        MB,
+    )
+    .latency
+});
+
+figure_bench!(table1, "table1_breakdown", e::table1_breakdown, {
+    e::table1_breakdown(true).len()
+});
+
+figure_bench!(fig5, "fig5_step_timeline", e::fig5_step_timeline, {
+    e::fig5_step_timeline(true).len()
+});
+
+figure_bench!(fig6, "fig6_block_size", e::fig6_block_size, {
+    run_single_multicast(
+        &ClusterSpec::fractus(4),
+        4,
+        Algorithm::BinomialPipeline,
+        8 * MB,
+        256 << 10,
+    )
+    .bandwidth_gbps
+});
+
+figure_bench!(fig7, "fig7_one_byte", e::fig7_one_byte, {
+    run_single_multicast(
+        &ClusterSpec::fractus(4),
+        4,
+        Algorithm::BinomialPipeline,
+        1,
+        MB,
+    )
+    .latency
+});
+
+figure_bench!(fig8, "fig8_scalability", e::fig8_scalability, {
+    run_single_multicast(
+        &ClusterSpec::sierra(64),
+        64,
+        Algorithm::BinomialPipeline,
+        64 * MB,
+        4 * MB,
+    )
+    .latency
+});
+
+figure_bench!(fig9, "fig9_cosmos", e::fig9_cosmos, {
+    e::fig9_cosmos(true).len()
+});
+
+figure_bench!(fig10, "fig10_overlap", e::fig10_overlap, {
+    rdmc_sim::run_concurrent_overlapping(
+        &ClusterSpec::fractus(8),
+        8,
+        8,
+        Algorithm::BinomialPipeline,
+        4 * MB,
+        1,
+        MB,
+    )
+});
+
+figure_bench!(fig11, "fig11_interrupts", e::fig11_interrupts, {
+    e::fig11_interrupts(true).len()
+});
+
+figure_bench!(fig12, "fig12_core_direct", e::fig12_core_direct, {
+    run_offloaded_chain(ClusterSpec::fractus(8).build(), &[0, 1, 2, 3], 16 * MB, MB)
+});
+
+figure_bench!(robustness, "analysis_robustness", e::robustness_analysis, {
+    e::robustness_analysis(true).len()
+});
+
+figure_bench!(sst_bench, "sst_small_messages", e::sst_small_messages, {
+    sst::small_message_rate(8, 1024, 50, 16)
+});
+
+criterion_group!(
+    figures, fig4, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, robustness, sst_bench
+);
+criterion_main!(figures);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the building blocks: schedule construction, the
+//! sans-IO engine's event throughput, max-min flow reallocation, and
+//! workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdmc::schedule::GlobalSchedule;
+use rdmc::Algorithm;
+use simnet::{FlowNet, SimDuration, SimTime, Topology};
+use workloads::CosmosTrace;
+
+fn schedule_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    group.bench_function("binomial_pipeline_n512_k64", |b| {
+        b.iter(|| GlobalSchedule::build(&Algorithm::BinomialPipeline, 512, 64))
+    });
+    group.bench_function("binomial_pipeline_shadow_n333_k32", |b| {
+        b.iter(|| GlobalSchedule::build(&Algorithm::BinomialPipeline, 333, 32))
+    });
+    group.bench_function("chain_n64_k256", |b| {
+        b.iter(|| GlobalSchedule::build(&Algorithm::Chain, 64, 256))
+    });
+    group.bench_function("validate_n128_k32", |b| {
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, 128, 32);
+        b.iter(|| g.validate().unwrap())
+    });
+    group.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    use rdmc::engine::{Action, EngineConfig, Event, GroupEngine};
+    use rdmc::schedule::SchedulePlanner;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    // A full in-memory multicast: n engines, perfect wire — measures pure
+    // protocol overhead per block transfer.
+    fn run_multicast(n: u32, blocks: u64) -> u64 {
+        let planner = Arc::new(SchedulePlanner::new(Algorithm::BinomialPipeline));
+        let mut engines = Vec::new();
+        let mut queue: VecDeque<(u32, Event)> = VecDeque::new();
+        for rank in 0..n {
+            let (engine, actions) = GroupEngine::new(EngineConfig {
+                rank,
+                num_nodes: n,
+                block_size: 1 << 20,
+                ready_window: 3,
+                max_outstanding_sends: 3,
+                planner: Arc::clone(&planner),
+            });
+            for a in actions {
+                if let Action::SendReady { to } = a {
+                    queue.push_back((to, Event::ReadyReceived { from: rank }));
+                }
+            }
+            engines.push(engine);
+        }
+        queue.push_front((0, Event::StartSend { size: blocks << 20 }));
+        let mut delivered = 0u64;
+        while let Some((rank, event)) = queue.pop_front() {
+            let actions = engines[rank as usize].handle(event).expect("engine ok");
+            for a in actions {
+                match a {
+                    Action::SendReady { to } => {
+                        queue.push_back((to, Event::ReadyReceived { from: rank }))
+                    }
+                    Action::SendBlock { to, total_size, .. } => {
+                        queue.push_back((
+                            to,
+                            Event::BlockReceived {
+                                from: rank,
+                                total_size,
+                            },
+                        ));
+                        queue.push_back((rank, Event::SendCompleted { to }));
+                    }
+                    Action::DeliverMessage { .. } => delivered += 1,
+                    _ => {}
+                }
+            }
+        }
+        delivered
+    }
+
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("multicast_n16_k64_in_memory", |b| {
+        b.iter(|| {
+            let d = run_multicast(16, 64);
+            assert_eq!(d, 16);
+            d
+        })
+    });
+    group.finish();
+}
+
+fn flownet_reallocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flownet");
+    group.bench_function("start_complete_64_flows", |b| {
+        b.iter(|| {
+            let mut net = FlowNet::new();
+            let topo = Topology::flat(&mut net, 64, 100.0, SimDuration::from_micros(2));
+            let mut flows = Vec::new();
+            for i in 0..32 {
+                flows.push(net.start_flow(SimTime::ZERO, topo.path(i, 63 - i), 1_000_000.0));
+            }
+            while let Some((t, f)) = net.next_completion() {
+                net.complete_flow(t, f);
+            }
+            flows.len()
+        })
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.bench_function("cosmos_trace_10k_writes", |b| {
+        b.iter(|| CosmosTrace::default().generate(10_000).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    schedule_construction,
+    engine_throughput,
+    flownet_reallocation,
+    workload_generation
+);
+criterion_main!(micro);

@@ -1,0 +1,44 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! prints them as text tables. Run with `--quick` for a fast smoke pass.
+//!
+//! ```sh
+//! cargo run --release -p rdmc-bench --bin report
+//! ```
+
+use rdmc_bench::experiments as e;
+
+/// An experiment section: name + generator.
+type Section = (&'static str, fn(bool) -> String);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t0 = std::time::Instant::now();
+    let sections: Vec<Section> = vec![
+        ("fig4", e::fig4_latency),
+        ("table1", e::table1_breakdown),
+        ("fig5", e::fig5_step_timeline),
+        ("fig6", e::fig6_block_size),
+        ("fig7", e::fig7_one_byte),
+        ("fig8", e::fig8_scalability),
+        ("fig9", e::fig9_cosmos),
+        ("fig10", e::fig10_overlap),
+        ("fig11", e::fig11_interrupts),
+        ("fig12", e::fig12_core_direct),
+        ("robustness", e::robustness_analysis),
+        ("sst", e::sst_small_messages),
+    ];
+    let only: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
+    for (name, f) in sections {
+        if !only.is_empty() && !only.iter().any(|o| o == name) {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        println!("==================== {name} ====================");
+        println!("{}", f(quick));
+        eprintln!("[{name} took {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
+}

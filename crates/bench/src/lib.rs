@@ -1,0 +1,18 @@
+//! # rdmc-bench — the paper's evaluation, regenerated
+//!
+//! One function per table and figure of the RDMC paper's §5 (see
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record). The `report` binary prints every experiment; the Criterion
+//! benches under `benches/` print each experiment once and then time a
+//! representative configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `row!` macro intentionally builds `Vec<String>` rows; clippy's
+// slice suggestion does not apply to the table API.
+#![allow(clippy::useless_vec)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::MB;

@@ -1,0 +1,74 @@
+//! Minimal fixed-width table formatting for experiment reports.
+
+/// Builds a text table: header row, then data rows, columns padded to the
+/// widest cell.
+pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Shorthand for building a row of cells.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$(format!("{}", $cell)),*]
+    };
+}
+
+/// Human-readable byte size (powers of two).
+pub fn bytes_label(b: u64) -> String {
+    const KB: u64 = 1 << 10;
+    const MB: u64 = 1 << 20;
+    if b >= MB && b.is_multiple_of(MB) {
+        format!("{}MB", b / MB)
+    } else if b >= KB && b.is_multiple_of(KB) {
+        format!("{}KB", b / KB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(&row!["n", "bw"], &[row![3, 12.5], row![16, 7.25]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], " n    bw");
+        assert_eq!(lines[2], " 3  12.5");
+        assert_eq!(lines[3], "16  7.25");
+    }
+
+    #[test]
+    fn byte_labels() {
+        assert_eq!(bytes_label(256 << 20), "256MB");
+        assert_eq!(bytes_label(16 << 10), "16KB");
+        assert_eq!(bytes_label(1), "1B");
+    }
+}

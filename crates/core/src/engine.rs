@@ -1,0 +1,796 @@
+//! The sans-IO RDMC protocol engine (paper §4.2–4.3).
+//!
+//! [`GroupEngine`] is one group member's protocol state machine. It owns
+//! no sockets, queues, or clocks: a *driver* feeds it [`Event`]s (a block
+//! arrived, a ready-for-block notice arrived, a send completed) and
+//! executes the [`Action`]s it returns (send this block, tell that peer
+//! we're ready, hand the application a buffer, deliver the message). The
+//! same engine therefore runs unchanged over simulated RDMA
+//! (`rdmc-sim`), real TCP sockets (`rdmc-tcp`), and the in-memory
+//! loopback used by the test suite.
+//!
+//! Protocol highlights, mirroring the paper:
+//!
+//! - **Deterministic schedules.** When a transfer starts, each member
+//!   derives its full send/receive sequence from `(group size, rank,
+//!   block count)` alone — no control traffic.
+//! - **Size discovery via immediates.** Receivers learn the message size
+//!   from the first block's immediate value; only then do they allocate a
+//!   buffer and compute the schedule ([`Action::AllocateBuffer`]).
+//! - **Ready-for-block gating.** A block is sent only after the target
+//!   announced readiness ([`Event::ReadyReceived`]), so RDMA receives are
+//!   always pre-posted and RNR retries never fire (§4.2). Readiness is
+//!   credit-based, granted [`EngineConfig::ready_window`] transfers ahead.
+//! - **Failure wedging.** On a peer failure the group stops transmitting
+//!   and relays the notice so every survivor learns (§3 property 6); the
+//!   application is expected to destroy and re-create the group.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schedule::{RankSchedule, SchedulePlanner};
+use crate::types::{MessageLayout, Rank};
+
+/// Immutable configuration of one group member's engine.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// This member's rank (0 is the root/sender).
+    pub rank: Rank,
+    /// Group size.
+    pub num_nodes: u32,
+    /// Block size in bytes used for every message in this group.
+    pub block_size: u64,
+    /// How many transfers ahead a receiver grants readiness per peer
+    /// (≥ 1). Small values bound posted-receive memory, mirroring RDMC's
+    /// "posts only a few receives per group" (§4.2).
+    pub ready_window: u32,
+    /// How many block sends may be posted to the NIC at once (≥ 1). The
+    /// paper queues work requests ahead so the NIC never idles between
+    /// blocks ("queues them up to run as asynchronously as possible",
+    /// §3); 2 is usually enough to hide completion latency.
+    pub max_outstanding_sends: u32,
+    /// Source of block-transfer schedules.
+    pub planner: Arc<SchedulePlanner>,
+}
+
+impl fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("rank", &self.rank)
+            .field("num_nodes", &self.num_nodes)
+            .field("block_size", &self.block_size)
+            .field("ready_window", &self.ready_window)
+            .field("algorithm", self.planner.algorithm())
+            .finish()
+    }
+}
+
+/// An input to the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The application asked the root to multicast `size` bytes. Queued if
+    /// a transfer is already active (sends complete in initiation order,
+    /// §3 property 4).
+    StartSend {
+        /// Message size in bytes.
+        size: u64,
+    },
+    /// A block arrived from `from`; `total_size` is the immediate value
+    /// carrying the whole message's size. The block's identity is *not*
+    /// on the wire: the engine derives it from the deterministic schedule
+    /// and the per-connection arrival order, exactly as the paper's
+    /// receivers do (§4.2).
+    BlockReceived {
+        /// The sending peer.
+        from: Rank,
+        /// The total message size from the immediate value.
+        total_size: u64,
+    },
+    /// `from` announced readiness for our next scheduled block to it.
+    ReadyReceived {
+        /// The peer that is ready.
+        from: Rank,
+    },
+    /// Our in-flight block send to `to` completed.
+    SendCompleted {
+        /// The target of the completed send.
+        to: Rank,
+    },
+    /// A peer failed (local connection break, or a relayed notice).
+    PeerFailed {
+        /// The failed member.
+        rank: Rank,
+    },
+}
+
+/// An effect the driver must carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Tell `to` (e.g. via a one-sided write) that we are ready for its
+    /// next scheduled block.
+    SendReady {
+        /// The peer to notify.
+        to: Rank,
+    },
+    /// Transmit a block. `offset`/`bytes` locate it in the message;
+    /// `total_size` must ride along as the immediate value.
+    SendBlock {
+        /// The receiving peer.
+        to: Rank,
+        /// The block number.
+        block: u32,
+        /// Byte offset of the block within the message.
+        offset: u64,
+        /// Block length in bytes.
+        bytes: u64,
+        /// The message's total size (the immediate).
+        total_size: u64,
+    },
+    /// First block of a message arrived: the application must provide a
+    /// buffer of `size` bytes (the `incoming_message_callback` of Fig. 1).
+    AllocateBuffer {
+        /// Total message size.
+        size: u64,
+    },
+    /// The message is locally complete and its memory reusable (the
+    /// `message_completion_callback` of Fig. 1).
+    DeliverMessage {
+        /// Total message size.
+        size: u64,
+    },
+    /// Relay a failure notice to every surviving peer and inform the
+    /// application; the group is now wedged.
+    RelayFailure {
+        /// The member that failed.
+        failed: Rank,
+    },
+}
+
+/// A protocol violation detected by the engine — always a driver or peer
+/// bug, never a normal runtime condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// `StartSend` on a non-root member (§4.1: only the root sends).
+    NotRoot {
+        /// The offending member's rank.
+        rank: Rank,
+    },
+    /// A block arrived from a peer the schedule expects nothing (more)
+    /// from.
+    UnexpectedArrival {
+        /// The sending peer.
+        from: Rank,
+    },
+    /// The immediate value disagreed with the active transfer's size.
+    SizeMismatch {
+        /// Size the active transfer was created with.
+        expected: u64,
+        /// Size carried by the offending block.
+        got: u64,
+    },
+    /// A send completion arrived with no send in flight to that peer.
+    UnexpectedSendCompletion {
+        /// The reported target.
+        to: Rank,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotRoot { rank } => {
+                write!(f, "rank {rank} is not the root and cannot send")
+            }
+            EngineError::UnexpectedArrival { from } => {
+                write!(f, "unscheduled block arrived from rank {from}")
+            }
+            EngineError::SizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "immediate size {got} disagrees with active transfer size {expected}"
+                )
+            }
+            EngineError::UnexpectedSendCompletion { to } => {
+                write!(f, "no send in flight to rank {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// State of an in-progress message transfer at this member.
+#[derive(Debug)]
+struct ActiveTransfer {
+    layout: MessageLayout,
+    sched: RankSchedule,
+    have: Vec<bool>,
+    have_count: u32,
+    received_count: u32,
+    /// Index of the next outgoing transfer to issue, in schedule order.
+    out_idx: usize,
+    /// Posted-but-uncompleted block sends, per target.
+    sends_inflight: BTreeMap<Rank, u32>,
+    total_inflight: u32,
+    /// Per in-peer: how many of its transfers we've granted readiness for.
+    granted: BTreeMap<Rank, u32>,
+    /// Per in-peer: how many of its transfers have arrived.
+    recvd: BTreeMap<Rank, u32>,
+    delivered: bool,
+}
+
+/// One group member's protocol state machine. See the module docs.
+#[derive(Debug)]
+pub struct GroupEngine {
+    config: EngineConfig,
+    active: Option<ActiveTransfer>,
+    /// Root only: sizes waiting to be sent after the current transfer.
+    send_queue: VecDeque<u64>,
+    /// Unconsumed readiness credits from each peer (they persist across
+    /// message boundaries: a peer may grant its next-message credit while
+    /// we are still finishing this one).
+    credits: BTreeMap<Rank, u32>,
+    failed: BTreeSet<Rank>,
+    wedged: bool,
+    messages_completed: u64,
+}
+
+impl GroupEngine {
+    /// Creates the engine and returns its initial actions (a non-root
+    /// member immediately grants its first-block sender one readiness
+    /// credit so the transfer can start before the message size is known).
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configuration (zero sizes, rank out of
+    /// range).
+    pub fn new(config: EngineConfig) -> (Self, Vec<Action>) {
+        assert!(config.num_nodes >= 1, "group needs at least one member");
+        assert!(config.rank < config.num_nodes, "rank out of range");
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(config.ready_window >= 1, "ready window must be at least 1");
+        assert!(
+            config.max_outstanding_sends >= 1,
+            "need at least one outstanding send"
+        );
+        let mut actions = Vec::new();
+        // The root's incoming transfers (if its schedule has any) are
+        // granted when a send starts, not while idle.
+        if config.rank != 0 {
+            if let Some(first) = config.planner.first_sender(config.num_nodes, config.rank) {
+                actions.push(Action::SendReady { to: first });
+            }
+        }
+        (
+            GroupEngine {
+                config,
+                active: None,
+                send_queue: VecDeque::new(),
+                credits: BTreeMap::new(),
+                failed: BTreeSet::new(),
+                wedged: false,
+                messages_completed: 0,
+            },
+            actions,
+        )
+    }
+
+    /// This member's rank.
+    pub fn rank(&self) -> Rank {
+        self.config.rank
+    }
+
+    /// True when no transfer is active and none is queued.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none() && self.send_queue.is_empty()
+    }
+
+    /// True once a failure has wedged the group (no further transfers).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Peers known to have failed.
+    pub fn failed_peers(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Messages locally completed so far.
+    pub fn messages_completed(&self) -> u64 {
+        self.messages_completed
+    }
+
+    /// The `(block, offset, bytes)` the schedule says `from` will deliver
+    /// next, so a driver can aim the incoming bytes at the right place in
+    /// the receive buffer before reading them. `None` while idle (the
+    /// first block's destination is only known once the size arrives —
+    /// real RDMC receives it into a scratch block and copies, §4.2) or
+    /// when nothing more is expected from `from`.
+    pub fn next_expected_block(&self, from: Rank) -> Option<(u32, u64, u64)> {
+        let t = self.active.as_ref()?;
+        let idx = *t.recvd.get(&from).unwrap_or(&0) as usize;
+        let (_, block) = t.sched.incoming_from(from).get(idx).copied()?;
+        Some((
+            block,
+            t.layout.block_offset(block),
+            t.layout.block_bytes(block),
+        ))
+    }
+
+    /// Like [`GroupEngine::next_expected_block`], but also answers while
+    /// idle by planning against the `total_size` the arriving first block
+    /// announced. Drivers that must place payload bytes before handing the
+    /// engine the event (e.g. the TCP transport) use this for every
+    /// arrival.
+    pub fn incoming_block_info(&self, from: Rank, total_size: u64) -> Option<(u32, u64, u64)> {
+        if self.active.is_some() {
+            return self.next_expected_block(from);
+        }
+        let layout = MessageLayout::new(total_size, self.config.block_size);
+        let sched = self
+            .config
+            .planner
+            .plan(self.config.num_nodes, layout.num_blocks)
+            .for_rank(self.config.rank);
+        let (_, block) = sched.incoming_from(from).first().copied()?;
+        Some((block, layout.block_offset(block), layout.block_bytes(block)))
+    }
+
+    /// Feeds one event to the engine, returning the actions the driver
+    /// must perform (in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on protocol violations; the engine's
+    /// state is unspecified afterwards and the group should be destroyed.
+    pub fn handle(&mut self, event: Event) -> Result<Vec<Action>, EngineError> {
+        let mut actions = Vec::new();
+        match event {
+            Event::StartSend { size } => {
+                if self.config.rank != 0 {
+                    return Err(EngineError::NotRoot {
+                        rank: self.config.rank,
+                    });
+                }
+                if self.wedged {
+                    return Ok(actions); // group is dead; the app will learn via the failure callback
+                }
+                self.send_queue.push_back(size);
+                if self.active.is_none() {
+                    self.begin_next_send(&mut actions);
+                }
+            }
+            Event::BlockReceived { from, total_size } => {
+                if self.wedged {
+                    return Ok(actions);
+                }
+                if self.active.is_none() {
+                    self.begin_receive(total_size, &mut actions);
+                }
+                let t = self.active.as_mut().expect("just initialised");
+                if t.layout.size != total_size {
+                    return Err(EngineError::SizeMismatch {
+                        expected: t.layout.size,
+                        got: total_size,
+                    });
+                }
+                // Derive which block this is from the schedule and the
+                // per-connection FIFO arrival order.
+                let expected = t
+                    .sched
+                    .incoming_from(from)
+                    .get(*t.recvd.get(&from).unwrap_or(&0) as usize)
+                    .copied();
+                let Some((_, block)) = expected else {
+                    return Err(EngineError::UnexpectedArrival { from });
+                };
+                *t.recvd.entry(from).or_insert(0) += 1;
+                t.received_count += 1;
+                if !t.have[block as usize] {
+                    t.have[block as usize] = true;
+                    t.have_count += 1;
+                }
+                self.top_up_grants(Some(from), &mut actions);
+                self.try_issue_send(&mut actions);
+                self.try_complete(&mut actions);
+            }
+            Event::ReadyReceived { from } => {
+                *self.credits.entry(from).or_insert(0) += 1;
+                if self.wedged {
+                    return Ok(actions);
+                }
+                self.try_issue_send(&mut actions);
+                self.try_complete(&mut actions);
+            }
+            Event::SendCompleted { to } => {
+                let Some(t) = self.active.as_mut() else {
+                    return Err(EngineError::UnexpectedSendCompletion { to });
+                };
+                match t.sends_inflight.get_mut(&to) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        t.total_inflight -= 1;
+                    }
+                    _ => return Err(EngineError::UnexpectedSendCompletion { to }),
+                }
+                if self.wedged {
+                    return Ok(actions);
+                }
+                self.try_issue_send(&mut actions);
+                self.try_complete(&mut actions);
+            }
+            Event::PeerFailed { rank } => {
+                if self.failed.insert(rank) {
+                    self.wedged = true;
+                    actions.push(Action::RelayFailure { failed: rank });
+                }
+            }
+        }
+        Ok(actions)
+    }
+
+    /// Root: pop the next queued message and begin its transfer.
+    fn begin_next_send(&mut self, actions: &mut Vec<Action>) {
+        let Some(size) = self.send_queue.pop_front() else {
+            return;
+        };
+        let layout = MessageLayout::new(size, self.config.block_size);
+        let sched = self
+            .config
+            .planner
+            .plan(self.config.num_nodes, layout.num_blocks)
+            .for_rank(0);
+        let k = layout.num_blocks;
+        self.active = Some(ActiveTransfer {
+            layout,
+            sched,
+            have: vec![true; k as usize],
+            have_count: k,
+            received_count: 0,
+            out_idx: 0,
+            sends_inflight: BTreeMap::new(),
+            total_inflight: 0,
+            granted: BTreeMap::new(),
+            recvd: BTreeMap::new(),
+            delivered: false,
+        });
+        // Some non-RDMC schedules (e.g. the MPI-style scatter/allgather
+        // baseline) route blocks back through the root; grant readiness
+        // for any incoming transfers it has.
+        self.top_up_grants(None, actions);
+        self.try_issue_send(actions);
+        self.try_complete(actions);
+    }
+
+    /// Receiver: the first block of a message arrived — size now known.
+    fn begin_receive(&mut self, total_size: u64, actions: &mut Vec<Action>) {
+        let layout = MessageLayout::new(total_size, self.config.block_size);
+        let sched = self
+            .config
+            .planner
+            .plan(self.config.num_nodes, layout.num_blocks)
+            .for_rank(self.config.rank);
+        actions.push(Action::AllocateBuffer { size: total_size });
+        let k = layout.num_blocks;
+        let mut granted = BTreeMap::new();
+        if let Some(first) = self
+            .config
+            .planner
+            .first_sender(self.config.num_nodes, self.config.rank)
+        {
+            // The idle-state credit issued at construction / last
+            // completion counts toward this message.
+            granted.insert(first, 1);
+        }
+        self.active = Some(ActiveTransfer {
+            layout,
+            sched,
+            have: vec![false; k as usize],
+            have_count: 0,
+            received_count: 0,
+            out_idx: 0,
+            sends_inflight: BTreeMap::new(),
+            total_inflight: 0,
+            granted,
+            recvd: BTreeMap::new(),
+            delivered: false,
+        });
+        self.top_up_grants(None, actions);
+    }
+
+    /// Grants readiness credits up to the window for one peer (or all).
+    fn top_up_grants(&mut self, only: Option<Rank>, actions: &mut Vec<Action>) {
+        let Some(t) = self.active.as_mut() else {
+            return;
+        };
+        let window = self.config.ready_window;
+        let peers: Vec<Rank> = match only {
+            Some(p) => vec![p],
+            None => t.sched.in_peers().collect(),
+        };
+        for peer in peers {
+            let total = t.sched.incoming_from(peer).len() as u32;
+            let recvd = *t.recvd.get(&peer).unwrap_or(&0);
+            let granted = t.granted.entry(peer).or_insert(0);
+            let target = total.min(recvd + window);
+            while *granted < target {
+                *granted += 1;
+                actions.push(Action::SendReady { to: peer });
+            }
+        }
+    }
+
+    /// Issues the next outgoing transfer if its block is here, the target
+    /// granted a credit, and no send is in flight.
+    fn try_issue_send(&mut self, actions: &mut Vec<Action>) {
+        let Some(t) = self.active.as_mut() else {
+            return;
+        };
+        let max_outstanding = self.config.max_outstanding_sends;
+        loop {
+            if t.total_inflight >= max_outstanding || t.out_idx >= t.sched.outgoing().len() {
+                return;
+            }
+            let (_, transfer) = t.sched.outgoing()[t.out_idx];
+            if self.failed.contains(&transfer.peer) {
+                // Never send to the dead; the group is wedging anyway.
+                return;
+            }
+            if !t.have[transfer.block as usize] {
+                return; // strictly in schedule order: wait for the block
+            }
+            let credit = self.credits.entry(transfer.peer).or_insert(0);
+            if *credit == 0 {
+                return; // target not ready yet (§4.2 ready-for-block)
+            }
+            *credit -= 1;
+            t.out_idx += 1;
+            *t.sends_inflight.entry(transfer.peer).or_insert(0) += 1;
+            t.total_inflight += 1;
+            actions.push(Action::SendBlock {
+                to: transfer.peer,
+                block: transfer.block,
+                offset: t.layout.block_offset(transfer.block),
+                bytes: t.layout.block_bytes(transfer.block),
+                total_size: t.layout.size,
+            });
+        }
+    }
+
+    /// Delivers the message and returns to idle once all receives and
+    /// relays are done.
+    fn try_complete(&mut self, actions: &mut Vec<Action>) {
+        let Some(t) = self.active.as_mut() else {
+            return;
+        };
+        let all_received = t.received_count == t.sched.in_count();
+        let all_sent = t.out_idx >= t.sched.outgoing().len() && t.total_inflight == 0;
+        if !(all_received && all_sent) || t.delivered {
+            return;
+        }
+        t.delivered = true;
+        let size = t.layout.size;
+        actions.push(Action::DeliverMessage { size });
+        self.messages_completed += 1;
+        self.active = None;
+        if self.config.rank == 0 {
+            self.begin_next_send(actions);
+        } else if let Some(first) = self
+            .config
+            .planner
+            .first_sender(self.config.num_nodes, self.config.rank)
+        {
+            // Re-grant the idle-state credit for the next message.
+            actions.push(Action::SendReady { to: first });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+
+    fn engine(rank: Rank, n: u32) -> (GroupEngine, Vec<Action>) {
+        GroupEngine::new(EngineConfig {
+            rank,
+            num_nodes: n,
+            block_size: 1024,
+            ready_window: 2,
+            max_outstanding_sends: 2,
+            planner: Arc::new(SchedulePlanner::new(Algorithm::BinomialPipeline)),
+        })
+    }
+
+    #[test]
+    fn receivers_pre_grant_their_first_credit() {
+        let (_, actions) = engine(3, 4);
+        assert_eq!(actions, vec![Action::SendReady { to: 1 }]);
+        let (_, actions) = engine(0, 4);
+        assert!(actions.is_empty(), "the root grants nothing while idle");
+    }
+
+    #[test]
+    fn start_send_waits_for_credit_then_fires() {
+        let (mut e, _) = engine(0, 2);
+        assert!(e
+            .handle(Event::StartSend { size: 2000 })
+            .unwrap()
+            .is_empty());
+        let actions = e.handle(Event::ReadyReceived { from: 1 }).unwrap();
+        assert!(matches!(
+            actions[0],
+            Action::SendBlock {
+                to: 1,
+                block: 0,
+                bytes: 1024,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_is_a_protocol_error() {
+        let (mut e, _) = engine(1, 2);
+        e.handle(Event::BlockReceived {
+            from: 0,
+            total_size: 2048,
+        })
+        .unwrap();
+        let err = e
+            .handle(Event::BlockReceived {
+                from: 0,
+                total_size: 4096,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::SizeMismatch {
+                expected: 2048,
+                got: 4096
+            }
+        ));
+    }
+
+    #[test]
+    fn arrival_from_an_unscheduled_peer_is_an_error() {
+        // In a 4-member binomial pipeline, rank 1's first block comes from
+        // the root; rank 2 never sends to rank 1's first position.
+        let (mut e, _) = engine(1, 4);
+        let err = e
+            .handle(Event::BlockReceived {
+                from: 2,
+                total_size: 100,
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnexpectedArrival { from: 2 }));
+    }
+
+    #[test]
+    fn stray_send_completion_is_an_error() {
+        let (mut e, _) = engine(0, 2);
+        let err = e.handle(Event::SendCompleted { to: 1 }).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnexpectedSendCompletion { to: 1 }
+        ));
+        assert_eq!(err.to_string(), "no send in flight to rank 1");
+    }
+
+    #[test]
+    fn wedged_engine_ignores_traffic_but_reports_failures_once() {
+        let (mut e, _) = engine(1, 4);
+        let actions = e.handle(Event::PeerFailed { rank: 2 }).unwrap();
+        assert_eq!(actions, vec![Action::RelayFailure { failed: 2 }]);
+        // Duplicate notice: no second relay.
+        assert!(e.handle(Event::PeerFailed { rank: 2 }).unwrap().is_empty());
+        // A second distinct failure is relayed.
+        let actions = e.handle(Event::PeerFailed { rank: 3 }).unwrap();
+        assert_eq!(actions, vec![Action::RelayFailure { failed: 3 }]);
+        assert!(e.is_wedged());
+        assert_eq!(e.failed_peers().collect::<Vec<_>>(), vec![2, 3]);
+        // Incoming blocks are dropped silently.
+        assert!(e
+            .handle(Event::BlockReceived {
+                from: 0,
+                total_size: 10
+            })
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn max_outstanding_limits_posted_sends() {
+        // Sequential: the root owes 4 sends to rank 1 for a 4-block
+        // message; with 2 outstanding and 4 credits, exactly 2 post.
+        let (mut e, _) = GroupEngine::new(EngineConfig {
+            rank: 0,
+            num_nodes: 2,
+            block_size: 1024,
+            ready_window: 4,
+            max_outstanding_sends: 2,
+            planner: Arc::new(SchedulePlanner::new(Algorithm::Sequential)),
+        });
+        e.handle(Event::StartSend { size: 4096 }).unwrap();
+        let mut posted = 0;
+        for _ in 0..4 {
+            posted += e
+                .handle(Event::ReadyReceived { from: 1 })
+                .unwrap()
+                .iter()
+                .filter(|a| matches!(a, Action::SendBlock { .. }))
+                .count();
+        }
+        assert_eq!(posted, 2, "window must cap outstanding sends");
+        // A completion frees a slot: one more posts.
+        let actions = e.handle(Event::SendCompleted { to: 1 }).unwrap();
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::SendBlock { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn next_expected_block_tracks_arrivals() {
+        let (mut e, _) = engine(1, 2);
+        assert_eq!(e.next_expected_block(0), None, "idle: nothing active");
+        assert_eq!(
+            e.incoming_block_info(0, 3000),
+            Some((0, 0, 1024)),
+            "idle lookups plan against the announced size"
+        );
+        e.handle(Event::BlockReceived {
+            from: 0,
+            total_size: 3000,
+        })
+        .unwrap();
+        assert_eq!(e.next_expected_block(0), Some((1, 1024, 1024)));
+        e.handle(Event::BlockReceived {
+            from: 0,
+            total_size: 3000,
+        })
+        .unwrap();
+        // The final block is short: 3000 - 2048 = 952 bytes.
+        assert_eq!(e.next_expected_block(0), Some((2, 2048, 952)));
+    }
+
+    #[test]
+    fn singleton_group_delivers_to_itself() {
+        let (mut e, _) = engine(0, 1);
+        let actions = e.handle(Event::StartSend { size: 10 }).unwrap();
+        assert!(actions.contains(&Action::DeliverMessage { size: 10 }));
+        assert!(e.is_idle());
+        assert_eq!(e.messages_completed(), 1);
+    }
+
+    #[test]
+    fn queued_sends_start_in_order_after_completion() {
+        let (mut e, _) = engine(0, 2);
+        e.handle(Event::StartSend { size: 100 }).unwrap();
+        e.handle(Event::StartSend { size: 200 }).unwrap();
+        // First message: one block.
+        let a = e.handle(Event::ReadyReceived { from: 1 }).unwrap();
+        assert!(matches!(
+            a[0],
+            Action::SendBlock {
+                total_size: 100,
+                ..
+            }
+        ));
+        let a = e.handle(Event::SendCompleted { to: 1 }).unwrap();
+        // Delivery of msg 1 chains into msg 2 (still needing a credit).
+        assert!(a.contains(&Action::DeliverMessage { size: 100 }));
+        let a = e.handle(Event::ReadyReceived { from: 1 }).unwrap();
+        assert!(matches!(
+            a[0],
+            Action::SendBlock {
+                total_size: 200,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! Chain send (paper §4.3): a bucket brigade in the spirit of chain
+//! replication. Every inner node relays each block to its successor as
+//! soon as it arrives, so relayers use their full bidirectional
+//! bandwidth; the price is worst-case latency linear in the chain length.
+
+use crate::schedule::{GlobalSchedule, GlobalTransfer};
+use crate::types::Algorithm;
+
+/// Builds the chain schedule: node `i` receives block `b` from `i − 1` at
+/// step `b + i − 1` and forwards it at step `b + i`. Completion takes
+/// `n + k − 2` steps.
+pub fn build(n: u32, k: u32) -> GlobalSchedule {
+    assert!(n >= 2 && k >= 1);
+    let num_steps = n + k - 2;
+    let mut steps = Vec::with_capacity(num_steps as usize);
+    for j in 0..num_steps {
+        let mut this_step = Vec::new();
+        // Node i forwards block j - i (when that block exists) to i + 1.
+        for i in 0..n - 1 {
+            if j >= i && j - i < k {
+                this_step.push(GlobalTransfer {
+                    from: i,
+                    to: i + 1,
+                    block: j - i,
+                });
+            }
+        }
+        steps.push(this_step);
+    }
+    GlobalSchedule::from_steps(Algorithm::Chain, n, k, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_finishes_in_n_plus_k_minus_2() {
+        for (n, k) in [(2u32, 1u32), (4, 4), (8, 16), (5, 3)] {
+            let g = build(n, k);
+            g.validate().unwrap();
+            assert_eq!(g.num_steps(), n + k - 2);
+            assert_eq!(g.completion_step(n - 1), Some(n + k - 3));
+        }
+    }
+
+    #[test]
+    fn steady_state_has_every_inner_node_relaying() {
+        // With enough blocks, in the middle of the transfer every inner
+        // link is busy at every step.
+        let g = build(4, 10);
+        for j in 3..9 {
+            assert_eq!(g.step(j).len(), 3, "step {j}");
+        }
+    }
+
+    #[test]
+    fn each_block_visits_every_link_once() {
+        let g = build(5, 4);
+        for b in 0..4 {
+            let hops: Vec<(u32, u32)> = (0..g.num_steps())
+                .flat_map(|j| g.step(j).iter())
+                .filter(|t| t.block == b)
+                .map(|t| (t.from, t.to))
+                .collect();
+            assert_eq!(hops, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        }
+    }
+}

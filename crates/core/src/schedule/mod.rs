@@ -1,0 +1,657 @@
+//! Block-transfer schedules (paper §4.3).
+//!
+//! A schedule maps a multicast of `k` blocks over an `n`-member group onto
+//! a deterministic sequence of point-to-point block transfers, organised
+//! in *asynchronous steps*. The determinism is load-bearing: both
+//! endpoints of every transfer can compute, ahead of time, exactly which
+//! block will cross which connection at which step — which is what lets
+//! RDMC pre-post receives, pick buffer offsets without control traffic,
+//! and (eventually) offload whole transfer graphs to a NIC (§2, §4.2).
+//!
+//! [`GlobalSchedule`] is the bird's-eye view used for validation and
+//! analysis; [`RankSchedule`] is one member's slice of it, consumed by the
+//! protocol engine.
+
+mod binomial;
+mod chain;
+mod hybrid;
+mod sequential;
+mod tree;
+
+pub use binomial::{num_steps as binomial_num_steps, rotate_right, send_at_step};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::{Algorithm, Rank, Transfer};
+
+/// One block transfer in the global view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GlobalTransfer {
+    /// Sending rank.
+    pub from: Rank,
+    /// Receiving rank.
+    pub to: Rank,
+    /// Block number.
+    pub block: u32,
+}
+
+/// A complete multicast schedule: every transfer of every step.
+#[derive(Clone, Debug)]
+pub struct GlobalSchedule {
+    algorithm: Algorithm,
+    n: u32,
+    k: u32,
+    steps: Vec<Vec<GlobalTransfer>>,
+}
+
+/// A schedule violates an invariant (returned by
+/// [`GlobalSchedule::validate`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// A transfer names an out-of-range rank or block, or sends to itself.
+    MalformedTransfer {
+        /// The step the transfer appears in.
+        step: u32,
+        /// The offending transfer.
+        transfer: GlobalTransfer,
+    },
+    /// A node sends a block it has not yet received at that step.
+    SendBeforeReceive {
+        /// The step of the premature send.
+        step: u32,
+        /// The offending transfer.
+        transfer: GlobalTransfer,
+    },
+    /// A node receives the same block twice.
+    DuplicateDelivery {
+        /// The second delivery's step.
+        step: u32,
+        /// The offending transfer.
+        transfer: GlobalTransfer,
+    },
+    /// Some node never receives some block.
+    MissingDelivery {
+        /// The rank that goes without.
+        rank: Rank,
+        /// The block that never arrives.
+        block: u32,
+    },
+    /// The root (rank 0) is scheduled to receive.
+    RootReceives {
+        /// The step of the misdirected transfer.
+        step: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MalformedTransfer { step, transfer } => {
+                write!(f, "malformed transfer {transfer:?} at step {step}")
+            }
+            ScheduleError::SendBeforeReceive { step, transfer } => write!(
+                f,
+                "step {step}: rank {} sends block {} before receiving it",
+                transfer.from, transfer.block
+            ),
+            ScheduleError::DuplicateDelivery { step, transfer } => write!(
+                f,
+                "step {step}: rank {} receives block {} twice",
+                transfer.to, transfer.block
+            ),
+            ScheduleError::MissingDelivery { rank, block } => {
+                write!(f, "rank {rank} never receives block {block}")
+            }
+            ScheduleError::RootReceives { step } => {
+                write!(f, "step {step}: the root is scheduled to receive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl GlobalSchedule {
+    /// Assembles a schedule from per-step transfer lists (used by the
+    /// algorithm builders).
+    pub(crate) fn from_steps(
+        algorithm: Algorithm,
+        n: u32,
+        k: u32,
+        steps: Vec<Vec<GlobalTransfer>>,
+    ) -> Self {
+        GlobalSchedule {
+            algorithm,
+            n,
+            k,
+            steps,
+        }
+    }
+
+    /// Assembles a schedule supplied by an external crate (e.g. an MPI
+    /// baseline). Prefer [`GlobalSchedule::validate`] — or
+    /// [`GlobalSchedule::validate_relaxed`] if the schedule
+    /// routes blocks back through the root or re-delivers held blocks —
+    /// before using it.
+    pub fn from_custom_steps(name: &str, n: u32, k: u32, steps: Vec<Vec<GlobalTransfer>>) -> Self {
+        GlobalSchedule::from_steps(
+            Algorithm::Custom {
+                name: name.to_owned(),
+            },
+            n,
+            k,
+            steps,
+        )
+    }
+
+    /// Builds the global schedule for `algorithm` over `n` members and `k`
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `k == 0`, or (for [`Algorithm::Hybrid`]) the
+    /// rack assignment length differs from `n`.
+    pub fn build(algorithm: &Algorithm, n: u32, k: u32) -> Self {
+        assert!(n >= 1, "group needs at least one member");
+        assert!(k >= 1, "need at least one block");
+        if n == 1 {
+            // A group of one: the root already has the message.
+            return GlobalSchedule::from_steps(algorithm.clone(), 1, k, Vec::new());
+        }
+        match algorithm {
+            Algorithm::Sequential => sequential::build(n, k),
+            Algorithm::Chain => chain::build(n, k),
+            Algorithm::BinomialTree => tree::build(n, k),
+            Algorithm::BinomialPipeline => binomial::build(n, k),
+            Algorithm::Hybrid { rack_of } => hybrid::build(n, k, rack_of),
+            Algorithm::HybridPipelined { rack_of } => hybrid::build_pipelined(n, k, rack_of),
+            Algorithm::Custom { name } => panic!(
+                "custom schedule family '{name}' must be built through SchedulePlanner::from_fn"
+            ),
+        }
+    }
+
+    /// The algorithm that produced this schedule.
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+
+    /// Group size.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Block count.
+    pub fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of asynchronous steps.
+    pub fn num_steps(&self) -> u32 {
+        self.steps.len() as u32
+    }
+
+    /// The transfers of step `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn step(&self, j: u32) -> &[GlobalTransfer] {
+        &self.steps[j as usize]
+    }
+
+    /// Total number of block transfers across all steps.
+    pub fn num_transfers(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// The step at which `rank` receives `block`, if scheduled.
+    pub fn receive_step(&self, rank: Rank, block: u32) -> Option<u32> {
+        for (j, step) in self.steps.iter().enumerate() {
+            if step.iter().any(|t| t.to == rank && t.block == block) {
+                return Some(j as u32);
+            }
+        }
+        None
+    }
+
+    /// The step at which `rank` has received every block (`None` for the
+    /// root, which receives nothing).
+    pub fn completion_step(&self, rank: Rank) -> Option<u32> {
+        (0..self.k)
+            .map(|b| self.receive_step(rank, b))
+            .try_fold(0, |acc, s| s.map(|s| acc.max(s)))
+    }
+
+    /// Which rank delivers `rank`'s *first* block. This is independent of
+    /// the block count for every algorithm in this crate, so receivers can
+    /// pre-grant their first ready-for-block credit before the message
+    /// size is known (§4.2). Returns `None` for the root.
+    pub fn first_sender(&self, rank: Rank) -> Option<Rank> {
+        for step in &self.steps {
+            for t in step {
+                if t.to == rank {
+                    return Some(t.from);
+                }
+            }
+        }
+        None
+    }
+
+    /// Extracts `rank`'s slice of the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn for_rank(&self, rank: Rank) -> RankSchedule {
+        assert!(rank < self.n, "rank {rank} out of range");
+        let mut out = Vec::new();
+        let mut in_per_peer: BTreeMap<Rank, Vec<(u32, u32)>> = BTreeMap::new();
+        let mut in_count = 0u32;
+        for (j, step) in self.steps.iter().enumerate() {
+            for t in step {
+                if t.from == rank {
+                    out.push((
+                        j as u32,
+                        Transfer {
+                            peer: t.to,
+                            block: t.block,
+                        },
+                    ));
+                }
+                if t.to == rank {
+                    in_per_peer
+                        .entry(t.from)
+                        .or_default()
+                        .push((j as u32, t.block));
+                    in_count += 1;
+                }
+            }
+        }
+        RankSchedule {
+            rank,
+            n: self.n,
+            k: self.k,
+            num_steps: self.num_steps(),
+            out,
+            in_per_peer,
+            in_count,
+        }
+    }
+
+    /// Checks every schedule invariant: transfers well-formed, blocks only
+    /// sent by holders, exactly-once delivery of every block to every
+    /// non-root rank, root never receives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        self.validate_inner(false)
+    }
+
+    /// Like [`GlobalSchedule::validate`], but permits transfers *to* the
+    /// root and duplicate deliveries. RDMC schedules move each block the
+    /// minimum number of times, but MPI-style scatter/allgather baselines
+    /// route chunks through every rank uniformly (root included) and
+    /// redundantly re-deliver blocks that intermediate scatter nodes
+    /// already hold — genuine extra data movement that the comparison
+    /// must account for, not a bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (well-formedness, sends only
+    /// of held blocks, full coverage of every non-root rank).
+    pub fn validate_relaxed(&self) -> Result<(), ScheduleError> {
+        self.validate_inner(true)
+    }
+
+    fn validate_inner(&self, relaxed: bool) -> Result<(), ScheduleError> {
+        let n = self.n as usize;
+        let k = self.k as usize;
+        // has[rank][block]: the step *after* which the rank holds the block.
+        let mut has = vec![vec![false; k]; n];
+        for cell in has[0].iter_mut() {
+            *cell = true;
+        }
+        let mut received = vec![vec![false; k]; n];
+        for (j, step) in self.steps.iter().enumerate() {
+            let j = j as u32;
+            for t in step {
+                if t.from >= self.n || t.to >= self.n || t.block >= self.k || t.from == t.to {
+                    return Err(ScheduleError::MalformedTransfer {
+                        step: j,
+                        transfer: *t,
+                    });
+                }
+                if t.to == 0 && !relaxed {
+                    return Err(ScheduleError::RootReceives { step: j });
+                }
+                if !has[t.from as usize][t.block as usize] {
+                    return Err(ScheduleError::SendBeforeReceive {
+                        step: j,
+                        transfer: *t,
+                    });
+                }
+                if received[t.to as usize][t.block as usize] && !relaxed {
+                    return Err(ScheduleError::DuplicateDelivery {
+                        step: j,
+                        transfer: *t,
+                    });
+                }
+                received[t.to as usize][t.block as usize] = true;
+            }
+            // Blocks become usable for relaying at the *next* step.
+            for t in step {
+                has[t.to as usize][t.block as usize] = true;
+            }
+        }
+        for rank in 1..self.n {
+            for block in 0..self.k {
+                if !received[rank as usize][block as usize] {
+                    return Err(ScheduleError::MissingDelivery { rank, block });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One member's view of a [`GlobalSchedule`]: its outgoing transfers in
+/// issue order and its expected incoming transfers per peer.
+#[derive(Clone, Debug)]
+pub struct RankSchedule {
+    rank: Rank,
+    n: u32,
+    k: u32,
+    num_steps: u32,
+    /// Outgoing transfers in `(step, emission order)` — the order sends
+    /// are posted.
+    out: Vec<(u32, Transfer)>,
+    /// Incoming `(step, block)` arrivals per sending peer, in wire order.
+    in_per_peer: BTreeMap<Rank, Vec<(u32, u32)>>,
+    in_count: u32,
+}
+
+impl RankSchedule {
+    /// This member's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Block count.
+    pub fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of asynchronous steps in the whole schedule.
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// Outgoing transfers in posting order, tagged with their step.
+    pub fn outgoing(&self) -> &[(u32, Transfer)] {
+        &self.out
+    }
+
+    /// Expected incoming `(step, block)` sequence from `peer`.
+    pub fn incoming_from(&self, peer: Rank) -> &[(u32, u32)] {
+        self.in_per_peer
+            .get(&peer)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every peer this rank receives from, in ascending rank order.
+    pub fn in_peers(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.in_per_peer.keys().copied()
+    }
+
+    /// Total number of blocks this rank will receive (equals the block
+    /// count for non-root ranks of a valid schedule; 0 for the root).
+    pub fn in_count(&self) -> u32 {
+        self.in_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_validate_across_sizes() {
+        let algorithms = [
+            Algorithm::Sequential,
+            Algorithm::Chain,
+            Algorithm::BinomialTree,
+            Algorithm::BinomialPipeline,
+        ];
+        for alg in &algorithms {
+            for n in [1u32, 2, 3, 4, 5, 7, 8, 13, 16, 20] {
+                for k in [1u32, 2, 4, 9] {
+                    let g = GlobalSchedule::build(alg, n, k);
+                    g.validate()
+                        .unwrap_or_else(|e| panic!("{alg} n={n} k={k}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_group_has_no_transfers() {
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, 1, 5);
+        assert_eq!(g.num_steps(), 0);
+        assert_eq!(g.num_transfers(), 0);
+        assert_eq!(g.completion_step(0), None);
+    }
+
+    #[test]
+    fn rank_schedule_round_trips_the_global_view() {
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, 8, 4);
+        let mut total_out = 0;
+        let mut total_in = 0;
+        for rank in 0..8 {
+            let rs = g.for_rank(rank);
+            total_out += rs.outgoing().len();
+            total_in += rs.in_count() as usize;
+            // Outgoing steps are non-decreasing (posting order).
+            let steps: Vec<u32> = rs.outgoing().iter().map(|(s, _)| *s).collect();
+            assert!(steps.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_eq!(total_out, g.num_transfers());
+        assert_eq!(total_in, g.num_transfers());
+    }
+
+    #[test]
+    fn root_never_receives() {
+        for alg in [
+            Algorithm::Sequential,
+            Algorithm::Chain,
+            Algorithm::BinomialTree,
+            Algorithm::BinomialPipeline,
+        ] {
+            let g = GlobalSchedule::build(&alg, 9, 3);
+            assert_eq!(g.for_rank(0).in_count(), 0, "{alg}");
+            assert_eq!(g.first_sender(0), None);
+        }
+    }
+
+    #[test]
+    fn validate_catches_send_before_receive() {
+        let g = GlobalSchedule::from_steps(
+            Algorithm::Chain,
+            3,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 1,
+                to: 2,
+                block: 0,
+            }]],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::SendBeforeReceive { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_delivery() {
+        let t = GlobalTransfer {
+            from: 0,
+            to: 1,
+            block: 0,
+        };
+        let g = GlobalSchedule::from_steps(Algorithm::Chain, 2, 1, vec![vec![t], vec![t]]);
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::DuplicateDelivery { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_missing_delivery() {
+        let g = GlobalSchedule::from_steps(
+            Algorithm::Chain,
+            3,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 0,
+                to: 1,
+                block: 0,
+            }]],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::MissingDelivery { rank: 2, block: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_root_receive_and_malformed() {
+        let g = GlobalSchedule::from_steps(
+            Algorithm::Chain,
+            2,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 1,
+                to: 0,
+                block: 0,
+            }]],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::RootReceives { .. })
+        ));
+        let g = GlobalSchedule::from_steps(
+            Algorithm::Chain,
+            2,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 0,
+                to: 5,
+                block: 0,
+            }]],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::MalformedTransfer { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ScheduleError::MissingDelivery { rank: 3, block: 7 };
+        assert_eq!(e.to_string(), "rank 3 never receives block 7");
+    }
+}
+
+/// A shared, caching source of schedules, so the per-message schedule
+/// build (which depends on the just-learned block count) is amortised
+/// across messages and group members in one process.
+pub struct SchedulePlanner {
+    algorithm: Algorithm,
+    builder: Option<Box<dyn Fn(u32, u32) -> GlobalSchedule + Send + Sync>>,
+    /// Block count used to probe `first_sender` (2 for the built-in
+    /// algorithms, whose first senders are block-count invariant; custom
+    /// families may need the true per-message value).
+    probe_k: u32,
+    cache: std::sync::Mutex<BTreeMap<(u32, u32), Arc<GlobalSchedule>>>,
+}
+
+impl fmt::Debug for SchedulePlanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulePlanner")
+            .field("algorithm", &self.algorithm)
+            .field("probe_k", &self.probe_k)
+            .finish()
+    }
+}
+
+impl SchedulePlanner {
+    /// A planner for a built-in algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        assert!(
+            !matches!(algorithm, Algorithm::Custom { .. }),
+            "use SchedulePlanner::from_fn for custom schedule families"
+        );
+        SchedulePlanner {
+            algorithm,
+            builder: None,
+            probe_k: 2,
+            cache: std::sync::Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A planner for an externally defined schedule family. `probe_k` is
+    /// the block count used to answer [`SchedulePlanner::first_sender`];
+    /// pass the block count the messages will actually use if the family's
+    /// first senders depend on it (MPI-style broadcasts may switch
+    /// algorithms by size — a luxury RDMC does not have, as the paper
+    /// notes in §6: MPI receivers know every transfer's size in advance).
+    pub fn from_fn<F>(name: &str, probe_k: u32, build: F) -> Self
+    where
+        F: Fn(u32, u32) -> GlobalSchedule + Send + Sync + 'static,
+    {
+        SchedulePlanner {
+            algorithm: Algorithm::Custom {
+                name: name.to_owned(),
+            },
+            builder: Some(Box::new(build)),
+            probe_k: probe_k.max(1),
+            cache: std::sync::Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The algorithm this planner builds.
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+
+    /// The (cached) global schedule for `n` members and `k` blocks.
+    pub fn plan(&self, n: u32, k: u32) -> Arc<GlobalSchedule> {
+        let mut cache = self.cache.lock().expect("schedule cache poisoned");
+        cache
+            .entry((n, k))
+            .or_insert_with(|| {
+                Arc::new(match &self.builder {
+                    Some(build) => build(n, k),
+                    None => GlobalSchedule::build(&self.algorithm, n, k),
+                })
+            })
+            .clone()
+    }
+
+    /// Who sends `rank` its first block in an `n`-member group (see
+    /// [`GlobalSchedule::first_sender`]; probed at this planner's
+    /// `probe_k`).
+    pub fn first_sender(&self, n: u32, rank: Rank) -> Option<Rank> {
+        self.plan(n, self.probe_k).first_sender(rank)
+    }
+}

@@ -1,0 +1,50 @@
+//! Sequential send (paper §4.3): the root transmits the entire message to
+//! each recipient in turn. `N` replicas of a `B`-bit message cost the
+//! sender's NIC `N·B` bits — the hot spot the smarter schedules remove.
+
+use crate::schedule::{GlobalSchedule, GlobalTransfer};
+use crate::types::Algorithm;
+
+/// Builds the sequential schedule: receiver 1 gets blocks `0..k`, then
+/// receiver 2, and so on. One transfer per step, all from the root.
+pub fn build(n: u32, k: u32) -> GlobalSchedule {
+    assert!(n >= 2 && k >= 1);
+    let mut steps = Vec::with_capacity(((n - 1) * k) as usize);
+    for to in 1..n {
+        for block in 0..k {
+            steps.push(vec![GlobalTransfer { from: 0, to, block }]);
+        }
+    }
+    GlobalSchedule::from_steps(Algorithm::Sequential, n, k, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_counts() {
+        let g = build(5, 3);
+        g.validate().unwrap();
+        assert_eq!(g.num_steps(), 12);
+        assert_eq!(g.num_transfers(), 12);
+    }
+
+    #[test]
+    fn receivers_complete_in_rank_order() {
+        let g = build(4, 2);
+        let done: Vec<u32> = (1..4).map(|r| g.completion_step(r).unwrap()).collect();
+        assert_eq!(done, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn sender_io_load_is_n_times_message() {
+        // Every byte leaves the root: (n-1) * k transfers from rank 0.
+        let g = build(9, 4);
+        let from_root = (0..g.num_steps())
+            .flat_map(|j| g.step(j).iter())
+            .filter(|t| t.from == 0)
+            .count();
+        assert_eq!(from_root, 8 * 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Binomial tree (paper §4.3, Fig. 3 left): whole messages relayed along
+//! a binomial tree. Latency is logarithmic in the group size, but inner
+//! transfers cannot start until the enclosing round finishes — the
+//! shortcoming the binomial *pipeline* fixes.
+
+use crate::schedule::{GlobalSchedule, GlobalTransfer};
+use crate::types::Algorithm;
+
+/// Builds the binomial-tree schedule. In round `r` (1-based) every node
+/// `i < 2^(r−1)` that holds the message sends it, block by block, to
+/// `i + 2^(r−1)`; round `r` occupies steps `(r−1)·k .. r·k`. Completion
+/// takes `ceil(log2 n) · k` steps.
+pub fn build(n: u32, k: u32) -> GlobalSchedule {
+    assert!(n >= 2 && k >= 1);
+    let rounds = 32 - (n - 1).leading_zeros(); // ceil(log2 n)
+    let mut steps = Vec::with_capacity((rounds * k) as usize);
+    for r in 1..=rounds {
+        let stride = 1u32 << (r - 1);
+        for block in 0..k {
+            let mut this_step = Vec::new();
+            for i in 0..stride.min(n) {
+                let to = i + stride;
+                if to < n {
+                    this_step.push(GlobalTransfer { from: i, to, block });
+                }
+            }
+            steps.push(this_step);
+        }
+    }
+    GlobalSchedule::from_steps(Algorithm::BinomialTree, n, k, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_across_sizes() {
+        for n in [2u32, 3, 4, 6, 8, 15, 16, 33] {
+            for k in [1u32, 3, 8] {
+                let g = build(n, k);
+                g.validate().unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+                let rounds = 32 - (n - 1).leading_zeros();
+                assert_eq!(g.num_steps(), rounds * k);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_left_pattern_for_eight_nodes() {
+        // Paper Fig. 3 (left): 0->1, then {0->2, 1->3}, then
+        // {0->4, 1->5, 2->6, 3->7}.
+        let g = build(8, 1);
+        let round =
+            |j: u32| -> Vec<(u32, u32)> { g.step(j).iter().map(|t| (t.from, t.to)).collect() };
+        assert_eq!(round(0), vec![(0, 1)]);
+        assert_eq!(round(1), vec![(0, 2), (1, 3)]);
+        assert_eq!(round(2), vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+    }
+
+    #[test]
+    fn inner_nodes_relay_only_after_receiving_everything() {
+        let g = build(8, 4);
+        // Node 1 receives blocks at steps 0..4 and first relays at step 4.
+        let first_send = (0..g.num_steps())
+            .find(|&j| g.step(j).iter().any(|t| t.from == 1))
+            .unwrap();
+        assert_eq!(first_send, 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the protocol engine under randomly interleaved
+//! (but per-channel FIFO) event delivery — the weakest ordering any real
+//! transport provides.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rdmc::engine::{Action, EngineConfig, Event, GroupEngine};
+use rdmc::schedule::SchedulePlanner;
+use rdmc::{Algorithm, Rank};
+
+/// Runs `messages` through `n` engines, delivering channel events in an
+/// order chosen by the `picks` stream (FIFO per channel). Returns per-rank
+/// delivered sizes.
+fn run_interleaved(
+    algorithm: Algorithm,
+    n: u32,
+    block_size: u64,
+    messages: &[u64],
+    mut picks: impl FnMut(usize) -> usize,
+) -> Vec<Vec<u64>> {
+    let planner = Arc::new(SchedulePlanner::new(algorithm));
+    let mut engines = Vec::new();
+    let mut channels: BTreeMap<(Rank, Rank), VecDeque<Event>> = BTreeMap::new();
+    let mut delivered: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+    let mut perform = |from: Rank,
+                       actions: Vec<Action>,
+                       channels: &mut BTreeMap<(Rank, Rank), VecDeque<Event>>,
+                       delivered: &mut Vec<Vec<u64>>| {
+        for action in actions {
+            match action {
+                Action::SendReady { to } => channels
+                    .entry((from, to))
+                    .or_default()
+                    .push_back(Event::ReadyReceived { from }),
+                Action::SendBlock { to, total_size, .. } => {
+                    channels
+                        .entry((from, to))
+                        .or_default()
+                        .push_back(Event::BlockReceived { from, total_size });
+                    channels
+                        .entry((to, from))
+                        .or_default()
+                        .push_back(Event::SendCompleted { to });
+                }
+                Action::DeliverMessage { size } => delivered[from as usize].push(size),
+                Action::AllocateBuffer { .. } => {}
+                Action::RelayFailure { .. } => unreachable!("no failures injected"),
+            }
+        }
+    };
+    for rank in 0..n {
+        let (engine, actions) = GroupEngine::new(EngineConfig {
+            rank,
+            num_nodes: n,
+            block_size,
+            ready_window: 2,
+            max_outstanding_sends: 2,
+            planner: Arc::clone(&planner),
+        });
+        engines.push(engine);
+        perform(rank, actions, &mut channels, &mut delivered);
+    }
+    for &size in messages {
+        let actions = engines[0].handle(Event::StartSend { size }).expect("send");
+        perform(0, actions, &mut channels, &mut delivered);
+    }
+    loop {
+        let keys: Vec<(Rank, Rank)> = channels
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        if keys.is_empty() {
+            break;
+        }
+        let key = keys[picks(keys.len())];
+        let event = channels.get_mut(&key).unwrap().pop_front().unwrap();
+        let target = key.1;
+        let actions = engines[target as usize].handle(event).expect("engine ok");
+        perform(target, actions, &mut channels, &mut delivered);
+    }
+    assert!(engines.iter().all(|e| e.is_idle()), "engines not idle");
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the interleaving, every member delivers every message, in
+    /// order, exactly once.
+    #[test]
+    fn delivery_is_interleaving_invariant(
+        n in 2u32..10,
+        block_size in prop::sample::select(vec![64u64, 500, 1 << 12]),
+        messages in prop::collection::vec(0u64..60_000, 1..5),
+        choices in prop::collection::vec(any::<prop::sample::Index>(), 0..4096),
+    ) {
+        let mut idx = 0usize;
+        let picks = |len: usize| {
+            let c = choices
+                .get(idx)
+                .map(|i| i.index(len))
+                .unwrap_or(0);
+            idx += 1;
+            c
+        };
+        let delivered = run_interleaved(Algorithm::BinomialPipeline, n, block_size, &messages, picks);
+        for (rank, got) in delivered.iter().enumerate() {
+            prop_assert_eq!(got, &messages, "rank {} deliveries differ", rank);
+        }
+    }
+
+    /// The same holds for every schedule family.
+    #[test]
+    fn all_algorithms_are_interleaving_invariant(
+        alg_idx in 0usize..4,
+        n in 2u32..8,
+        choices in prop::collection::vec(any::<prop::sample::Index>(), 0..2048),
+    ) {
+        let algorithm = [
+            Algorithm::Sequential,
+            Algorithm::Chain,
+            Algorithm::BinomialTree,
+            Algorithm::BinomialPipeline,
+        ][alg_idx]
+            .clone();
+        let messages = [10_000u64, 1];
+        let mut idx = 0usize;
+        let picks = |len: usize| {
+            let c = choices.get(idx).map(|i| i.index(len)).unwrap_or(0);
+            idx += 1;
+            c
+        };
+        let delivered = run_interleaved(algorithm.clone(), n, 1024, &messages, picks);
+        for (rank, got) in delivered.iter().enumerate() {
+            prop_assert_eq!(got.as_slice(), &messages[..], "{} rank {}", algorithm, rank);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of schedule and analysis invariants.
+
+use proptest::prelude::*;
+use rdmc::analysis;
+use rdmc::schedule::{send_at_step, GlobalSchedule};
+use rdmc::Algorithm;
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Sequential),
+        Just(Algorithm::Chain),
+        Just(Algorithm::BinomialTree),
+        Just(Algorithm::BinomialPipeline),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every algorithm produces a valid schedule (exactly-once delivery,
+    /// holders-only sends, no root receives) for arbitrary group sizes and
+    /// block counts.
+    #[test]
+    fn schedules_always_validate(alg in arb_algorithm(), n in 1u32..40, k in 1u32..24) {
+        let g = GlobalSchedule::build(&alg, n, k);
+        prop_assert!(g.validate().is_ok(), "{alg} n={n} k={k}: {:?}", g.validate());
+    }
+
+    /// The binomial pipeline finishes in exactly `ceil(log2 n) + k - 1`
+    /// asynchronous steps, matching the paper's bound, for every size.
+    #[test]
+    fn binomial_pipeline_step_count(n in 2u32..130, k in 1u32..20) {
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, n, k);
+        prop_assert_eq!(g.num_steps(), analysis::log2_ceil(n) + k - 1);
+        // And nobody completes later than the final step.
+        for rank in 1..n {
+            let done = g.completion_step(rank).expect("receiver completes");
+            prop_assert!(done < g.num_steps());
+        }
+    }
+
+    /// The rank that delivers a member's first block never depends on the
+    /// block count — the property that lets RDMC pre-grant the first
+    /// ready-for-block credit before the message size is known (§4.2).
+    #[test]
+    fn first_sender_is_block_count_invariant(
+        alg in arb_algorithm(),
+        n in 2u32..34,
+        k1 in 1u32..16,
+        k2 in 1u32..16,
+    ) {
+        let a = GlobalSchedule::build(&alg, n, k1);
+        let b = GlobalSchedule::build(&alg, n, k2);
+        for rank in 0..n {
+            prop_assert_eq!(a.first_sender(rank), b.first_sender(rank), "{} rank {}", alg, rank);
+        }
+    }
+
+    /// Each rank's slice of the schedule exactly partitions the global
+    /// transfer list.
+    #[test]
+    fn rank_slices_partition_global(alg in arb_algorithm(), n in 1u32..24, k in 1u32..12) {
+        let g = GlobalSchedule::build(&alg, n, k);
+        let mut out_total = 0usize;
+        let mut in_total = 0usize;
+        for rank in 0..n {
+            let rs = g.for_rank(rank);
+            out_total += rs.outgoing().len();
+            in_total += rs.in_count() as usize;
+            // Non-root members of a valid schedule receive exactly k blocks.
+            if rank != 0 {
+                prop_assert_eq!(rs.in_count(), k);
+            }
+        }
+        prop_assert_eq!(out_total, g.num_transfers());
+        prop_assert_eq!(in_total, g.num_transfers());
+    }
+
+    /// The §4.4 closed-form send rule agrees with the built power-of-two
+    /// schedule: the union of per-step sends is identical.
+    #[test]
+    fn closed_form_matches_built_schedule(l in 1u32..7, k in 1u32..12) {
+        let n = 1u32 << l;
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, n, k);
+        // Collect kept transfers per step, and check each appears in the
+        // closed form (pruning only ever removes, and for powers of two
+        // nothing is pruned).
+        for j in 0..g.num_steps() {
+            let mut formula: Vec<(u32, u32, u32)> = (0..n)
+                .filter_map(|i| send_at_step(n, i, j, k).map(|t| (i, t.peer, t.block)))
+                .collect();
+            let mut built: Vec<(u32, u32, u32)> =
+                g.step(j).iter().map(|t| (t.from, t.to, t.block)).collect();
+            formula.sort_unstable();
+            built.sort_unstable();
+            prop_assert_eq!(formula, built, "step {}", j);
+        }
+    }
+
+    /// Steady-state slack of the power-of-two binomial pipeline matches
+    /// the paper's constant 2(1 − (l−1)/(n−2)) at every steady step.
+    #[test]
+    fn slack_constant_property(l in 2u32..7, k in 3u32..16) {
+        let n = 1u32 << l;
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, n, k);
+        let predicted = analysis::predicted_avg_slack(n);
+        for j in analysis::steady_steps(n, k) {
+            let measured = analysis::empirical_avg_slack(&g, j).expect("senders exist");
+            prop_assert!((measured - predicted).abs() < 1e-9,
+                "n={} step {}: {} vs {}", n, j, measured, predicted);
+        }
+    }
+
+    /// Chain: every block crosses every link exactly once — no redundant
+    /// transfers (the property behind the Fig. 9 bisection argument).
+    #[test]
+    fn chain_has_no_redundant_transfers(n in 2u32..20, k in 1u32..12) {
+        let g = GlobalSchedule::build(&Algorithm::Chain, n, k);
+        prop_assert_eq!(g.num_transfers() as u32, (n - 1) * k);
+    }
+
+    /// The binomial pipeline also moves each block the minimum number of
+    /// times: (n − 1) deliveries per block, nothing redundant.
+    #[test]
+    fn binomial_pipeline_minimal_transfer_count(n in 2u32..40, k in 1u32..12) {
+        let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, n, k);
+        prop_assert_eq!(g.num_transfers() as u32, (n - 1) * k);
+    }
+
+    /// Slow-link fraction stays within (0, 1] and the paper's example
+    /// ordering holds: more hypercube dimensions dilute a slow link more.
+    #[test]
+    fn slow_link_fraction_bounds(l in 1u32..10, slow_pct in 1u32..=100) {
+        let f = analysis::slow_link_bandwidth_fraction(l, 1.0, slow_pct as f64 / 100.0);
+        prop_assert!(f > 0.0 && f <= 1.0);
+        if l >= 2 && slow_pct < 100 {
+            let f_higher = analysis::slow_link_bandwidth_fraction(l + 1, 1.0, slow_pct as f64 / 100.0);
+            prop_assert!(f_higher > f, "dimension should dilute the slow link");
+        }
+    }
+}

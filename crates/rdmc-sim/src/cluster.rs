@@ -1,0 +1,647 @@
+//! The simulation driver: binds `rdmc` protocol engines to the simulated
+//! RDMA fabric and runs whole experiments under virtual time.
+//!
+//! A [`SimCluster`] hosts every group member's [`GroupEngine`] in one
+//! process. Engine [`Action`]s become verbs (block sends carry the
+//! message size as the immediate; ready-for-block notices and failure
+//! relays are one-sided writes); fabric [`Delivery`]s become engine
+//! [`Event`]s. Multiple groups — including fully overlapping ones with
+//! different senders, as in the paper's Figs. 9–10 — run concurrently over
+//! one fabric and contend for real link bandwidth.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rdmc::engine::{Action, EngineConfig, Event, GroupEngine};
+use rdmc::schedule::SchedulePlanner;
+use rdmc::{Algorithm, Rank};
+use simnet::{JitterModel, SimDuration, SimTime};
+use verbs::{CompletionMode, CpuReport, Delivery, Fabric, NodeId, QpHandle, WrId};
+
+/// One-sided-write tag for ready-for-block notices.
+const TAG_READY: u64 = 0;
+/// One-sided-write tag for relayed failure notices.
+const TAG_FAILURE: u64 = 1;
+/// One-sided-write tag for atomic-delivery status counters (§4.6).
+const TAG_STATUS: u64 = 2;
+
+/// Identifies a group within a [`SimCluster`].
+pub type GroupId = usize;
+
+/// A group to instantiate on the cluster.
+#[derive(Clone, Debug)]
+pub struct GroupSpec {
+    /// Fabric node index of each member; `members[0]` is the root.
+    pub members: Vec<usize>,
+    /// Block-dissemination algorithm.
+    pub algorithm: Algorithm,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Readiness credits granted ahead per peer.
+    pub ready_window: u32,
+    /// Block sends that may be posted to the NIC at once.
+    pub max_outstanding_sends: u32,
+}
+
+/// Completion record of one multicast message.
+#[derive(Clone, Debug)]
+pub struct MessageResult {
+    /// The group it was sent on.
+    pub group: GroupId,
+    /// Message index within the group (send order).
+    pub index: usize,
+    /// Message size in bytes.
+    pub size: u64,
+    /// When the root submitted the send.
+    pub submitted: SimTime,
+    /// Local-completion time per member rank (the paper measures until
+    /// *all* members have the upcall).
+    pub delivered_at: Vec<Option<SimTime>>,
+}
+
+impl MessageResult {
+    /// Time until every member completed, if all did.
+    pub fn latency(&self) -> Option<SimDuration> {
+        let last = self
+            .delivered_at
+            .iter()
+            .copied()
+            .collect::<Option<Vec<SimTime>>>()?
+            .into_iter()
+            .max()?;
+        Some(last.since(self.submitted))
+    }
+
+    /// `size / latency`, in gigabits per second.
+    pub fn bandwidth_gbps(&self) -> Option<f64> {
+        let lat = self.latency()?.as_secs_f64();
+        (lat > 0.0).then(|| self.size as f64 * 8.0 / lat / 1e9)
+    }
+}
+
+/// A timestamped protocol-level event, recorded when tracing is enabled
+/// (used to regenerate the paper's Table 1 and Fig. 5).
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The protocol moments the tracer distinguishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// We told `to` we are ready for its next block.
+    ReadySent {
+        /// The notified peer rank.
+        to: Rank,
+    },
+    /// `from` told us it is ready for our next block.
+    ReadyHeard {
+        /// The ready peer rank.
+        from: Rank,
+    },
+    /// We posted a block send.
+    SendPosted {
+        /// Target rank.
+        to: Rank,
+        /// Block number.
+        block: u32,
+    },
+    /// A posted block send completed.
+    SendFinished {
+        /// Target rank.
+        to: Rank,
+    },
+    /// A block landed (block number from the schedule; `None` means it was
+    /// the size-announcing first block of a message).
+    BlockArrived {
+        /// Sending peer rank.
+        from: Rank,
+        /// Derived block number, if the transfer was already active.
+        block: Option<u32>,
+    },
+    /// The application was asked for a receive buffer.
+    BufferAllocated,
+    /// The message completed locally.
+    Delivered,
+}
+
+enum TimerAction {
+    Send { group: GroupId, size: u64 },
+    Crash { node: usize },
+}
+
+struct GroupRuntime {
+    spec: GroupSpec,
+    engines: Vec<GroupEngine>,
+    /// (my rank, peer rank) -> my queue pair endpoint.
+    qps: HashMap<(Rank, Rank), QpHandle>,
+    submit_times: Vec<SimTime>,
+    /// Per rank: completion times in message order.
+    delivered: Vec<Vec<SimTime>>,
+    sizes: Vec<u64>,
+    /// Derecho-style atomic delivery (None = plain RDMC semantics).
+    atomic: Option<AtomicState>,
+}
+
+/// Derecho's §4.6 scheme: RDMC deliveries are buffered; each member
+/// publishes its received-count in a replicated status table (one-sided
+/// writes); a message is *stably delivered* once every member is known to
+/// hold it.
+struct AtomicState {
+    /// status[me][peer] = peer's completed count as known at `me`.
+    status: Vec<Vec<u64>>,
+    /// Per rank: how many messages have been stably delivered.
+    stable_count: Vec<u64>,
+    /// Per rank: stable-delivery times in message order.
+    stable_at: Vec<Vec<SimTime>>,
+}
+
+/// A simulated RDMC deployment: fabric + engines + bookkeeping.
+pub struct SimCluster {
+    fabric: Fabric,
+    groups: Vec<GroupRuntime>,
+    qp_owner: HashMap<QpHandle, (GroupId, Rank, Rank)>,
+    timers: HashMap<u64, TimerAction>,
+    next_timer: u64,
+    tracing: bool,
+    traces: HashMap<(GroupId, Rank), Vec<TraceRecord>>,
+}
+
+impl SimCluster {
+    /// Wraps a built fabric (see
+    /// [`ClusterSpec::build`](crate::ClusterSpec::build)).
+    pub fn new(fabric: Fabric) -> Self {
+        SimCluster {
+            fabric,
+            groups: Vec::new(),
+            qp_owner: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            tracing: false,
+            traces: HashMap::new(),
+        }
+    }
+
+    /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation).
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// Access the underlying fabric (topology, link accounting, CPU).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Sets one node's completion mode (polling / interrupt / hybrid).
+    pub fn set_completion_mode(&mut self, node: usize, mode: CompletionMode) {
+        self.fabric.set_completion_mode(NodeId(node as u32), mode);
+    }
+
+    /// Sets one node's scheduling-jitter model.
+    pub fn set_jitter(&mut self, node: usize, jitter: JitterModel) {
+        self.fabric.set_jitter(NodeId(node as u32), jitter);
+    }
+
+    /// One node's CPU usage report.
+    pub fn cpu_report(&self, node: usize) -> CpuReport {
+        self.fabric.cpu_report(NodeId(node as u32))
+    }
+
+    /// Creates a group; all members instantiate their engines and
+    /// receivers pre-grant their first ready-for-block credit (the
+    /// out-of-band bootstrap of §3 step 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member list is empty, repeats a node, or names a node
+    /// outside the topology.
+    pub fn create_group(&mut self, spec: GroupSpec) -> GroupId {
+        let planner = Arc::new(SchedulePlanner::new(spec.algorithm.clone()));
+        self.create_group_with_planner(spec, planner)
+    }
+
+    /// Like [`SimCluster::create_group`], but with an explicit schedule
+    /// planner — how custom schedule families (e.g. the `baselines`
+    /// crate's MPI broadcast) run on the fabric. `spec.algorithm` is kept
+    /// only as a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SimCluster::create_group`].
+    pub fn create_group_with_planner(
+        &mut self,
+        spec: GroupSpec,
+        planner: Arc<SchedulePlanner>,
+    ) -> GroupId {
+        assert!(!spec.members.is_empty(), "group needs members");
+        let n = spec.members.len() as u32;
+        let total_nodes = self.fabric.topology().num_nodes();
+        let mut rank_of_node = HashMap::new();
+        for (rank, &node) in spec.members.iter().enumerate() {
+            assert!(node < total_nodes, "member node {node} outside topology");
+            let prev = rank_of_node.insert(node, rank as Rank);
+            assert!(prev.is_none(), "node {node} appears twice in the group");
+        }
+        let gid = self.groups.len();
+        let mut engines = Vec::with_capacity(spec.members.len());
+        let mut initial: Vec<(Rank, Vec<Action>)> = Vec::new();
+        for rank in 0..n {
+            let (engine, actions) = GroupEngine::new(EngineConfig {
+                rank,
+                num_nodes: n,
+                block_size: spec.block_size,
+                ready_window: spec.ready_window,
+                max_outstanding_sends: spec.max_outstanding_sends,
+                planner: Arc::clone(&planner),
+            });
+            engines.push(engine);
+            initial.push((rank, actions));
+        }
+        self.groups.push(GroupRuntime {
+            spec,
+            engines,
+            qps: HashMap::new(),
+            submit_times: Vec::new(),
+            delivered: vec![Vec::new(); n as usize],
+            sizes: Vec::new(),
+            atomic: None,
+        });
+        for (rank, actions) in initial {
+            self.execute(gid, rank, actions);
+        }
+        gid
+    }
+
+    /// Submits a multicast of `size` random-content bytes on `group` now.
+    pub fn submit_send(&mut self, group: GroupId, size: u64) {
+        let now = self.fabric.now();
+        self.groups[group].submit_times.push(now);
+        self.groups[group].sizes.push(size);
+        self.feed(group, 0, Event::StartSend { size });
+    }
+
+    /// Schedules a multicast submission at an absolute virtual time.
+    pub fn schedule_send_at(&mut self, group: GroupId, at: SimTime, size: u64) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, TimerAction::Send { group, size });
+        let root_node = self.groups[group].spec.members[0];
+        let delay = at.saturating_since(self.fabric.now());
+        self.fabric
+            .schedule_timer(NodeId(root_node as u32), delay, token);
+    }
+
+    /// Schedules a node crash at an absolute virtual time.
+    pub fn schedule_crash_at(&mut self, node: usize, at: SimTime) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, TimerAction::Crash { node });
+        let delay = at.saturating_since(self.fabric.now());
+        self.fabric
+            .schedule_timer(NodeId(node as u32), delay, token);
+    }
+
+    /// Switches a group to Derecho-style *atomic delivery* (§4.6): RDMC
+    /// completions are buffered and a message is delivered only once the
+    /// replicated status table shows every member holds it. Call right
+    /// after [`SimCluster::create_group`], before any sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages were already sent on the group.
+    pub fn enable_atomic_delivery(&mut self, group: GroupId) {
+        let g = &mut self.groups[group];
+        assert!(
+            g.submit_times.is_empty(),
+            "enable atomic delivery before sending"
+        );
+        let n = g.spec.members.len();
+        g.atomic = Some(AtomicState {
+            status: vec![vec![0; n]; n],
+            stable_count: vec![0; n],
+            stable_at: vec![Vec::new(); n],
+        });
+    }
+
+    /// Stable-delivery times per member for an atomic group, in message
+    /// order (empty vectors for a plain group).
+    pub fn stable_deliveries(&self, group: GroupId, rank: Rank) -> &[SimTime] {
+        self.groups[group]
+            .atomic
+            .as_ref()
+            .map(|a| a.stable_at[rank as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Checks whether new messages became stable at `rank` and records
+    /// their delivery times.
+    fn advance_stability(&mut self, group: GroupId, rank: Rank) {
+        let now = self.fabric.now();
+        let g = &mut self.groups[group];
+        let Some(atomic) = g.atomic.as_mut() else {
+            return;
+        };
+        let me = rank as usize;
+        let stable_idx = atomic.status[me].iter().copied().min().expect("members");
+        while atomic.stable_count[me] < stable_idx {
+            atomic.stable_count[me] += 1;
+            atomic.stable_at[me].push(now);
+        }
+    }
+
+    /// Runs the simulation until no events remain.
+    pub fn run(&mut self) {
+        while let Some((time, node, delivery)) = self.fabric.advance() {
+            self.dispatch(time, node, delivery);
+        }
+    }
+
+    /// Completion records for every message submitted so far.
+    pub fn message_results(&self) -> Vec<MessageResult> {
+        let mut out = Vec::new();
+        for (gid, g) in self.groups.iter().enumerate() {
+            for (idx, (&submitted, &size)) in g.submit_times.iter().zip(g.sizes.iter()).enumerate()
+            {
+                let delivered_at = g
+                    .delivered
+                    .iter()
+                    .map(|per_rank| per_rank.get(idx).copied())
+                    .collect();
+                out.push(MessageResult {
+                    group: gid,
+                    index: idx,
+                    size,
+                    submitted,
+                    delivered_at,
+                });
+            }
+        }
+        out
+    }
+
+    /// The trace recorded for one member (empty unless
+    /// [`SimCluster::enable_tracing`] was called before the transfer).
+    pub fn trace(&self, group: GroupId, rank: Rank) -> &[TraceRecord] {
+        self.traces
+            .get(&(group, rank))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True if every engine is idle and unwedged — the condition under
+    /// which a group close ("destroy") would report success, guaranteeing
+    /// every message reached every destination (§4.6).
+    pub fn all_quiescent(&self) -> bool {
+        self.groups
+            .iter()
+            .flat_map(|g| g.engines.iter())
+            .all(|e| e.is_idle() && !e.is_wedged())
+    }
+
+    /// Ranks that consider the group wedged (learned of a failure).
+    pub fn wedged_members(&self, group: GroupId) -> Vec<Rank> {
+        self.groups[group]
+            .engines
+            .iter()
+            .filter(|e| e.is_wedged())
+            .map(|e| e.rank())
+            .collect()
+    }
+
+    fn record(&mut self, group: GroupId, rank: Rank, kind: TraceKind) {
+        if self.tracing {
+            let time = self.fabric.now();
+            self.traces
+                .entry((group, rank))
+                .or_default()
+                .push(TraceRecord { time, kind });
+        }
+    }
+
+    fn dispatch(&mut self, _time: SimTime, node: NodeId, delivery: Delivery) {
+        match delivery {
+            Delivery::RecvDone { qp, imm, .. } => {
+                let (group, me, peer) = self.qp_owner[&qp];
+                let block = self.groups[group].engines[me as usize].next_expected_block(peer);
+                self.record(
+                    group,
+                    me,
+                    TraceKind::BlockArrived {
+                        from: peer,
+                        block: block.map(|(b, _, _)| b),
+                    },
+                );
+                self.feed(
+                    group,
+                    me,
+                    Event::BlockReceived {
+                        from: peer,
+                        total_size: imm,
+                    },
+                );
+            }
+            Delivery::SendDone { qp, .. } => {
+                let (group, me, peer) = self.qp_owner[&qp];
+                self.record(group, me, TraceKind::SendFinished { to: peer });
+                self.feed(group, me, Event::SendCompleted { to: peer });
+            }
+            Delivery::WriteDone { .. } => {}
+            Delivery::WriteArrived { qp, tag, payload } => {
+                let (group, me, peer) = self.qp_owner[&qp];
+                match tag {
+                    TAG_READY => {
+                        self.record(group, me, TraceKind::ReadyHeard { from: peer });
+                        self.feed(group, me, Event::ReadyReceived { from: peer });
+                    }
+                    TAG_FAILURE => {
+                        let failed =
+                            u32::from_le_bytes(payload[..4].try_into().expect("failure payload"));
+                        self.feed(group, me, Event::PeerFailed { rank: failed });
+                    }
+                    TAG_STATUS => {
+                        let count =
+                            u64::from_le_bytes(payload[..8].try_into().expect("status payload"));
+                        if let Some(a) = self.groups[group].atomic.as_mut() {
+                            let cell = &mut a.status[me as usize][peer as usize];
+                            *cell = (*cell).max(count);
+                        }
+                        self.advance_stability(group, me);
+                    }
+                    other => panic!("unknown control tag {other}"),
+                }
+            }
+            Delivery::QpBroken { qp } => {
+                if let Some(&(group, me, peer)) = self.qp_owner.get(&qp) {
+                    self.feed(group, me, Event::PeerFailed { rank: peer });
+                }
+            }
+            Delivery::Timer { token } => match self.timers.remove(&token) {
+                Some(TimerAction::Send { group, size }) => {
+                    let now = self.fabric.now();
+                    self.groups[group].submit_times.push(now);
+                    self.groups[group].sizes.push(size);
+                    self.feed(group, 0, Event::StartSend { size });
+                }
+                Some(TimerAction::Crash { node }) => {
+                    self.fabric.crash(NodeId(node as u32));
+                }
+                None => {
+                    let _ = node; // stale or foreign timer: ignore
+                }
+            },
+        }
+    }
+
+    /// Feeds an event to one engine and executes the resulting actions.
+    fn feed(&mut self, group: GroupId, rank: Rank, event: Event) {
+        let node = self.groups[group].spec.members[rank as usize];
+        if self.fabric.is_crashed(NodeId(node as u32)) {
+            return; // dead software runs no handlers
+        }
+        let actions = self.groups[group].engines[rank as usize]
+            .handle(event)
+            .unwrap_or_else(|e| panic!("group {group} rank {rank}: protocol violation: {e}"));
+        self.execute(group, rank, actions);
+    }
+
+    /// Lazily creates the queue pair between two group members.
+    fn ensure_qp(&mut self, group: GroupId, a: Rank, b: Rank) -> QpHandle {
+        if let Some(&qp) = self.groups[group].qps.get(&(a, b)) {
+            return qp;
+        }
+        let na = NodeId(self.groups[group].spec.members[a as usize] as u32);
+        let nb = NodeId(self.groups[group].spec.members[b as usize] as u32);
+        let (qa, qb) = self.fabric.connect(na, nb);
+        self.groups[group].qps.insert((a, b), qa);
+        self.groups[group].qps.insert((b, a), qb);
+        self.qp_owner.insert(qa, (group, a, b));
+        self.qp_owner.insert(qb, (group, b, a));
+        qa
+    }
+
+    fn execute(&mut self, group: GroupId, rank: Rank, actions: Vec<Action>) {
+        let node = NodeId(self.groups[group].spec.members[rank as usize] as u32);
+        // The first-block copy is charged *after* all posts from this
+        // handler: the paper's receivers post their receives first "and in
+        // parallel, copy the first block" (§4.2), so the copy must not
+        // delay readiness grants or relays.
+        let mut deferred_copy = SimDuration::ZERO;
+        for action in actions {
+            match action {
+                Action::SendReady { to } => {
+                    let qp = self.ensure_qp(group, rank, to);
+                    // Readiness implies the receive is pre-posted (§4.2):
+                    // post it first so the peer's send always lands.
+                    let block_size = self.groups[group].spec.block_size;
+                    // Ignore failures: the group is wedging if the QP broke.
+                    let _ = self.fabric.post_recv(qp, WrId(0), block_size);
+                    let _ = self.fabric.post_write(
+                        qp,
+                        WrId(0),
+                        TAG_READY,
+                        Bytes::from_static(b"RDY"),
+                        None,
+                    );
+                    self.record(group, rank, TraceKind::ReadySent { to });
+                }
+                Action::SendBlock {
+                    to,
+                    block,
+                    bytes,
+                    total_size,
+                    ..
+                } => {
+                    let qp = self.ensure_qp(group, rank, to);
+                    self.record(group, rank, TraceKind::SendPosted { to, block });
+                    let _ =
+                        self.fabric
+                            .post_send(qp, WrId(u64::from(block)), bytes, total_size, None);
+                }
+                Action::AllocateBuffer { size } => {
+                    // malloc on the critical path (§4.6) gates everything;
+                    // the copy of the size-announcing first block into the
+                    // new buffer (Table 1 "Copy Time") is deferred past the
+                    // posts below.
+                    let profile = self.fabric.profile(node).clone();
+                    let first_block = size.min(self.groups[group].spec.block_size);
+                    self.fabric.consume_cpu(node, profile.malloc_latency);
+                    deferred_copy += profile.memcpy_time(first_block);
+                    self.record(group, rank, TraceKind::BufferAllocated);
+                }
+                Action::DeliverMessage { size } => {
+                    let now = self.fabric.now();
+                    let g = &mut self.groups[group];
+                    g.delivered[rank as usize].push(now);
+                    let _ = size;
+                    self.record(group, rank, TraceKind::Delivered);
+                    // Atomic mode: publish the new received-count to every
+                    // peer's status table and re-evaluate stability.
+                    let count = self.groups[group].delivered[rank as usize].len() as u64;
+                    let is_atomic = self.groups[group].atomic.is_some();
+                    if is_atomic {
+                        if let Some(a) = self.groups[group].atomic.as_mut() {
+                            a.status[rank as usize][rank as usize] = count;
+                        }
+                        let n = self.groups[group].spec.members.len() as Rank;
+                        for peer in 0..n {
+                            if peer == rank {
+                                continue;
+                            }
+                            let peer_node =
+                                NodeId(self.groups[group].spec.members[peer as usize] as u32);
+                            if self.fabric.is_crashed(peer_node) {
+                                continue;
+                            }
+                            let qp = self.ensure_qp(group, rank, peer);
+                            let _ = self.fabric.post_write(
+                                qp,
+                                WrId(count),
+                                TAG_STATUS,
+                                Bytes::copy_from_slice(&count.to_le_bytes()),
+                                None,
+                            );
+                        }
+                        self.advance_stability(group, rank);
+                    }
+                }
+                Action::RelayFailure { failed } => {
+                    let n = self.groups[group].spec.members.len() as Rank;
+                    for peer in 0..n {
+                        if peer == rank {
+                            continue;
+                        }
+                        let peer_node =
+                            NodeId(self.groups[group].spec.members[peer as usize] as u32);
+                        if self.fabric.is_crashed(peer_node) {
+                            continue;
+                        }
+                        let qp = self.ensure_qp(group, rank, peer);
+                        let _ = self.fabric.post_write(
+                            qp,
+                            WrId(1),
+                            TAG_FAILURE,
+                            Bytes::copy_from_slice(&failed.to_le_bytes()),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+        if deferred_copy > SimDuration::ZERO {
+            self.fabric.consume_cpu(node, deferred_copy);
+        }
+    }
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("now", &self.fabric.now())
+            .field("groups", &self.groups.len())
+            .finish()
+    }
+}

@@ -1,0 +1,149 @@
+//! One-line experiment harnesses over [`SimCluster`], shared by the test
+//! suite and the figure-regenerating benchmarks.
+
+use rdmc::Algorithm;
+use simnet::SimDuration;
+
+use crate::{ClusterSpec, GroupSpec, SimCluster};
+
+/// Outcome of a single multicast run.
+#[derive(Clone, Debug)]
+pub struct MulticastOutcome {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Group size including the sender.
+    pub group_size: usize,
+    /// Time from submit until every member's completion upcall.
+    pub latency: SimDuration,
+    /// `size / latency` in Gb/s (the paper's bandwidth metric, §5.1).
+    pub bandwidth_gbps: f64,
+}
+
+/// Runs one multicast of `size` bytes to a fresh group of `group_size`
+/// nodes on `spec`'s cluster, returning its latency/bandwidth.
+///
+/// # Panics
+///
+/// Panics if the cluster is smaller than the group or the transfer fails
+/// to complete (which would be a protocol bug).
+pub fn run_single_multicast(
+    spec: &ClusterSpec,
+    group_size: usize,
+    algorithm: Algorithm,
+    size: u64,
+    block_size: u64,
+) -> MulticastOutcome {
+    assert!(
+        group_size <= spec.topology.nodes(),
+        "group larger than cluster"
+    );
+    let mut cluster = SimCluster::new(spec.build());
+    let group = cluster.create_group(GroupSpec {
+        members: (0..group_size).collect(),
+        algorithm,
+        block_size,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    cluster.submit_send(group, size);
+    cluster.run();
+    let result = &cluster.message_results()[0];
+    let latency = result
+        .latency()
+        .expect("multicast did not complete at every member");
+    MulticastOutcome {
+        size,
+        group_size,
+        latency,
+        bandwidth_gbps: result.bandwidth_gbps().expect("nonzero latency"),
+    }
+}
+
+/// Runs a back-to-back stream of `count` equal-size messages on one group
+/// and returns the aggregate bandwidth in Gb/s (total bytes over total
+/// time), plus per-message latencies.
+pub fn run_stream(
+    spec: &ClusterSpec,
+    group_size: usize,
+    algorithm: Algorithm,
+    size: u64,
+    block_size: u64,
+    count: usize,
+) -> (f64, Vec<SimDuration>) {
+    let mut cluster = SimCluster::new(spec.build());
+    let group = cluster.create_group(GroupSpec {
+        members: (0..group_size).collect(),
+        algorithm,
+        block_size,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    for _ in 0..count {
+        cluster.submit_send(group, size);
+    }
+    cluster.run();
+    let results = cluster.message_results();
+    let latencies: Vec<SimDuration> = results
+        .iter()
+        .map(|r| r.latency().expect("message completed"))
+        .collect();
+    let total_end = results
+        .iter()
+        .flat_map(|r| r.delivered_at.iter().flatten())
+        .max()
+        .copied()
+        .expect("at least one delivery");
+    let elapsed = total_end.since(results[0].submitted).as_secs_f64();
+    let aggregate = (size as f64 * count as f64 * 8.0) / elapsed / 1e9;
+    (aggregate, latencies)
+}
+
+/// The paper's Fig. 10 pattern: `senders` groups with *identical
+/// membership* (`group_size` nodes) but distinct roots, each root streaming
+/// `per_sender_bytes` in `message_size` messages concurrently. Returns the
+/// aggregate bandwidth in Gb/s over total bytes moved.
+pub fn run_concurrent_overlapping(
+    spec: &ClusterSpec,
+    group_size: usize,
+    senders: usize,
+    algorithm: Algorithm,
+    message_size: u64,
+    messages_per_sender: usize,
+    block_size: u64,
+) -> f64 {
+    assert!(senders >= 1 && senders <= group_size);
+    let mut cluster = SimCluster::new(spec.build());
+    let mut groups = Vec::new();
+    for s in 0..senders {
+        // Same members, rotated so member `s` is the root.
+        let members: Vec<usize> = (0..group_size).map(|i| (s + i) % group_size).collect();
+        groups.push(cluster.create_group(GroupSpec {
+            members,
+            algorithm: algorithm.clone(),
+            block_size,
+            ready_window: 3,
+            max_outstanding_sends: 3,
+        }));
+    }
+    for &g in &groups {
+        for _ in 0..messages_per_sender {
+            cluster.submit_send(g, message_size);
+        }
+    }
+    cluster.run();
+    let results = cluster.message_results();
+    let total_end = results
+        .iter()
+        .flat_map(|r| r.delivered_at.iter().flatten())
+        .max()
+        .copied()
+        .expect("deliveries exist");
+    let start = results
+        .iter()
+        .map(|r| r.submitted)
+        .min()
+        .expect("submissions exist");
+    let elapsed = total_end.since(start).as_secs_f64();
+    let total_bytes = message_size as f64 * messages_per_sender as f64 * senders as f64;
+    total_bytes * 8.0 / elapsed / 1e9
+}

@@ -1,0 +1,209 @@
+//! Cluster presets modelled on the paper's four testbeds (§5.1).
+//!
+//! Absolute constants are calibrations, not measurements: the simulator's
+//! job is to reproduce the *shape* of the paper's results (who wins, where
+//! crossovers fall), and those shapes are set by link speeds, topology,
+//! and the ratio of per-block overhead to block transfer time.
+
+use simnet::{FlowNet, HostProfile, SimDuration, Topology};
+use verbs::{CompletionMode, Fabric, FabricParams};
+
+/// Which fabric shape to build.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopoSpec {
+    /// Single non-blocking switch (Fractus, Stampede stand-ins).
+    Flat {
+        /// Node count.
+        nodes: usize,
+        /// Per-NIC link speed, Gb/s.
+        gbps: f64,
+        /// One-hop latency.
+        latency: SimDuration,
+    },
+    /// Flat switch with one custom-speed node (slow-NIC experiments).
+    FlatPerNode {
+        /// Per-node link speeds, Gb/s.
+        gbps: Vec<f64>,
+        /// One-hop latency.
+        latency: SimDuration,
+    },
+    /// Racks behind (possibly oversubscribed) uplinks (Apt, Sierra
+    /// stand-ins).
+    Tor {
+        /// Rack count.
+        racks: usize,
+        /// Hosts per rack.
+        per_rack: usize,
+        /// Host NIC speed, Gb/s.
+        host_gbps: f64,
+        /// Per-rack uplink speed, Gb/s (each direction).
+        uplink_gbps: f64,
+        /// One-hop latency.
+        latency: SimDuration,
+    },
+}
+
+impl TopoSpec {
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        match self {
+            TopoSpec::Flat { nodes, .. } => *nodes,
+            TopoSpec::FlatPerNode { gbps, .. } => gbps.len(),
+            TopoSpec::Tor {
+                racks, per_rack, ..
+            } => racks * per_rack,
+        }
+    }
+}
+
+/// Everything needed to stand up a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Fabric shape.
+    pub topology: TopoSpec,
+    /// Host software cost constants (applied to every node).
+    pub profile: HostProfile,
+    /// Fabric-wide hardware constants.
+    pub fabric: FabricParams,
+    /// Completion mode for every node (override per node afterwards if
+    /// needed).
+    pub completion_mode: CompletionMode,
+}
+
+impl ClusterSpec {
+    /// Fractus: 16 RDMA nodes on a non-blocking 100 Gb/s switch.
+    pub fn fractus(nodes: usize) -> Self {
+        ClusterSpec {
+            topology: TopoSpec::Flat {
+                nodes,
+                gbps: 100.0,
+                latency: SimDuration::from_micros(2),
+            },
+            profile: HostProfile::default(),
+            fabric: FabricParams::default(),
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
+    /// Stampede-1: FDR NICs but ~40 Gb/s measured unicast; higher
+    /// per-block overheads than Fractus (the Table 1 cluster).
+    pub fn stampede(nodes: usize) -> Self {
+        ClusterSpec {
+            topology: TopoSpec::Flat {
+                nodes,
+                gbps: 40.0,
+                latency: SimDuration::from_micros(3),
+            },
+            profile: HostProfile {
+                post_overhead: SimDuration::from_micros(2),
+                completion_overhead: SimDuration::from_micros(1),
+                ..HostProfile::default()
+            },
+            fabric: FabricParams {
+                nic_op_overhead: SimDuration::from_micros(2),
+                ..FabricParams::default()
+            },
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
+    /// Sierra: 4x QDR (40 Gb/s), ~2,000 nodes behind a federated fat-tree
+    /// — modelled as pods with full-bisection uplinks but higher
+    /// cross-pod latency exposure.
+    pub fn sierra(nodes: usize) -> Self {
+        let per_pod = 16usize;
+        let pods = nodes.div_ceil(per_pod).max(1);
+        ClusterSpec {
+            topology: TopoSpec::Tor {
+                racks: pods,
+                per_rack: per_pod,
+                host_gbps: 40.0,
+                uplink_gbps: 40.0 * per_pod as f64, // full bisection
+                latency: SimDuration::from_micros(4),
+            },
+            profile: HostProfile::default(),
+            fabric: FabricParams::default(),
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
+    /// Apt: 56 Gb/s FDR NICs behind a significantly oversubscribed TOR
+    /// that degrades to ~16 Gb/s per host under load (§5.1).
+    pub fn apt(racks: usize, per_rack: usize) -> Self {
+        ClusterSpec {
+            topology: TopoSpec::Tor {
+                racks,
+                per_rack,
+                host_gbps: 56.0,
+                uplink_gbps: 16.0 * per_rack as f64,
+                latency: SimDuration::from_micros(3),
+            },
+            profile: HostProfile::default(),
+            fabric: FabricParams::default(),
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
+    /// Builds the fabric: flow network, topology, node profiles.
+    pub fn build(&self) -> Fabric {
+        let mut net = FlowNet::new();
+        let topo = match &self.topology {
+            TopoSpec::Flat {
+                nodes,
+                gbps,
+                latency,
+            } => Topology::flat(&mut net, *nodes, *gbps, *latency),
+            TopoSpec::FlatPerNode { gbps, latency } => {
+                Topology::flat_per_node(&mut net, gbps, *latency)
+            }
+            TopoSpec::Tor {
+                racks,
+                per_rack,
+                host_gbps,
+                uplink_gbps,
+                latency,
+            } => Topology::oversubscribed_tor(
+                &mut net,
+                *racks,
+                *per_rack,
+                *host_gbps,
+                *uplink_gbps,
+                *latency,
+            ),
+        };
+        let nodes = topo.num_nodes();
+        let mut fabric = Fabric::new(net, topo, self.fabric.clone());
+        for i in 0..nodes {
+            let node = verbs::NodeId(i as u32);
+            fabric.set_profile(node, self.profile.clone());
+            fabric.set_completion_mode(node, self.completion_mode);
+        }
+        fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        assert_eq!(ClusterSpec::fractus(16).build().topology().num_nodes(), 16);
+        assert_eq!(ClusterSpec::stampede(4).build().topology().num_nodes(), 4);
+        assert_eq!(ClusterSpec::apt(4, 8).build().topology().num_nodes(), 32);
+        let sierra = ClusterSpec::sierra(512);
+        assert_eq!(sierra.build().topology().num_nodes(), 512);
+    }
+
+    #[test]
+    fn topo_spec_node_counts() {
+        assert_eq!(
+            TopoSpec::FlatPerNode {
+                gbps: vec![10.0, 20.0],
+                latency: SimDuration::ZERO
+            }
+            .nodes(),
+            2
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Derecho-style atomic delivery (paper §4.6): RDMC deliveries buffered
+//! until the replicated status table shows every member holds the
+//! message. Validates the paper's claim that the added delay is small and
+//! no bandwidth is lost.
+
+use rdmc::Algorithm;
+use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+
+const MB: u64 = 1 << 20;
+
+fn spec_group(members: Vec<usize>) -> GroupSpec {
+    GroupSpec {
+        members,
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: MB,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    }
+}
+
+fn run(atomic: bool, count: usize, size: u64) -> (SimCluster, usize) {
+    let mut cluster = SimCluster::new(ClusterSpec::fractus(8).build());
+    let group = cluster.create_group(spec_group((0..8).collect()));
+    if atomic {
+        cluster.enable_atomic_delivery(group);
+    }
+    for _ in 0..count {
+        cluster.submit_send(group, size);
+    }
+    cluster.run();
+    (cluster, group)
+}
+
+#[test]
+fn every_member_stably_delivers_every_message() {
+    let (cluster, group) = run(true, 5, 8 * MB);
+    for rank in 0..8u32 {
+        let stable = cluster.stable_deliveries(group, rank);
+        assert_eq!(stable.len(), 5, "rank {rank}: {} stable", stable.len());
+        // Stable times are monotone.
+        assert!(stable.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+#[test]
+fn stability_never_precedes_local_delivery() {
+    let (cluster, group) = run(true, 3, 16 * MB);
+    let results = cluster.message_results();
+    for rank in 0..8u32 {
+        let stable = cluster.stable_deliveries(group, rank);
+        for (idx, &s) in stable.iter().enumerate() {
+            // Stable delivery at `rank` must follow EVERY member's local
+            // RDMC completion of that message.
+            for r in &results[idx..=idx] {
+                for t in r.delivered_at.iter().flatten() {
+                    assert!(
+                        s >= *t,
+                        "rank {rank} msg {idx}: stable {s:?} before local {t:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn added_delay_is_small_and_bandwidth_is_kept() {
+    // The paper: "No loss of bandwidth is experienced, and the added delay
+    // is surprisingly small."
+    let count = 6;
+    let size = 32 * MB;
+    let (plain, _pg) = run(false, count, size);
+    let (atomic, ag) = run(true, count, size);
+    let end_plain = plain
+        .message_results()
+        .iter()
+        .flat_map(|r| r.delivered_at.iter().flatten().copied())
+        .max()
+        .unwrap();
+    let end_stable = (0..8u32)
+        .flat_map(|r| atomic.stable_deliveries(ag, r).iter().copied())
+        .max()
+        .unwrap();
+    let plain_s = end_plain.as_secs_f64();
+    let stable_s = end_stable.as_secs_f64();
+    assert!(stable_s >= plain_s, "stability cannot be free");
+    assert!(
+        stable_s < plain_s * 1.05,
+        "atomic delivery should cost <5% end-to-end: {plain_s} vs {stable_s}"
+    );
+}
+
+#[test]
+fn crash_stalls_stability_but_not_rdmc_bookkeeping() {
+    let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
+    let group = cluster.create_group(spec_group((0..4).collect()));
+    cluster.enable_atomic_delivery(group);
+    cluster.submit_send(group, 64 * MB);
+    cluster.schedule_crash_at(2, simnet::SimTime::from_nanos(1_000_000));
+    cluster.run();
+    // The dead member never publishes status, so nothing becomes stable —
+    // exactly why Derecho needs its leader-based cleanup (out of scope
+    // here, as in the paper).
+    for rank in [0u32, 1, 3] {
+        assert!(
+            cluster.stable_deliveries(group, rank).is_empty(),
+            "rank {rank} must not deliver unstably after a crash"
+        );
+    }
+    assert!(!cluster.wedged_members(group).is_empty());
+}

@@ -1,0 +1,719 @@
+//! The per-node runtime: a full TCP mesh (the paper's bootstrap, §2), one
+//! reader thread per peer, and a single event-loop thread that owns every
+//! group's protocol engine — mirroring RDMC's single completion thread
+//! (§4.2).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rdmc::engine::{Action, EngineConfig, Event, GroupEngine};
+use rdmc::schedule::SchedulePlanner;
+use rdmc::{Algorithm, Rank};
+
+use crate::wire::Frame;
+
+/// Cluster-wide node identifier (index into the address list).
+pub type NodeId = u32;
+
+/// Configuration of a group, shared verbatim by all members (§4.1:
+/// `create_group` is called concurrently with identical membership).
+#[derive(Clone, Debug)]
+pub struct GroupConfig {
+    /// Member node ids; `members[0]` is the root (the only sender).
+    pub members: Vec<NodeId>,
+    /// Block-dissemination algorithm.
+    pub algorithm: Algorithm,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Readiness credits granted ahead per peer.
+    pub ready_window: u32,
+    /// Block sends kept in flight at once.
+    pub max_outstanding_sends: u32,
+}
+
+impl GroupConfig {
+    /// A sensible default configuration: binomial pipeline, 1 MB blocks.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        GroupConfig {
+            members,
+            algorithm: Algorithm::BinomialPipeline,
+            block_size: 1 << 20,
+            ready_window: 3,
+            max_outstanding_sends: 3,
+        }
+    }
+}
+
+/// Supplies the receive buffer for an incoming message (the
+/// `incoming_message_callback` of the paper's Fig. 1).
+pub type IncomingCallback = Box<dyn FnMut(u64) -> Vec<u8> + Send>;
+
+/// Invoked when a message is locally complete — at receivers with the
+/// received bytes, at the root with the sent bytes (Fig. 1's
+/// `message_completion_callback`).
+pub type CompletionCallback = Box<dyn FnMut(&[u8]) + Send>;
+
+enum Command {
+    CreateGroup {
+        number: u64,
+        config: GroupConfig,
+        incoming: IncomingCallback,
+        completion: CompletionCallback,
+        reply: Sender<bool>,
+    },
+    DestroyGroup {
+        number: u64,
+        reply: Sender<bool>,
+    },
+    Send {
+        number: u64,
+        data: Vec<u8>,
+        reply: Sender<bool>,
+    },
+    PeerFrame {
+        from: NodeId,
+        frame: Frame,
+    },
+    PeerDown {
+        node: NodeId,
+    },
+    Shutdown,
+}
+
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+struct Group {
+    config: GroupConfig,
+    engine: GroupEngine,
+    my_rank: Rank,
+    rank_of: BTreeMap<NodeId, Rank>,
+    incoming: IncomingCallback,
+    completion: CompletionCallback,
+    /// Root: payloads of queued messages, front = in flight.
+    out_msgs: VecDeque<Vec<u8>>,
+    /// Receiver: buffer of the message being assembled.
+    recv_buf: Option<Vec<u8>>,
+    /// Close barrier state.
+    close_reply: Option<Sender<bool>>,
+    close_votes: BTreeMap<Rank, (bool, u64)>,
+    my_vote_sent: bool,
+}
+
+/// One RDMC endpoint over TCP: owns the mesh connections and the event
+/// loop. Clone it freely; all clones drive the same node.
+#[derive(Clone)]
+pub struct RdmcNode {
+    cmd_tx: Sender<Command>,
+    my_id: NodeId,
+    event_loop: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for RdmcNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmcNode").field("id", &self.my_id).finish()
+    }
+}
+
+impl RdmcNode {
+    /// Joins the cluster: binds nothing itself — the caller provides the
+    /// listener (so tests can use ephemeral ports) and every peer's
+    /// address. Blocks until the full mesh is up: this node dials every
+    /// lower id and accepts from every higher id, exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during mesh construction.
+    pub fn start(
+        my_id: NodeId,
+        listener: TcpListener,
+        peers: &BTreeMap<NodeId, SocketAddr>,
+    ) -> io::Result<RdmcNode> {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let mut streams: BTreeMap<NodeId, TcpStream> = BTreeMap::new();
+        // Dial down, accept up.
+        for (&peer, &addr) in peers.range(..my_id) {
+            let mut stream = retry_connect(addr)?;
+            Frame::Hello { node: my_id }.write_to(&mut stream)?;
+            stream.flush()?;
+            streams.insert(peer, stream);
+        }
+        let higher = peers.range(my_id + 1..).count();
+        for _ in 0..higher {
+            let (mut stream, _) = listener.accept()?;
+            let hello = Frame::read_from(&mut stream)?;
+            let Frame::Hello { node } = hello else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected hello frame",
+                ));
+            };
+            streams.insert(node, stream);
+        }
+        // Spawn a reader per peer; writers are the same sockets behind
+        // mutexes.
+        let mut writers = BTreeMap::new();
+        for (peer, stream) in streams {
+            stream.set_nodelay(true).ok();
+            let reader = stream.try_clone()?;
+            writers.insert(peer, Arc::new(Mutex::new(stream)));
+            let tx = cmd_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("rdmc-read-{my_id}-from-{peer}"))
+                .spawn(move || reader_loop(peer, reader, tx))
+                .expect("spawn reader");
+        }
+        let loop_tx = cmd_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rdmc-loop-{my_id}"))
+            .spawn(move || EventLoop::new(my_id, writers, loop_tx).run(cmd_rx))
+            .expect("spawn event loop");
+        Ok(RdmcNode {
+            cmd_tx,
+            my_id,
+            event_loop: Arc::new(Mutex::new(Some(handle))),
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.my_id
+    }
+
+    /// Creates a group (call concurrently on every member with identical
+    /// configuration, per the paper's Fig. 1). Returns `false` if the
+    /// group number is taken or this node is not a member.
+    pub fn create_group(
+        &self,
+        number: u64,
+        config: GroupConfig,
+        incoming: IncomingCallback,
+        completion: CompletionCallback,
+    ) -> bool {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::CreateGroup {
+                number,
+                config,
+                incoming,
+                completion,
+                reply,
+            })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Attempts to multicast `data` on the group. Fails (returns `false`)
+    /// if this node is not the root, the group is unknown, or it has
+    /// wedged on a failure. Completion is reported via the group's
+    /// completion callback.
+    pub fn send(&self, number: u64, data: Vec<u8>) -> bool {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::Send {
+                number,
+                data,
+                reply,
+            })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Destroys the group: blocks until every member has voted on the
+    /// close barrier (call on every member). Returns `true` only if every
+    /// member saw a clean history with the same message count — the §4.6
+    /// guarantee that every message reached every destination.
+    pub fn destroy_group(&self, number: u64) -> bool {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::DestroyGroup { number, reply })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Stops the node: closes connections and terminates the event loop.
+    pub fn shutdown(&self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(handle) = self.event_loop.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Dial with brief retries: peers start listening at slightly different
+/// times during cluster bring-up.
+fn retry_connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+fn reader_loop(peer: NodeId, stream: TcpStream, tx: Sender<Command>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(frame) => {
+                if tx.send(Command::PeerFrame { from: peer, frame }).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = tx.send(Command::PeerDown { node: peer });
+                return;
+            }
+        }
+    }
+}
+
+struct EventLoop {
+    my_id: NodeId,
+    writers: BTreeMap<NodeId, SharedWriter>,
+    cmd_tx: Sender<Command>,
+    groups: HashMap<u64, Group>,
+    /// Frames for groups this node has not created yet (peers may race
+    /// ahead of our `create_group`).
+    stashed: HashMap<u64, Vec<(NodeId, Frame)>>,
+}
+
+impl EventLoop {
+    fn new(
+        my_id: NodeId,
+        writers: BTreeMap<NodeId, SharedWriter>,
+        cmd_tx: Sender<Command>,
+    ) -> Self {
+        EventLoop {
+            my_id,
+            writers,
+            cmd_tx,
+            groups: HashMap::new(),
+            stashed: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, cmd_rx: Receiver<Command>) {
+        while let Ok(cmd) = cmd_rx.recv() {
+            match cmd {
+                Command::CreateGroup {
+                    number,
+                    config,
+                    incoming,
+                    completion,
+                    reply,
+                } => {
+                    let ok = self.create_group(number, config, incoming, completion);
+                    let _ = reply.send(ok);
+                    if ok {
+                        // Replay frames that arrived before we created it.
+                        if let Some(frames) = self.stashed.remove(&number) {
+                            for (from, frame) in frames {
+                                self.handle_frame(from, frame);
+                            }
+                        }
+                        self.try_close(number);
+                    }
+                }
+                Command::DestroyGroup { number, reply } => match self.groups.get_mut(&number) {
+                    Some(g) if g.close_reply.is_none() => {
+                        g.close_reply = Some(reply);
+                        self.try_close(number);
+                    }
+                    _ => {
+                        let _ = reply.send(false);
+                    }
+                },
+                Command::Send {
+                    number,
+                    data,
+                    reply,
+                } => {
+                    let ok = self.start_send(number, data);
+                    let _ = reply.send(ok);
+                }
+                Command::PeerFrame { from, frame } => self.handle_frame(from, frame),
+                Command::PeerDown { node } => self.peer_down(node),
+                Command::Shutdown => {
+                    for w in self.writers.values() {
+                        let _ = w.lock().shutdown(std::net::Shutdown::Both);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn create_group(
+        &mut self,
+        number: u64,
+        config: GroupConfig,
+        incoming: IncomingCallback,
+        completion: CompletionCallback,
+    ) -> bool {
+        if self.groups.contains_key(&number) {
+            return false;
+        }
+        let Some(my_rank) = config.members.iter().position(|&m| m == self.my_id) else {
+            return false;
+        };
+        let my_rank = my_rank as Rank;
+        let mut rank_of = BTreeMap::new();
+        for (rank, &node) in config.members.iter().enumerate() {
+            if rank_of.insert(node, rank as Rank).is_some() {
+                return false; // duplicate member
+            }
+        }
+        let planner = Arc::new(SchedulePlanner::new(config.algorithm.clone()));
+        let (engine, initial) = GroupEngine::new(EngineConfig {
+            rank: my_rank,
+            num_nodes: config.members.len() as u32,
+            block_size: config.block_size,
+            ready_window: config.ready_window,
+            max_outstanding_sends: config.max_outstanding_sends,
+            planner,
+        });
+        self.groups.insert(
+            number,
+            Group {
+                config,
+                engine,
+                my_rank,
+                rank_of,
+                incoming,
+                completion,
+                out_msgs: VecDeque::new(),
+                recv_buf: None,
+                close_reply: None,
+                close_votes: BTreeMap::new(),
+                my_vote_sent: false,
+            },
+        );
+        self.perform(number, initial);
+        true
+    }
+
+    fn start_send(&mut self, number: u64, data: Vec<u8>) -> bool {
+        let Some(g) = self.groups.get_mut(&number) else {
+            return false;
+        };
+        if g.my_rank != 0 || g.engine.is_wedged() || g.close_reply.is_some() {
+            return false;
+        }
+        let size = data.len() as u64;
+        g.out_msgs.push_back(data);
+        self.feed(number, Event::StartSend { size });
+        true
+    }
+
+    fn handle_frame(&mut self, from: NodeId, frame: Frame) {
+        let number = match &frame {
+            Frame::Ready { group }
+            | Frame::Block { group, .. }
+            | Frame::Failure { group, .. }
+            | Frame::CloseVote { group, .. } => *group,
+            Frame::Hello { .. } => return, // only valid during bootstrap
+        };
+        if !self.groups.contains_key(&number) {
+            self.stashed.entry(number).or_default().push((from, frame));
+            return;
+        }
+        let from_rank = {
+            let g = &self.groups[&number];
+            match g.rank_of.get(&from) {
+                Some(&r) => r,
+                None => return, // not a member of this group: ignore
+            }
+        };
+        match frame {
+            Frame::Hello { .. } => {}
+            Frame::Ready { .. } => self.feed(number, Event::ReadyReceived { from: from_rank }),
+            Frame::Block {
+                total_size,
+                payload,
+                ..
+            } => {
+                // Land the payload at the schedule-determined offset first
+                // (receivers other than the root; the root already holds
+                // the bytes it is sending).
+                let g = self.groups.get_mut(&number).expect("group exists");
+                if g.my_rank != 0 {
+                    if let Some((_, offset, bytes)) =
+                        g.engine.incoming_block_info(from_rank, total_size)
+                    {
+                        debug_assert_eq!(bytes as usize, payload.len());
+                        if g.recv_buf.is_none() {
+                            // First block of a message: get the buffer from
+                            // the application (the engine will also emit
+                            // AllocateBuffer; we allocate here because the
+                            // bytes are in hand now).
+                            let buf = (g.incoming)(total_size);
+                            assert!(
+                                buf.len() as u64 >= total_size,
+                                "incoming_message_callback returned a short buffer"
+                            );
+                            g.recv_buf = Some(buf);
+                        }
+                        let buf = g.recv_buf.as_mut().expect("buffer just ensured");
+                        let start = offset as usize;
+                        buf[start..start + payload.len()].copy_from_slice(&payload);
+                    }
+                }
+                self.feed(
+                    number,
+                    Event::BlockReceived {
+                        from: from_rank,
+                        total_size,
+                    },
+                );
+            }
+            Frame::Failure { failed_rank, .. } => {
+                self.feed(number, Event::PeerFailed { rank: failed_rank });
+                self.try_close(number);
+            }
+            Frame::CloseVote {
+                clean, completed, ..
+            } => {
+                let g = self.groups.get_mut(&number).expect("group exists");
+                g.close_votes.entry(from_rank).or_insert((clean, completed));
+                self.try_close(number);
+            }
+        }
+    }
+
+    fn peer_down(&mut self, node: NodeId) {
+        let numbers: Vec<u64> = self.groups.keys().copied().collect();
+        for number in numbers {
+            let rank = self.groups[&number].rank_of.get(&node).copied();
+            if let Some(rank) = rank {
+                self.feed(number, Event::PeerFailed { rank });
+                // A dead member can never vote; count it as unclean.
+                let g = self.groups.get_mut(&number).expect("group exists");
+                g.close_votes.entry(rank).or_insert((false, 0));
+                self.try_close(number);
+            }
+        }
+    }
+
+    /// Feeds one event and executes resulting actions, looping over the
+    /// synthetic SendCompleted events a blocking TCP write produces.
+    fn feed(&mut self, number: u64, event: Event) {
+        let mut queue = VecDeque::from([event]);
+        while let Some(ev) = queue.pop_front() {
+            let actions = {
+                let g = self.groups.get_mut(&number).expect("group exists");
+                match g.engine.handle(ev) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        // Protocol violation: treat like a failure of the
+                        // whole group.
+                        eprintln!("rdmc-tcp: group {number}: protocol error: {e}");
+                        let _ = g;
+                        self.wedge_all(number);
+                        return;
+                    }
+                }
+            };
+            for action in actions {
+                self.execute(number, action, &mut queue);
+            }
+        }
+        self.try_close(number);
+    }
+
+    fn execute(&mut self, number: u64, action: Action, queue: &mut VecDeque<Event>) {
+        match action {
+            Action::SendReady { to } => {
+                self.send_frame_to_rank(number, to, &Frame::Ready { group: number });
+            }
+            Action::SendBlock {
+                to,
+                offset,
+                bytes,
+                total_size,
+                ..
+            } => {
+                let g = self.groups.get_mut(&number).expect("group exists");
+                let payload: Vec<u8> = if g.my_rank == 0 {
+                    let msg = g.out_msgs.front().expect("sending without a message");
+                    msg[offset as usize..(offset + bytes) as usize].to_vec()
+                } else {
+                    let buf = g.recv_buf.as_ref().expect("relaying without a buffer");
+                    buf[offset as usize..(offset + bytes) as usize].to_vec()
+                };
+                self.send_frame_to_rank(
+                    number,
+                    to,
+                    &Frame::Block {
+                        group: number,
+                        total_size,
+                        payload,
+                    },
+                );
+                // TCP's blocking write *is* the send completion: once the
+                // bytes are in the kernel, the connection's reliability
+                // takes over (like the RC hardware ack).
+                queue.push_back(Event::SendCompleted { to });
+            }
+            Action::AllocateBuffer { .. } => {
+                // Allocation already happened when the first payload was
+                // landed in handle_frame.
+            }
+            Action::DeliverMessage { .. } => {
+                let g = self.groups.get_mut(&number).expect("group exists");
+                if g.my_rank == 0 {
+                    let msg = g.out_msgs.pop_front().expect("completing unknown message");
+                    (g.completion)(&msg);
+                } else {
+                    let buf = g.recv_buf.take().expect("completing without a buffer");
+                    (g.completion)(&buf);
+                }
+            }
+            Action::RelayFailure { failed } => {
+                let members = self.groups[&number].config.members.clone();
+                for (rank, _) in members.iter().enumerate() {
+                    let rank = rank as Rank;
+                    if rank != self.groups[&number].my_rank {
+                        self.send_frame_to_rank(
+                            number,
+                            rank,
+                            &Frame::Failure {
+                                group: number,
+                                failed_rank: failed,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks the whole group failed locally (protocol violation path).
+    fn wedge_all(&mut self, number: u64) {
+        let my_rank = self.groups[&number].my_rank;
+        let _ = self
+            .groups
+            .get_mut(&number)
+            .expect("group exists")
+            .engine
+            .handle(Event::PeerFailed { rank: my_rank });
+        self.try_close(number);
+    }
+
+    fn send_frame_to_rank(&mut self, number: u64, rank: Rank, frame: &Frame) {
+        let node = self.groups[&number].config.members[rank as usize];
+        let Some(writer) = self.writers.get(&node) else {
+            return;
+        };
+        let result = {
+            let mut stream = writer.lock();
+            frame.write_to(&mut *stream).and_then(|()| stream.flush())
+        };
+        if result.is_err() {
+            let _ = self.cmd_tx.send(Command::PeerDown { node });
+        }
+    }
+
+    /// Drives the close barrier (§4.6). The local vote is cast once the
+    /// engine is quiescent (or wedged); the barrier completes when every
+    /// member's vote is in; success requires unanimous cleanliness.
+    fn try_close(&mut self, number: u64) {
+        let Some(g) = self.groups.get_mut(&number) else {
+            return;
+        };
+        // Vote once the close barrier is visibly underway — either our
+        // application called destroy_group, or a peer's vote arrived (all
+        // members call destroy, per Fig. 1, but not simultaneously).
+        // Blocking our vote on the local destroy call would deadlock
+        // callers that destroy members one at a time.
+        if g.close_reply.is_none() && g.close_votes.is_empty() {
+            return;
+        }
+        // Receivers additionally wait for the root's vote and match its
+        // authoritative message count: being idle *between* two messages
+        // must not count as done (the §4.6 guarantee depends on it). A
+        // wedged engine votes unclean immediately — waiting would hang.
+        let quiescent = g.engine.is_idle() || g.engine.is_wedged();
+        let may_vote = if g.engine.is_wedged() {
+            true
+        } else if g.my_rank == 0 {
+            quiescent
+        } else {
+            match g.close_votes.get(&0) {
+                Some(&(false, _)) => true,
+                Some(&(true, root_count)) => {
+                    quiescent && g.engine.messages_completed() == root_count
+                }
+                None => false,
+            }
+        };
+        let vote_now = if !g.my_vote_sent && may_vote {
+            g.my_vote_sent = true;
+            let clean = !g.engine.is_wedged();
+            let my_rank = g.my_rank;
+            let completed = g.engine.messages_completed();
+            g.close_votes.insert(my_rank, (clean, completed));
+            Some((clean, completed, my_rank, g.config.members.len() as Rank))
+        } else {
+            None
+        };
+        if let Some((clean, completed, my_rank, n)) = vote_now {
+            let frame = Frame::CloseVote {
+                group: number,
+                clean,
+                completed,
+            };
+            for rank in 0..n {
+                if rank != my_rank {
+                    self.send_frame_to_rank(number, rank, &frame);
+                }
+            }
+        }
+        let g = self.groups.get_mut(&number).expect("group exists");
+        let n = g.config.members.len();
+        if g.my_vote_sent && g.close_votes.len() == n && g.close_reply.is_some() {
+            let all_clean = g.close_votes.values().all(|&(c, _)| c);
+            let root_count = g.close_votes.get(&0).map(|&(_, c)| c);
+            let counts_agree = match root_count {
+                Some(rc) => g.close_votes.values().all(|&(_, c)| c == rc),
+                None => false,
+            };
+            let wedged = g.engine.is_wedged();
+            if let Some(reply) = g.close_reply.take() {
+                let _ = reply.send(all_clean && counts_agree && !wedged);
+            }
+            self.groups.remove(&number);
+        }
+    }
+
+    fn perform(&mut self, number: u64, actions: Vec<Action>) {
+        let mut queue = VecDeque::new();
+        for action in actions {
+            self.execute(number, action, &mut queue);
+        }
+        while let Some(ev) = queue.pop_front() {
+            self.feed(number, ev);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Length-delimited wire frames for the TCP transport.
+//!
+//! TCP gives the same per-connection guarantees RDMC needs from RDMA RC
+//! (ordered, reliable, exactly-once), so the framing stays minimal: a
+//! one-byte tag, fixed-width little-endian fields, and the raw block
+//! payload. As on RDMA, a block frame does *not* carry its block number —
+//! the receiver derives it from the schedule and arrival order; it
+//! carries the total message size where RDMA would use the immediate
+//! value.
+
+use std::io::{self, Read, Write};
+
+/// A protocol frame exchanged between two members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Bootstrap hello: identifies the connecting node.
+    Hello {
+        /// The sender's node id.
+        node: u32,
+    },
+    /// Ready-for-block notice (the one-sided write of §4.2).
+    Ready {
+        /// Group the readiness applies to.
+        group: u64,
+    },
+    /// One block of a message. The receiver computes which block from its
+    /// schedule.
+    Block {
+        /// Group the block belongs to.
+        group: u64,
+        /// Total message size ("immediate value").
+        total_size: u64,
+        /// The block's bytes (possibly empty for a zero-length message).
+        payload: Vec<u8>,
+    },
+    /// Relayed failure notice (§3 property 6).
+    Failure {
+        /// Group the failure applies to.
+        group: u64,
+        /// Rank (within that group) that failed.
+        failed_rank: u32,
+    },
+    /// Group-close barrier vote (§4.6: a successful close proves every
+    /// message reached every destination). The root's vote carries the
+    /// authoritative message count; receivers vote only once they have
+    /// completed that many, which closes the idle-between-messages race.
+    CloseVote {
+        /// Group being closed.
+        group: u64,
+        /// Whether the voter saw a fully clean history.
+        clean: bool,
+        /// Messages the voter has completed locally.
+        completed: u64,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_READY: u8 = 2;
+const TAG_BLOCK: u8 = 3;
+const TAG_FAILURE: u8 = 4;
+const TAG_CLOSE: u8 = 5;
+
+/// Hard cap on a single block payload (sanity against corrupt frames).
+const MAX_PAYLOAD: u64 = 1 << 32;
+
+impl Frame {
+    /// Writes the frame to `w` (buffered by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            Frame::Hello { node } => {
+                w.write_all(&[TAG_HELLO])?;
+                w.write_all(&node.to_le_bytes())
+            }
+            Frame::Ready { group } => {
+                w.write_all(&[TAG_READY])?;
+                w.write_all(&group.to_le_bytes())
+            }
+            Frame::Block {
+                group,
+                total_size,
+                payload,
+            } => {
+                w.write_all(&[TAG_BLOCK])?;
+                w.write_all(&group.to_le_bytes())?;
+                w.write_all(&total_size.to_le_bytes())?;
+                w.write_all(&(payload.len() as u64).to_le_bytes())?;
+                w.write_all(payload)
+            }
+            Frame::Failure { group, failed_rank } => {
+                w.write_all(&[TAG_FAILURE])?;
+                w.write_all(&group.to_le_bytes())?;
+                w.write_all(&failed_rank.to_le_bytes())
+            }
+            Frame::CloseVote {
+                group,
+                clean,
+                completed,
+            } => {
+                w.write_all(&[TAG_CLOSE])?;
+                w.write_all(&group.to_le_bytes())?;
+                w.write_all(&[u8::from(*clean)])?;
+                w.write_all(&completed.to_le_bytes())
+            }
+        }
+    }
+
+    /// Reads one frame from `r` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns the reader's I/O error (including clean EOF as
+    /// `UnexpectedEof`) or `InvalidData` for unknown tags / absurd
+    /// lengths.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            TAG_HELLO => Ok(Frame::Hello { node: read_u32(r)? }),
+            TAG_READY => Ok(Frame::Ready {
+                group: read_u64(r)?,
+            }),
+            TAG_BLOCK => {
+                let group = read_u64(r)?;
+                let total_size = read_u64(r)?;
+                let len = read_u64(r)?;
+                if len > MAX_PAYLOAD {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("block payload of {len} bytes is implausible"),
+                    ));
+                }
+                let mut payload = vec![0u8; len as usize];
+                r.read_exact(&mut payload)?;
+                Ok(Frame::Block {
+                    group,
+                    total_size,
+                    payload,
+                })
+            }
+            TAG_FAILURE => Ok(Frame::Failure {
+                group: read_u64(r)?,
+                failed_rank: read_u32(r)?,
+            }),
+            TAG_CLOSE => {
+                let group = read_u64(r)?;
+                let mut flag = [0u8; 1];
+                r.read_exact(&mut flag)?;
+                let completed = read_u64(r)?;
+                Ok(Frame::CloseVote {
+                    group,
+                    clean: flag[0] != 0,
+                    completed,
+                })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown frame tag {other}"),
+            )),
+        }
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: Frame) {
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Hello { node: 7 });
+        round_trip(Frame::Ready { group: 42 });
+        round_trip(Frame::Block {
+            group: 1,
+            total_size: 1 << 30,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        round_trip(Frame::Block {
+            group: 2,
+            total_size: 0,
+            payload: vec![],
+        });
+        round_trip(Frame::Failure {
+            group: 9,
+            failed_rank: 3,
+        });
+        round_trip(Frame::CloseVote {
+            group: 5,
+            clean: true,
+            completed: 42,
+        });
+        round_trip(Frame::CloseVote {
+            group: 5,
+            clean: false,
+            completed: 0,
+        });
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut buf = Vec::new();
+        Frame::Ready { group: 1 }.write_to(&mut buf).unwrap();
+        Frame::Ready { group: 2 }.write_to(&mut buf).unwrap();
+        let mut slice = buf.as_slice();
+        assert_eq!(
+            Frame::read_from(&mut slice).unwrap(),
+            Frame::Ready { group: 1 }
+        );
+        assert_eq!(
+            Frame::read_from(&mut slice).unwrap(),
+            Frame::Ready { group: 2 }
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_invalid_data() {
+        let err = Frame::read_from(&mut [200u8].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        Frame::Block {
+            group: 1,
+            total_size: 10,
+            payload: vec![0; 10],
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = Frame::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

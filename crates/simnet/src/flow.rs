@@ -1,0 +1,606 @@
+//! Flow-level network model with max-min fair bandwidth sharing.
+//!
+//! A [`Flow`] is a bulk transfer of a known size across a path of
+//! [`Link`]s. Whenever the set of active flows changes, every flow's rate
+//! is recomputed by *progressive filling*: repeatedly find the most
+//! contended link, freeze all its flows at that link's fair share, remove
+//! the frozen bandwidth, and continue. This is the classical max-min fair
+//! allocation, and it is exactly the behaviour the RDMC paper attributes to
+//! RDMA hardware ("RDMA apportions bandwidth fairly if there are several
+//! active transfers in one NIC", §3) and to the oversubscribed Apt
+//! top-of-rack switch (§5.2.2).
+//!
+//! The model deliberately ignores packetization: RDMC moves hundreds of
+//! kilobytes to megabytes per block, so per-packet effects wash out, while
+//! who-shares-which-link entirely determines the results the paper reports.
+//!
+//! [`FlowNet`] does not own a clock. The caller advances it explicitly and
+//! asks for the next flow completion, which makes it easy to embed in any
+//! event loop (see the `verbs` crate).
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a link in a [`FlowNet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub(crate) u32);
+
+/// Identifier of an active flow (slot index + generation, so stale ids
+/// never alias a reused slot).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    fn new(slot: u32, generation: u32) -> Self {
+        FlowId(u64::from(generation) << 32 | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// A unidirectional link with a capacity and a propagation latency.
+#[derive(Clone, Debug)]
+struct Link {
+    /// Capacity in bits per second.
+    capacity_bps: f64,
+    /// One-way propagation latency contributed by this hop.
+    latency: SimDuration,
+    /// Total payload bytes that have traversed this link (for reporting).
+    bytes_carried: f64,
+}
+
+/// An active transfer.
+#[derive(Clone, Debug)]
+struct Flow {
+    path: Vec<LinkId>,
+    remaining_bytes: f64,
+    /// Current max-min fair rate in bits per second.
+    rate_bps: f64,
+}
+
+/// Remaining bytes below this threshold count as "done" (absorbs float
+/// rounding from rate changes).
+const COMPLETION_EPSILON_BYTES: f64 = 1e-6;
+
+/// A set of links plus the active flows crossing them.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{FlowNet, SimTime};
+///
+/// let mut net = FlowNet::new();
+/// let l = net.add_link(10.0, simnet::SimDuration::from_micros(1)); // 10 Gb/s
+/// let f = net.start_flow(SimTime::ZERO, vec![l], 1_250_000.0); // 1.25 MB
+/// // Alone on a 10 Gb/s link, 1.25 MB takes 1 ms.
+/// let (t, done) = net.next_completion().unwrap();
+/// assert_eq!(done, f);
+/// assert_eq!(t.as_nanos(), 1_000_000);
+/// ```
+pub struct FlowNet {
+    links: Vec<Link>,
+    /// Slab of flow slots; `None` = free. Slot reuse is disambiguated by
+    /// the generation embedded in [`FlowId`].
+    slots: Vec<Option<Flow>>,
+    generations: Vec<u32>,
+    free_slots: Vec<u32>,
+    active_flows: usize,
+    /// Instant the flow `remaining_bytes` values were last brought current.
+    last_update: SimTime,
+    realloc_count: u64,
+    realloc_nanos: u64,
+    /// (sum of flows, sum of heap pushes) across reallocations.
+    pub(crate) realloc_work: (u64, u64),
+    /// Reusable per-link scratch for [`FlowNet::reallocate`] (avoids
+    /// re-allocating on every rate recomputation).
+    scratch: ReallocScratch,
+}
+
+#[derive(Default)]
+struct ReallocScratch {
+    residual: Vec<f64>,
+    count: Vec<u32>,
+    version: Vec<u32>,
+    flows_on: Vec<Vec<FlowId>>,
+    /// Links touched by the previous reallocation (to reset sparsely).
+    touched: Vec<u32>,
+    /// Recycled backing storage for the bottleneck min-heap.
+    heap_buf: Vec<std::cmp::Reverse<(u64, u32, u32)>>,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            active_flows: 0,
+            last_update: SimTime::ZERO,
+            realloc_count: 0,
+            realloc_nanos: 0,
+            realloc_work: (0, 0),
+            scratch: ReallocScratch::default(),
+        }
+    }
+
+    /// Adds a unidirectional link of `capacity_gbps` gigabits per second
+    /// with the given one-way propagation latency, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_gbps` is not strictly positive and finite.
+    pub fn add_link(&mut self, capacity_gbps: f64, latency: SimDuration) -> LinkId {
+        assert!(
+            capacity_gbps.is_finite() && capacity_gbps > 0.0,
+            "link capacity must be positive, got {capacity_gbps}"
+        );
+        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.links.push(Link {
+            capacity_bps: capacity_gbps * 1e9,
+            latency,
+            bytes_carried: 0.0,
+        });
+        id
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of active flows.
+    pub fn num_flows(&self) -> usize {
+        self.active_flows
+    }
+
+    fn get(&self, id: FlowId) -> Option<&Flow> {
+        let slot = id.slot();
+        if slot < self.slots.len() && self.generations[slot] == id.generation() {
+            self.slots[slot].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates `(id, flow)` over active flows in slot order
+    /// (deterministic for a given event history).
+    fn iter_flows(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
+        self.slots.iter().enumerate().filter_map(|(i, f)| {
+            f.as_ref()
+                .map(|f| (FlowId::new(i as u32, self.generations[i]), f))
+        })
+    }
+
+    /// Sum of one-way propagation latencies along `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link id is out of range.
+    pub fn path_latency(&self, path: &[LinkId]) -> SimDuration {
+        path.iter().fold(SimDuration::ZERO, |acc, l| {
+            acc + self.links[l.0 as usize].latency
+        })
+    }
+
+    /// Total payload bytes carried by `link` so far.
+    pub fn bytes_carried(&self, link: LinkId) -> f64 {
+        self.links[link.0 as usize].bytes_carried
+    }
+
+    /// Starts a flow of `bytes` across `path` at time `now` and returns its
+    /// id. All rates are recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty, `bytes` is negative, or `now` precedes a
+    /// previous update (time must move forward).
+    pub fn start_flow(&mut self, now: SimTime, path: Vec<LinkId>, bytes: f64) -> FlowId {
+        assert!(!path.is_empty(), "flow path must contain at least one link");
+        assert!(bytes >= 0.0, "flow size must be non-negative, got {bytes}");
+        for l in &path {
+            assert!((l.0 as usize) < self.links.len(), "unknown link {l:?}");
+        }
+        self.advance_to(now);
+        let flow = Flow {
+            path,
+            remaining_bytes: bytes.max(COMPLETION_EPSILON_BYTES / 2.0),
+            rate_bps: 0.0,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(flow);
+                s
+            }
+            None => {
+                self.slots.push(Some(flow));
+                self.generations.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.active_flows += 1;
+        let id = FlowId::new(slot, self.generations[slot as usize]);
+        self.reallocate();
+        id
+    }
+
+    /// Current max-min rate of `flow` in bits per second, or `None` if the
+    /// flow is finished/unknown.
+    pub fn flow_rate_bps(&self, flow: FlowId) -> Option<f64> {
+        self.get(flow).map(|f| f.rate_bps)
+    }
+
+    /// The earliest `(time, flow)` completion under current rates, if any
+    /// flows are active.
+    ///
+    /// The returned time is rounded up to a whole nanosecond strictly after
+    /// `last_update` when any bytes remain, guaranteeing forward progress.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (id, f) in self.iter_flows() {
+            debug_assert!(f.rate_bps > 0.0, "active flow with zero rate");
+            let secs = (f.remaining_bytes * 8.0) / f.rate_bps;
+            let mut at = self.last_update + SimDuration::from_secs_f64(secs);
+            if f.remaining_bytes > COMPLETION_EPSILON_BYTES && at == self.last_update {
+                at += SimDuration::from_nanos(1);
+            }
+            match best {
+                Some((t, _)) if t <= at => {}
+                _ => best = Some((at, id)),
+            }
+        }
+        best
+    }
+
+    /// Marks `flow` complete at time `now`, removes it, and recomputes the
+    /// remaining flows' rates. Returns the flow's path (useful for
+    /// latency lookups by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow does not exist or if a non-negligible number of
+    /// bytes would still be outstanding at `now` (i.e. the caller completed
+    /// it too early — a scheduling bug).
+    pub fn complete_flow(&mut self, now: SimTime, flow: FlowId) -> Vec<LinkId> {
+        self.advance_to(now);
+        let f = self.remove(flow).expect("completing unknown flow");
+        // Tolerance scales with rate: one microsecond of transfer at the
+        // flow's final rate absorbs the rounding of the ns-quantized clock.
+        let tolerance = (f.rate_bps / 8.0) * 1e-6 + COMPLETION_EPSILON_BYTES;
+        assert!(
+            f.remaining_bytes <= tolerance,
+            "flow {flow:?} completed early: {} bytes remaining (tolerance {tolerance})",
+            f.remaining_bytes
+        );
+        self.reallocate();
+        f.path
+    }
+
+    /// Aborts `flow` at time `now` without requiring it to have finished
+    /// (e.g. the sending endpoint crashed). Progress up to `now` still
+    /// counts toward link byte totals. Unknown flows are a silent no-op so
+    /// callers don't need to track completion races.
+    pub fn abort_flow(&mut self, now: SimTime, flow: FlowId) {
+        self.advance_to(now);
+        if self.remove(flow).is_some() {
+            self.reallocate();
+        }
+    }
+
+    fn remove(&mut self, id: FlowId) -> Option<Flow> {
+        let slot = id.slot();
+        if slot >= self.slots.len() || self.generations[slot] != id.generation() {
+            return None;
+        }
+        let f = self.slots[slot].take()?;
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free_slots.push(slot as u32);
+        self.active_flows -= 1;
+        Some(f)
+    }
+
+    /// Advances all flow progress to `now` (monotone; `now` may equal the
+    /// previous update instant).
+    pub fn advance_to(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "FlowNet time moved backwards: {now:?} < {:?}",
+            self.last_update
+        );
+        let dt = now.since(self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.slots.iter_mut().flatten() {
+                let moved = (f.rate_bps / 8.0 * dt).min(f.remaining_bytes);
+                f.remaining_bytes -= moved;
+                for l in &f.path {
+                    self.links[l.0 as usize].bytes_carried += moved;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Number of reallocations performed (performance counter).
+    pub fn realloc_count(&self) -> u64 {
+        self.realloc_count
+    }
+
+    /// Wall-clock nanoseconds spent reallocating (performance counter).
+    pub fn realloc_nanos(&self) -> u64 {
+        self.realloc_nanos
+    }
+
+    /// (total flows visited, total heap pushes) across reallocations.
+    pub fn realloc_work(&self) -> (u64, u64) {
+        self.realloc_work
+    }
+
+    /// Recomputes all flow rates by progressive filling (max-min
+    /// fairness), implemented as heap-based water-filling.
+    ///
+    /// A min-heap tracks each active link's fair share with lazy
+    /// invalidation: freezing the bottleneck's flows only *raises* the
+    /// shares of the links they crossed (the removed flows took no more
+    /// than the bottleneck share), so stale heap entries are always
+    /// lower bounds and can be skipped by version check. Total work is
+    /// `O(total path length * log links)` instead of `O(rounds * links)`.
+    fn reallocate(&mut self) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let t0 = std::time::Instant::now();
+        self.realloc_count += 1;
+        self.realloc_work.0 += self.active_flows as u64;
+        if self.active_flows == 0 {
+            return;
+        }
+        // Dense per-link scratch state: residual capacity, unfrozen-flow
+        // count, version for lazy heap invalidation, and the unfrozen
+        // flows on each link. Buffers are reused across reallocations and
+        // reset sparsely via the previous run's touched-link list.
+        let num_links = self.links.len();
+        let mut scratch_owned = std::mem::take(&mut self.scratch);
+        let scratch = &mut scratch_owned;
+        if scratch.count.len() < num_links {
+            scratch.residual.resize(num_links, 0.0);
+            scratch.count.resize(num_links, 0);
+            scratch.version.resize(num_links, 0);
+            scratch.flows_on.resize_with(num_links, Vec::new);
+        }
+        for &i in &scratch.touched {
+            let i = i as usize;
+            scratch.count[i] = 0;
+            scratch.version[i] = 0;
+            scratch.flows_on[i].clear();
+        }
+        scratch.touched.clear();
+        let residual = &mut scratch.residual;
+        let count = &mut scratch.count;
+        let version = &mut scratch.version;
+        let flows_on = &mut scratch.flows_on;
+        for (slot, f) in self.slots.iter().enumerate() {
+            let Some(f) = f else { continue };
+            let id = FlowId::new(slot as u32, self.generations[slot]);
+            for &l in &f.path {
+                let i = l.0 as usize;
+                if count[i] == 0 {
+                    residual[i] = self.links[i].capacity_bps;
+                    scratch.touched.push(l.0);
+                }
+                count[i] += 1;
+                flows_on[i].push(id);
+            }
+        }
+        // Flows are marked unfrozen by a negative rate; no side set needed.
+        for f in self.slots.iter_mut().flatten() {
+            f.rate_bps = -1.0;
+        }
+        // f64 shares ordered through their bit pattern (finite,
+        // non-negative values compare correctly as u64s).
+        let share_key = |s: f64| -> u64 { s.to_bits() };
+        let mut heap_buf = std::mem::take(&mut scratch.heap_buf);
+        heap_buf.clear();
+        for i in 0..num_links {
+            if count[i] > 0 {
+                heap_buf.push(Reverse((
+                    share_key(residual[i] / count[i] as f64),
+                    i as u32,
+                    version[i],
+                )));
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::from(heap_buf);
+        let mut work_pushes: u64 = 0;
+        let mut remaining = self.active_flows;
+        while remaining > 0 {
+            let Reverse((_, link, ver)) = heap.pop().expect("unfrozen flows but empty heap");
+            let i = link as usize;
+            if version[i] != ver || count[i] == 0 {
+                continue; // stale entry
+            }
+            let share = residual[i] / count[i] as f64;
+            // Freeze every unfrozen flow crossing the bottleneck. The
+            // link's list is drained in place (it is reset next run).
+            let mut on_link = std::mem::take(&mut flows_on[i]);
+            for &id in &on_link {
+                let f = self.slots[id.slot()].as_mut().expect("flow disappeared");
+                if f.rate_bps >= 0.0 {
+                    continue; // frozen via another link
+                }
+                f.rate_bps = share;
+                remaining -= 1;
+                for &l in &f.path {
+                    let j = l.0 as usize;
+                    residual[j] = (residual[j] - share).max(0.0);
+                    count[j] -= 1;
+                    version[j] += 1;
+                    if count[j] > 0 && j != i {
+                        work_pushes += 1;
+                        heap.push(Reverse((
+                            share_key(residual[j] / count[j] as f64),
+                            j as u32,
+                            version[j],
+                        )));
+                    }
+                }
+            }
+            // Hand the (now consumed) buffer back so its capacity is
+            // reused next time.
+            on_link.clear();
+            flows_on[i] = on_link;
+        }
+        scratch_owned.heap_buf = heap.into_vec();
+        self.scratch = scratch_owned;
+        self.realloc_work.1 += work_pushes;
+        self.realloc_nanos += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+impl fmt::Debug for FlowNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowNet")
+            .field("links", &self.links.len())
+            .field("flows", &self.active_flows)
+            .field("last_update", &self.last_update)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(net: &mut FlowNet, cap: f64) -> LinkId {
+        net.add_link(cap, SimDuration::from_micros(1))
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 100.0);
+        let f = net.start_flow(SimTime::ZERO, vec![l], 125_000_000.0); // 125 MB = 1 Gb... at 100Gb/s -> 10ms
+        assert_eq!(net.flow_rate_bps(f), Some(100e9));
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t.as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let a = net.start_flow(SimTime::ZERO, vec![l], 1e6);
+        let b = net.start_flow(SimTime::ZERO, vec![l], 1e6);
+        assert_eq!(net.flow_rate_bps(a), Some(5e9));
+        assert_eq!(net.flow_rate_bps(b), Some(5e9));
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_survivors() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let a = net.start_flow(SimTime::ZERO, vec![l], 1_250_000.0); // 1 ms at 10 Gb/s alone
+        let b = net.start_flow(SimTime::ZERO, vec![l], 12_500_000.0);
+        let (t1, first) = net.next_completion().unwrap();
+        assert_eq!(first, a); // equal shares; a is smaller so finishes first
+        net.complete_flow(t1, a);
+        assert_eq!(net.flow_rate_bps(b), Some(10e9));
+        let (t2, second) = net.next_completion().unwrap();
+        assert_eq!(second, b);
+        net.complete_flow(t2, b);
+        assert_eq!(net.num_flows(), 0);
+        // a: 2 ms at half rate. b: 1.25 MB moved in those 2 ms, remaining
+        // 11.25 MB at full rate = 9 ms; total 11 ms.
+        assert_eq!(t1.as_nanos(), 2_000_000);
+        assert_eq!(t2.as_nanos(), 11_000_000);
+    }
+
+    #[test]
+    fn max_min_is_not_just_equal_split() {
+        // Flow A crosses a narrow link; flows B, C share a wide link with A's
+        // exit. Max-min: A limited to 1 Gb/s by the narrow link; B and C
+        // split the remainder of the wide link (4.5 each), not 10/3 each.
+        let mut net = FlowNet::new();
+        let narrow = gb(&mut net, 1.0);
+        let wide = gb(&mut net, 10.0);
+        let a = net.start_flow(SimTime::ZERO, vec![narrow, wide], 1e9);
+        let b = net.start_flow(SimTime::ZERO, vec![wide], 1e9);
+        let c = net.start_flow(SimTime::ZERO, vec![wide], 1e9);
+        assert_eq!(net.flow_rate_bps(a), Some(1e9));
+        assert_eq!(net.flow_rate_bps(b), Some(4.5e9));
+        assert_eq!(net.flow_rate_bps(c), Some(4.5e9));
+    }
+
+    #[test]
+    fn bytes_carried_accumulates() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let f = net.start_flow(SimTime::ZERO, vec![l], 1_250_000.0);
+        let (t, _) = net.next_completion().unwrap();
+        net.complete_flow(t, f);
+        assert!((net.bytes_carried(l) - 1_250_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn path_latency_sums_hops() {
+        let mut net = FlowNet::new();
+        let a = net.add_link(10.0, SimDuration::from_micros(2));
+        let b = net.add_link(10.0, SimDuration::from_nanos(500));
+        assert_eq!(net.path_latency(&[a, b]), SimDuration::from_nanos(2_500));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately_but_monotonically() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let f = net.start_flow(SimTime::from_nanos(100), vec![l], 0.0);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!(t >= SimTime::from_nanos(100));
+        net.complete_flow(t, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "path must contain")]
+    fn empty_path_rejected() {
+        let mut net = FlowNet::new();
+        net.start_flow(SimTime::ZERO, vec![], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed early")]
+    fn early_completion_is_a_bug() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let f = net.start_flow(SimTime::ZERO, vec![l], 1e9);
+        net.complete_flow(SimTime::from_nanos(10), f);
+    }
+
+    #[test]
+    fn staggered_arrivals_update_progress_correctly() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 8.0); // 1 GB/s
+        let a = net.start_flow(SimTime::ZERO, vec![l], 3_000_000.0); // 3 ms alone
+                                                                     // After 1 ms, 1 MB moved; 2 MB left. Second flow arrives.
+        let b = net.start_flow(SimTime::from_nanos(1_000_000), vec![l], 10_000_000.0);
+        let _ = b;
+        // a now runs at 0.5 GB/s: 2 MB takes 4 ms more -> completes at 5 ms.
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, a);
+        assert_eq!(t.as_nanos(), 5_000_000);
+    }
+}

@@ -1,0 +1,227 @@
+//! Host-side cost models: software overheads, CPU accounting, and
+//! scheduling-jitter injection.
+//!
+//! RDMC is a user-space library, so every block relay involves a little
+//! software: reap a completion, decide the next transfer, post a work
+//! request. The paper's Table 1 shows those overheads are ~1% of a large
+//! transfer but are what the CORE-Direct offload (Fig. 12) removes, and
+//! its Fig. 5 shows a ~100 µs OS preemption stalling the whole pipeline.
+//! [`HostProfile`] captures the constants; [`JitterModel`] injects
+//! preemptions deterministically; [`CpuMeter`] accumulates busy time so
+//! polling-vs-interrupt CPU load (Fig. 11) can be reported.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Software and memory-system cost constants for one host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostProfile {
+    /// CPU time to post one work request (send/recv/write).
+    pub post_overhead: SimDuration,
+    /// CPU time to reap and dispatch one completion.
+    pub completion_overhead: SimDuration,
+    /// Extra latency from interrupt-driven completion delivery (the cost
+    /// the paper's hybrid scheme avoids while polling).
+    pub interrupt_wakeup: SimDuration,
+    /// How long the completion thread keeps polling after the last event
+    /// before re-arming interrupts (50 ms in the paper, §4.2).
+    pub poll_window: SimDuration,
+    /// Local memory copy bandwidth in gigabytes per second (used for the
+    /// first-block copy, Table 1's "Copy Time").
+    pub memcpy_gbps: f64,
+    /// Latency of the receive-path `malloc` (paper §4.6: allocation happens
+    /// on the critical path when the first block arrives).
+    pub malloc_latency: SimDuration,
+}
+
+impl Default for HostProfile {
+    fn default() -> Self {
+        HostProfile {
+            post_overhead: SimDuration::from_nanos(700),
+            completion_overhead: SimDuration::from_nanos(500),
+            interrupt_wakeup: SimDuration::from_micros(4),
+            poll_window: SimDuration::from_millis(50),
+            memcpy_gbps: 5.0,
+            malloc_latency: SimDuration::from_micros(3),
+        }
+    }
+}
+
+impl HostProfile {
+    /// Time to copy `bytes` through the host memory system.
+    pub fn memcpy_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / (self.memcpy_gbps * 1e9))
+    }
+}
+
+/// Deterministic injector of OS scheduling delays.
+///
+/// Each call to [`JitterModel::sample`] represents one software action that
+/// the OS could preempt; with probability `prob` the action is delayed by a
+/// uniformly random duration in `[min_delay, max_delay]`.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{JitterModel, SimDuration};
+///
+/// let mut quiet = JitterModel::none();
+/// assert_eq!(quiet.sample(), SimDuration::ZERO);
+///
+/// let mut noisy = JitterModel::new(7, 1.0, SimDuration::from_micros(100),
+///                                  SimDuration::from_micros(100));
+/// assert_eq!(noisy.sample(), SimDuration::from_micros(100));
+/// ```
+#[derive(Debug)]
+pub struct JitterModel {
+    prob: f64,
+    min_delay: SimDuration,
+    max_delay: SimDuration,
+    rng: StdRng,
+}
+
+impl JitterModel {
+    /// A model that injects a delay with probability `prob` per sampled
+    /// action, uniform in `[min_delay, max_delay]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]` or `min_delay > max_delay`.
+    pub fn new(seed: u64, prob: f64, min_delay: SimDuration, max_delay: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0,1]");
+        assert!(min_delay <= max_delay, "min_delay must be <= max_delay");
+        JitterModel {
+            prob,
+            min_delay,
+            max_delay,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A model that never delays.
+    pub fn none() -> Self {
+        JitterModel::new(0, 0.0, SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// Samples the scheduling delay for one software action.
+    pub fn sample(&mut self) -> SimDuration {
+        if self.prob > 0.0 && self.rng.random_bool(self.prob) {
+            let lo = self.min_delay.as_nanos();
+            let hi = self.max_delay.as_nanos();
+            SimDuration::from_nanos(if lo == hi {
+                lo
+            } else {
+                self.rng.random_range(lo..=hi)
+            })
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// Accumulates CPU busy time for one host.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuMeter {
+    busy: SimDuration,
+}
+
+impl CpuMeter {
+    /// A meter with no recorded time.
+    pub fn new() -> Self {
+        CpuMeter::default()
+    }
+
+    /// Records `d` of CPU work.
+    pub fn record(&mut self, d: SimDuration) {
+        self.busy += d;
+    }
+
+    /// Total busy time recorded.
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Busy fraction of a wall-clock interval, clamped to `[0, 1]`.
+    pub fn load(&self, wall: SimDuration) -> f64 {
+        if wall == SimDuration::ZERO {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / wall.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_sane() {
+        let p = HostProfile::default();
+        assert!(p.post_overhead < SimDuration::from_micros(5));
+        assert_eq!(p.poll_window, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn memcpy_time_scales_with_size() {
+        let p = HostProfile {
+            memcpy_gbps: 5.0,
+            ..HostProfile::default()
+        };
+        // 1 MB at 5 GB/s = 200 us.
+        assert_eq!(p.memcpy_time(1_000_000), SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn jitter_none_is_always_zero() {
+        let mut j = JitterModel::none();
+        for _ in 0..100 {
+            assert_eq!(j.sample(), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let sample = |seed| {
+            let mut j = JitterModel::new(
+                seed,
+                0.5,
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(200),
+            );
+            (0..32).map(|_| j.sample().as_nanos()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    fn jitter_respects_bounds() {
+        let mut j = JitterModel::new(
+            1,
+            1.0,
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(150),
+        );
+        for _ in 0..100 {
+            let d = j.sample();
+            assert!(d >= SimDuration::from_micros(50));
+            assert!(d <= SimDuration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn cpu_meter_accumulates_and_reports_load() {
+        let mut m = CpuMeter::new();
+        m.record(SimDuration::from_millis(25));
+        m.record(SimDuration::from_millis(25));
+        assert_eq!(m.busy(), SimDuration::from_millis(50));
+        assert!((m.load(SimDuration::from_millis(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.load(SimDuration::ZERO), 0.0);
+        // Load clamps at 1 even if over-recorded.
+        m.record(SimDuration::from_secs(10));
+        assert_eq!(m.load(SimDuration::from_millis(1)), 1.0);
+    }
+}

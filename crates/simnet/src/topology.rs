@@ -1,0 +1,258 @@
+//! Datacenter topologies, mapped onto [`FlowNet`] links.
+//!
+//! Every node gets a dedicated transmit link (host → fabric) and receive
+//! link (fabric → host), making NICs full-duplex exactly as the paper
+//! emphasises ("a 100Gbps NIC can potentially send and receive 100Gbps
+//! concurrently", §4.3). Three shapes cover the paper's clusters:
+//!
+//! - [`Topology::flat`] — single non-blocking switch, full bisection
+//!   bandwidth (Fractus: 16 nodes, 100 Gb/s; Stampede-like: 40 Gb/s).
+//! - [`Topology::oversubscribed_tor`] — racks whose top-of-rack uplinks are
+//!   slower than the sum of their hosts (Apt: heavy cross-rack load
+//!   degrades to ~16 Gb/s per host).
+//! - [`Topology::two_tier`] — a two-stage fabric with per-pod uplinks,
+//!   standing in for Sierra's federated fat-tree.
+
+use crate::flow::{FlowNet, LinkId};
+use crate::time::SimDuration;
+
+/// Per-node link endpoints.
+#[derive(Clone, Copy, Debug)]
+struct NodePorts {
+    tx: LinkId,
+    rx: LinkId,
+    rack: u32,
+}
+
+/// Per-rack aggregation links (absent in flat topologies).
+#[derive(Clone, Copy, Debug)]
+struct RackPorts {
+    up: LinkId,
+    down: LinkId,
+}
+
+/// A named topology over a [`FlowNet`].
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{FlowNet, Topology, SimDuration};
+///
+/// let mut net = FlowNet::new();
+/// let topo = Topology::flat(&mut net, 4, 100.0, SimDuration::from_micros(1));
+/// let path = topo.path(0, 3);
+/// assert_eq!(path.len(), 2); // sender uplink + receiver downlink
+/// ```
+#[derive(Debug)]
+pub struct Topology {
+    nodes: Vec<NodePorts>,
+    racks: Vec<RackPorts>,
+}
+
+impl Topology {
+    /// A single non-blocking switch: every pair of nodes has a one-hop path
+    /// and the fabric has full bisection bandwidth.
+    pub fn flat(net: &mut FlowNet, nodes: usize, link_gbps: f64, latency: SimDuration) -> Self {
+        assert!(nodes >= 1, "topology needs at least one node");
+        // Split the one-hop latency across the two links of a path.
+        let half = SimDuration::from_nanos(latency.as_nanos() / 2);
+        let nodes = (0..nodes)
+            .map(|_| NodePorts {
+                tx: net.add_link(link_gbps, half),
+                rx: net.add_link(link_gbps, half),
+                rack: 0,
+            })
+            .collect();
+        Topology {
+            nodes,
+            racks: Vec::new(),
+        }
+    }
+
+    /// Like [`Topology::flat`], but with an individual link speed per node
+    /// — used to study one slow NIC dragging on a multicast (paper §4.5
+    /// item 2).
+    pub fn flat_per_node(net: &mut FlowNet, gbps: &[f64], latency: SimDuration) -> Self {
+        assert!(!gbps.is_empty(), "topology needs at least one node");
+        let half = SimDuration::from_nanos(latency.as_nanos() / 2);
+        let nodes = gbps
+            .iter()
+            .map(|&g| NodePorts {
+                tx: net.add_link(g, half),
+                rx: net.add_link(g, half),
+                rack: 0,
+            })
+            .collect();
+        Topology {
+            nodes,
+            racks: Vec::new(),
+        }
+    }
+
+    /// Racks of `per_rack` hosts behind an oversubscribed top-of-rack
+    /// uplink of `uplink_gbps` (each direction). Intra-rack traffic never
+    /// touches the uplink.
+    pub fn oversubscribed_tor(
+        net: &mut FlowNet,
+        racks: usize,
+        per_rack: usize,
+        host_gbps: f64,
+        uplink_gbps: f64,
+        latency: SimDuration,
+    ) -> Self {
+        assert!(
+            racks >= 1 && per_rack >= 1,
+            "need at least one rack and host"
+        );
+        let half = SimDuration::from_nanos(latency.as_nanos() / 2);
+        let mut nodes = Vec::with_capacity(racks * per_rack);
+        let mut rack_ports = Vec::with_capacity(racks);
+        for r in 0..racks {
+            rack_ports.push(RackPorts {
+                up: net.add_link(uplink_gbps, half),
+                down: net.add_link(uplink_gbps, half),
+            });
+            for _ in 0..per_rack {
+                nodes.push(NodePorts {
+                    tx: net.add_link(host_gbps, half),
+                    rx: net.add_link(host_gbps, half),
+                    rack: r as u32,
+                });
+            }
+        }
+        Topology {
+            nodes,
+            racks: rack_ports,
+        }
+    }
+
+    /// A two-stage fabric: pods with generous (possibly full-bisection)
+    /// uplinks. Structurally identical to [`Topology::oversubscribed_tor`];
+    /// the distinction is intent — pass `uplink_gbps >= per_pod * host_gbps`
+    /// for a non-blocking fat-tree stand-in.
+    pub fn two_tier(
+        net: &mut FlowNet,
+        pods: usize,
+        per_pod: usize,
+        host_gbps: f64,
+        uplink_gbps: f64,
+        latency: SimDuration,
+    ) -> Self {
+        Self::oversubscribed_tor(net, pods, per_pod, host_gbps, uplink_gbps, latency)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The rack (pod) index a node belongs to; 0 for flat topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rack_of(&self, node: usize) -> usize {
+        self.nodes[node].rack as usize
+    }
+
+    /// The sequence of links a transfer from `from` to `to` occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range, or if `from == to` (local
+    /// copies don't traverse the network; model them as CPU time instead).
+    pub fn path(&self, from: usize, to: usize) -> Vec<LinkId> {
+        assert_ne!(from, to, "no network path from a node to itself");
+        let a = &self.nodes[from];
+        let b = &self.nodes[to];
+        if self.racks.is_empty() || a.rack == b.rack {
+            vec![a.tx, b.rx]
+        } else {
+            vec![
+                a.tx,
+                self.racks[a.rack as usize].up,
+                self.racks[b.rack as usize].down,
+                b.rx,
+            ]
+        }
+    }
+
+    /// The node's transmit-side link (useful for per-NIC I/O accounting).
+    pub fn tx_link(&self, node: usize) -> LinkId {
+        self.nodes[node].tx
+    }
+
+    /// The node's receive-side link.
+    pub fn rx_link(&self, node: usize) -> LinkId {
+        self.nodes[node].rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn flat_paths_are_two_hops() {
+        let mut net = FlowNet::new();
+        let t = Topology::flat(&mut net, 8, 100.0, SimDuration::from_micros(2));
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    let p = t.path(a, b);
+                    assert_eq!(p.len(), 2);
+                    assert_eq!(p[0], t.tx_link(a));
+                    assert_eq!(p[1], t.rx_link(b));
+                    assert_eq!(net.path_latency(&p), SimDuration::from_micros(2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tor_separates_intra_and_inter_rack() {
+        let mut net = FlowNet::new();
+        let t =
+            Topology::oversubscribed_tor(&mut net, 2, 4, 56.0, 32.0, SimDuration::from_micros(2));
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.rack_of(0), 0);
+        assert_eq!(t.rack_of(7), 1);
+        assert_eq!(t.path(0, 3).len(), 2); // same rack
+        assert_eq!(t.path(0, 4).len(), 4); // cross rack
+    }
+
+    #[test]
+    fn oversubscription_throttles_cross_rack_aggregate() {
+        // 4 hosts per rack at 56 Gb/s, but a 64 Gb/s uplink: four concurrent
+        // cross-rack flows get 16 Gb/s each — the Apt behaviour.
+        let mut net = FlowNet::new();
+        let t =
+            Topology::oversubscribed_tor(&mut net, 2, 4, 56.0, 64.0, SimDuration::from_micros(2));
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            flows.push(net.start_flow(SimTime::ZERO, t.path(i, 4 + i), 1e9));
+        }
+        for f in &flows {
+            let r = net.flow_rate_bps(*f).unwrap();
+            assert!((r - 16e9).abs() < 1e3, "expected 16 Gb/s, got {r}");
+        }
+    }
+
+    #[test]
+    fn intra_rack_traffic_avoids_uplink() {
+        let mut net = FlowNet::new();
+        let t =
+            Topology::oversubscribed_tor(&mut net, 2, 2, 56.0, 10.0, SimDuration::from_micros(2));
+        let f = net.start_flow(SimTime::ZERO, t.path(0, 1), 1e9);
+        assert_eq!(net.flow_rate_bps(f), Some(56e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_path_rejected() {
+        let mut net = FlowNet::new();
+        let t = Topology::flat(&mut net, 2, 100.0, SimDuration::ZERO);
+        t.path(1, 1);
+    }
+}

@@ -1,0 +1,932 @@
+//! The simulated RDMA fabric: reliable connections, work queues,
+//! completions, and failure semantics over a [`simnet`] flow network.
+//!
+//! The fabric is *pull-based*: drivers call [`Fabric::advance`] in a loop;
+//! each call runs internal hardware events forward and returns the next
+//! software-visible [`Delivery`] (a completion, an arrived one-sided
+//! write, a broken-connection notice, or a driver timer). While handling a
+//! delivery the driver may post new verbs, schedule timers, and charge CPU
+//! time; the fabric serialises each node's software on a single virtual
+//! core, exactly like RDMC's single completion thread (§4.2).
+
+use std::collections::{HashSet, VecDeque};
+
+use bytes::Bytes;
+use simnet::{
+    CpuMeter, EventQueue, EventToken, FlowId, FlowNet, HostProfile, JitterModel, LinkId,
+    SimDuration, SimTime, Topology,
+};
+
+use crate::types::{
+    CompletionMode, CpuReport, Delivery, FabricParams, NodeId, QpHandle, VerbsError, WaitSpec, WrId,
+};
+
+/// Transfers at or below this size bypass the bandwidth allocator and
+/// complete at pure propagation latency (their serialisation time is
+/// sub-nanosecond at the simulated link speeds).
+const TINY_BYPASS_BYTES: u64 = 256;
+
+/// What kind of data a pending send moves.
+#[derive(Clone, Debug)]
+enum SendKind {
+    /// Two-sided send: consumes a posted receive at the peer.
+    TwoSided { imm: u64 },
+    /// One-sided write: no receive required; the peer's memory is updated.
+    Write { tag: u64, payload: Bytes },
+}
+
+#[derive(Clone, Debug)]
+struct PendingSend {
+    wr_id: WrId,
+    bytes: u64,
+    kind: SendKind,
+    wait_for: Option<WaitSpec>,
+    /// Software finished posting at this instant; hardware may not start
+    /// earlier.
+    ready_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    queue: VecDeque<PendingSend>,
+    /// The send currently on the wire, with its claimed receive (wr_id,
+    /// max_len) if two-sided.
+    inflight: Option<(FlowId, PendingSend, Option<WrId>)>,
+    rnr_remaining: u32,
+    /// Incremented whenever an armed RNR timer becomes irrelevant.
+    rnr_epoch: u64,
+    rnr_armed: bool,
+}
+
+#[derive(Debug)]
+struct Conn {
+    nodes: [NodeId; 2],
+    paths: [Vec<LinkId>; 2],
+    latency: [SimDuration; 2],
+    /// Receives posted at each end, consumed in order by incoming sends.
+    recvs: [VecDeque<(WrId, u64)>; 2],
+    dirs: [DirState; 2],
+    broken: bool,
+}
+
+struct Node {
+    profile: HostProfile,
+    mode: CompletionMode,
+    jitter: JitterModel,
+    meter: CpuMeter,
+    cpu_free_at: SimTime,
+    /// Hybrid mode: polling continues until this instant.
+    poll_until: SimTime,
+    poll_busy: SimDuration,
+    crashed: bool,
+    conns: Vec<u32>,
+    /// Hardware-level completed WRs, for cross-channel dependencies.
+    hw_completed: HashSet<(u32, u8, u64)>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Re-check the flow network for due completions.
+    NetWake,
+    /// Try to start the head-of-line send of a connection direction.
+    Kick { conn: u32, dir: u8 },
+    /// An RNR retry timer fired.
+    RnrRetry { conn: u32, dir: u8, epoch: u64 },
+    /// A transfer's last byte reached the receiver / the ack reached the
+    /// sender: generate the hardware completion.
+    HwComplete {
+        conn: u32,
+        dir: u8,
+        side: Side,
+        wr: CompletedWr,
+    },
+    /// A NIC noticed its peer died.
+    BreakConn { conn: u32 },
+    /// Software-visible delivery (after completion-mode delay + jitter).
+    Deliver { node: NodeId, delivery: Delivery },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Sender,
+    Receiver,
+}
+
+#[derive(Clone, Debug)]
+enum CompletedWr {
+    Send { wr_id: WrId },
+    Recv { wr_id: WrId, len: u64, imm: u64 },
+    WriteLocal { wr_id: WrId },
+    WriteRemote { tag: u64, payload: Bytes },
+}
+
+/// Internal event/work counters, for performance debugging.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FabricStats {
+    /// Events popped from the queue.
+    pub events: u64,
+    /// Kick attempts.
+    pub kicks: u64,
+    /// Rate reallocations triggered.
+    pub reallocs: u64,
+    /// Deliveries requeued because the node's CPU was busy.
+    pub cpu_requeues: u64,
+    /// Linear connection scans for in-flight flows.
+    pub inflight_scans: u64,
+}
+
+/// The simulated RDMA fabric. See the crate docs for an end-to-end
+/// example.
+pub struct Fabric {
+    net: FlowNet,
+    topo: Topology,
+    params: FabricParams,
+    queue: EventQueue<Ev>,
+    conns: Vec<Conn>,
+    nodes: Vec<Node>,
+    net_wake: Option<EventToken>,
+    /// flow -> (conn, dir) index for completions.
+    inflight_index: std::collections::HashMap<FlowId, (u32, u8)>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric over an already-built topology and flow network.
+    /// All nodes start with default host profiles, hybrid completion mode,
+    /// and no scheduling jitter.
+    pub fn new(net: FlowNet, topo: Topology, params: FabricParams) -> Self {
+        let nodes = (0..topo.num_nodes())
+            .map(|_| Node {
+                profile: HostProfile::default(),
+                mode: CompletionMode::default(),
+                jitter: JitterModel::none(),
+                meter: CpuMeter::new(),
+                cpu_free_at: SimTime::ZERO,
+                poll_until: SimTime::ZERO,
+                poll_busy: SimDuration::ZERO,
+                crashed: false,
+                conns: Vec::new(),
+                hw_completed: HashSet::new(),
+            })
+            .collect();
+        Fabric {
+            net,
+            topo,
+            params,
+            queue: EventQueue::new(),
+            conns: Vec::new(),
+            nodes,
+            net_wake: None,
+            inflight_index: std::collections::HashMap::new(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Internal work counters (for performance debugging).
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The topology the fabric runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The underlying flow network (for link byte accounting).
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    /// Fabric-wide hardware constants.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Sets a node's host cost profile.
+    pub fn set_profile(&mut self, node: NodeId, profile: HostProfile) {
+        self.nodes[node.index()].profile = profile;
+    }
+
+    /// The node's host cost profile.
+    pub fn profile(&self, node: NodeId) -> &HostProfile {
+        &self.nodes[node.index()].profile
+    }
+
+    /// Sets a node's completion mode.
+    pub fn set_completion_mode(&mut self, node: NodeId, mode: CompletionMode) {
+        self.nodes[node.index()].mode = mode;
+    }
+
+    /// Sets a node's scheduling-jitter model.
+    pub fn set_jitter(&mut self, node: NodeId, jitter: JitterModel) {
+        self.nodes[node.index()].jitter = jitter;
+    }
+
+    /// Which node owns a queue pair endpoint.
+    pub fn qp_node(&self, qp: QpHandle) -> NodeId {
+        self.conns[qp.conn as usize].nodes[qp.end as usize]
+    }
+
+    /// The peer node of a queue pair endpoint.
+    pub fn qp_peer(&self, qp: QpHandle) -> NodeId {
+        self.conns[qp.conn as usize].nodes[1 - qp.end as usize]
+    }
+
+    /// Creates a reliable connection between two distinct nodes, returning
+    /// the local endpoint for each (first for `a`, second for `b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node has crashed.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> (QpHandle, QpHandle) {
+        assert_ne!(a, b, "cannot connect a node to itself");
+        assert!(
+            !self.nodes[a.index()].crashed && !self.nodes[b.index()].crashed,
+            "cannot connect crashed nodes"
+        );
+        let path_ab = self.topo.path(a.index(), b.index());
+        let path_ba = self.topo.path(b.index(), a.index());
+        let lat_ab = self.net.path_latency(&path_ab);
+        let lat_ba = self.net.path_latency(&path_ba);
+        let idx = u32::try_from(self.conns.len()).expect("too many connections");
+        self.conns.push(Conn {
+            nodes: [a, b],
+            paths: [path_ab, path_ba],
+            latency: [lat_ab, lat_ba],
+            recvs: [VecDeque::new(), VecDeque::new()],
+            dirs: [
+                DirState {
+                    rnr_remaining: self.params.rnr_retry_limit,
+                    ..DirState::default()
+                },
+                DirState {
+                    rnr_remaining: self.params.rnr_retry_limit,
+                    ..DirState::default()
+                },
+            ],
+            broken: false,
+        });
+        self.nodes[a.index()].conns.push(idx);
+        self.nodes[b.index()].conns.push(idx);
+        (
+            QpHandle { conn: idx, end: 0 },
+            QpHandle { conn: idx, end: 1 },
+        )
+    }
+
+    /// Posts a two-sided send of `bytes` with immediate value `imm`.
+    ///
+    /// Sends on one queue pair execute in FIFO order. If `wait_for` is
+    /// given, the send additionally waits (in hardware, CORE-Direct style)
+    /// for that work request's completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    pub fn post_send(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        bytes: u64,
+        imm: u64,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError> {
+        self.post(qp, wr_id, bytes, SendKind::TwoSided { imm }, wait_for)
+    }
+
+    /// Posts a one-sided write of `payload` into the peer's memory region
+    /// identified by `tag`. The peer's software observes it as
+    /// [`Delivery::WriteArrived`]; no posted receive is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    pub fn post_write(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        tag: u64,
+        payload: Bytes,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError> {
+        let bytes = payload.len() as u64;
+        self.post(qp, wr_id, bytes, SendKind::Write { tag, payload }, wait_for)
+    }
+
+    fn post(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        bytes: u64,
+        kind: SendKind,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError> {
+        let node = self.qp_node(qp);
+        self.check_postable(qp, node)?;
+        let ready_at = self.charge_cpu(node, self.nodes[node.index()].profile.post_overhead);
+        let conn = &mut self.conns[qp.conn as usize];
+        conn.dirs[qp.end as usize].queue.push_back(PendingSend {
+            wr_id,
+            bytes,
+            kind,
+            wait_for,
+            ready_at,
+        });
+        self.queue.schedule_at(
+            ready_at,
+            Ev::Kick {
+                conn: qp.conn,
+                dir: qp.end,
+            },
+        );
+        Ok(())
+    }
+
+    /// Posts a receive of capacity `max_len`. Receives are consumed in
+    /// order by incoming two-sided sends; an incoming send larger than the
+    /// matched receive breaks the connection (the RDMA local-length
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    pub fn post_recv(&mut self, qp: QpHandle, wr_id: WrId, max_len: u64) -> Result<(), VerbsError> {
+        let node = self.qp_node(qp);
+        self.check_postable(qp, node)?;
+        let ready_at = self.charge_cpu(node, self.nodes[node.index()].profile.post_overhead);
+        let conn = &mut self.conns[qp.conn as usize];
+        conn.recvs[qp.end as usize].push_back((wr_id, max_len));
+        // A sender blocked on receiver-not-ready can now proceed: kick the
+        // opposite direction once the post is effective.
+        self.queue.schedule_at(
+            ready_at,
+            Ev::Kick {
+                conn: qp.conn,
+                dir: 1 - qp.end,
+            },
+        );
+        Ok(())
+    }
+
+    fn check_postable(&self, qp: QpHandle, node: NodeId) -> Result<(), VerbsError> {
+        if self.nodes[node.index()].crashed {
+            return Err(VerbsError::NodeCrashed);
+        }
+        if self.conns[qp.conn as usize].broken {
+            return Err(VerbsError::QpBroken);
+        }
+        Ok(())
+    }
+
+    /// Schedules a driver timer on `node` after `delay`; fires as
+    /// [`Delivery::Timer`] with `token`.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.queue.schedule_in(
+            delay,
+            Ev::Deliver {
+                node,
+                delivery: Delivery::Timer { token },
+            },
+        );
+    }
+
+    /// Charges `dur` of software work to `node` (e.g. a buffer allocation
+    /// or memory copy on the critical path). Subsequent posts and
+    /// deliveries on this node are pushed back accordingly.
+    pub fn consume_cpu(&mut self, node: NodeId, dur: SimDuration) {
+        self.charge_cpu(node, dur);
+    }
+
+    /// Serialises `dur` of CPU on the node's single core; returns the
+    /// instant the work finishes.
+    fn charge_cpu(&mut self, node: NodeId, dur: SimDuration) -> SimTime {
+        let now = self.queue.now();
+        let n = &mut self.nodes[node.index()];
+        let start = if n.cpu_free_at > now {
+            n.cpu_free_at
+        } else {
+            now
+        };
+        n.cpu_free_at = start + dur;
+        n.meter.record(dur);
+        n.cpu_free_at
+    }
+
+    /// Crashes a node: all its connections break; peers learn after the
+    /// fabric's failure-detection delay; the node receives nothing further.
+    pub fn crash(&mut self, node: NodeId) {
+        let now = self.queue.now();
+        if self.nodes[node.index()].crashed {
+            return;
+        }
+        self.nodes[node.index()].crashed = true;
+        let conns = self.nodes[node.index()].conns.clone();
+        for c in conns {
+            if self.conns[c as usize].broken {
+                continue;
+            }
+            // The wire goes quiet immediately...
+            for dir in 0..2 {
+                if let Some((flow, _, _)) = self.conns[c as usize].dirs[dir].inflight.take() {
+                    self.inflight_index.remove(&flow);
+                    self.net.abort_flow(now, flow);
+                }
+            }
+            self.resync_net();
+            // ...but the peer only notices after the NIC timeout.
+            self.queue
+                .schedule_in(self.params.failure_detect, Ev::BreakConn { conn: c });
+        }
+    }
+
+    /// Whether a node has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+
+    /// Per-node CPU usage summary.
+    pub fn cpu_report(&self, node: NodeId) -> CpuReport {
+        let n = &self.nodes[node.index()];
+        CpuReport {
+            handling: n.meter.busy(),
+            polling: n.poll_busy,
+            mode: n.mode,
+        }
+    }
+
+    /// Runs the fabric forward and returns the next software-visible
+    /// delivery, or `None` when the simulation has quiesced.
+    pub fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
+        loop {
+            let (t, ev) = self.queue.pop()?;
+            self.stats.events += 1;
+            match ev {
+                Ev::NetWake => {
+                    self.net_wake = None;
+                    self.process_due_flows(t);
+                    self.resync_net();
+                }
+                Ev::Kick { conn, dir } => self.kick(conn, dir),
+                Ev::RnrRetry { conn, dir, epoch } => self.rnr_retry(conn, dir, epoch),
+                Ev::HwComplete {
+                    conn,
+                    dir,
+                    side,
+                    wr,
+                } => self.hw_complete(t, conn, dir, side, wr),
+                Ev::BreakConn { conn } => self.break_conn(conn),
+                Ev::Deliver { node, delivery } => {
+                    let n = &mut self.nodes[node.index()];
+                    if n.crashed {
+                        continue;
+                    }
+                    if n.cpu_free_at > t {
+                        // Software is busy; the completion waits.
+                        let at = n.cpu_free_at;
+                        self.stats.cpu_requeues += 1;
+                        self.queue.schedule_at(at, Ev::Deliver { node, delivery });
+                        continue;
+                    }
+                    let overhead = n.profile.completion_overhead;
+                    self.charge_cpu(node, overhead);
+                    return Some((t, node, delivery));
+                }
+            }
+        }
+    }
+
+    /// Completes every flow due at or before `now`.
+    fn process_due_flows(&mut self, now: SimTime) {
+        while let Some((t, flow)) = self.net.next_completion() {
+            if t > now {
+                break;
+            }
+            self.net.complete_flow(now, flow);
+            let Some((conn_idx, dir)) = self.find_inflight(flow) else {
+                continue;
+            };
+            let conn = &mut self.conns[conn_idx as usize];
+            let (_, send, claimed_recv) = conn.dirs[dir as usize]
+                .inflight
+                .take()
+                .expect("inflight send vanished");
+            let latency = conn.latency[dir as usize];
+            let nic_op = self.params.nic_op_overhead;
+            // Receiver-side hardware completion: one-way latency + NIC
+            // processing after the last byte left the sender.
+            let recv_wr = match &send.kind {
+                SendKind::TwoSided { imm } => CompletedWr::Recv {
+                    wr_id: claimed_recv.expect("two-sided send without claimed recv"),
+                    len: send.bytes,
+                    imm: *imm,
+                },
+                SendKind::Write { tag, payload } => CompletedWr::WriteRemote {
+                    tag: *tag,
+                    payload: payload.clone(),
+                },
+            };
+            self.queue.schedule_at(
+                now + latency + nic_op,
+                Ev::HwComplete {
+                    conn: conn_idx,
+                    dir,
+                    side: Side::Receiver,
+                    wr: recv_wr,
+                },
+            );
+            // Sender-side completion: the hardware ack makes the round trip.
+            let send_wr = match &send.kind {
+                SendKind::TwoSided { .. } => CompletedWr::Send { wr_id: send.wr_id },
+                SendKind::Write { .. } => CompletedWr::WriteLocal { wr_id: send.wr_id },
+            };
+            self.queue.schedule_at(
+                now + latency + latency + nic_op,
+                Ev::HwComplete {
+                    conn: conn_idx,
+                    dir,
+                    side: Side::Sender,
+                    wr: send_wr,
+                },
+            );
+            // The wire is free: start the next queued send.
+            self.kick(conn_idx, dir);
+        }
+    }
+
+    fn find_inflight(&mut self, flow: FlowId) -> Option<(u32, u8)> {
+        self.stats.inflight_scans += 1;
+        self.inflight_index.remove(&flow)
+    }
+
+    /// Attempts to start the head-of-line send on `(conn, dir)`.
+    fn kick(&mut self, conn_idx: u32, dir: u8) {
+        self.stats.kicks += 1;
+        enum Decision {
+            Nothing,
+            ArmRnr { epoch: u64 },
+            LengthError,
+            Start,
+        }
+        let now = self.queue.now();
+        let decision = {
+            let conn = &mut self.conns[conn_idx as usize];
+            if conn.broken || conn.dirs[dir as usize].inflight.is_some() {
+                return;
+            }
+            let Some(head) = conn.dirs[dir as usize].queue.front() else {
+                return;
+            };
+            if head.ready_at > now {
+                // A Kick is already scheduled at ready_at by post().
+                return;
+            }
+            // Cross-channel dependency: the send waits in hardware until
+            // the named WR completes; hw_complete() re-kicks us.
+            let waiting = if let Some(wait) = &head.wait_for {
+                let sender = conn.nodes[dir as usize];
+                let key = (wait.qp.conn, wait.qp.end, wait.wr_id.0);
+                !self.nodes[sender.index()].hw_completed.contains(&key)
+            } else {
+                false
+            };
+            let conn = &mut self.conns[conn_idx as usize];
+            if waiting {
+                Decision::Nothing
+            } else if matches!(
+                conn.dirs[dir as usize].queue.front().unwrap().kind,
+                SendKind::TwoSided { .. }
+            ) {
+                let receiver_end = 1 - dir as usize;
+                match conn.recvs[receiver_end].front().copied() {
+                    Some((_, max_len)) => {
+                        if conn.dirs[dir as usize].queue.front().unwrap().bytes > max_len {
+                            Decision::LengthError
+                        } else {
+                            Decision::Start
+                        }
+                    }
+                    None => {
+                        let d = &mut conn.dirs[dir as usize];
+                        if d.rnr_armed {
+                            Decision::Nothing
+                        } else {
+                            d.rnr_armed = true;
+                            Decision::ArmRnr { epoch: d.rnr_epoch }
+                        }
+                    }
+                }
+            } else {
+                Decision::Start
+            }
+        };
+        match decision {
+            Decision::Nothing => {}
+            Decision::ArmRnr { epoch } => {
+                self.queue.schedule_in(
+                    self.params.rnr_timer,
+                    Ev::RnrRetry {
+                        conn: conn_idx,
+                        dir,
+                        epoch,
+                    },
+                );
+            }
+            Decision::LengthError => self.break_conn(conn_idx),
+            Decision::Start
+                if self.conns[conn_idx as usize].dirs[dir as usize]
+                    .queue
+                    .front()
+                    .expect("head exists")
+                    .bytes
+                    <= TINY_BYPASS_BYTES =>
+            {
+                // Control-sized transfers (ready-for-block notices, SST
+                // counters) occupy the wire for well under a nanosecond at
+                // these link speeds; deliver them at pure latency instead
+                // of churning the bandwidth allocator.
+                let retry_limit = self.params.rnr_retry_limit;
+                let conn = &mut self.conns[conn_idx as usize];
+                let two_sided = matches!(
+                    conn.dirs[dir as usize].queue.front().unwrap().kind,
+                    SendKind::TwoSided { .. }
+                );
+                let claimed_recv = if two_sided {
+                    conn.recvs[1 - dir as usize].pop_front().map(|(wr, _)| wr)
+                } else {
+                    None
+                };
+                let d = &mut conn.dirs[dir as usize];
+                d.rnr_armed = false;
+                d.rnr_epoch += 1;
+                d.rnr_remaining = retry_limit;
+                let send = d.queue.pop_front().expect("head vanished");
+                let latency = conn.latency[dir as usize];
+                let nic_op = self.params.nic_op_overhead;
+                let recv_wr = match &send.kind {
+                    SendKind::TwoSided { imm } => CompletedWr::Recv {
+                        wr_id: claimed_recv.expect("two-sided send without claimed recv"),
+                        len: send.bytes,
+                        imm: *imm,
+                    },
+                    SendKind::Write { tag, payload } => CompletedWr::WriteRemote {
+                        tag: *tag,
+                        payload: payload.clone(),
+                    },
+                };
+                let send_wr = match &send.kind {
+                    SendKind::TwoSided { .. } => CompletedWr::Send { wr_id: send.wr_id },
+                    SendKind::Write { .. } => CompletedWr::WriteLocal { wr_id: send.wr_id },
+                };
+                self.queue.schedule_at(
+                    now + latency + nic_op,
+                    Ev::HwComplete {
+                        conn: conn_idx,
+                        dir,
+                        side: Side::Receiver,
+                        wr: recv_wr,
+                    },
+                );
+                self.queue.schedule_at(
+                    now + latency + latency + nic_op,
+                    Ev::HwComplete {
+                        conn: conn_idx,
+                        dir,
+                        side: Side::Sender,
+                        wr: send_wr,
+                    },
+                );
+                // The wire was barely touched: the next queued send may
+                // start immediately.
+                self.kick(conn_idx, dir);
+            }
+            Decision::Start => {
+                let retry_limit = self.params.rnr_retry_limit;
+                let conn = &mut self.conns[conn_idx as usize];
+                let two_sided = matches!(
+                    conn.dirs[dir as usize].queue.front().unwrap().kind,
+                    SendKind::TwoSided { .. }
+                );
+                let claimed_recv = if two_sided {
+                    conn.recvs[1 - dir as usize].pop_front().map(|(wr, _)| wr)
+                } else {
+                    None
+                };
+                let path = conn.paths[dir as usize].clone();
+                let d = &mut conn.dirs[dir as usize];
+                // Starting successfully disarms any pending RNR countdown.
+                d.rnr_armed = false;
+                d.rnr_epoch += 1;
+                d.rnr_remaining = retry_limit;
+                let send = d.queue.pop_front().expect("head vanished");
+                let bytes = send.bytes as f64;
+                let flow = self.net.start_flow(now, path, bytes);
+                self.inflight_index.insert(flow, (conn_idx, dir));
+                self.conns[conn_idx as usize].dirs[dir as usize].inflight =
+                    Some((flow, send, claimed_recv));
+                self.resync_net();
+            }
+        }
+    }
+
+    fn rnr_retry(&mut self, conn_idx: u32, dir: u8, epoch: u64) {
+        let exhausted = {
+            let conn = &mut self.conns[conn_idx as usize];
+            let d = &mut conn.dirs[dir as usize];
+            if conn.broken || !d.rnr_armed || d.rnr_epoch != epoch {
+                return;
+            }
+            if d.rnr_remaining == 0 {
+                true
+            } else {
+                d.rnr_remaining -= 1;
+                // Retry now: if a receive appeared, kick() starts the
+                // transfer and disarms; otherwise re-arm below.
+                d.rnr_armed = false;
+                d.rnr_epoch += 1;
+                false
+            }
+        };
+        if exhausted {
+            self.break_conn(conn_idx);
+            return;
+        }
+        self.kick(conn_idx, dir);
+        let rearm = {
+            let conn = &self.conns[conn_idx as usize];
+            let d = &conn.dirs[dir as usize];
+            !conn.broken && d.inflight.is_none() && !d.queue.is_empty() && !d.rnr_armed
+        };
+        if rearm {
+            let conn = &mut self.conns[conn_idx as usize];
+            let d = &mut conn.dirs[dir as usize];
+            d.rnr_armed = true;
+            let epoch = d.rnr_epoch;
+            self.queue.schedule_in(
+                self.params.rnr_timer,
+                Ev::RnrRetry {
+                    conn: conn_idx,
+                    dir,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Registers a hardware completion: resolves cross-channel
+    /// dependencies, then forwards it to software with the node's
+    /// completion-mode delay.
+    fn hw_complete(&mut self, t: SimTime, conn_idx: u32, dir: u8, side: Side, wr: CompletedWr) {
+        let conn = &self.conns[conn_idx as usize];
+        if conn.broken {
+            return;
+        }
+        let (node, end) = match side {
+            Side::Sender => (conn.nodes[dir as usize], dir),
+            Side::Receiver => (conn.nodes[1 - dir as usize], 1 - dir),
+        };
+        if self.nodes[node.index()].crashed {
+            return;
+        }
+        // Record for cross-channel waiters, then give all of this node's
+        // connections a chance to release dependent sends.
+        let dep_key = match &wr {
+            CompletedWr::Send { wr_id } | CompletedWr::WriteLocal { wr_id } => {
+                Some((conn_idx, end, wr_id.0))
+            }
+            CompletedWr::Recv { wr_id, .. } => Some((conn_idx, end, wr_id.0)),
+            CompletedWr::WriteRemote { .. } => None,
+        };
+        if let Some(key) = dep_key {
+            self.nodes[node.index()].hw_completed.insert(key);
+            let conns = self.nodes[node.index()].conns.clone();
+            for c in conns {
+                for d in 0..2u8 {
+                    if self.conns[c as usize].nodes[d as usize] == node {
+                        self.kick(c, d);
+                    }
+                }
+            }
+        }
+        let qp = QpHandle {
+            conn: conn_idx,
+            end,
+        };
+        let delivery = match wr {
+            CompletedWr::Send { wr_id } => Delivery::SendDone { qp, wr_id },
+            CompletedWr::Recv { wr_id, len, imm } => Delivery::RecvDone {
+                qp,
+                wr_id,
+                len,
+                imm,
+            },
+            CompletedWr::WriteLocal { wr_id } => Delivery::WriteDone { qp, wr_id },
+            CompletedWr::WriteRemote { tag, payload } => {
+                Delivery::WriteArrived { qp, tag, payload }
+            }
+        };
+        // One-sided writes are observed by memory polling, not via the
+        // completion queue, so they skip interrupt wakeup latency.
+        let visible = if matches!(delivery, Delivery::WriteArrived { .. }) {
+            t
+        } else {
+            t + self.completion_delay(node, t)
+        };
+        let jitter = self.nodes[node.index()].jitter.sample();
+        self.queue
+            .schedule_at(visible + jitter, Ev::Deliver { node, delivery });
+    }
+
+    /// Completion-mode signalling delay, with hybrid poll-window
+    /// bookkeeping.
+    fn completion_delay(&mut self, node: NodeId, hw_time: SimTime) -> SimDuration {
+        let n = &mut self.nodes[node.index()];
+        match n.mode {
+            CompletionMode::Polling => SimDuration::ZERO,
+            CompletionMode::Interrupt => n.profile.interrupt_wakeup,
+            CompletionMode::Hybrid => {
+                let delay = if hw_time <= n.poll_until {
+                    SimDuration::ZERO
+                } else {
+                    n.profile.interrupt_wakeup
+                };
+                let visible = hw_time + delay;
+                let window_end = visible + n.profile.poll_window;
+                // Accumulate the (union of) poll-window busy time.
+                let extend_from = if n.poll_until > visible {
+                    n.poll_until
+                } else {
+                    visible
+                };
+                n.poll_busy += window_end.saturating_since(extend_from);
+                n.poll_until = window_end;
+                delay
+            }
+        }
+    }
+
+    /// Breaks a connection: aborts in-flight transfers, drops queued work,
+    /// and notifies both (surviving) endpoints.
+    fn break_conn(&mut self, conn_idx: u32) {
+        let now = self.queue.now();
+        if self.conns[conn_idx as usize].broken {
+            return;
+        }
+        self.conns[conn_idx as usize].broken = true;
+        for dir in 0..2 {
+            if let Some((flow, _, _)) = self.conns[conn_idx as usize].dirs[dir].inflight.take() {
+                self.inflight_index.remove(&flow);
+                self.net.abort_flow(now, flow);
+            }
+            self.conns[conn_idx as usize].dirs[dir].queue.clear();
+            self.conns[conn_idx as usize].recvs[dir].clear();
+        }
+        self.resync_net();
+        for end in 0..2u8 {
+            let node = self.conns[conn_idx as usize].nodes[end as usize];
+            if self.nodes[node.index()].crashed {
+                continue;
+            }
+            let qp = QpHandle {
+                conn: conn_idx,
+                end,
+            };
+            self.queue.schedule_at(
+                now,
+                Ev::Deliver {
+                    node,
+                    delivery: Delivery::QpBroken { qp },
+                },
+            );
+        }
+    }
+
+    /// Re-aims the single NetWake event at the earliest flow completion.
+    fn resync_net(&mut self) {
+        if let Some(tok) = self.net_wake.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some((t, _)) = self.net.next_completion() {
+            let at = if t > self.queue.now() {
+                t
+            } else {
+                self.queue.now()
+            };
+            self.net_wake = Some(self.queue.schedule_at(at, Ev::NetWake));
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("now", &self.now())
+            .field("nodes", &self.nodes.len())
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}

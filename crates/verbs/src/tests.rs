@@ -1,0 +1,470 @@
+//! Unit tests for the simulated fabric's semantics.
+
+use bytes::Bytes;
+use simnet::{FlowNet, HostProfile, JitterModel, SimDuration, SimTime, Topology};
+
+use crate::{CompletionMode, Delivery, Fabric, FabricParams, NodeId, VerbsError, WaitSpec, WrId};
+
+/// A flat fabric with `n` nodes, 100 Gb/s links, 2 µs one-hop latency, and
+/// zeroed software overheads (so timing assertions are exact).
+fn zero_overhead_fabric(n: usize) -> Fabric {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, n, 100.0, SimDuration::from_micros(2));
+    let params = FabricParams {
+        nic_op_overhead: SimDuration::ZERO,
+        ..FabricParams::default()
+    };
+    let mut fabric = Fabric::new(net, topo, params);
+    for i in 0..n {
+        fabric.set_profile(
+            NodeId(i as u32),
+            HostProfile {
+                post_overhead: SimDuration::ZERO,
+                completion_overhead: SimDuration::ZERO,
+                ..HostProfile::default()
+            },
+        );
+        fabric.set_completion_mode(NodeId(i as u32), CompletionMode::Polling);
+    }
+    fabric
+}
+
+fn drain(fabric: &mut Fabric) -> Vec<(SimTime, NodeId, Delivery)> {
+    std::iter::from_fn(|| fabric.advance()).collect()
+}
+
+#[test]
+fn send_recv_timing_is_exact() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(10), 1_250_000).unwrap();
+    f.post_send(q0, WrId(20), 1_250_000, 5, None).unwrap();
+    let events = drain(&mut f);
+    // 1.25 MB = 10 Mb at 100 Gb/s = 100 us on the wire; +2 us to receiver,
+    // +4 us round trip for the sender's ack.
+    let recv = events
+        .iter()
+        .find(|(_, _, d)| matches!(d, Delivery::RecvDone { .. }))
+        .unwrap();
+    assert_eq!(recv.0.as_nanos(), 102_000);
+    assert_eq!(recv.1, NodeId(1));
+    let send = events
+        .iter()
+        .find(|(_, _, d)| matches!(d, Delivery::SendDone { .. }))
+        .unwrap();
+    assert_eq!(send.0.as_nanos(), 104_000);
+    assert_eq!(send.1, NodeId(0));
+}
+
+#[test]
+fn sends_on_one_qp_are_fifo() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    for i in 0..4 {
+        f.post_recv(q1, WrId(i), 1 << 20).unwrap();
+    }
+    for i in 0..4 {
+        f.post_send(q0, WrId(100 + i), 1000, i, None).unwrap();
+    }
+    let events = drain(&mut f);
+    let recv_order: Vec<u64> = events
+        .iter()
+        .filter_map(|(_, _, d)| match d {
+            Delivery::RecvDone { wr_id, imm, .. } => {
+                // Receives consumed in posted order, imms in send order.
+                Some((wr_id.0, *imm))
+            }
+            _ => None,
+        })
+        .map(|(wr, imm)| {
+            assert_eq!(wr, imm);
+            imm
+        })
+        .collect();
+    assert_eq!(recv_order, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn concurrent_qps_share_sender_nic_fairly() {
+    // One sender, two receivers, simultaneous 1.25 MB sends: both complete
+    // at ~200 us (half rate each) instead of 100 us.
+    let mut f = zero_overhead_fabric(3);
+    let (q0a, qa) = f.connect(NodeId(0), NodeId(1));
+    let (q0b, qb) = f.connect(NodeId(0), NodeId(2));
+    f.post_recv(qa, WrId(1), 1_250_000).unwrap();
+    f.post_recv(qb, WrId(2), 1_250_000).unwrap();
+    f.post_send(q0a, WrId(3), 1_250_000, 0, None).unwrap();
+    f.post_send(q0b, WrId(4), 1_250_000, 0, None).unwrap();
+    let events = drain(&mut f);
+    let recv_times: Vec<u64> = events
+        .iter()
+        .filter(|(_, _, d)| matches!(d, Delivery::RecvDone { .. }))
+        .map(|(t, _, _)| t.as_nanos())
+        .collect();
+    assert_eq!(recv_times.len(), 2);
+    for t in recv_times {
+        assert_eq!(t, 202_000);
+    }
+}
+
+#[test]
+fn relay_uses_full_duplex_bandwidth() {
+    // 0 -> 1 -> 2 chain: node 1 receives and forwards concurrently, so the
+    // two hops overlap almost perfectly.
+    let mut f = zero_overhead_fabric(3);
+    let (q01, q10) = f.connect(NodeId(0), NodeId(1));
+    let (q12, q21) = f.connect(NodeId(1), NodeId(2));
+    f.post_recv(q10, WrId(1), 1_250_000).unwrap();
+    f.post_recv(q21, WrId(2), 1_250_000).unwrap();
+    f.post_send(q01, WrId(3), 1_250_000, 0, None).unwrap();
+    // Node 1 forwards as soon as its receive completes.
+    let mut done_at = SimTime::ZERO;
+    while let Some((t, node, d)) = f.advance() {
+        match d {
+            Delivery::RecvDone { .. } if node == NodeId(1) => {
+                f.post_send(q12, WrId(4), 1_250_000, 0, None).unwrap();
+            }
+            Delivery::RecvDone { .. } if node == NodeId(2) => done_at = t,
+            _ => {}
+        }
+    }
+    // Hop 1 delivers at 102 us; hop 2 takes another 102 us.
+    assert_eq!(done_at.as_nanos(), 204_000);
+}
+
+#[test]
+fn rnr_retries_then_breaks_connection() {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, 2, 100.0, SimDuration::from_micros(2));
+    let params = FabricParams {
+        rnr_timer: SimDuration::from_micros(100),
+        rnr_retry_limit: 3,
+        ..FabricParams::default()
+    };
+    let mut f = Fabric::new(net, topo, params);
+    let (q0, _q1) = f.connect(NodeId(0), NodeId(1));
+    // Send with no posted receive: must eventually break both endpoints.
+    f.post_send(q0, WrId(1), 1000, 0, None).unwrap();
+    let events = drain(&mut f);
+    let broken: Vec<NodeId> = events
+        .iter()
+        .filter(|(_, _, d)| matches!(d, Delivery::QpBroken { .. }))
+        .map(|(_, n, _)| *n)
+        .collect();
+    assert_eq!(broken.len(), 2);
+    assert!(broken.contains(&NodeId(0)));
+    assert!(broken.contains(&NodeId(1)));
+    // Further posts on the broken QP are rejected.
+    assert_eq!(
+        f.post_send(q0, WrId(2), 10, 0, None),
+        Err(VerbsError::QpBroken)
+    );
+}
+
+#[test]
+fn late_recv_post_rescues_rnr_wait() {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, 2, 100.0, SimDuration::from_micros(2));
+    let params = FabricParams {
+        rnr_timer: SimDuration::from_micros(100),
+        rnr_retry_limit: 7,
+        nic_op_overhead: SimDuration::ZERO,
+        ..FabricParams::default()
+    };
+    let mut f = Fabric::new(net, topo, params);
+    for i in 0..2 {
+        f.set_profile(
+            NodeId(i),
+            HostProfile {
+                post_overhead: SimDuration::ZERO,
+                completion_overhead: SimDuration::ZERO,
+                ..HostProfile::default()
+            },
+        );
+        f.set_completion_mode(NodeId(i), CompletionMode::Polling);
+    }
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_send(q0, WrId(1), 1000, 0, None).unwrap();
+    // Post the receive via a timer at t = 50 us, mid RNR wait.
+    f.schedule_timer(NodeId(1), SimDuration::from_micros(50), 99);
+    let mut recv_time = None;
+    while let Some((t, node, d)) = f.advance() {
+        match d {
+            Delivery::Timer { token: 99 } => {
+                assert_eq!(node, NodeId(1));
+                f.post_recv(q1, WrId(2), 1000).unwrap();
+            }
+            Delivery::RecvDone { .. } => recv_time = Some(t),
+            Delivery::QpBroken { .. } => panic!("connection should survive"),
+            _ => {}
+        }
+    }
+    // Transfer starts when the receive is posted (50 us), not at an RNR
+    // retry boundary: wire time for 1000 B is negligible, ~2 us latency.
+    let t = recv_time.expect("receive completed").as_nanos();
+    assert!((52_000..60_000).contains(&t), "recv at {t}ns");
+}
+
+#[test]
+fn one_sided_write_arrives_without_recv() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, _q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_write(q0, WrId(1), 77, Bytes::from_static(b"ready"), None)
+        .unwrap();
+    let events = drain(&mut f);
+    let arrived = events
+        .iter()
+        .find_map(|(_, n, d)| match d {
+            Delivery::WriteArrived { tag, payload, .. } => Some((*n, *tag, payload.clone())),
+            _ => None,
+        })
+        .expect("write arrived");
+    assert_eq!(arrived, (NodeId(1), 77, Bytes::from_static(b"ready")));
+    assert!(events
+        .iter()
+        .any(|(_, n, d)| *n == NodeId(0) && matches!(d, Delivery::WriteDone { .. })));
+}
+
+#[test]
+fn cross_channel_send_waits_for_recv_completion() {
+    // CORE-Direct: node 1's relay send is queued *before* its receive
+    // completes, with a dependency on the receive; hardware fires it
+    // without software involvement.
+    let mut f = zero_overhead_fabric(3);
+    let (q01, q10) = f.connect(NodeId(0), NodeId(1));
+    let (q12, q21) = f.connect(NodeId(1), NodeId(2));
+    f.post_recv(q10, WrId(1), 1_250_000).unwrap();
+    f.post_recv(q21, WrId(2), 1_250_000).unwrap();
+    // Pre-queue the dependent relay.
+    f.post_send(
+        q12,
+        WrId(4),
+        1_250_000,
+        0,
+        Some(WaitSpec {
+            qp: q10,
+            wr_id: WrId(1),
+        }),
+    )
+    .unwrap();
+    f.post_send(q01, WrId(3), 1_250_000, 0, None).unwrap();
+    let events = drain(&mut f);
+    let node2_recv = events
+        .iter()
+        .find(|(_, n, d)| *n == NodeId(2) && matches!(d, Delivery::RecvDone { .. }))
+        .expect("node 2 got the relayed block");
+    // Hop 1 hardware-completes at 102 us; relay finishes 102 us later.
+    assert_eq!(node2_recv.0.as_nanos(), 204_000);
+}
+
+#[test]
+fn oversized_send_breaks_connection() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 100).unwrap();
+    f.post_send(q0, WrId(2), 1000, 0, None).unwrap();
+    let events = drain(&mut f);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|(_, _, d)| matches!(d, Delivery::QpBroken { .. }))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn crash_notifies_peers_after_detection_delay() {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, 3, 100.0, SimDuration::from_micros(2));
+    let params = FabricParams {
+        failure_detect: SimDuration::from_millis(1),
+        ..FabricParams::default()
+    };
+    let mut f = Fabric::new(net, topo, params);
+    let (_q01, _q10) = f.connect(NodeId(0), NodeId(1));
+    let (_q02, _q20) = f.connect(NodeId(0), NodeId(2));
+    f.schedule_timer(NodeId(0), SimDuration::from_micros(10), 1);
+    let mut breaks = Vec::new();
+    while let Some((t, node, d)) = f.advance() {
+        match d {
+            Delivery::Timer { token: 1 } => f.crash(NodeId(0)),
+            Delivery::QpBroken { .. } => breaks.push((t, node)),
+            _ => {}
+        }
+    }
+    // Nodes 1 and 2 each learn of the crash ~1 ms after it happened; the
+    // crashed node itself hears nothing.
+    assert_eq!(breaks.len(), 2);
+    for (t, node) in breaks {
+        assert_ne!(node, NodeId(0));
+        let dt = t.as_nanos();
+        assert!(dt >= 1_000_000, "detected at {dt}ns");
+        assert!(dt < 1_300_000, "detected at {dt}ns");
+    }
+}
+
+#[test]
+fn crash_aborts_inflight_transfer() {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, 2, 100.0, SimDuration::from_micros(2));
+    let mut f = Fabric::new(net, topo, FabricParams::default());
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 1 << 30).unwrap();
+    // A 1 GB transfer takes ~86 ms; crash the sender at 1 ms.
+    f.post_send(q0, WrId(2), 1 << 30, 0, None).unwrap();
+    f.schedule_timer(NodeId(1), SimDuration::from_millis(1), 5);
+    let mut saw_recv_done = false;
+    let mut saw_broken = false;
+    while let Some((_, _node, d)) = f.advance() {
+        match d {
+            Delivery::Timer { token: 5 } => f.crash(NodeId(0)),
+            Delivery::RecvDone { .. } => saw_recv_done = true,
+            Delivery::QpBroken { .. } => saw_broken = true,
+            _ => {}
+        }
+    }
+    assert!(!saw_recv_done, "aborted transfer must not complete");
+    assert!(saw_broken, "survivor must learn of the failure");
+}
+
+#[test]
+fn interrupt_mode_adds_wakeup_latency() {
+    let mut f = zero_overhead_fabric(2);
+    let wakeup = SimDuration::from_micros(4);
+    f.set_profile(
+        NodeId(1),
+        HostProfile {
+            post_overhead: SimDuration::ZERO,
+            completion_overhead: SimDuration::ZERO,
+            interrupt_wakeup: wakeup,
+            ..HostProfile::default()
+        },
+    );
+    f.set_completion_mode(NodeId(1), CompletionMode::Interrupt);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 1_250_000).unwrap();
+    f.post_send(q0, WrId(2), 1_250_000, 0, None).unwrap();
+    let events = drain(&mut f);
+    let recv = events
+        .iter()
+        .find(|(_, _, d)| matches!(d, Delivery::RecvDone { .. }))
+        .unwrap();
+    // Polling timing was 102 us; interrupts add exactly the wakeup.
+    assert_eq!(recv.0.as_nanos(), 106_000);
+}
+
+#[test]
+fn hybrid_mode_polls_within_window_then_sleeps() {
+    let mut f = zero_overhead_fabric(2);
+    let profile = HostProfile {
+        post_overhead: SimDuration::ZERO,
+        completion_overhead: SimDuration::ZERO,
+        interrupt_wakeup: SimDuration::from_micros(4),
+        poll_window: SimDuration::from_millis(1),
+        ..HostProfile::default()
+    };
+    f.set_profile(NodeId(1), profile);
+    f.set_completion_mode(NodeId(1), CompletionMode::Hybrid);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    for i in 0..3 {
+        f.post_recv(q1, WrId(i), 2000).unwrap();
+    }
+    // First send at t=0 (cold: pays wakeup). Second lands within the poll
+    // window (no wakeup). Third arrives 2 ms later (window expired: pays
+    // wakeup again).
+    f.post_send(q0, WrId(10), 1000, 0, None).unwrap();
+    f.schedule_timer(NodeId(0), SimDuration::from_micros(100), 1);
+    f.schedule_timer(NodeId(0), SimDuration::from_millis(3), 2);
+    let mut recv_times = Vec::new();
+    while let Some((t, node, d)) = f.advance() {
+        match d {
+            Delivery::Timer { token } => {
+                assert_eq!(node, NodeId(0));
+                f.post_send(q0, WrId(10 + token), 1000, 0, None).unwrap();
+            }
+            Delivery::RecvDone { .. } => recv_times.push(t.as_nanos()),
+            _ => {}
+        }
+    }
+    assert_eq!(recv_times.len(), 3);
+    let wire = 2_000 + 80; // 2 us latency + 1000 B at 100 Gb/s
+    assert_eq!(recv_times[0], wire + 4_000); // cold wakeup
+    assert_eq!(recv_times[1], 100_000 + wire); // polled
+    assert_eq!(recv_times[2], 3_000_000 + wire + 4_000); // expired window
+    let report = f.cpu_report(NodeId(1));
+    assert!(report.polling > SimDuration::from_millis(2));
+}
+
+#[test]
+fn cpu_serialization_defers_deliveries() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 2000).unwrap();
+    f.post_recv(q1, WrId(2), 2000).unwrap();
+    f.post_send(q0, WrId(3), 1000, 0, None).unwrap();
+    f.post_send(q0, WrId(4), 1000, 0, None).unwrap();
+    let mut recv_times = Vec::new();
+    while let Some((t, node, d)) = f.advance() {
+        if let Delivery::RecvDone { .. } = d {
+            recv_times.push(t);
+            if recv_times.len() == 1 {
+                // The handler spends 500 us of CPU: the second completion
+                // must wait for it even though it arrived earlier.
+                f.consume_cpu(node, SimDuration::from_micros(500));
+            }
+        }
+    }
+    assert_eq!(recv_times.len(), 2);
+    assert!(recv_times[1].since(recv_times[0]) >= SimDuration::from_micros(500));
+}
+
+#[test]
+fn jitter_delays_deliveries_deterministically() {
+    let run = |seed: u64| {
+        let mut f = zero_overhead_fabric(2);
+        f.set_jitter(
+            NodeId(1),
+            JitterModel::new(
+                seed,
+                1.0,
+                SimDuration::from_micros(50),
+                SimDuration::from_micros(150),
+            ),
+        );
+        let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+        f.post_recv(q1, WrId(1), 2000).unwrap();
+        f.post_send(q0, WrId(2), 1000, 0, None).unwrap();
+        drain(&mut f)
+            .iter()
+            .find(|(_, _, d)| matches!(d, Delivery::RecvDone { .. }))
+            .unwrap()
+            .0
+            .as_nanos()
+    };
+    let base = 2_000 + 80;
+    let a = run(9);
+    assert!(a >= base + 50_000 && a <= base + 150_000, "got {a}");
+    assert_eq!(a, run(9), "same seed, same schedule");
+}
+
+#[test]
+fn qp_node_and_peer_accessors() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    assert_eq!(f.qp_node(q0), NodeId(0));
+    assert_eq!(f.qp_peer(q0), NodeId(1));
+    assert_eq!(f.qp_node(q1), NodeId(1));
+    assert_eq!(f.qp_peer(q1), NodeId(0));
+}
+
+#[test]
+fn posts_rejected_after_crash() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, _q1) = f.connect(NodeId(0), NodeId(1));
+    f.crash(NodeId(0));
+    assert_eq!(
+        f.post_send(q0, WrId(1), 10, 0, None),
+        Err(VerbsError::NodeCrashed)
+    );
+}

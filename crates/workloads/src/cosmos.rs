@@ -1,0 +1,248 @@
+//! Synthetic stand-in for the Microsoft Cosmos replication trace
+//! (paper §5.2.2, Fig. 9).
+//!
+//! The original trace is proprietary; the paper publishes its vital
+//! statistics: several million 3-node writes with random target nodes,
+//! object sizes from hundreds of bytes to hundreds of megabytes, a
+//! **median of 12 MB** and a **mean of 29 MB**, replayed against 15
+//! replica hosts (all C(15,3) = 455 possible target groups pre-created).
+//!
+//! A log-normal distribution is the standard fit for such heavy-tailed
+//! object sizes and is fully determined by the published median and mean:
+//! `median = exp(mu)` and `mean = exp(mu + sigma^2 / 2)` give
+//! `mu = ln(median)` and `sigma = sqrt(2 ln(mean/median))`. Samples are
+//! clamped to the published range.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One replicated write from the synthetic trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CosmosWrite {
+    /// Object size in bytes.
+    pub size: u64,
+    /// The target replica nodes (distinct indices into the replica pool).
+    pub targets: Vec<usize>,
+}
+
+/// Generator configuration; defaults reproduce the paper's published
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct CosmosTrace {
+    /// RNG seed (the trace is deterministic given the seed).
+    pub seed: u64,
+    /// Number of replica hosts objects are written to (15 on Fractus).
+    pub replica_pool: usize,
+    /// Replicas per write (3 in the trace).
+    pub replication_factor: usize,
+    /// Median object size in bytes.
+    pub median_bytes: f64,
+    /// Mean object size in bytes.
+    pub mean_bytes: f64,
+    /// Smallest object ("hundreds of bytes").
+    pub min_bytes: u64,
+    /// Largest object ("hundreds of MB").
+    pub max_bytes: u64,
+}
+
+impl Default for CosmosTrace {
+    fn default() -> Self {
+        CosmosTrace {
+            seed: 0xC05,
+            replica_pool: 15,
+            replication_factor: 3,
+            median_bytes: 12e6,
+            mean_bytes: 29e6,
+            min_bytes: 200,
+            max_bytes: 500_000_000,
+        }
+    }
+}
+
+impl CosmosTrace {
+    /// Log-normal `mu` implied by the configured median.
+    pub fn mu(&self) -> f64 {
+        self.median_bytes.ln()
+    }
+
+    /// Log-normal `sigma` implied by the configured median and mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= median` (a log-normal's mean always exceeds its
+    /// median).
+    pub fn sigma(&self) -> f64 {
+        assert!(
+            self.mean_bytes > self.median_bytes,
+            "log-normal mean must exceed the median"
+        );
+        (2.0 * (self.mean_bytes / self.median_bytes).ln()).sqrt()
+    }
+
+    /// Generates `count` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replication factor exceeds the replica pool.
+    pub fn generate(&self, count: usize) -> Vec<CosmosWrite> {
+        assert!(
+            self.replication_factor <= self.replica_pool,
+            "cannot pick {} distinct replicas from a pool of {}",
+            self.replication_factor,
+            self.replica_pool
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mu = self.mu();
+        let sigma = self.sigma();
+        (0..count)
+            .map(|_| {
+                let size = sample_lognormal(&mut rng, mu, sigma)
+                    .clamp(self.min_bytes as f64, self.max_bytes as f64)
+                    as u64;
+                let targets = sample_distinct(&mut rng, self.replica_pool, self.replication_factor);
+                CosmosWrite { size, targets }
+            })
+            .collect()
+    }
+
+    /// All distinct target groups the trace can produce, in a canonical
+    /// order — the paper pre-creates every one of them (455 for 15 choose
+    /// 3) so group setup stays off the critical path.
+    pub fn all_groups(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut combo = Vec::new();
+        combinations(
+            0,
+            self.replica_pool,
+            self.replication_factor,
+            &mut combo,
+            &mut out,
+        );
+        out
+    }
+}
+
+fn combinations(
+    start: usize,
+    pool: usize,
+    remaining: usize,
+    combo: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if remaining == 0 {
+        out.push(combo.clone());
+        return;
+    }
+    for i in start..=pool - remaining {
+        combo.push(i);
+        combinations(i + 1, pool, remaining - 1, combo, out);
+        combo.pop();
+    }
+}
+
+/// One log-normal sample via Box–Muller (no external distribution crate).
+fn sample_lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// `k` distinct values from `0..pool` (partial Fisher–Yates).
+fn sample_distinct(rng: &mut StdRng, pool: usize, k: usize) -> Vec<usize> {
+    let mut items: Vec<usize> = (0..pool).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..pool);
+        items.swap(i, j);
+    }
+    items.truncate(k);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_matches_published_statistics() {
+        let t = CosmosTrace::default();
+        // sigma^2 = 2 ln(29/12) ~= 1.764
+        assert!((t.sigma().powi(2) - 2.0 * (29.0f64 / 12.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_sizes_have_the_right_median_and_mean() {
+        let trace = CosmosTrace::default().generate(40_000);
+        let mut sizes: Vec<u64> = trace.iter().map(|w| w.size).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
+        assert!(
+            (median / 12e6 - 1.0).abs() < 0.1,
+            "median {median} vs published 12 MB"
+        );
+        // Clamping the far tail pulls the mean down slightly.
+        assert!(
+            (mean / 29e6 - 1.0).abs() < 0.2,
+            "mean {mean} vs published 29 MB"
+        );
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let t = CosmosTrace {
+            min_bytes: 1_000,
+            max_bytes: 1_000_000,
+            ..CosmosTrace::default()
+        };
+        for w in t.generate(5_000) {
+            assert!((1_000..=1_000_000).contains(&w.size));
+        }
+    }
+
+    #[test]
+    fn targets_are_distinct_and_in_pool() {
+        for w in CosmosTrace::default().generate(2_000) {
+            assert_eq!(w.targets.len(), 3);
+            let mut t = w.targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 3, "duplicate target in {:?}", w.targets);
+            assert!(t.iter().all(|&x| x < 15));
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = CosmosTrace::default().generate(100);
+        let b = CosmosTrace::default().generate(100);
+        assert_eq!(a, b);
+        let c = CosmosTrace {
+            seed: 7,
+            ..CosmosTrace::default()
+        }
+        .generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_groups_is_15_choose_3() {
+        let groups = CosmosTrace::default().all_groups();
+        assert_eq!(groups.len(), 455);
+        // Canonical, sorted, distinct.
+        for g in &groups {
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn every_generated_group_exists_in_all_groups() {
+        let t = CosmosTrace::default();
+        let groups = t.all_groups();
+        for w in t.generate(500) {
+            let mut key = w.targets.clone();
+            key.sort_unstable();
+            assert!(groups.contains(&key));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # workloads — evaluation workload generators
+//!
+//! Deterministic, seedable generators for the traffic patterns the RDMC
+//! paper evaluates on:
+//!
+//! - [`CosmosTrace`] — the proprietary Microsoft Cosmos replication trace
+//!   of Fig. 9, resynthesised from its published statistics (3-node
+//!   writes, log-normal sizes with 12 MB median / 29 MB mean, 15 replica
+//!   hosts, 455 pre-created groups).
+//! - [`stats`] — percentile/CDF helpers for reporting distributions.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::CosmosTrace;
+//!
+//! let trace = CosmosTrace::default();
+//! let writes = trace.generate(100);
+//! assert_eq!(writes.len(), 100);
+//! assert!(writes.iter().all(|w| w.targets.len() == 3));
+//! assert_eq!(trace.all_groups().len(), 455);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cosmos;
+pub mod stats;
+
+pub use cosmos::{CosmosTrace, CosmosWrite};

@@ -1,0 +1,75 @@
+//! Replays a synthetic Microsoft-Cosmos-style replication workload
+//! (paper §5.2.2, Fig. 9): one generator node writes objects with a
+//! heavy-tailed size distribution (12 MB median, 29 MB mean) to random
+//! 3-replica groups drawn from 15 hosts, and we compare the latency
+//! distribution under sequential send vs RDMC's binomial pipeline.
+//!
+//! ```sh
+//! cargo run --release --example cosmos_replay
+//! ```
+
+use std::collections::HashMap;
+
+use rdmc::Algorithm;
+use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use workloads::{stats, CosmosTrace};
+
+const MB: u64 = 1 << 20;
+
+fn replay(alg: Algorithm, writes: &[workloads::CosmosWrite]) -> (Vec<f64>, f64) {
+    let mut cluster = SimCluster::new(ClusterSpec::fractus(16).build());
+    let mut groups: HashMap<Vec<usize>, usize> = HashMap::new();
+    for w in writes {
+        let mut members = vec![0usize]; // node 0 generates all traffic
+        members.extend(w.targets.iter().map(|&t| t + 1));
+        let gid = *groups.entry(members.clone()).or_insert_with(|| {
+            cluster.create_group(GroupSpec {
+                members,
+                algorithm: alg.clone(),
+                block_size: MB,
+                ready_window: 3,
+                max_outstanding_sends: 3,
+            })
+        });
+        cluster.submit_send(gid, w.size);
+    }
+    cluster.run();
+    let results = cluster.message_results();
+    let latencies: Vec<f64> = results
+        .iter()
+        .map(|r| r.latency().expect("write completed").as_secs_f64() * 1e3)
+        .collect();
+    let end = results
+        .iter()
+        .flat_map(|r| r.delivered_at.iter().flatten().copied())
+        .max()
+        .expect("deliveries");
+    let total_bytes: f64 = writes.iter().map(|w| w.size as f64).sum();
+    (latencies, total_bytes * 8.0 / end.as_secs_f64() / 1e9)
+}
+
+fn main() {
+    let trace = CosmosTrace {
+        max_bytes: 128 * MB,
+        ..CosmosTrace::default()
+    };
+    let writes = trace.generate(150);
+    println!(
+        "replaying {} writes ({} distinct 3-replica groups possible)\n",
+        writes.len(),
+        trace.all_groups().len()
+    );
+    for alg in [Algorithm::Sequential, Algorithm::BinomialPipeline] {
+        let (latencies, aggregate) = replay(alg.clone(), &writes);
+        println!(
+            "{alg:>18}: p50 {:>7.1} ms   p95 {:>7.1} ms   aggregate {aggregate:>5.1} Gb/s",
+            stats::percentile(&latencies, 50.0),
+            stats::percentile(&latencies, 95.0),
+        );
+    }
+    println!(
+        "\nThe binomial pipeline replicates the same trace several times faster\n\
+         and saturates the generator's NIC (the paper reports ~93 Gb/s, a\n\
+         petabyte of replicated data per day)."
+    );
+}

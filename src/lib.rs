@@ -1,0 +1,21 @@
+//! Workspace root for the RDMC reproduction.
+//!
+//! This crate only re-exports the member crates so that the integration
+//! tests in `tests/` and the runnable programs in `examples/` can reach the
+//! whole system through one dependency. The actual library code lives in
+//! the workspace members:
+//!
+//! - [`rdmc`] — the paper's contribution: schedules, protocol engine, API.
+//! - [`simnet`] / [`verbs`] — the simulated datacenter + RDMA substrate.
+//! - [`rdmc_sim`] — binds the engine to the simulated fabric.
+//! - [`rdmc_tcp`] — the real-TCP port of the protocol (paper section 5.3).
+//! - [`sst`], [`baselines`], [`workloads`] — comparators and workloads.
+
+pub use baselines;
+pub use rdmc;
+pub use rdmc_sim;
+pub use rdmc_tcp;
+pub use simnet;
+pub use sst;
+pub use verbs;
+pub use workloads;

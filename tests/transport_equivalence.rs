@@ -1,0 +1,163 @@
+//! The same protocol engine runs over simulated RDMA and over real TCP;
+//! these tests check the two transports agree on *what* happens (delivery
+//! sets, ordering, failure semantics), leaving *how fast* to the fabric.
+
+use std::sync::mpsc;
+
+use rdmc::Algorithm;
+use rdmc_repro::*;
+use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_tcp::{GroupConfig, LocalCluster};
+
+const KB: u64 = 1 << 10;
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Sequential,
+        Algorithm::Chain,
+        Algorithm::BinomialTree,
+        Algorithm::BinomialPipeline,
+    ]
+}
+
+/// Both transports deliver the same number of completions, in the same
+/// per-member order, for a mixed-size message sequence.
+#[test]
+fn both_transports_deliver_identical_message_sequences() {
+    let n = 5usize;
+    let sizes: Vec<u64> = vec![10 * KB, 1, 64 * KB, 3 * KB];
+    for alg in algorithms() {
+        // Simulated RDMA.
+        let mut sim = SimCluster::new(ClusterSpec::fractus(n).build());
+        let group = sim.create_group(GroupSpec {
+            members: (0..n).collect(),
+            algorithm: alg.clone(),
+            block_size: 4 * KB,
+            ready_window: 3,
+            max_outstanding_sends: 3,
+        });
+        for &s in &sizes {
+            sim.submit_send(group, s);
+        }
+        sim.run();
+        assert!(sim.all_quiescent(), "{alg}: sim not quiescent");
+        let sim_deliveries = sim.message_results().len();
+        assert_eq!(sim_deliveries, sizes.len());
+
+        // Real TCP.
+        let tcp = LocalCluster::launch(n).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for node in tcp.nodes() {
+            let tx = tx.clone();
+            let id = node.id();
+            assert!(node.create_group(
+                1,
+                GroupConfig {
+                    algorithm: alg.clone(),
+                    block_size: 4 * KB,
+                    ..GroupConfig::new((0..n as u32).collect())
+                },
+                Box::new(|size| vec![0; size as usize]),
+                Box::new(move |data| tx.send((id, data.len() as u64)).unwrap()),
+            ));
+        }
+        for &s in &sizes {
+            let payload: Vec<u8> = (0..s).map(|i| (i % 256) as u8).collect();
+            assert!(tcp.nodes()[0].send(1, payload));
+        }
+        let mut per_node: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for _ in 0..n * sizes.len() {
+            let (node, len) = rx
+                .recv_timeout(std::time::Duration::from_secs(15))
+                .unwrap_or_else(|_| panic!("{alg}: TCP delivery timed out"));
+            per_node[node as usize].push(len);
+        }
+        for (node, got) in per_node.iter().enumerate() {
+            assert_eq!(got, &sizes, "{alg}: node {node} size sequence differs");
+        }
+        for node in tcp.nodes() {
+            assert!(node.destroy_group(1), "{alg}: close must be clean");
+        }
+        tcp.shutdown();
+    }
+}
+
+/// The §4.6 close guarantee, on both transports: a clean close implies
+/// every message reached every destination; a failure makes the close
+/// report it.
+#[test]
+fn close_barrier_semantics_match() {
+    // Simulated: quiescent after a clean run.
+    let mut sim = SimCluster::new(ClusterSpec::fractus(4).build());
+    let group = sim.create_group(GroupSpec {
+        members: (0..4).collect(),
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: 8 * KB,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    sim.submit_send(group, 100 * KB);
+    sim.run();
+    assert!(sim.all_quiescent());
+
+    // TCP: destroy returns true on the same clean history.
+    let tcp = LocalCluster::launch(4).unwrap();
+    let (tx, rx) = mpsc::channel();
+    for node in tcp.nodes() {
+        let tx = tx.clone();
+        assert!(node.create_group(
+            2,
+            GroupConfig {
+                block_size: 8 * KB,
+                ..GroupConfig::new(vec![0, 1, 2, 3])
+            },
+            Box::new(|size| vec![0; size as usize]),
+            Box::new(move |data| tx.send(data.len()).unwrap()),
+        ));
+    }
+    assert!(tcp.nodes()[0].send(2, vec![7; 100 * KB as usize]));
+    for _ in 0..4 {
+        rx.recv_timeout(std::time::Duration::from_secs(15)).unwrap();
+    }
+    for node in tcp.nodes() {
+        assert!(node.destroy_group(2));
+    }
+    tcp.shutdown();
+}
+
+/// Failure propagation: on the simulated fabric a crash wedges all
+/// survivors; over TCP a vanished peer makes the close barrier report an
+/// unclean history.
+#[test]
+fn failure_surfaces_on_both_transports() {
+    // Simulated fabric.
+    let mut sim = SimCluster::new(ClusterSpec::fractus(6).build());
+    let group = sim.create_group(GroupSpec {
+        members: (0..6).collect(),
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: 1 << 20,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    sim.submit_send(group, 128 << 20);
+    sim.schedule_crash_at(3, simnet::SimTime::from_nanos(1_500_000));
+    sim.run();
+    assert_eq!(sim.wedged_members(group).len(), 5);
+
+    // TCP.
+    let tcp = LocalCluster::launch(3).unwrap();
+    for node in tcp.nodes() {
+        assert!(node.create_group(
+            3,
+            GroupConfig::new(vec![0, 1, 2]),
+            Box::new(|size| vec![0; size as usize]),
+            Box::new(|_| {}),
+        ));
+    }
+    tcp.nodes()[1].shutdown(); // node 1 silently disappears
+    assert!(
+        !tcp.nodes()[0].destroy_group(3),
+        "close must report the lost member"
+    );
+    tcp.shutdown();
+}
