@@ -108,6 +108,41 @@ fn flownet_reallocation(c: &mut Criterion) {
             flows.len()
         })
     });
+    // Churn over a shared bottleneck: 31 long-lived flows converge on one
+    // sink (a TOR-ish hot link), while 512 short transfers between other
+    // nodes arrive and drain. Each arrival/completion only perturbs the
+    // flows sharing a link with it, so this measures how well
+    // reallocation cost tracks the ripple set rather than the whole
+    // network.
+    group.bench_function("churn_512_short_flows_vs_31_long", |b| {
+        b.iter(|| {
+            let mut net = FlowNet::new();
+            let topo = Topology::flat(&mut net, 64, 100.0, SimDuration::from_micros(2));
+            for i in 1..32 {
+                net.start_flow(SimTime::ZERO, topo.path(i, 0), 1e9);
+            }
+            let mut now = SimTime::ZERO;
+            let mut done = 0u32;
+            for k in 0..512u64 {
+                now += SimDuration::from_micros(5);
+                let (a, b2) = (32 + (k as usize % 16), 48 + (k as usize % 16));
+                net.start_flow(now, topo.path(a, b2), 64_000.0);
+                // Keep the population bounded: retire the next finisher.
+                if let Some((t, f)) = net.next_completion() {
+                    if t <= now {
+                        net.complete_flow(t, f);
+                        done += 1;
+                    }
+                }
+            }
+            while let Some((t, f)) = net.next_completion() {
+                net.complete_flow(t, f);
+                done += 1;
+            }
+            assert_eq!(done, 512 + 31);
+            done
+        })
+    });
     group.finish();
 }
 

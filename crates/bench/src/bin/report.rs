@@ -1,14 +1,66 @@
 //! Regenerates every table and figure of the paper's evaluation and
 //! prints them as text tables. Run with `--quick` for a fast smoke pass.
+//! Sweeps fan out over a worker pool (`RDMC_BENCH_THREADS` pins the
+//! width; results are deterministic regardless).
+//!
+//! Alongside the text report, writes a machine-readable summary of the
+//! simulation kernel's performance — wall time, events per second, and
+//! reallocation work per section — to `BENCH_simnet.json` (path
+//! overridable with `RDMC_BENCH_JSON`).
 //!
 //! ```sh
 //! cargo run --release -p rdmc-bench --bin report
 //! ```
 
 use rdmc_bench::experiments as e;
+use verbs::perf::{snapshot, KernelPerf};
 
 /// An experiment section: name + generator.
 type Section = (&'static str, fn(bool) -> String);
+
+/// One section's kernel-work record for the JSON summary.
+struct SectionPerf {
+    name: &'static str,
+    wall_s: f64,
+    work: KernelPerf,
+}
+
+fn json_summary(quick: bool, threads: usize, total_wall_s: f64, sections: &[SectionPerf]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    out.push_str("  \"sections\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        let d = &s.work;
+        let events_per_sec = if s.wall_s > 0.0 {
+            d.events as f64 / s.wall_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"realloc_count\": {}, \
+             \"realloc_nanos\": {}, \"flows_visited\": {}, \
+             \"heap_pushes\": {}, \"rate_changes\": {}, \
+             \"full_reallocs\": {}, \"sim_seconds\": {:.3}}}{}\n",
+            s.name,
+            s.wall_s,
+            d.events,
+            events_per_sec,
+            d.realloc_count,
+            d.realloc_nanos,
+            d.flows_visited,
+            d.heap_pushes,
+            d.rate_changes,
+            d.full_reallocs,
+            d.sim_nanos as f64 / 1e9,
+            if i + 1 < sections.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -26,19 +78,38 @@ fn main() {
         ("fig12", e::fig12_core_direct),
         ("robustness", e::robustness_analysis),
         ("sst", e::sst_small_messages),
+        ("kernel", e::kernel_throughput),
     ];
     let only: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| a != "--quick")
         .collect();
+    let mut perf: Vec<SectionPerf> = Vec::new();
     for (name, f) in sections {
         if !only.is_empty() && !only.iter().any(|o| o == name) {
             continue;
         }
+        let base = snapshot();
         let t = std::time::Instant::now();
         println!("==================== {name} ====================");
         println!("{}", f(quick));
-        eprintln!("[{name} took {:.1}s]", t.elapsed().as_secs_f64());
+        let wall_s = t.elapsed().as_secs_f64();
+        perf.push(SectionPerf {
+            name,
+            wall_s,
+            work: snapshot().delta_since(&base),
+        });
+        eprintln!("[{name} took {wall_s:.1}s]");
     }
-    eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
+    let total = t0.elapsed().as_secs_f64();
+    let threads = rdmc_bench::parallel::worker_threads();
+    eprintln!("[total {total:.1}s on {threads} worker threads]");
+
+    let json = json_summary(quick, threads, total, &perf);
+    let path =
+        std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[kernel perf summary written to {path}]"),
+        Err(err) => eprintln!("[could not write {path}: {err}]"),
+    }
 }

@@ -13,6 +13,7 @@ use simnet::{JitterModel, SimDuration};
 use verbs::CompletionMode;
 use workloads::{stats, CosmosTrace};
 
+use crate::parallel::par_map;
 use crate::row;
 use crate::table::{bytes_label, render};
 
@@ -46,8 +47,7 @@ pub fn fig4_latency(quick: bool) -> String {
     let spec = ClusterSpec::fractus(16);
     let mut out = String::new();
     for &size in sizes {
-        let mut rows = Vec::new();
-        for &n in &groups {
+        let rows = par_map(&groups, |&n| {
             let lat = |alg: Algorithm| {
                 run_single_multicast(&spec, n, alg, size, MB)
                     .latency
@@ -62,7 +62,7 @@ pub fn fig4_latency(quick: bool) -> String {
                 .latency
                 .as_secs_f64()
                 * 1e3;
-            rows.push(row![
+            row![
                 n,
                 format!("{seq:.1}"),
                 format!("{tree:.1}"),
@@ -70,8 +70,8 @@ pub fn fig4_latency(quick: bool) -> String {
                 format!("{pipe:.1}"),
                 format!("{mpi:.1}"),
                 format!("{:.2}", mpi / pipe)
-            ]);
-        }
+            ]
+        });
         out.push_str(&format!(
             "Fig 4 ({}): multicast latency (ms), Fractus-like 100 Gb/s, 1 MB blocks\n",
             bytes_label(size)
@@ -272,20 +272,27 @@ pub fn fig6_block_size(quick: bool) -> String {
         &[16 << 10, MB, 8 * MB, 128 * MB]
     };
     let spec = ClusterSpec::fractus(4);
-    let mut rows = Vec::new();
-    for &block in blocks {
-        let mut cells = vec![bytes_label(block)];
-        for &msg in messages {
-            if block > msg {
-                cells.push("-".to_owned());
-                continue;
-            }
-            let bw = run_single_multicast(&spec, 4, Algorithm::BinomialPipeline, msg, block)
-                .bandwidth_gbps;
-            cells.push(format!("{bw:.1}"));
+    let cases: Vec<(u64, u64)> = blocks
+        .iter()
+        .flat_map(|&block| messages.iter().map(move |&msg| (block, msg)))
+        .collect();
+    let cells = par_map(&cases, |&(block, msg)| {
+        if block > msg {
+            return "-".to_owned();
         }
-        rows.push(cells);
-    }
+        let bw =
+            run_single_multicast(&spec, 4, Algorithm::BinomialPipeline, msg, block).bandwidth_gbps;
+        format!("{bw:.1}")
+    });
+    let rows: Vec<Vec<String>> = blocks
+        .iter()
+        .zip(cells.chunks(messages.len()))
+        .map(|(&block, chunk)| {
+            let mut cells = vec![bytes_label(block)];
+            cells.extend(chunk.iter().cloned());
+            cells
+        })
+        .collect();
     let mut header = vec!["block \\ msg".to_owned()];
     header.extend(messages.iter().map(|&m| bytes_label(m)));
     format!(
@@ -303,8 +310,7 @@ pub fn fig7_one_byte(quick: bool) -> String {
     };
     let count = if quick { 100 } else { 400 };
     let spec = ClusterSpec::fractus(16);
-    let mut rows = Vec::new();
-    for &n in &groups {
+    let rows = par_map(&groups, |&n| {
         let mut cluster = SimCluster::new(spec.build());
         let group = cluster.create_group(pipeline_group_spec(
             (0..n).collect(),
@@ -322,8 +328,8 @@ pub fn fig7_one_byte(quick: bool) -> String {
             .max()
             .expect("deliveries");
         let rate = count as f64 / end.as_secs_f64();
-        rows.push(row![n, format!("{rate:.0}")]);
-    }
+        row![n, format!("{rate:.0}")]
+    });
     format!(
         "Fig 7: 1-byte messages/second (binomial pipeline, Fractus-like)\n{}\n",
         render(&row!["group", "msgs/sec"], &rows)
@@ -341,21 +347,33 @@ pub fn fig8_scalability(quick: bool) -> String {
     let msg = 256 * MB;
     let block = 4 * MB;
     let spec = ClusterSpec::sierra(512);
-    let mut rows = Vec::new();
-    for &n in &sizes {
-        let pipe = run_single_multicast(&spec, n, Algorithm::BinomialPipeline, msg, block)
+    let cases: Vec<(usize, Algorithm)> = sizes
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, Algorithm::BinomialPipeline),
+                (n, Algorithm::Sequential),
+            ]
+        })
+        .collect();
+    let lats = par_map(&cases, |(n, alg)| {
+        run_single_multicast(&spec, *n, alg.clone(), msg, block)
             .latency
-            .as_secs_f64();
-        let seq = run_single_multicast(&spec, n, Algorithm::Sequential, msg, block)
-            .latency
-            .as_secs_f64();
-        rows.push(row![
-            n,
-            format!("{:.3}", pipe),
-            format!("{:.3}", seq),
-            format!("{:.1}x", seq / pipe)
-        ]);
-    }
+            .as_secs_f64()
+    });
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .zip(lats.chunks(2))
+        .map(|(&n, pair)| {
+            let (pipe, seq) = (pair[0], pair[1]);
+            row![
+                n,
+                format!("{:.3}", pipe),
+                format!("{:.3}", seq),
+                format!("{:.1}x", seq / pipe)
+            ]
+        })
+        .collect();
     format!(
         "Fig 8: total time (s) to replicate 256 MB on Sierra-like (40 Gb/s), 4 MB blocks\n{}\n",
         render(
@@ -381,12 +399,12 @@ pub fn fig9_cosmos(quick: bool) -> String {
         bytes_label(12 * MB),
         bytes_label(29 * MB),
     );
-    let mut rows = Vec::new();
-    for alg in [
+    let algorithms = [
         Algorithm::Sequential,
         Algorithm::BinomialTree,
         Algorithm::BinomialPipeline,
-    ] {
+    ];
+    let rows = par_map(&algorithms, |alg| {
         let mut cluster = SimCluster::new(ClusterSpec::fractus(16).build());
         // Pre-create one group per distinct target set used by the sample
         // (the paper pre-creates all 455).
@@ -416,15 +434,15 @@ pub fn fig9_cosmos(quick: bool) -> String {
             .max()
             .expect("deliveries");
         let aggregate = total_bytes * 8.0 / end.as_secs_f64() / 1e9;
-        rows.push(row![
+        row![
             alg,
             format!("{:.1}", stats::percentile(&latencies, 25.0)),
             format!("{:.1}", stats::percentile(&latencies, 50.0)),
             format!("{:.1}", stats::percentile(&latencies, 75.0)),
             format!("{:.1}", stats::percentile(&latencies, 95.0)),
             format!("{:.1}", aggregate)
-        ]);
-    }
+        ]
+    });
     out.push_str(&render(
         &row![
             "algorithm",
@@ -476,29 +494,39 @@ fn overlap_table(
     sizes: &[u64],
     msgs_per_sender: usize,
 ) -> String {
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for &n in groups {
         for &size in sizes {
-            let bw = |senders: usize| {
-                run_concurrent_overlapping(
-                    spec,
-                    n,
-                    senders,
-                    Algorithm::BinomialPipeline,
-                    size,
-                    msgs_per_sender,
-                    MB.min(size.max(1)),
-                )
-            };
-            rows.push(row![
-                n,
-                bytes_label(size),
-                format!("{:.1}", bw(n)),
-                format!("{:.1}", bw((n / 2).max(1))),
-                format!("{:.1}", bw(1))
-            ]);
+            for senders in [n, (n / 2).max(1), 1] {
+                cases.push((n, size, senders));
+            }
         }
     }
+    let bws = par_map(&cases, |&(n, size, senders)| {
+        run_concurrent_overlapping(
+            spec,
+            n,
+            senders,
+            Algorithm::BinomialPipeline,
+            size,
+            msgs_per_sender,
+            MB.min(size.max(1)),
+        )
+    });
+    let rows: Vec<Vec<String>> = cases
+        .chunks(3)
+        .zip(bws.chunks(3))
+        .map(|(case, bw)| {
+            let (n, size, _) = case[0];
+            row![
+                n,
+                bytes_label(size),
+                format!("{:.1}", bw[0]),
+                format!("{:.1}", bw[1]),
+                format!("{:.1}", bw[2])
+            ]
+        })
+        .collect();
     render(
         &row!["group", "msg size", "all send", "half send", "one send"],
         &rows,
@@ -518,41 +546,54 @@ pub fn fig11_interrupts(quick: bool) -> String {
     } else {
         &[100 * MB, MB, 10 << 10]
     };
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for &size in sizes {
         for &n in &groups {
-            let mut cells = vec![bytes_label(size), n.to_string()];
             for mode in [CompletionMode::Hybrid, CompletionMode::Interrupt] {
-                let mut spec = ClusterSpec::fractus(16);
-                spec.completion_mode = mode;
-                let mut cluster = SimCluster::new(spec.build());
-                let group = cluster.create_group(pipeline_group_spec(
-                    (0..n).collect(),
-                    MB.min(size.max(1)),
-                    Algorithm::BinomialPipeline,
-                ));
-                // A short stream so CPU loads are steady-state.
-                let count = if size >= MB { 3 } else { 20 };
-                for _ in 0..count {
-                    cluster.submit_send(group, size);
-                }
-                cluster.run();
-                let results = cluster.message_results();
-                let end = results
-                    .iter()
-                    .flat_map(|r| r.delivered_at.iter().flatten().copied())
-                    .max()
-                    .expect("deliveries");
-                let elapsed = end.as_secs_f64();
-                let bw = size as f64 * count as f64 * 8.0 / elapsed / 1e9;
-                let wall = SimDuration::from_secs_f64(elapsed);
-                let load = cluster.cpu_report(1).load(wall);
-                cells.push(format!("{bw:.1}"));
-                cells.push(format!("{:.0}%", load * 100.0));
+                cases.push((size, n, mode));
             }
-            rows.push(cells);
         }
     }
+    let measured = par_map(&cases, |&(size, n, mode)| {
+        let mut spec = ClusterSpec::fractus(16);
+        spec.completion_mode = mode;
+        let mut cluster = SimCluster::new(spec.build());
+        let group = cluster.create_group(pipeline_group_spec(
+            (0..n).collect(),
+            MB.min(size.max(1)),
+            Algorithm::BinomialPipeline,
+        ));
+        // A short stream so CPU loads are steady-state.
+        let count = if size >= MB { 3 } else { 20 };
+        for _ in 0..count {
+            cluster.submit_send(group, size);
+        }
+        cluster.run();
+        let results = cluster.message_results();
+        let end = results
+            .iter()
+            .flat_map(|r| r.delivered_at.iter().flatten().copied())
+            .max()
+            .expect("deliveries");
+        let elapsed = end.as_secs_f64();
+        let bw = size as f64 * count as f64 * 8.0 / elapsed / 1e9;
+        let wall = SimDuration::from_secs_f64(elapsed);
+        let load = cluster.cpu_report(1).load(wall);
+        (format!("{bw:.1}"), format!("{:.0}%", load * 100.0))
+    });
+    let rows: Vec<Vec<String>> = cases
+        .chunks(2)
+        .zip(measured.chunks(2))
+        .map(|(case, m)| {
+            let (size, n, _) = case[0];
+            let mut cells = vec![bytes_label(size), n.to_string()];
+            for (bw, load) in m {
+                cells.push(bw.clone());
+                cells.push(load.clone());
+            }
+            cells
+        })
+        .collect();
     format!(
         "Fig 11: hybrid vs pure-interrupt completions (binomial pipeline, Fractus-like)\n{}\n",
         render(
@@ -577,29 +618,32 @@ pub fn fig12_core_direct(quick: bool) -> String {
         vec![3, 4, 5, 6, 7, 8]
     };
     let size = 100 * MB;
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for &n in &groups {
         for mode in [CompletionMode::Polling, CompletionMode::Interrupt] {
-            let mut spec = ClusterSpec::fractus(8);
-            spec.completion_mode = mode;
-            let members: Vec<usize> = (0..n).collect();
-            let off_t = run_offloaded_chain(spec.build(), &members, size, MB);
-            let off_bw = size as f64 * 8.0 / off_t.as_secs_f64() / 1e9;
-            let sw = run_single_multicast(&spec, n, Algorithm::Chain, size, MB);
-            let label = match mode {
-                CompletionMode::Polling => "polling",
-                CompletionMode::Interrupt => "interrupt",
-                CompletionMode::Hybrid => "hybrid",
-            };
-            rows.push(row![
-                n,
-                label,
-                format!("{off_bw:.1}"),
-                format!("{:.1}", sw.bandwidth_gbps),
-                format!("{:.2}x", off_bw / sw.bandwidth_gbps)
-            ]);
+            cases.push((n, mode));
         }
     }
+    let rows = par_map(&cases, |&(n, mode)| {
+        let mut spec = ClusterSpec::fractus(8);
+        spec.completion_mode = mode;
+        let members: Vec<usize> = (0..n).collect();
+        let off_t = run_offloaded_chain(spec.build(), &members, size, MB);
+        let off_bw = size as f64 * 8.0 / off_t.as_secs_f64() / 1e9;
+        let sw = run_single_multicast(&spec, n, Algorithm::Chain, size, MB);
+        let label = match mode {
+            CompletionMode::Polling => "polling",
+            CompletionMode::Interrupt => "interrupt",
+            CompletionMode::Hybrid => "hybrid",
+        };
+        row![
+            n,
+            label,
+            format!("{off_bw:.1}"),
+            format!("{:.1}", sw.bandwidth_gbps),
+            format!("{:.2}x", off_bw / sw.bandwidth_gbps)
+        ]
+    });
     format!(
         "Fig 12: 100 MB chain send, CORE-Direct offload vs software relays\n{}\n",
         render(
@@ -634,9 +678,9 @@ pub fn robustness_analysis(quick: bool) -> String {
     out.push_str("Average steady-state slack: 2(1-(l-1)/(n-2))\n");
     out.push_str(&render(&row!["n", "predicted", "measured"], &rows));
     // Slow link: formula vs simulation.
-    let mut rows = Vec::new();
     let msg = if quick { 32 * MB } else { 128 * MB };
-    for slow_frac in [0.25f64, 0.5, 0.75] {
+    let fracs = [0.25f64, 0.5, 0.75];
+    let rows = par_map(&fracs, |&slow_frac| {
         let mk = |gbps: Vec<f64>| ClusterSpec {
             topology: TopoSpec::FlatPerNode {
                 gbps,
@@ -651,12 +695,12 @@ pub fn robustness_analysis(quick: bool) -> String {
         let slow = run_single_multicast(&mk(slowed), 8, Algorithm::BinomialPipeline, msg, MB);
         let measured = slow.bandwidth_gbps / base.bandwidth_gbps;
         let bound = analysis::slow_link_bandwidth_fraction(3, 1.0, slow_frac);
-        rows.push(row![
+        row![
             format!("{:.0}%", slow_frac * 100.0),
             format!("{bound:.3}"),
             format!("{measured:.3}")
-        ]);
-    }
+        ]
+    });
     out.push_str("\nOne slow NIC (n=8, l=3): retained bandwidth fraction\n");
     out.push_str(&render(
         &row!["slow link speed", "bound l*T'/(T+(l-1)T')", "measured"],
@@ -710,41 +754,114 @@ pub fn sst_small_messages(quick: bool) -> String {
         vec![4, 8, 16, 32]
     };
     let count = if quick { 150 } else { 300 };
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for &size in sizes {
         for &n in &groups {
-            let sst_rate = sst::small_message_rate(n, size, count, 16);
-            // RDMC: the same stream through the binomial pipeline.
-            let mut cluster = SimCluster::new(ClusterSpec::fractus(32).build());
-            let group = cluster.create_group(pipeline_group_spec(
-                (0..n).collect(),
-                MB,
-                Algorithm::BinomialPipeline,
-            ));
-            for _ in 0..count {
-                cluster.submit_send(group, size);
-            }
-            cluster.run();
-            let end = cluster
-                .message_results()
-                .iter()
-                .flat_map(|r| r.delivered_at.iter().flatten().copied())
-                .max()
-                .expect("deliveries");
-            let rdmc_rate = count as f64 / end.as_secs_f64();
-            rows.push(row![
-                bytes_label(size),
-                n,
-                format!("{sst_rate:.0}"),
-                format!("{rdmc_rate:.0}"),
-                format!("{:.2}x", sst_rate / rdmc_rate)
-            ]);
+            cases.push((size, n));
         }
     }
+    let rows = par_map(&cases, |&(size, n)| {
+        let sst_rate = sst::small_message_rate(n, size, count, 16);
+        // RDMC: the same stream through the binomial pipeline.
+        let mut cluster = SimCluster::new(ClusterSpec::fractus(32).build());
+        let group = cluster.create_group(pipeline_group_spec(
+            (0..n).collect(),
+            MB,
+            Algorithm::BinomialPipeline,
+        ));
+        for _ in 0..count {
+            cluster.submit_send(group, size);
+        }
+        cluster.run();
+        let end = cluster
+            .message_results()
+            .iter()
+            .flat_map(|r| r.delivered_at.iter().flatten().copied())
+            .max()
+            .expect("deliveries");
+        let rdmc_rate = count as f64 / end.as_secs_f64();
+        row![
+            bytes_label(size),
+            n,
+            format!("{sst_rate:.0}"),
+            format!("{rdmc_rate:.0}"),
+            format!("{:.2}x", sst_rate / rdmc_rate)
+        ]
+    });
     format!(
         "Derecho SST small-message protocol vs RDMC (messages/second)\n{}\n",
         render(
             &row!["msg", "group", "SST msg/s", "RDMC msg/s", "SST/RDMC"],
+            &rows
+        )
+    )
+}
+
+/// Simulation-kernel throughput: how fast the simulator itself runs on
+/// representative heavy configurations — events per wall-clock second,
+/// rate-reallocation work, and the share of wall time spent re-running
+/// water-filling. Not a paper figure; this meters the reproduction's own
+/// engine (process-wide counters, see [`verbs::perf`]).
+pub fn kernel_throughput(quick: bool) -> String {
+    let mut rows = Vec::new();
+    let mut scenario = |name: &str, run: &dyn Fn()| {
+        let base = verbs::perf::snapshot();
+        let t0 = std::time::Instant::now();
+        run();
+        let wall = t0.elapsed().as_secs_f64();
+        let d = verbs::perf::snapshot().delta_since(&base);
+        let per_realloc = if d.realloc_count == 0 {
+            0.0
+        } else {
+            d.flows_visited as f64 / d.realloc_count as f64
+        };
+        rows.push(row![
+            name,
+            d.events,
+            format!("{:.0}k", d.events as f64 / wall / 1e3),
+            d.realloc_count,
+            format!("{per_realloc:.1}"),
+            format!("{:.1}%", 100.0 * d.realloc_nanos as f64 / (wall * 1e9)),
+            format!("{wall:.2}s")
+        ]);
+    };
+
+    let msg = if quick { 64 * MB } else { 256 * MB };
+    let sierra128 = ClusterSpec::sierra(128);
+    scenario("multicast n=128 (Sierra)", &|| {
+        run_single_multicast(&sierra128, 128, Algorithm::BinomialPipeline, msg, 4 * MB);
+    });
+    if !quick {
+        let sierra512 = ClusterSpec::sierra(512);
+        scenario("multicast n=512 (Sierra)", &|| {
+            run_single_multicast(&sierra512, 512, Algorithm::BinomialPipeline, msg, 4 * MB);
+        });
+    }
+    let fractus = ClusterSpec::fractus(16);
+    let overlap_msg = if quick { MB } else { 4 * MB };
+    scenario("overlap 16 senders x 16 (Fractus)", &|| {
+        run_concurrent_overlapping(
+            &fractus,
+            16,
+            16,
+            Algorithm::BinomialPipeline,
+            overlap_msg,
+            2,
+            MB,
+        );
+    });
+    format!(
+        "Simulation-kernel throughput (single-threaded, per scenario)\n{}\n",
+        render(
+            &row![
+                "scenario",
+                "events",
+                "events/s",
+                "reallocs",
+                "flows/realloc",
+                "realloc time",
+                "wall"
+            ],
             &rows
         )
     )

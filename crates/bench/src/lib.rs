@@ -13,6 +13,8 @@
 #![allow(clippy::useless_vec)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod table;
 
 pub use experiments::MB;
+pub use parallel::par_map;

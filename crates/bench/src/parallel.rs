@@ -1,0 +1,105 @@
+//! A tiny deterministic worker pool for the experiment sweeps.
+//!
+//! Every figure in [`crate::experiments`] is a sweep over independent
+//! configurations (each builds its own cluster from scratch), so they can
+//! run concurrently. [`par_map`] fans the configurations out over scoped
+//! threads and places each result back at its input's index, so the output
+//! — and therefore every rendered table — is bit-identical to a serial
+//! run regardless of worker count or scheduling.
+//!
+//! Worker count defaults to the machine's available parallelism and can be
+//! pinned with `RDMC_BENCH_THREADS=<n>` (use `1` to measure the kernel
+//! without harness parallelism).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use: `RDMC_BENCH_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+pub fn worker_threads() -> usize {
+    if let Some(n) = std::env::var("RDMC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns the
+/// results in input order.
+///
+/// Work is claimed from a shared atomic cursor (so a slow configuration
+/// does not stall the others), but each result is written to its input's
+/// slot: the output order is deterministic. A panicking worker propagates
+/// the panic to the caller once the scope joins.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = worker_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(|it| f(it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let got = par_map(&items, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u64> = par_map(&[] as &[u64], |&x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Make early items the slowest so out-of-order completion is
+        // likely; ordering must hold regardless.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map(&items, |&i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(got, items);
+    }
+}

@@ -570,6 +570,17 @@ mod tests {
         let e = ScheduleError::MissingDelivery { rank: 3, block: 7 };
         assert_eq!(e.to_string(), "rank 3 never receives block 7");
     }
+
+    #[test]
+    fn planner_cache_counts_hits_and_misses() {
+        let planner = SchedulePlanner::new(Algorithm::BinomialTree);
+        assert_eq!(planner.cache_stats(), (0, 0));
+        let a = planner.plan(8, 4);
+        let b = planner.plan(8, 4);
+        let _c = planner.plan(16, 4);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached schedule");
+        assert_eq!(planner.cache_stats(), (1, 2));
+    }
 }
 
 /// A shared, caching source of schedules, so the per-message schedule
@@ -582,7 +593,12 @@ pub struct SchedulePlanner {
     /// algorithms, whose first senders are block-count invariant; custom
     /// families may need the true per-message value).
     probe_k: u32,
-    cache: std::sync::Mutex<BTreeMap<(u32, u32), Arc<GlobalSchedule>>>,
+    /// Reader/writer cache: the steady state of a long run is all hits,
+    /// which take only the shared lock, so concurrent experiment workers
+    /// planning the same group shapes never serialize on each other.
+    cache: std::sync::RwLock<BTreeMap<(u32, u32), Arc<GlobalSchedule>>>,
+    cache_hits: std::sync::atomic::AtomicU64,
+    cache_misses: std::sync::atomic::AtomicU64,
 }
 
 impl fmt::Debug for SchedulePlanner {
@@ -605,7 +621,9 @@ impl SchedulePlanner {
             algorithm,
             builder: None,
             probe_k: 2,
-            cache: std::sync::Mutex::new(BTreeMap::new()),
+            cache: std::sync::RwLock::new(BTreeMap::new()),
+            cache_hits: std::sync::atomic::AtomicU64::new(0),
+            cache_misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -625,7 +643,9 @@ impl SchedulePlanner {
             },
             builder: Some(Box::new(build)),
             probe_k: probe_k.max(1),
-            cache: std::sync::Mutex::new(BTreeMap::new()),
+            cache: std::sync::RwLock::new(BTreeMap::new()),
+            cache_hits: std::sync::atomic::AtomicU64::new(0),
+            cache_misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -635,17 +655,39 @@ impl SchedulePlanner {
     }
 
     /// The (cached) global schedule for `n` members and `k` blocks.
+    ///
+    /// Hits take only the shared read lock. On a miss the schedule is
+    /// built *outside* any lock (two racing builders may do redundant
+    /// work, but schedule construction is pure so whichever insert lands
+    /// first wins and both callers agree).
     pub fn plan(&self, n: u32, k: u32) -> Arc<GlobalSchedule> {
-        let mut cache = self.cache.lock().expect("schedule cache poisoned");
-        cache
-            .entry((n, k))
-            .or_insert_with(|| {
-                Arc::new(match &self.builder {
-                    Some(build) => build(n, k),
-                    None => GlobalSchedule::build(&self.algorithm, n, k),
-                })
-            })
-            .clone()
+        use std::sync::atomic::Ordering;
+        if let Some(hit) = self
+            .cache
+            .read()
+            .expect("schedule cache poisoned")
+            .get(&(n, k))
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(match &self.builder {
+            Some(build) => build(n, k),
+            None => GlobalSchedule::build(&self.algorithm, n, k),
+        });
+        let mut cache = self.cache.write().expect("schedule cache poisoned");
+        Arc::clone(cache.entry((n, k)).or_insert(built))
+    }
+
+    /// `(hits, misses)` of the schedule cache so far. A miss that races
+    /// another miss on the same key still counts once per caller.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Who sends `rank` its first block in an `n`-member group (see

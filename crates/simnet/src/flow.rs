@@ -1,8 +1,8 @@
 //! Flow-level network model with max-min fair bandwidth sharing.
 //!
 //! A [`Flow`] is a bulk transfer of a known size across a path of
-//! [`Link`]s. Whenever the set of active flows changes, every flow's rate
-//! is recomputed by *progressive filling*: repeatedly find the most
+//! [`Link`]s. Whenever the set of active flows changes, affected flows'
+//! rates are recomputed by *progressive filling*: repeatedly find the most
 //! contended link, freeze all its flows at that link's fair share, remove
 //! the frozen bandwidth, and continue. This is the classical max-min fair
 //! allocation, and it is exactly the behaviour the RDMC paper attributes to
@@ -14,10 +14,37 @@
 //! kilobytes to megabytes per block, so per-packet effects wash out, while
 //! who-shares-which-link entirely determines the results the paper reports.
 //!
+//! # Performance model
+//!
+//! Three structural properties keep per-event cost sublinear in the number
+//! of active flows:
+//!
+//! * **Ripple-set reallocation.** Max-min allocations decompose over
+//!   connected components of the flow/link sharing graph: a link either
+//!   carries only component flows or none, so water-filling restricted to
+//!   the component reachable from the changed flow is *exact*, not an
+//!   approximation. [`FlowNet::start_flow`] / [`FlowNet::complete_flow`] /
+//!   [`FlowNet::abort_flow`] therefore re-run progressive filling only over
+//!   that component, falling back to a full recomputation when the ripple
+//!   covers most of the active flows (the traversal would not pay for
+//!   itself).
+//! * **Completion heap.** Projected completion times live in a lazily
+//!   invalidated min-heap keyed by `(time, slot, epoch)`. A flow's
+//!   projected *absolute* completion instant is invariant while its rate is
+//!   unchanged, so only flows whose rate actually changed in the last
+//!   reallocation get a fresh entry; stale entries are skipped by a
+//!   per-slot epoch check. [`FlowNet::next_completion`] is `O(log flows)`
+//!   amortized instead of a scan of every active flow.
+//! * **Boundary byte accounting.** Per-flow progress and per-link byte
+//!   counters are materialized only at rate-change boundaries (each flow
+//!   carries a `synced_at` watermark), making [`FlowNet::advance_to`] O(1).
+//!
 //! [`FlowNet`] does not own a clock. The caller advances it explicitly and
 //! asks for the next flow completion, which makes it easy to embed in any
 //! event loop (see the `verbs` crate).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
@@ -52,7 +79,9 @@ struct Link {
     capacity_bps: f64,
     /// One-way propagation latency contributed by this hop.
     latency: SimDuration,
-    /// Total payload bytes that have traversed this link (for reporting).
+    /// Payload bytes credited to this link at materialization boundaries.
+    /// [`FlowNet::bytes_carried`] adds the still-unmaterialized progress of
+    /// live flows on top of this.
     bytes_carried: f64,
 }
 
@@ -60,14 +89,38 @@ struct Link {
 #[derive(Clone, Debug)]
 struct Flow {
     path: Vec<LinkId>,
+    /// Bytes left as of `synced_at` (not as of `FlowNet::last_update`;
+    /// progress between the two is implied by `rate_bps`).
     remaining_bytes: f64,
     /// Current max-min fair rate in bits per second.
     rate_bps: f64,
+    /// Instant `remaining_bytes` was last materialized. Always a rate
+    /// boundary: flows are materialized exactly when their rate changes.
+    synced_at: SimTime,
 }
 
 /// Remaining bytes below this threshold count as "done" (absorbs float
 /// rounding from rate changes).
 const COMPLETION_EPSILON_BYTES: f64 = 1e-6;
+
+/// Reallocation performance counters; see [`FlowNet::realloc_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReallocStats {
+    /// Reallocations performed.
+    pub count: u64,
+    /// Reallocations that fell back to recomputing every flow because the
+    /// ripple component covered most of the network.
+    pub full: u64,
+    /// Wall-clock nanoseconds spent reallocating.
+    pub nanos: u64,
+    /// Flows visited (size of each ripple component, summed).
+    pub flows_visited: u64,
+    /// Bottleneck-heap pushes performed while water-filling.
+    pub heap_pushes: u64,
+    /// Flows whose rate actually changed (each one costs a completion-heap
+    /// push; the rest keep their projected completion time).
+    pub rate_changes: u64,
+}
 
 /// A set of links plus the active flows crossing them.
 ///
@@ -92,33 +145,95 @@ pub struct FlowNet {
     generations: Vec<u32>,
     free_slots: Vec<u32>,
     active_flows: usize,
-    /// Instant the flow `remaining_bytes` values were last brought current.
+    /// Instant the network clock last advanced to.
     last_update: SimTime,
-    realloc_count: u64,
-    realloc_nanos: u64,
-    /// (sum of flows, sum of heap pushes) across reallocations.
-    pub(crate) realloc_work: (u64, u64),
-    /// Reusable per-link scratch for [`FlowNet::reallocate`] (avoids
-    /// re-allocating on every rate recomputation).
+    /// Per-link list of `(slot, generation)` of flows crossing it.
+    /// Entries of removed flows go stale rather than being unlinked
+    /// eagerly; they are compacted when a ripple traversal visits the
+    /// link, or at removal time once stale entries outnumber live ones.
+    link_flows: Vec<Vec<(u32, u32)>>,
+    /// Per-link count of live flows, maintained incrementally at flow
+    /// start/removal. Lets the full-recompute path skip adjacency
+    /// traversal entirely and bounds `link_flows` staleness.
+    link_live: Vec<u32>,
+    /// Recent recomputations rippled across (nearly) the whole network,
+    /// so the traversal is skipped in favor of a linear scan over slots
+    /// and links. Re-probed with a real traversal every 64th
+    /// reallocation, which flips the mode back off if components
+    /// shrank.
+    full_mode: bool,
+    /// Min-heap of projected completions `(time_ns, slot, epoch)` with
+    /// lazy invalidation: an entry is live iff the slot is occupied and
+    /// its epoch matches `rate_epoch[slot]`. Exactly one live entry
+    /// exists per active flow.
+    completions: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Bumped whenever a slot's rate changes or the slot is freed,
+    /// invalidating its completion-heap entries.
+    rate_epoch: Vec<u32>,
+    stats: ReallocStats,
+    /// Reusable traversal + water-filling scratch (avoids re-allocating
+    /// on every rate recomputation).
     scratch: ReallocScratch,
+    /// A reallocation is pending for the links accumulated in
+    /// `scratch.frontier`. Same-instant starts and removals coalesce into
+    /// one recomputation, flushed before anything observes a rate or the
+    /// clock moves (rates are exact piecewise between instants either
+    /// way, since no time passes while changes are pending).
+    dirty: bool,
+    /// The pending changes include an added flow. Added contention can
+    /// only lower rates, so stale completion projections may be too
+    /// early and [`FlowNet::next_due`] must flush before answering.
+    dirty_start: bool,
 }
 
 #[derive(Default)]
 struct ReallocScratch {
+    /// Per-link residual capacity while water-filling.
     residual: Vec<f64>,
+    /// Per-link unfrozen-flow count while water-filling.
     count: Vec<u32>,
-    version: Vec<u32>,
-    flows_on: Vec<Vec<FlowId>>,
-    /// Links touched by the previous reallocation (to reset sparsely).
+    /// Links in the current ripple component (to reset sparsely).
     touched: Vec<u32>,
-    /// Recycled backing storage for the bottleneck min-heap.
-    heap_buf: Vec<std::cmp::Reverse<(u64, u32, u32)>>,
+    /// Recycled storage for the sorted `(share key, link)` bottleneck
+    /// candidates.
+    sorted_buf: Vec<(u64, u32)>,
+    /// Recycled backing storage for the stale-requeue min-heap.
+    requeue_buf: Vec<Reverse<(u64, u32)>>,
+    /// Epoch-stamped visited marks for the ripple traversal.
+    link_mark: Vec<u32>,
+    flow_mark: Vec<u32>,
+    mark: u32,
+    /// BFS frontier of link indices; callers seed it with the changed
+    /// flow's path before invoking `reallocate`.
+    frontier: Vec<u32>,
+    /// Component flow slots in discovery order.
+    comp: Vec<u32>,
+    /// Epoch-stamped "frozen in the current fill" marks, indexed by slot.
+    frozen_mark: Vec<u32>,
+    /// Slots whose rate actually changed in the current fill.
+    changed: Vec<u32>,
 }
 
 impl Default for FlowNet {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Brings `slot`'s progress current to `now`, crediting the moved bytes to
+/// every link on its path. Free function over split borrows so callers can
+/// hold other `FlowNet` fields.
+fn materialize_slot(slots: &mut [Option<Flow>], links: &mut [Link], now: SimTime, slot: usize) {
+    let f = slots[slot].as_mut().expect("materializing a free slot");
+    let dt = now.since(f.synced_at).as_secs_f64();
+    if dt > 0.0 {
+        let moved = (f.rate_bps / 8.0 * dt).min(f.remaining_bytes);
+        f.remaining_bytes -= moved;
+        for l in &f.path {
+            links[l.0 as usize].bytes_carried += moved;
+        }
+    }
+    f.synced_at = now;
 }
 
 impl FlowNet {
@@ -131,10 +246,24 @@ impl FlowNet {
             free_slots: Vec::new(),
             active_flows: 0,
             last_update: SimTime::ZERO,
-            realloc_count: 0,
-            realloc_nanos: 0,
-            realloc_work: (0, 0),
+            link_flows: Vec::new(),
+            link_live: Vec::new(),
+            full_mode: false,
+            completions: BinaryHeap::new(),
+            rate_epoch: Vec::new(),
+            stats: ReallocStats::default(),
             scratch: ReallocScratch::default(),
+            dirty: false,
+            dirty_start: false,
+        }
+    }
+
+    /// Runs the deferred reallocation, if one is pending.
+    fn flush(&mut self) {
+        if self.dirty {
+            self.dirty = false;
+            self.dirty_start = false;
+            self.reallocate();
         }
     }
 
@@ -155,6 +284,8 @@ impl FlowNet {
             latency,
             bytes_carried: 0.0,
         });
+        self.link_flows.push(Vec::new());
+        self.link_live.push(0);
         id
     }
 
@@ -177,15 +308,6 @@ impl FlowNet {
         }
     }
 
-    /// Iterates `(id, flow)` over active flows in slot order
-    /// (deterministic for a given event history).
-    fn iter_flows(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
-        self.slots.iter().enumerate().filter_map(|(i, f)| {
-            f.as_ref()
-                .map(|f| (FlowId::new(i as u32, self.generations[i]), f))
-        })
-    }
-
     /// Sum of one-way propagation latencies along `path`.
     ///
     /// # Panics
@@ -197,13 +319,26 @@ impl FlowNet {
         })
     }
 
-    /// Total payload bytes carried by `link` so far.
+    /// Total payload bytes carried by `link` up to the current instant,
+    /// including the not-yet-materialized progress of live flows.
     pub fn bytes_carried(&self, link: LinkId) -> f64 {
-        self.links[link.0 as usize].bytes_carried
+        let i = link.0 as usize;
+        let mut total = self.links[i].bytes_carried;
+        for &(slot, generation) in &self.link_flows[i] {
+            let s = slot as usize;
+            if self.generations[s] != generation {
+                continue; // stale entry of a removed flow
+            }
+            if let Some(f) = &self.slots[s] {
+                let dt = self.last_update.since(f.synced_at).as_secs_f64();
+                total += (f.rate_bps / 8.0 * dt).min(f.remaining_bytes);
+            }
+        }
+        total
     }
 
     /// Starts a flow of `bytes` across `path` at time `now` and returns its
-    /// id. All rates are recomputed.
+    /// id. Rates are recomputed for the flow's ripple component.
     ///
     /// # Panics
     ///
@@ -220,6 +355,7 @@ impl FlowNet {
             path,
             remaining_bytes: bytes.max(COMPLETION_EPSILON_BYTES / 2.0),
             rate_bps: 0.0,
+            synced_at: now,
         };
         let slot = match self.free_slots.pop() {
             Some(s) => {
@@ -229,45 +365,90 @@ impl FlowNet {
             None => {
                 self.slots.push(Some(flow));
                 self.generations.push(0);
+                self.rate_epoch.push(0);
                 (self.slots.len() - 1) as u32
             }
         };
         self.active_flows += 1;
-        let id = FlowId::new(slot, self.generations[slot as usize]);
-        self.reallocate();
+        let generation = self.generations[slot as usize];
+        let id = FlowId::new(slot, generation);
+        let mut frontier = std::mem::take(&mut self.scratch.frontier);
+        for l in &self.slots[slot as usize].as_ref().expect("just inserted").path {
+            self.link_flows[l.0 as usize].push((slot, generation));
+            self.link_live[l.0 as usize] += 1;
+            frontier.push(l.0);
+        }
+        self.scratch.frontier = frontier;
+        // Defer the recomputation: the new flow carries nothing until the
+        // flush, which happens before any rate is observed or time moves.
+        self.dirty = true;
+        self.dirty_start = true;
         id
     }
 
     /// Current max-min rate of `flow` in bits per second, or `None` if the
-    /// flow is finished/unknown.
-    pub fn flow_rate_bps(&self, flow: FlowId) -> Option<f64> {
+    /// flow is finished/unknown. Flushes any deferred reallocation first.
+    pub fn flow_rate_bps(&mut self, flow: FlowId) -> Option<f64> {
+        self.flush();
         self.get(flow).map(|f| f.rate_bps)
     }
 
     /// The earliest `(time, flow)` completion under current rates, if any
     /// flows are active.
     ///
-    /// The returned time is rounded up to a whole nanosecond strictly after
-    /// `last_update` when any bytes remain, guaranteeing forward progress.
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        let mut best: Option<(SimTime, FlowId)> = None;
-        for (id, f) in self.iter_flows() {
-            debug_assert!(f.rate_bps > 0.0, "active flow with zero rate");
-            let secs = (f.remaining_bytes * 8.0) / f.rate_bps;
-            let mut at = self.last_update + SimDuration::from_secs_f64(secs);
-            if f.remaining_bytes > COMPLETION_EPSILON_BYTES && at == self.last_update {
+    /// Peeks the projected-completion heap, discarding entries invalidated
+    /// by rate changes or flow removal. The returned time is rounded up to
+    /// a whole nanosecond strictly after the current instant when any
+    /// bytes remain, guaranteeing forward progress.
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        self.flush();
+        self.peek_completion()
+    }
+
+    /// The earliest completion due at or before `now`, or `None` if no
+    /// flow is due yet.
+    ///
+    /// Unlike [`FlowNet::next_completion`] this tolerates a deferred
+    /// reallocation made up purely of removals: removals only *raise* the
+    /// surviving rates, so the stale projections are upper bounds and an
+    /// entry already due under them is certainly due under the exact
+    /// rates. (Flows that only *became* due surface once the caller
+    /// flushes, e.g. via `next_completion` — at the same instant, so
+    /// nothing completes late.) Pending added flows force the flush,
+    /// since extra contention could make a stale projection too early.
+    pub fn next_due(&mut self, now: SimTime) -> Option<(SimTime, FlowId)> {
+        if self.dirty_start {
+            self.flush();
+        }
+        let (t, id) = self.peek_completion()?;
+        (t <= now).then_some((t, id))
+    }
+
+    fn peek_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        loop {
+            let &Reverse((time_ns, slot, epoch)) = self.completions.peek()?;
+            let s = slot as usize;
+            let Some(f) = self.slots[s].as_ref() else {
+                self.completions.pop();
+                continue;
+            };
+            if self.rate_epoch[s] != epoch {
+                self.completions.pop();
+                continue;
+            }
+            let id = FlowId::new(slot, self.generations[s]);
+            let mut at = SimTime::from_nanos(time_ns).max(self.last_update);
+            let elapsed = self.last_update.since(f.synced_at).as_secs_f64();
+            let remaining_now = f.remaining_bytes - f.rate_bps / 8.0 * elapsed;
+            if remaining_now > COMPLETION_EPSILON_BYTES && at == self.last_update {
                 at += SimDuration::from_nanos(1);
             }
-            match best {
-                Some((t, _)) if t <= at => {}
-                _ => best = Some((at, id)),
-            }
+            return Some((at, id));
         }
-        best
     }
 
     /// Marks `flow` complete at time `now`, removes it, and recomputes the
-    /// remaining flows' rates. Returns the flow's path (useful for
+    /// rates of its ripple component. Returns the flow's path (useful for
     /// latency lookups by the caller).
     ///
     /// # Panics
@@ -277,6 +458,8 @@ impl FlowNet {
     /// it too early — a scheduling bug).
     pub fn complete_flow(&mut self, now: SimTime, flow: FlowId) -> Vec<LinkId> {
         self.advance_to(now);
+        assert!(self.get(flow).is_some(), "completing unknown flow");
+        materialize_slot(&mut self.slots, &mut self.links, now, flow.slot());
         let f = self.remove(flow).expect("completing unknown flow");
         // Tolerance scales with rate: one microsecond of transfer at the
         // flow's final rate absorbs the rounding of the ns-quantized clock.
@@ -286,7 +469,7 @@ impl FlowNet {
             "flow {flow:?} completed early: {} bytes remaining (tolerance {tolerance})",
             f.remaining_bytes
         );
-        self.reallocate();
+        self.reallocate_after_removal(&f.path);
         f.path
     }
 
@@ -296,9 +479,17 @@ impl FlowNet {
     /// callers don't need to track completion races.
     pub fn abort_flow(&mut self, now: SimTime, flow: FlowId) {
         self.advance_to(now);
-        if self.remove(flow).is_some() {
-            self.reallocate();
+        if self.get(flow).is_none() {
+            return;
         }
+        materialize_slot(&mut self.slots, &mut self.links, now, flow.slot());
+        let f = self.remove(flow).expect("checked above");
+        self.reallocate_after_removal(&f.path);
+    }
+
+    fn reallocate_after_removal(&mut self, path: &[LinkId]) {
+        self.scratch.frontier.extend(path.iter().map(|l| l.0));
+        self.dirty = true;
     }
 
     fn remove(&mut self, id: FlowId) -> Option<Flow> {
@@ -308,165 +499,441 @@ impl FlowNet {
         }
         let f = self.slots[slot].take()?;
         self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.rate_epoch[slot] = self.rate_epoch[slot].wrapping_add(1);
         self.free_slots.push(slot as u32);
         self.active_flows -= 1;
+        // The adjacency entries go stale in place; compact a list once its
+        // stale entries outnumber the live ones (amortized O(1) per
+        // removal), so full-mode reallocations — which skip the compacting
+        // traversal — still iterate mostly-live lists.
+        for l in &f.path {
+            let li = l.0 as usize;
+            self.link_live[li] -= 1;
+            if self.link_flows[li].len() > 2 * self.link_live[li] as usize + 8 {
+                let generations = &self.generations;
+                self.link_flows[li].retain(|&(s, g)| generations[s as usize] == g);
+            }
+        }
         Some(f)
     }
 
-    /// Advances all flow progress to `now` (monotone; `now` may equal the
-    /// previous update instant).
+    /// Advances the network clock to `now` (monotone; `now` may equal the
+    /// previous update instant). O(1) when nothing is pending: flow
+    /// progress and link byte totals are implied by rates and
+    /// materialized lazily at rate boundaries. A deferred reallocation is
+    /// flushed at the *old* instant first, so the exact rates govern the
+    /// whole interval being skipped over.
     pub fn advance_to(&mut self, now: SimTime) {
         assert!(
             now >= self.last_update,
             "FlowNet time moved backwards: {now:?} < {:?}",
             self.last_update
         );
-        let dt = now.since(self.last_update).as_secs_f64();
-        if dt > 0.0 {
-            for f in self.slots.iter_mut().flatten() {
-                let moved = (f.rate_bps / 8.0 * dt).min(f.remaining_bytes);
-                f.remaining_bytes -= moved;
-                for l in &f.path {
-                    self.links[l.0 as usize].bytes_carried += moved;
-                }
-            }
+        if now > self.last_update {
+            self.flush();
+            self.last_update = now;
         }
-        self.last_update = now;
     }
 
     /// Number of reallocations performed (performance counter).
     pub fn realloc_count(&self) -> u64 {
-        self.realloc_count
+        self.stats.count
     }
 
     /// Wall-clock nanoseconds spent reallocating (performance counter).
     pub fn realloc_nanos(&self) -> u64 {
-        self.realloc_nanos
+        self.stats.nanos
     }
 
     /// (total flows visited, total heap pushes) across reallocations.
     pub fn realloc_work(&self) -> (u64, u64) {
-        self.realloc_work
+        (self.stats.flows_visited, self.stats.heap_pushes)
     }
 
-    /// Recomputes all flow rates by progressive filling (max-min
-    /// fairness), implemented as heap-based water-filling.
-    ///
-    /// A min-heap tracks each active link's fair share with lazy
-    /// invalidation: freezing the bottleneck's flows only *raises* the
-    /// shares of the links they crossed (the removed flows took no more
-    /// than the bottleneck share), so stale heap entries are always
-    /// lower bounds and can be skipped by version check. Total work is
-    /// `O(total path length * log links)` instead of `O(rounds * links)`.
-    fn reallocate(&mut self) {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
+    /// All reallocation performance counters.
+    pub fn realloc_stats(&self) -> ReallocStats {
+        self.stats
+    }
 
-        let t0 = std::time::Instant::now();
-        self.realloc_count += 1;
-        self.realloc_work.0 += self.active_flows as u64;
-        if self.active_flows == 0 {
-            return;
-        }
-        // Dense per-link scratch state: residual capacity, unfrozen-flow
-        // count, version for lazy heap invalidation, and the unfrozen
-        // flows on each link. Buffers are reused across reallocations and
-        // reset sparsely via the previous run's touched-link list.
-        let num_links = self.links.len();
-        let mut scratch_owned = std::mem::take(&mut self.scratch);
-        let scratch = &mut scratch_owned;
-        if scratch.count.len() < num_links {
-            scratch.residual.resize(num_links, 0.0);
-            scratch.count.resize(num_links, 0);
-            scratch.version.resize(num_links, 0);
-            scratch.flows_on.resize_with(num_links, Vec::new);
-        }
-        for &i in &scratch.touched {
-            let i = i as usize;
-            scratch.count[i] = 0;
-            scratch.version[i] = 0;
-            scratch.flows_on[i].clear();
-        }
-        scratch.touched.clear();
-        let residual = &mut scratch.residual;
-        let count = &mut scratch.count;
-        let version = &mut scratch.version;
-        let flows_on = &mut scratch.flows_on;
-        for (slot, f) in self.slots.iter().enumerate() {
-            let Some(f) = f else { continue };
-            let id = FlowId::new(slot as u32, self.generations[slot]);
-            for &l in &f.path {
-                let i = l.0 as usize;
-                if count[i] == 0 {
-                    residual[i] = self.links[i].capacity_bps;
-                    scratch.touched.push(l.0);
+    /// Reference max-min allocation, recomputed from scratch by textbook
+    /// progressive filling over the whole network, in flow-slot order.
+    ///
+    /// This is the oracle the incremental allocator is differentially
+    /// tested against; it shares no state or code with
+    /// [`FlowNet::start_flow`]'s ripple reallocation. O(rounds × links ×
+    /// flows) and allocating — test/diagnostic use only.
+    pub fn max_min_reference(&self) -> Vec<(FlowId, f64)> {
+        let n_links = self.links.len();
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity_bps).collect();
+        let mut frozen: Vec<bool> = vec![false; self.slots.len()];
+        let mut rates: Vec<f64> = vec![0.0; self.slots.len()];
+        let mut unfrozen = self.active_flows;
+        while unfrozen > 0 {
+            // Fair share of each link over its unfrozen flows.
+            let mut counts = vec![0u32; n_links];
+            for (s, f) in self.slots.iter().enumerate() {
+                let Some(f) = f else { continue };
+                if frozen[s] {
+                    continue;
                 }
-                count[i] += 1;
-                flows_on[i].push(id);
-            }
-        }
-        // Flows are marked unfrozen by a negative rate; no side set needed.
-        for f in self.slots.iter_mut().flatten() {
-            f.rate_bps = -1.0;
-        }
-        // f64 shares ordered through their bit pattern (finite,
-        // non-negative values compare correctly as u64s).
-        let share_key = |s: f64| -> u64 { s.to_bits() };
-        let mut heap_buf = std::mem::take(&mut scratch.heap_buf);
-        heap_buf.clear();
-        for i in 0..num_links {
-            if count[i] > 0 {
-                heap_buf.push(Reverse((
-                    share_key(residual[i] / count[i] as f64),
-                    i as u32,
-                    version[i],
-                )));
-            }
-        }
-        let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::from(heap_buf);
-        let mut work_pushes: u64 = 0;
-        let mut remaining = self.active_flows;
-        while remaining > 0 {
-            let Reverse((_, link, ver)) = heap.pop().expect("unfrozen flows but empty heap");
-            let i = link as usize;
-            if version[i] != ver || count[i] == 0 {
-                continue; // stale entry
-            }
-            let share = residual[i] / count[i] as f64;
-            // Freeze every unfrozen flow crossing the bottleneck. The
-            // link's list is drained in place (it is reset next run).
-            let mut on_link = std::mem::take(&mut flows_on[i]);
-            for &id in &on_link {
-                let f = self.slots[id.slot()].as_mut().expect("flow disappeared");
-                if f.rate_bps >= 0.0 {
-                    continue; // frozen via another link
+                for l in &f.path {
+                    counts[l.0 as usize] += 1;
                 }
-                f.rate_bps = share;
-                remaining -= 1;
-                for &l in &f.path {
+            }
+            let bottleneck = (0..n_links)
+                .filter(|&i| counts[i] > 0)
+                .min_by(|&a, &b| {
+                    let sa = residual[a] / counts[a] as f64;
+                    let sb = residual[b] / counts[b] as f64;
+                    sa.partial_cmp(&sb).expect("finite shares").then(a.cmp(&b))
+                })
+                .expect("unfrozen flows but no loaded link");
+            let share = residual[bottleneck] / counts[bottleneck] as f64;
+            for (s, f) in self.slots.iter().enumerate() {
+                let Some(f) = f else { continue };
+                if frozen[s] || !f.path.iter().any(|l| l.0 as usize == bottleneck) {
+                    continue;
+                }
+                frozen[s] = true;
+                rates[s] = share;
+                unfrozen -= 1;
+                for l in &f.path {
                     let j = l.0 as usize;
                     residual[j] = (residual[j] - share).max(0.0);
-                    count[j] -= 1;
-                    version[j] += 1;
-                    if count[j] > 0 && j != i {
-                        work_pushes += 1;
-                        heap.push(Reverse((
-                            share_key(residual[j] / count[j] as f64),
-                            j as u32,
-                            version[j],
-                        )));
+                }
+            }
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, f)| {
+                f.as_ref()
+                    .map(|_| (FlowId::new(s as u32, self.generations[s]), rates[s]))
+            })
+            .collect()
+    }
+
+    /// Ripple traversal: visit every link reachable from the seed
+    /// frontier through shared flows, compacting each link's flow list
+    /// and building the water-filling state (residual capacity, unfrozen
+    /// count) as a side effect. After compaction the visited per-link
+    /// adjacency lists hold exactly the live flows.
+    ///
+    /// If the resulting component covers most active flows the traversal
+    /// degenerates to a full recomputation (counted in
+    /// [`ReallocStats::full`]).
+    fn ripple_traversal(&mut self, scratch: &mut ReallocScratch, mark: u32) {
+        let mut qi = 0;
+        while qi < scratch.frontier.len() {
+            let li = scratch.frontier[qi] as usize;
+            qi += 1;
+            if scratch.link_mark[li] == mark {
+                continue;
+            }
+            scratch.link_mark[li] = mark;
+            scratch.touched.push(li as u32);
+            scratch.residual[li] = self.links[li].capacity_bps;
+            scratch.count[li] = 0;
+            // Compact the adjacency list in place while enumerating it.
+            let mut list = std::mem::take(&mut self.link_flows[li]);
+            list.retain(|&(slot, generation)| {
+                let s = slot as usize;
+                // A matching generation implies the slot is occupied by
+                // this very flow: removal always bumps the generation.
+                if self.generations[s] != generation {
+                    return false; // stale: flow since removed
+                }
+                debug_assert!(self.slots[s].is_some(), "live generation, empty slot");
+                scratch.count[li] += 1;
+                if scratch.flow_mark[s] != mark {
+                    scratch.flow_mark[s] = mark;
+                    scratch.comp.push(slot);
+                    for l in &self.slots[s].as_ref().expect("live flow").path {
+                        if scratch.link_mark[l.0 as usize] != mark {
+                            scratch.frontier.push(l.0);
+                        }
+                    }
+                }
+                true
+            });
+            self.link_flows[li] = list;
+        }
+
+        // Fallback: a ripple covering most of the network does the same
+        // work as a full recomputation plus traversal overhead, so extend
+        // it to everything (and count it, for the perf report).
+        if scratch.comp.len() * 4 > self.active_flows * 3 && scratch.comp.len() < self.active_flows
+        {
+            self.stats.full += 1;
+            for (s, f) in self.slots.iter().enumerate() {
+                let Some(f) = f else { continue };
+                if scratch.flow_mark[s] == mark {
+                    continue;
+                }
+                scratch.flow_mark[s] = mark;
+                scratch.comp.push(s as u32);
+                for l in &f.path {
+                    if scratch.link_mark[l.0 as usize] != mark {
+                        scratch.frontier.push(l.0);
                     }
                 }
             }
-            // Hand the (now consumed) buffer back so its capacity is
-            // reused next time.
-            on_link.clear();
-            flows_on[i] = on_link;
+            // Drain the extended frontier with the same loop body.
+            while qi < scratch.frontier.len() {
+                let li = scratch.frontier[qi] as usize;
+                qi += 1;
+                if scratch.link_mark[li] == mark {
+                    continue;
+                }
+                scratch.link_mark[li] = mark;
+                scratch.touched.push(li as u32);
+                scratch.residual[li] = self.links[li].capacity_bps;
+                scratch.count[li] = 0;
+                let mut list = std::mem::take(&mut self.link_flows[li]);
+                list.retain(|&(slot, generation)| {
+                    let s = slot as usize;
+                    if self.generations[s] != generation {
+                        return false;
+                    }
+                    scratch.count[li] += 1;
+                    debug_assert_eq!(
+                        scratch.flow_mark[s], mark,
+                        "full fallback visited a link with an unmarked flow"
+                    );
+                    true
+                });
+                self.link_flows[li] = list;
+            }
         }
-        scratch_owned.heap_buf = heap.into_vec();
-        self.scratch = scratch_owned;
-        self.realloc_work.1 += work_pushes;
-        self.realloc_nanos += t0.elapsed().as_nanos() as u64;
+        scratch.frontier.clear();
+    }
+
+    /// Recomputes rates by progressive filling (max-min fairness) over the
+    /// ripple component seeded from `scratch.frontier`, implemented as
+    /// heap-based water-filling.
+    ///
+    /// The traversal walks the flow/link sharing graph from the seed links
+    /// and collects the connected component; restricting water-filling to
+    /// it is exact because no bandwidth crosses component boundaries. If
+    /// the component covers most active flows the traversal degenerates to
+    /// a full recomputation (counted in [`ReallocStats::full`]), and once
+    /// that becomes the norm the allocator flips into full mode: the
+    /// traversal is skipped outright in favor of linear scans over the
+    /// slot table and the incrementally-maintained per-link live counts.
+    /// A full recomputation is always exact, so the mode switch is purely
+    /// a performance decision and cannot change the allocation.
+    ///
+    /// Within the fill, bottleneck candidates are consumed in ascending
+    /// `(fair share, link)` order from a pre-sorted array, with lazy
+    /// invalidation: freezing the bottleneck's flows only *raises* the
+    /// shares of the links they crossed, so a stale (too-low) entry is
+    /// detected on consumption and requeued at its current share via a
+    /// small overflow heap. Total work is `O(component path length +
+    /// links log links)` per recomputation.
+    ///
+    /// Flows whose rate actually changed get a fresh projected-completion
+    /// entry; unchanged flows keep theirs (their absolute completion
+    /// instant is rate- and progress-invariant between rate boundaries).
+    fn reallocate(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.stats.count += 1;
+        let num_links = self.links.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.count.len() < num_links {
+            scratch.residual.resize(num_links, 0.0);
+            scratch.count.resize(num_links, 0);
+            scratch.link_mark.resize(num_links, 0);
+        }
+        if scratch.flow_mark.len() < self.slots.len() {
+            scratch.flow_mark.resize(self.slots.len(), 0);
+            scratch.frozen_mark.resize(self.slots.len(), 0);
+        }
+        if scratch.mark == u32::MAX {
+            scratch.link_mark.fill(0);
+            scratch.flow_mark.fill(0);
+            scratch.frozen_mark.fill(0);
+            scratch.mark = 0;
+        }
+        scratch.mark += 1;
+        let mark = scratch.mark;
+        scratch.comp.clear();
+        scratch.changed.clear();
+        scratch.touched.clear();
+
+        // Phase 1: build the component and the water-filling state
+        // (residual capacity, unfrozen count per link).
+        //
+        // In full mode the recent ripples covered (nearly) every flow, so
+        // the traversal would just rediscover the whole network; instead
+        // the component is a linear scan of the slot table, and the link
+        // state comes straight from the incrementally-maintained per-link
+        // live counts — no adjacency iteration at all. A real traversal
+        // still runs every 64th reallocation to detect when components
+        // shrink back below the threshold.
+        let probe = self.stats.count % 64 == 0;
+        if self.full_mode && !probe {
+            self.stats.full += 1;
+            scratch.frontier.clear();
+            for (s, f) in self.slots.iter().enumerate() {
+                if f.is_some() {
+                    scratch.comp.push(s as u32);
+                }
+            }
+            for li in 0..num_links {
+                if self.link_live[li] > 0 {
+                    scratch.link_mark[li] = mark;
+                    scratch.touched.push(li as u32);
+                    scratch.residual[li] = self.links[li].capacity_bps;
+                    scratch.count[li] = self.link_live[li];
+                }
+            }
+        } else {
+            self.ripple_traversal(&mut scratch, mark);
+            // Stay in (or enter) full mode while ripples keep covering
+            // most of the network. The absolute floor keeps tiny
+            // components — which trivially cover "most" of a near-idle
+            // network — from latching the mode on ahead of a ramp-up of
+            // many independent small components.
+            self.full_mode =
+                scratch.comp.len() >= 128 && scratch.comp.len() * 4 > self.active_flows * 3;
+        }
+        self.stats.flows_visited += scratch.comp.len() as u64;
+
+        // Phase 2: heap-based water-filling over the component. f64 shares
+        // are ordered through their bit pattern (finite, non-negative
+        // values compare correctly as u64s). Freezing a bottleneck's flows
+        // only *raises* the shares of the other links they crossed, so
+        // every queued key is a lower bound on its link's current share:
+        // instead of eagerly re-pushing each affected link per freeze
+        // (O(flows x path) heap traffic), a popped entry is checked
+        // against the authoritative share and lazily re-queued once if it
+        // went stale.
+        let share_key = |s: f64| -> u64 { s.to_bits() };
+        let mut sorted = std::mem::take(&mut scratch.sorted_buf);
+        sorted.clear();
+        for &li in &scratch.touched {
+            let i = li as usize;
+            if scratch.count[i] > 0 {
+                sorted.push((share_key(scratch.residual[i] / scratch.count[i] as f64), li));
+            }
+        }
+        // One sort beats heapifying + popping: the initial candidates are
+        // consumed in `(key, link)` order with O(1) advances, and only the
+        // few entries that go stale pay for real heap operations. The
+        // merged consumption order is identical to a single min-heap's, so
+        // the freeze order (and tie-breaking) is unchanged.
+        sorted.sort_unstable();
+        let mut requeue_buf = std::mem::take(&mut scratch.requeue_buf);
+        requeue_buf.clear();
+        let mut requeue: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::from(requeue_buf);
+        let mut idx = 0;
+        let mut work_pushes: u64 = 0;
+        let mut remaining = scratch.comp.len();
+        while remaining > 0 {
+            let (key, link) = match (sorted.get(idx), requeue.peek()) {
+                (Some(&s), Some(&Reverse(r))) if s <= r => {
+                    idx += 1;
+                    s
+                }
+                (_, Some(&Reverse(r))) => {
+                    requeue.pop();
+                    r
+                }
+                (Some(&s), None) => {
+                    idx += 1;
+                    s
+                }
+                (None, None) => unreachable!("unfrozen flows but no bottleneck candidates"),
+            };
+            let i = link as usize;
+            if scratch.count[i] == 0 {
+                continue; // every flow on it froze via other bottlenecks
+            }
+            let share = scratch.residual[i] / scratch.count[i] as f64;
+            let current = share_key(share);
+            if current > key {
+                // The share rose after this entry was queued; re-queue at
+                // the current value and keep looking for the true minimum.
+                work_pushes += 1;
+                requeue.push(Reverse((current, link)));
+                continue;
+            }
+            // Freeze every unfrozen flow crossing the bottleneck,
+            // straight off the adjacency list (the generation check skips
+            // entries of removed flows, which full mode leaves in place).
+            // Flows keep their prior rate until actually frozen, so a flow
+            // whose allocation is unchanged is never written at all: no
+            // materialization, no new completion projection.
+            let on_link = std::mem::take(&mut self.link_flows[i]);
+            for &(slot, generation) in &on_link {
+                let s = slot as usize;
+                if self.generations[s] != generation || scratch.frozen_mark[s] == mark {
+                    continue; // stale entry, or frozen via another link
+                }
+                scratch.frozen_mark[s] = mark;
+                remaining -= 1;
+                let f = self.slots[s].as_ref().expect("flow disappeared");
+                if f.rate_bps.to_bits() != share.to_bits() {
+                    // The rate switches at this boundary: bank the bytes
+                    // moved at the old rate before overwriting it.
+                    materialize_slot(&mut self.slots, &mut self.links, self.last_update, s);
+                    self.slots[s].as_mut().expect("flow disappeared").rate_bps = share;
+                    scratch.changed.push(slot);
+                }
+                let f = self.slots[s].as_ref().expect("flow disappeared");
+                for &l in &f.path {
+                    let j = l.0 as usize;
+                    debug_assert_eq!(
+                        scratch.link_mark[j], mark,
+                        "component flow crosses an unvisited link"
+                    );
+                    scratch.residual[j] = (scratch.residual[j] - share).max(0.0);
+                    scratch.count[j] -= 1;
+                }
+            }
+            self.link_flows[i] = on_link;
+        }
+        scratch.sorted_buf = sorted;
+        scratch.requeue_buf = requeue.into_vec();
+        self.stats.heap_pushes += work_pushes;
+
+        // Phase 3: re-project completions for the flows whose rate
+        // changed (materialized at the boundary during the fill, so the
+        // projection runs from exact remaining bytes). Unchanged flows
+        // keep their heap entry: with the same rate and linearly
+        // decreasing remaining bytes, the projected absolute completion
+        // instant is identical.
+        for &slot in &scratch.changed {
+            let s = slot as usize;
+            let f = self.slots[s].as_ref().expect("live flow");
+            self.stats.rate_changes += 1;
+            self.rate_epoch[s] = self.rate_epoch[s].wrapping_add(1);
+            let secs = (f.remaining_bytes * 8.0) / f.rate_bps;
+            let mut at = self.last_update + SimDuration::from_secs_f64(secs);
+            if f.remaining_bytes > COMPLETION_EPSILON_BYTES && at == self.last_update {
+                at += SimDuration::from_nanos(1);
+            }
+            self.completions
+                .push(Reverse((at.as_nanos(), slot, self.rate_epoch[s])));
+        }
+
+        // Compact the projection heap once stale entries dominate. Rate
+        // churn leaves one dead entry per re-projection, and popping them
+        // lazily from a heap much larger than the live flow set costs a
+        // cache miss per sift-down level; filtering keeps the heap
+        // O(active flows) for amortized O(1) per push (a rebuild costs
+        // one pass over entries that each paid for themselves on insert).
+        if self.completions.len() > 4 * self.active_flows + 64 {
+            let mut entries = std::mem::take(&mut self.completions).into_vec();
+            entries.retain(|&Reverse((_, slot, epoch))| {
+                let s = slot as usize;
+                self.rate_epoch[s] == epoch && self.slots[s].is_some()
+            });
+            self.completions = BinaryHeap::from(entries);
+        }
+
+        self.scratch = scratch;
+        self.stats.nanos += t0.elapsed().as_nanos() as u64;
     }
 }
 
@@ -556,6 +1023,15 @@ mod tests {
     }
 
     #[test]
+    fn bytes_carried_includes_unmaterialized_progress() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 8.0); // 1 GB/s
+        let _f = net.start_flow(SimTime::ZERO, vec![l], 10_000_000.0);
+        net.advance_to(SimTime::from_nanos(2_000_000)); // 2 ms -> 2 MB moved
+        assert!((net.bytes_carried(l) - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
     fn path_latency_sums_hops() {
         let mut net = FlowNet::new();
         let a = net.add_link(10.0, SimDuration::from_micros(2));
@@ -602,5 +1078,79 @@ mod tests {
         let (t, id) = net.next_completion().unwrap();
         assert_eq!(id, a);
         assert_eq!(t.as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    fn ripple_reallocation_leaves_disjoint_flows_untouched() {
+        // Two flows on link X, one on disjoint link Y. Churn on X must not
+        // change Y's flow rate (nor its rate epoch, i.e. no heap churn).
+        let mut net = FlowNet::new();
+        let x = gb(&mut net, 10.0);
+        let y = gb(&mut net, 10.0);
+        let fy = net.start_flow(SimTime::ZERO, vec![y], 1e8);
+        let changes_after_y = net.realloc_stats().rate_changes;
+        let fx1 = net.start_flow(SimTime::ZERO, vec![x], 1e6);
+        let _fx2 = net.start_flow(SimTime::ZERO, vec![x], 1e6);
+        assert_eq!(net.flow_rate_bps(fy), Some(10e9));
+        assert_eq!(net.flow_rate_bps(fx1), Some(5e9));
+        net.abort_flow(SimTime::from_nanos(100), fx1);
+        assert_eq!(net.flow_rate_bps(fy), Some(10e9));
+        // Only X-side flows changed rate across the churn: fx1 alone at
+        // 10e9, then fx1+fx2 at 5e9 each, then fx2 back to 10e9 on the
+        // abort. fy never re-rates.
+        assert_eq!(net.realloc_stats().rate_changes - changes_after_y, 4);
+    }
+
+    #[test]
+    fn incremental_rates_match_reference_after_churn() {
+        // Overlapping paths through a shared middle link, with staggered
+        // arrivals and one abort: incremental rates must equal a fresh
+        // full progressive filling at every step.
+        let mut net = FlowNet::new();
+        let l0 = gb(&mut net, 4.0);
+        let mid = gb(&mut net, 10.0);
+        let l2 = gb(&mut net, 6.0);
+        let l3 = gb(&mut net, 3.0);
+        let mut flows = vec![
+            net.start_flow(SimTime::ZERO, vec![l0, mid], 1e9),
+            net.start_flow(SimTime::ZERO, vec![mid, l2], 1e9),
+            net.start_flow(SimTime::ZERO, vec![l3], 1e9),
+        ];
+        flows.push(net.start_flow(SimTime::from_nanos(50), vec![mid], 1e9));
+        net.abort_flow(SimTime::from_nanos(90), flows[1]);
+        flows.push(net.start_flow(SimTime::from_nanos(120), vec![l2, mid, l0], 1e9));
+        for (id, want) in net.max_min_reference() {
+            let got = net.flow_rate_bps(id).expect("oracle lists live flows");
+            assert!(
+                (got - want).abs() <= want * 1e-9,
+                "flow {id:?}: incremental {got} vs reference {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn completion_heap_survives_slot_reuse() {
+        // Abort a flow, reuse its slot for a different-size flow, and make
+        // sure the stale projection never surfaces.
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let a = net.start_flow(SimTime::ZERO, vec![l], 1_250_000.0); // would finish at 1 ms
+        net.abort_flow(SimTime::from_nanos(10), a);
+        let b = net.start_flow(SimTime::from_nanos(10), vec![l], 12_500_000.0);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, b);
+        assert_eq!(t.as_nanos(), 10_000_010);
+        assert_eq!(net.flow_rate_bps(a), None);
+    }
+
+    #[test]
+    fn next_completion_is_idempotent() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let _a = net.start_flow(SimTime::ZERO, vec![l], 1e6);
+        let _b = net.start_flow(SimTime::ZERO, vec![l], 2e6);
+        let first = net.next_completion();
+        assert_eq!(first, net.next_completion());
+        assert_eq!(first, net.next_completion());
     }
 }

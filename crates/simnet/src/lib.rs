@@ -37,7 +37,7 @@ mod time;
 mod topology;
 
 pub use event::{EventQueue, EventToken};
-pub use flow::{FlowId, FlowNet, LinkId};
+pub use flow::{FlowId, FlowNet, LinkId, ReallocStats};
 pub use host::{CpuMeter, HostProfile, JitterModel};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

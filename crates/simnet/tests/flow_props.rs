@@ -80,7 +80,11 @@ proptest! {
             .iter()
             .map(|&(a, b, bytes)| net.start_flow(SimTime::ZERO, topo.path(a, b), bytes as f64))
             .collect();
-        let rate = |i: usize| net.flow_rate_bps(ids[i]).expect("rate");
+        let rates: Vec<f64> = ids
+            .iter()
+            .map(|&id| net.flow_rate_bps(id).expect("rate"))
+            .collect();
+        let rate = |i: usize| rates[i];
         // For each flow: find a link (tx a / rx b) that is saturated and on
         // which this flow's rate is maximal.
         for (i, &(a, b, _)) in flows.iter().enumerate() {
@@ -154,5 +158,77 @@ proptest! {
             times
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+/// First rate disagreement between the live (incrementally maintained)
+/// allocation and a from-scratch progressive filling, if any.
+fn rate_mismatch(net: &mut FlowNet) -> Option<String> {
+    for (id, want) in net.max_min_reference() {
+        let got = net.flow_rate_bps(id).expect("oracle lists live flows");
+        if (got - want).abs() > want.abs() * 1e-6 {
+            return Some(format!(
+                "flow {id:?}: incremental {got} vs full water-filling {want}"
+            ));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential test of the ripple-set allocator: after every random
+    /// arrival, completion, and abort, every live flow's rate equals the
+    /// one a full from-scratch water-filling assigns. (The two code paths
+    /// share no allocation state, so this catches any case where an
+    /// incremental update fails to reach a flow it should have re-rated.)
+    #[test]
+    fn incremental_allocator_matches_full_oracle(
+        (n, flows) in arb_case(),
+        ops in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            4..48,
+        ),
+    ) {
+        let mut net = FlowNet::new();
+        let topo = Topology::flat(&mut net, n, 10.0, SimDuration::from_micros(1));
+        let mut pending = flows.iter();
+        let mut active = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (what, which) in ops {
+            // Stagger events so flows accumulate progress between rate
+            // boundaries (exercising lazy materialization).
+            now += SimDuration::from_micros(10);
+            match what.index(3) {
+                0 => {
+                    let Some(&(a, b, bytes)) = pending.next() else { continue };
+                    active.push(net.start_flow(now, topo.path(a, b), bytes as f64));
+                }
+                1 => {
+                    let Some((t, f)) = net.next_completion() else { continue };
+                    now = now.max(t);
+                    net.complete_flow(t, f);
+                    active.retain(|&id| id != f);
+                }
+                _ => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let id = active.swap_remove(which.index(active.len()));
+                    net.abort_flow(now, id);
+                }
+            }
+            let mismatch = rate_mismatch(&mut net);
+            prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+        }
+        // Drain whatever is left; the allocation must stay max-min at
+        // every completion along the way.
+        while let Some((t, f)) = net.next_completion() {
+            net.complete_flow(t, f);
+            let mismatch = rate_mismatch(&mut net);
+            prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+        }
+        prop_assert_eq!(net.num_flows(), 0);
     }
 }

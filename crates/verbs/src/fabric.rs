@@ -145,6 +145,11 @@ pub struct Fabric {
     conns: Vec<Conn>,
     nodes: Vec<Node>,
     net_wake: Option<EventToken>,
+    /// The NetWake event no longer points at the earliest flow completion
+    /// (flows started/finished since it was aimed). Re-aiming is deferred
+    /// to the event loop so a burst of same-instant flow changes costs
+    /// one re-aim — and one rate recomputation — instead of one each.
+    net_stale: bool,
     /// flow -> (conn, dir) index for completions.
     inflight_index: std::collections::HashMap<FlowId, (u32, u8)>,
     stats: FabricStats,
@@ -177,6 +182,7 @@ impl Fabric {
             conns: Vec::new(),
             nodes,
             net_wake: None,
+            net_stale: false,
             inflight_index: std::collections::HashMap::new(),
             stats: FabricStats::default(),
         }
@@ -437,7 +443,7 @@ impl Fabric {
                     self.net.abort_flow(now, flow);
                 }
             }
-            self.resync_net();
+            self.net_stale = true;
             // ...but the peer only notices after the NIC timeout.
             self.queue
                 .schedule_in(self.params.failure_detect, Ev::BreakConn { conn: c });
@@ -463,13 +469,17 @@ impl Fabric {
     /// delivery, or `None` when the simulation has quiesced.
     pub fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
         loop {
+            if self.net_stale {
+                self.net_stale = false;
+                self.resync_net();
+            }
             let (t, ev) = self.queue.pop()?;
             self.stats.events += 1;
             match ev {
                 Ev::NetWake => {
                     self.net_wake = None;
                     self.process_due_flows(t);
-                    self.resync_net();
+                    self.net_stale = true;
                 }
                 Ev::Kick { conn, dir } => self.kick(conn, dir),
                 Ev::RnrRetry { conn, dir, epoch } => self.rnr_retry(conn, dir, epoch),
@@ -500,12 +510,13 @@ impl Fabric {
         }
     }
 
-    /// Completes every flow due at or before `now`.
+    /// Completes every flow due at or before `now`. Uses the flow net's
+    /// removal-tolerant due query, so a batch of same-instant completions
+    /// is retired under one deferred rate recomputation; anything that
+    /// became due only under the post-batch rates is caught by the
+    /// follow-up NetWake re-aim (still at `now`).
     fn process_due_flows(&mut self, now: SimTime) {
-        while let Some((t, flow)) = self.net.next_completion() {
-            if t > now {
-                break;
-            }
+        while let Some((_, flow)) = self.net.next_due(now) {
             self.net.complete_flow(now, flow);
             let Some((conn_idx, dir)) = self.find_inflight(flow) else {
                 continue;
@@ -728,7 +739,7 @@ impl Fabric {
                 self.inflight_index.insert(flow, (conn_idx, dir));
                 self.conns[conn_idx as usize].dirs[dir as usize].inflight =
                     Some((flow, send, claimed_recv));
-                self.resync_net();
+                self.net_stale = true;
             }
         }
     }
@@ -885,7 +896,7 @@ impl Fabric {
             self.conns[conn_idx as usize].dirs[dir].queue.clear();
             self.conns[conn_idx as usize].recvs[dir].clear();
         }
-        self.resync_net();
+        self.net_stale = true;
         for end in 0..2u8 {
             let node = self.conns[conn_idx as usize].nodes[end as usize];
             if self.nodes[node.index()].crashed {
@@ -918,6 +929,24 @@ impl Fabric {
             };
             self.net_wake = Some(self.queue.schedule_at(at, Ev::NetWake));
         }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        let r = self.net.realloc_stats();
+        crate::perf::record(crate::perf::KernelPerf {
+            fabrics: 1,
+            events: self.stats.events,
+            kicks: self.stats.kicks,
+            realloc_count: r.count,
+            realloc_nanos: r.nanos,
+            flows_visited: r.flows_visited,
+            heap_pushes: r.heap_pushes,
+            rate_changes: r.rate_changes,
+            full_reallocs: r.full,
+            sim_nanos: self.queue.now().as_nanos(),
+        });
     }
 }
 

@@ -56,9 +56,10 @@
 #![warn(missing_docs)]
 
 mod fabric;
+pub mod perf;
 mod types;
 
-pub use fabric::Fabric;
+pub use fabric::{Fabric, FabricStats};
 pub use types::{
     CompletionMode, CpuReport, Delivery, FabricParams, NodeId, QpHandle, VerbsError, WaitSpec, WrId,
 };

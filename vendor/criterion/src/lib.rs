@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`: the `benchmark_group` /
+//! `bench_function` / `Bencher::iter` API over a simple wall-clock
+//! harness.
+//!
+//! No statistics engine — each benchmark is warmed up once, then timed
+//! over enough iterations to fill a small measurement budget, and the
+//! mean per-iteration time is printed in criterion's familiar
+//! `group/function: time` shape. Honors `--bench`-style substring filter
+//! arguments so `cargo bench -p <crate> -- <filter>` narrows the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to every group function.
+pub struct Criterion {
+    filters: Vec<String>,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Everything after a `--` separator (already stripped by cargo)
+        // that is not a flag acts as a name filter, like criterion.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 0,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count hint (kept for API compatibility; the
+    /// harness sizes runs by wall-clock budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let full = format!("{}/{}", self.name, name);
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|p| full.contains(p.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        } else {
+            0.0
+        };
+        println!("{full}: {} ({} iterations)", format_ns(mean_ns), bencher.iters);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, running it repeatedly until the measurement budget
+    /// is spent (at least once).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        let mut iters: u64 = 1;
+        let mut elapsed = first;
+        while elapsed < self.budget && iters < 1_000_000 {
+            // Grow in batches so cheap closures aren't dominated by clock
+            // reads; a batch never overshoots the budget by more than ~2x.
+            let remaining = self.budget.saturating_sub(elapsed);
+            let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+            let batch = (remaining.as_nanos() / per_iter.max(1))
+                .clamp(1, iters.max(1) as u128 * 2) as u64;
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function from a list of benchmark
+/// functions, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_at_least_one_iteration() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn format_picks_units() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1.2e4), "12.000 us");
+        assert_eq!(format_ns(1.2e7), "12.000 ms");
+        assert_eq!(format_ns(1.2e10), "12.000 s");
+    }
+}

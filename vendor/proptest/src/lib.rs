@@ -1,0 +1,233 @@
+//! Offline stand-in for `proptest`: deterministic strategy-based property
+//! testing implementing the subset of the real crate this workspace uses.
+//!
+//! Supported: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter_map`, integer range strategies, tuples of strategies,
+//! [`Just`], `prop::collection::vec`, `prop::sample::{Index, select,
+//! subsequence}`, `any::<T>()`, the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros, and `ProptestConfig`'s case
+//! count.
+//!
+//! Not supported (by design): shrinking — a failing case panics with the
+//! generated inputs printed, which is enough to reproduce since the
+//! stream is a pure function of the test name and case index. Persisted
+//! regression files are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Strategy constructors, namespaced like the real crate.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::{select, subsequence, Index, Select, Subsequence};
+    }
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Stable 64-bit hash of the test path, used to seed each property's
+/// deterministic stream (FNV-1a).
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines deterministic property tests over strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($cfg) $($rest)*);
+    };
+    (@config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let __strategies = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::new(
+                        __seed ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let __value = $crate::Strategy::generate(&__strategies, &mut __rng);
+                    let __shown = format!("{:?}", &__value);
+                    let ($($pat,)+) = __value;
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1, __config.cases, __msg, __shown,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the generated inputs printed) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l,
+        );
+    }};
+}
+
+/// Uniform choice between several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 3usize..12, v in prop::collection::vec(1u32..5, 2..6)) {
+            prop_assert!((3..12).contains(&x));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (1..5).contains(&e)));
+        }
+
+        #[test]
+        fn oneof_map_and_filter(
+            tag in prop_oneof![Just(1u8), Just(2u8)],
+            pair in (0u32..8, 0u32..8).prop_filter_map("distinct", |(a, b)| {
+                (a != b).then_some((a, b))
+            }),
+            sized in (1usize..4).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(any::<u8>(), n..n + 1))
+            }),
+        ) {
+            prop_assert!(tag == 1 || tag == 2);
+            prop_assert_ne!(pair.0, pair.1);
+            prop_assert_eq!(sized.1.len(), sized.0);
+        }
+
+        #[test]
+        fn samples(
+            idx in any::<prop::sample::Index>(),
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+            subseq in prop::sample::subsequence((0..9usize).collect::<Vec<_>>(), 2..=9),
+        ) {
+            prop_assert!(idx.index(7) < 7);
+            prop_assert!(pick % 10 == 0);
+            prop_assert!(subseq.len() >= 2);
+            prop_assert!(subseq.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::new(9);
+        let mut b = crate::TestRng::new(9);
+        let s = (0u64..1000, prop::collection::vec(0u32..9, 0..6));
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

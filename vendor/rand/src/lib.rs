@@ -1,0 +1,239 @@
+//! Offline stand-in for `rand`: the seeding and sampling API subset this
+//! workspace uses, over a deterministic xoshiro256++ generator.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors its own generator. Determinism is the only property the
+//! simulation relies on (every seed is fixed by the experiment), and
+//! xoshiro256++ passes the statistical tests that matter at this scale.
+//! Streams differ from the real `rand` crate's `StdRng` — acceptable,
+//! since no test asserts specific draws, only seed-reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with
+    /// splitmix64 so similar seeds yield unrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods for sampling from a generator.
+pub trait RngExt {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let UniformRange { lo, hi_inclusive } = range.into();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// A normalised inclusive range, the common currency of
+/// [`RngExt::random_range`].
+pub struct UniformRange<T> {
+    lo: T,
+    hi_inclusive: T,
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Maps 64 random bits to a float in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits give a uniform dyadic rational in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                // Multiply-shift bounded sampling; the modulo bias over a
+                // 128-bit intermediate is far below observability here.
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                lo + r as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad f64 range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl<T: Copy> From<Range<T>> for UniformRange<T>
+where
+    T: HalfOpenEnd,
+{
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi_inclusive: r.end.predecessor(),
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Converts a half-open range end into its inclusive predecessor.
+pub trait HalfOpenEnd: Copy {
+    /// The largest value strictly below `self` (for floats, `self` itself:
+    /// the sampling formula already excludes the end with probability 1).
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! impl_half_open_int {
+    ($($t:ty),*) => {$(
+        impl HalfOpenEnd for $t {
+            fn predecessor(self) -> Self {
+                self.checked_sub(1).expect("empty sample range")
+            }
+        }
+    )*};
+}
+
+impl_half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpenEnd for f64 {
+    fn predecessor(self) -> Self {
+        self
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u64 = r.random_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+}
