@@ -1,0 +1,52 @@
+//! The analyzer CLI: `cargo run -p analyzer -- --sweep`.
+//!
+//! Runs the full static-analysis grid — schedule model-checking,
+//! posting-order deadlock lints, and engine reachability — and exits
+//! non-zero if any invariant is violated. `--quick` shrinks the grid for
+//! fast local iteration; `--max-n <N>` caps the group size.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use analyzer::{sweep, SweepConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: analyzer [--sweep] [--quick] [--max-n <N>] [--no-reach]\n\
+         \n\
+         --sweep      run the full (algorithm, n, k) grid (the default)\n\
+         --quick      reduced grid for fast local runs\n\
+         --max-n <N>  cap the swept group size\n\
+         --no-reach   skip the engine reachability corner"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = SweepConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sweep" => {}
+            "--quick" => config = SweepConfig::quick(),
+            "--max-n" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                config.max_n = v;
+            }
+            "--no-reach" => config.reachability = false,
+            _ => usage(),
+        }
+    }
+
+    let start = Instant::now();
+    let report = sweep(&config);
+    let wall = start.elapsed();
+    println!("{report}");
+    println!("sweep wall time: {:.3}s", wall.as_secs_f64());
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,242 @@
+//! The exhaustive `(algorithm, n, k)` sweep: model-checks and
+//! deadlock-lints every generator over the full grid, and runs the
+//! engine reachability proof on the small corner where exhaustive state
+//! enumeration is feasible.
+
+use rdmc::schedule::GlobalSchedule;
+use rdmc::Algorithm;
+
+use crate::deadlock::{lint_schedule, DeadlockReport};
+use crate::model::{check_schedule, ModelReport};
+use crate::reach::{explore, ReachConfig, ReachReport};
+
+/// Grid parameters for one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Largest group size checked (the schedule grid runs `n` from 1 up
+    /// to this, every size — powers of two and not).
+    pub max_n: u32,
+    /// Block counts checked at every `n`.
+    pub ks: Vec<u32>,
+    /// Rack counts for the hybrid variants (each paired with a round-robin
+    /// and a skewed rack assignment).
+    pub rack_counts: Vec<u32>,
+    /// Ready windows the deadlock lint is run for.
+    pub ready_windows: Vec<u32>,
+    /// Whether to run the engine reachability corner.
+    pub reachability: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            max_n: 64,
+            ks: vec![1, 2, 3, 4, 5, 8, 16, 32],
+            rack_counts: vec![2, 3, 4, 8],
+            ready_windows: vec![1, 2],
+            reachability: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced grid for quick local runs (`--quick`).
+    pub fn quick() -> Self {
+        SweepConfig {
+            max_n: 20,
+            ks: vec![1, 2, 5, 8],
+            rack_counts: vec![2, 3],
+            ready_windows: vec![1],
+            reachability: true,
+        }
+    }
+}
+
+/// Everything a sweep found.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Schedules model-checked.
+    pub schedules_checked: usize,
+    /// Schedules deadlock-linted (one entry per ready window).
+    pub lints_run: usize,
+    /// Reachability configurations explored.
+    pub reach_runs: usize,
+    /// Total states visited across reachability runs.
+    pub reach_states: usize,
+    /// Model-checker reports with violations.
+    pub model_failures: Vec<ModelReport>,
+    /// Deadlock reports with cycles or premature sends.
+    pub deadlock_failures: Vec<DeadlockReport>,
+    /// Reachability reports with stuck states, engine errors, or
+    /// truncation.
+    pub reach_failures: Vec<ReachReport>,
+}
+
+impl SweepReport {
+    /// True when the whole grid is proven clean.
+    pub fn is_clean(&self) -> bool {
+        self.model_failures.is_empty()
+            && self.deadlock_failures.is_empty()
+            && self.reach_failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "swept {} schedules, {} deadlock lints, {} reachability runs ({} states)",
+            self.schedules_checked, self.lints_run, self.reach_runs, self.reach_states
+        )?;
+        if self.is_clean() {
+            write!(f, "all invariants hold")
+        } else {
+            for r in &self.model_failures {
+                writeln!(f, "MODEL: {r}")?;
+            }
+            for r in &self.deadlock_failures {
+                writeln!(f, "DEADLOCK: {r}")?;
+            }
+            for r in &self.reach_failures {
+                writeln!(f, "REACH: {r}")?;
+            }
+            write!(
+                f,
+                "{} model / {} deadlock / {} reachability failure(s)",
+                self.model_failures.len(),
+                self.deadlock_failures.len(),
+                self.reach_failures.len()
+            )
+        }
+    }
+}
+
+/// The algorithms checked at group size `n`: the four flat generators
+/// plus, for every configured rack count below `n`, a round-robin and a
+/// skewed hybrid assignment in both phased and pipelined variants.
+fn algorithms_for(n: u32, rack_counts: &[u32]) -> Vec<Algorithm> {
+    let mut algs = vec![
+        Algorithm::Sequential,
+        Algorithm::Chain,
+        Algorithm::BinomialTree,
+        Algorithm::BinomialPipeline,
+    ];
+    for &nr in rack_counts {
+        if nr >= n.max(1) {
+            continue;
+        }
+        // Round-robin: racks interleave through the rank space.
+        let round_robin: Vec<u32> = (0..n).map(|r| r % nr).collect();
+        // Skewed: rack 0 holds half the group, the rest split the rest —
+        // exercises unequal rack sizes and non-power-of-two leader counts.
+        let skewed: Vec<u32> = (0..n)
+            .map(|r| {
+                if r < n / 2 {
+                    0
+                } else {
+                    1 + (r - n / 2) % (nr - 1).max(1)
+                }
+            })
+            .collect();
+        for rack_of in [round_robin, skewed] {
+            algs.push(Algorithm::Hybrid {
+                rack_of: rack_of.clone(),
+            });
+            algs.push(Algorithm::HybridPipelined { rack_of });
+        }
+    }
+    algs
+}
+
+/// Runs the full static sweep. Every violation is collected, none
+/// short-circuits the grid.
+pub fn sweep(config: &SweepConfig) -> SweepReport {
+    let mut report = SweepReport::default();
+    for n in 1..=config.max_n {
+        for alg in algorithms_for(n, &config.rack_counts) {
+            for &k in &config.ks {
+                let g = match GlobalSchedule::try_build(&alg, n, k) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        // A generator refusing a legal shape is itself a
+                        // violation; record and continue.
+                        report.model_failures.push(ModelReport {
+                            algorithm: alg.to_string(),
+                            n,
+                            k,
+                            violations: vec![crate::model::Violation::BuildRejected {
+                                reason: e.to_string(),
+                            }],
+                        });
+                        continue;
+                    }
+                };
+                report.schedules_checked += 1;
+                let m = check_schedule(&g);
+                if !m.is_clean() {
+                    report.model_failures.push(m);
+                }
+                for &w in &config.ready_windows {
+                    report.lints_run += 1;
+                    let d = lint_schedule(&g, w);
+                    if !d.is_clean() {
+                        report.deadlock_failures.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    if config.reachability {
+        for (alg, n, k) in reach_grid() {
+            if n > config.max_n {
+                continue;
+            }
+            let r = explore(&ReachConfig {
+                algorithm: alg,
+                n,
+                k,
+                ready_window: 1,
+                max_outstanding_sends: 1,
+                max_states: 2_000_000,
+            });
+            report.reach_runs += 1;
+            report.reach_states += r.states;
+            if !r.is_clean() {
+                report.reach_failures.push(r);
+            }
+        }
+    }
+    report
+}
+
+/// The reachability corner: small shapes covering every schedule
+/// topology's structure — a pure relay chain, a power-of-two pipeline, a
+/// shadow-vertex (non-power-of-two) pipeline, a tree, and both hybrid
+/// variants with a rack leader relaying across racks.
+fn reach_grid() -> Vec<(Algorithm, u32, u32)> {
+    let two_racks = |n: u32| -> Vec<u32> { (0..n).map(|r| u32::from(r >= n / 2)).collect() };
+    vec![
+        (Algorithm::Sequential, 3, 2),
+        (Algorithm::Chain, 4, 2),
+        (Algorithm::BinomialTree, 4, 2),
+        (Algorithm::BinomialPipeline, 2, 2),
+        (Algorithm::BinomialPipeline, 4, 2),
+        (Algorithm::BinomialPipeline, 3, 2), // shadow vertex
+        (Algorithm::BinomialPipeline, 5, 1), // shadow vertex
+        (
+            Algorithm::Hybrid {
+                rack_of: two_racks(4),
+            },
+            4,
+            2,
+        ),
+        (
+            Algorithm::HybridPipelined {
+                rack_of: two_racks(4),
+            },
+            4,
+            2,
+        ),
+    ]
+}

@@ -12,6 +12,8 @@
 //! cargo run --release -p rdmc-bench --bin report
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rdmc_bench::experiments as e;
 use verbs::perf::{snapshot, KernelPerf};
 
@@ -25,7 +27,12 @@ struct SectionPerf {
     work: KernelPerf,
 }
 
-fn json_summary(quick: bool, threads: usize, total_wall_s: f64, sections: &[SectionPerf]) -> String {
+fn json_summary(
+    quick: bool,
+    threads: usize,
+    total_wall_s: f64,
+    sections: &[SectionPerf],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
@@ -79,6 +86,7 @@ fn main() {
         ("robustness", e::robustness_analysis),
         ("sst", e::sst_small_messages),
         ("kernel", e::kernel_throughput),
+        ("analyzer", e::analyzer_sweep),
     ];
     let only: Vec<String> = std::env::args()
         .skip(1)
@@ -106,8 +114,7 @@ fn main() {
     eprintln!("[total {total:.1}s on {threads} worker threads]");
 
     let json = json_summary(quick, threads, total, &perf);
-    let path =
-        std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
+    let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[kernel perf summary written to {path}]"),
         Err(err) => eprintln!("[could not write {path}: {err}]"),

@@ -349,12 +349,7 @@ pub fn fig8_scalability(quick: bool) -> String {
     let spec = ClusterSpec::sierra(512);
     let cases: Vec<(usize, Algorithm)> = sizes
         .iter()
-        .flat_map(|&n| {
-            [
-                (n, Algorithm::BinomialPipeline),
-                (n, Algorithm::Sequential),
-            ]
-        })
+        .flat_map(|&n| [(n, Algorithm::BinomialPipeline), (n, Algorithm::Sequential)])
         .collect();
     let lats = par_map(&cases, |(n, alg)| {
         run_single_multicast(&spec, *n, alg.clone(), msg, block)
@@ -860,6 +855,50 @@ pub fn kernel_throughput(quick: bool) -> String {
                 "reallocs",
                 "flows/realloc",
                 "realloc time",
+                "wall"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Static-analysis sweep timing: runs the `analyzer` crate's full grid
+/// (schedule model checker, posting-order deadlock lint, engine
+/// reachability) and reports what was proven and how long the proof
+/// took. Not a paper figure — it records the cost of the repository's
+/// own verification layer next to the simulation numbers it guards.
+pub fn analyzer_sweep(quick: bool) -> String {
+    let config = if quick {
+        analyzer::SweepConfig::quick()
+    } else {
+        analyzer::SweepConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report = analyzer::sweep(&config);
+    let wall = t0.elapsed().as_secs_f64();
+    let rows = vec![row![
+        format!("grid n<={} (quick={quick})", config.max_n),
+        report.schedules_checked,
+        report.lints_run,
+        report.reach_runs,
+        report.reach_states,
+        if report.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        },
+        format!("{wall:.2}s")
+    ]];
+    format!(
+        "Static-analysis sweep (schedule model checker + deadlock lint + reachability)\n{}\n",
+        render(
+            &row![
+                "sweep",
+                "schedules",
+                "lints",
+                "reach runs",
+                "reach states",
+                "verdict",
                 "wall"
             ],
             &rows

@@ -8,9 +8,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// The `row!` macro intentionally builds `Vec<String>` rows; clippy's
-// slice suggestion does not apply to the table API.
-#![allow(clippy::useless_vec)]
 
 pub mod experiments;
 pub mod parallel;

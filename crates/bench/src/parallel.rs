@@ -45,7 +45,7 @@ where
     let n = items.len();
     let threads = worker_threads().min(n);
     if threads <= 1 {
-        return items.iter().map(|it| f(it)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();

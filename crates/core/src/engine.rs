@@ -201,7 +201,7 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// State of an in-progress message transfer at this member.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ActiveTransfer {
     layout: MessageLayout,
     sched: RankSchedule,
@@ -221,7 +221,7 @@ struct ActiveTransfer {
 }
 
 /// One group member's protocol state machine. See the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GroupEngine {
     config: EngineConfig,
     active: Option<ActiveTransfer>,
@@ -299,6 +299,61 @@ impl GroupEngine {
     /// Messages locally completed so far.
     pub fn messages_completed(&self) -> u64 {
         self.messages_completed
+    }
+
+    /// Canonical encoding of the protocol-visible state, for state-space
+    /// exploration (two engines with equal digests behave identically on
+    /// every future event sequence). The encoding covers the credit map,
+    /// failure set, queued sends, and — when a transfer is active — the
+    /// received-block bitmap, outgoing progress, in-flight sends, and the
+    /// per-peer grant/arrival counters.
+    pub fn state_digest(&self) -> Vec<u64> {
+        let mut d = Vec::new();
+        d.push(u64::from(self.wedged));
+        d.push(self.messages_completed);
+        d.push(self.credits.len() as u64);
+        for (&r, &c) in &self.credits {
+            d.push(u64::from(r));
+            d.push(u64::from(c));
+        }
+        d.push(self.failed.len() as u64);
+        d.extend(self.failed.iter().map(|&r| u64::from(r)));
+        d.push(self.send_queue.len() as u64);
+        d.extend(self.send_queue.iter().copied());
+        match &self.active {
+            None => d.push(0),
+            Some(t) => {
+                d.push(1);
+                d.push(t.layout.size);
+                d.push(t.out_idx as u64);
+                d.push(u64::from(t.total_inflight));
+                d.push(u64::from(t.delivered));
+                // Received-block bitmap, packed 64 blocks per word.
+                for chunk in t.have.chunks(64) {
+                    let mut word = 0u64;
+                    for (i, &bit) in chunk.iter().enumerate() {
+                        word |= u64::from(bit) << i;
+                    }
+                    d.push(word);
+                }
+                d.push(t.sends_inflight.len() as u64);
+                for (&r, &c) in &t.sends_inflight {
+                    d.push(u64::from(r));
+                    d.push(u64::from(c));
+                }
+                d.push(t.granted.len() as u64);
+                for (&r, &c) in &t.granted {
+                    d.push(u64::from(r));
+                    d.push(u64::from(c));
+                }
+                d.push(t.recvd.len() as u64);
+                for (&r, &c) in &t.recvd {
+                    d.push(u64::from(r));
+                    d.push(u64::from(c));
+                }
+            }
+        }
+        d
     }
 
     /// The `(block, offset, bytes)` the schedule says `from` will deliver

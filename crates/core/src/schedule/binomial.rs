@@ -29,7 +29,10 @@ use crate::types::{Algorithm, Rank, Transfer};
 ///
 /// Panics if `x` does not fit in `l` bits or `l` is 0 or more than 31.
 pub fn rotate_right(x: u32, r: u32, l: u32) -> u32 {
-    assert!((1..=31).contains(&l), "hypercube dimension out of range: {l}");
+    assert!(
+        (1..=31).contains(&l),
+        "hypercube dimension out of range: {l}"
+    );
     assert!(x < (1 << l), "{x} does not fit in {l} bits");
     let r = r % l;
     if r == 0 {

@@ -4,32 +4,33 @@
 //! crosses the TOR exactly once per remote rack, instead of the many
 //! crossings a randomly-embedded hypercube incurs.
 
-use crate::schedule::{GlobalSchedule, GlobalTransfer};
+use crate::schedule::{GlobalSchedule, GlobalTransfer, ScheduleError};
 use crate::types::{Algorithm, Rank};
 
 use super::binomial;
 
-/// Builds the hybrid schedule. `rack_of[rank]` assigns each member to a
-/// rack; the lowest rank of each rack is its leader, so the root (rank 0)
-/// always leads its own rack.
+/// Groups members by rack (ascending rank order per rack) and returns the
+/// rack map plus the leader list, root's rack first so the inter-rack
+/// pipeline is rooted at rank 0.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `rack_of.len() != n`.
-pub fn build(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
-    assert!(n >= 2 && k >= 1);
-    assert_eq!(
-        rack_of.len(),
-        n as usize,
-        "rack assignment must cover every rank"
-    );
-    // Group members by rack, preserving ascending rank order.
+/// Returns [`ScheduleError::InvalidShape`] if the rack assignment does
+/// not cover every rank.
+#[allow(clippy::type_complexity)]
+fn rack_layout(
+    n: u32,
+    rack_of: &[u32],
+) -> Result<(std::collections::BTreeMap<u32, Vec<Rank>>, Vec<Rank>), ScheduleError> {
+    if rack_of.len() != n as usize {
+        return Err(ScheduleError::InvalidShape {
+            reason: "rack assignment must cover every rank".to_owned(),
+        });
+    }
     let mut racks: std::collections::BTreeMap<u32, Vec<Rank>> = std::collections::BTreeMap::new();
     for (rank, &rack) in rack_of.iter().enumerate() {
         racks.entry(rack).or_default().push(rank as Rank);
     }
-    // Leaders, with the root's rack first so the inter-rack pipeline is
-    // rooted at rank 0.
     let root_rack = rack_of[0];
     let mut leaders: Vec<Rank> = Vec::with_capacity(racks.len());
     leaders.push(racks[&root_rack][0]);
@@ -39,6 +40,19 @@ pub fn build(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
             leaders.push(members[0]);
         }
     }
+    Ok((racks, leaders))
+}
+
+/// Builds the hybrid schedule. `rack_of[rank]` assigns each member to a
+/// rack; the lowest rank of each rack is its leader, so the root (rank 0)
+/// always leads its own rack.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InvalidShape`] if `rack_of.len() != n`.
+pub fn build(n: u32, k: u32, rack_of: &[u32]) -> Result<GlobalSchedule, ScheduleError> {
+    debug_assert!(n >= 2 && k >= 1);
+    let (racks, leaders) = rack_layout(n, rack_of)?;
 
     let mut steps: Vec<Vec<GlobalTransfer>> = Vec::new();
     // Phase 1: binomial pipeline among the leaders.
@@ -80,14 +94,14 @@ pub fn build(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
         }
     }
     let _ = phase2_steps;
-    GlobalSchedule::from_steps(
+    Ok(GlobalSchedule::from_steps(
         Algorithm::Hybrid {
             rack_of: rack_of.to_vec(),
         },
         n,
         k,
         steps,
-    )
+    ))
 }
 
 /// Builds the *pipelined* hybrid schedule: instead of waiting for the
@@ -108,29 +122,13 @@ pub fn build(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
 /// drop from `steps_inter + steps_intra` to roughly
 /// `max(steps_inter, warmup_inter + steps_intra)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `rack_of.len() != n`.
-pub fn build_pipelined(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
-    assert!(n >= 2 && k >= 1);
-    assert_eq!(
-        rack_of.len(),
-        n as usize,
-        "rack assignment must cover every rank"
-    );
-    let mut racks: std::collections::BTreeMap<u32, Vec<Rank>> = std::collections::BTreeMap::new();
-    for (rank, &rack) in rack_of.iter().enumerate() {
-        racks.entry(rack).or_default().push(rank as Rank);
-    }
+/// Returns [`ScheduleError::InvalidShape`] if `rack_of.len() != n`.
+pub fn build_pipelined(n: u32, k: u32, rack_of: &[u32]) -> Result<GlobalSchedule, ScheduleError> {
+    debug_assert!(n >= 2 && k >= 1);
+    let (racks, leaders) = rack_layout(n, rack_of)?;
     let root_rack = rack_of[0];
-    let mut leaders: Vec<Rank> = Vec::with_capacity(racks.len());
-    leaders.push(racks[&root_rack][0]);
-    debug_assert_eq!(leaders[0], 0, "rank 0 must lead its rack");
-    for (&rack, members) in &racks {
-        if rack != root_rack {
-            leaders.push(members[0]);
-        }
-    }
 
     let mut steps: Vec<Vec<GlobalTransfer>> = Vec::new();
     let ensure_step = |steps: &mut Vec<Vec<GlobalTransfer>>, j: usize| {
@@ -166,21 +164,26 @@ pub fn build_pipelined(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
             // The root holds everything from step 0 in numeric order.
             ((0..k).collect(), 0)
         } else {
-            let inter = inter.as_ref().expect("non-root rack implies >1 leader");
-            let virt = leaders
-                .iter()
-                .position(|&l| l == leader)
-                .expect("leader is in the list") as Rank;
-            let mut arrivals: Vec<(u32, u32)> = (0..k)
-                .map(|b| {
-                    (
-                        inter
-                            .receive_step(virt, b)
-                            .expect("leader receives every block"),
-                        b,
-                    )
-                })
-                .collect();
+            let inter = inter.as_ref().ok_or_else(|| ScheduleError::InvalidShape {
+                reason: "a non-root rack exists but there is only one rack leader".to_owned(),
+            })?;
+            let virt = leaders.iter().position(|&l| l == leader).ok_or_else(|| {
+                ScheduleError::InvalidShape {
+                    reason: format!("rack leader {leader} missing from the leader list"),
+                }
+            })? as Rank;
+            let mut arrivals: Vec<(u32, u32)> = Vec::with_capacity(k as usize);
+            for b in 0..k {
+                // A leader the inter-rack schedule never serves is a
+                // missing delivery — surface it as exactly that.
+                let s = inter
+                    .receive_step(virt, b)
+                    .ok_or(ScheduleError::MissingDelivery {
+                        rank: virt,
+                        block: b,
+                    })?;
+                arrivals.push((s, b));
+            }
             arrivals.sort_unstable();
             // Valid offset: intra step i must land strictly after the
             // leader's i-th arrival. For power-of-two leader counts the
@@ -192,12 +195,12 @@ pub fn build_pipelined(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
                 .enumerate()
                 .map(|(i, &(s, _))| s as i64 - i as i64)
                 .max()
-                .expect("k >= 1")
+                .unwrap_or(-1)
                 + 1;
-            (
-                arrivals.into_iter().map(|(_, b)| b).collect(),
-                u32::try_from(off.max(0)).expect("offset fits"),
-            )
+            let offset = u32::try_from(off.max(0)).map_err(|_| ScheduleError::InvalidShape {
+                reason: format!("intra-rack offset {off} overflows the step counter"),
+            })?;
+            (arrivals.into_iter().map(|(_, b)| b).collect(), offset)
         };
         let intra = binomial::build(members.len() as u32, k);
         let offset = if rack == root_rack { 0 } else { intra_offset };
@@ -211,14 +214,14 @@ pub fn build_pipelined(n: u32, k: u32, rack_of: &[u32]) -> GlobalSchedule {
             }));
         }
     }
-    GlobalSchedule::from_steps(
+    Ok(GlobalSchedule::from_steps(
         Algorithm::HybridPipelined {
             rack_of: rack_of.to_vec(),
         },
         n,
         k,
         steps,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -239,7 +242,7 @@ mod tests {
             (5, vec![0, 1, 1, 1, 1]),
         ] {
             for k in [1u32, 3, 6] {
-                let g = build(n, k, &racks);
+                let g = build(n, k, &racks).unwrap();
                 g.validate()
                     .unwrap_or_else(|e| panic!("n={n} k={k} racks={racks:?}: {e}"));
             }
@@ -249,7 +252,7 @@ mod tests {
     #[test]
     fn each_block_crosses_rack_boundary_once_per_remote_rack() {
         let rack_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
-        let g = build(8, 4, &rack_of);
+        let g = build(8, 4, &rack_of).unwrap();
         for b in 0..4 {
             let crossings = (0..g.num_steps())
                 .flat_map(|j| g.step(j).iter())
@@ -262,7 +265,7 @@ mod tests {
     #[test]
     fn leaders_are_lowest_ranks() {
         let rack_of = vec![0, 1, 0, 1, 0, 1];
-        let g = build(6, 2, &rack_of);
+        let g = build(6, 2, &rack_of).unwrap();
         // Inter-rack transfers only ever involve ranks 0 and 1.
         for j in 0..g.num_steps() {
             for t in g.step(j) {
@@ -274,9 +277,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cover every rank")]
-    fn wrong_rack_assignment_length_panics() {
-        build(4, 1, &[0, 0, 1]);
+    fn wrong_rack_assignment_length_is_an_error() {
+        let err = build(4, 1, &[0, 0, 1]).unwrap_err();
+        assert!(err.to_string().contains("cover every rank"), "{err}");
+        let err = build_pipelined(4, 1, &[0, 0, 1]).unwrap_err();
+        assert!(err.to_string().contains("cover every rank"), "{err}");
     }
 
     #[test]
@@ -292,7 +297,7 @@ mod tests {
             (10, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]),
         ] {
             for k in [1u32, 2, 5, 9] {
-                let g = build_pipelined(n, k, &racks);
+                let g = build_pipelined(n, k, &racks).unwrap();
                 g.validate()
                     .unwrap_or_else(|e| panic!("n={n} k={k} racks={racks:?}: {e}"));
             }
@@ -303,8 +308,8 @@ mod tests {
     fn pipelined_variant_finishes_in_fewer_steps() {
         let rack_of = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3];
         for k in [4u32, 16, 64] {
-            let phased = build(16, k, &rack_of);
-            let pipelined = build_pipelined(16, k, &rack_of);
+            let phased = build(16, k, &rack_of).unwrap();
+            let pipelined = build_pipelined(16, k, &rack_of).unwrap();
             assert!(
                 pipelined.num_steps() < phased.num_steps(),
                 "k={k}: pipelined {} vs phased {}",
@@ -317,7 +322,7 @@ mod tests {
     #[test]
     fn pipelined_variant_still_crosses_racks_once_per_block() {
         let rack_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
-        let g = build_pipelined(8, 6, &rack_of);
+        let g = build_pipelined(8, 6, &rack_of).unwrap();
         for b in 0..6 {
             let crossings = (0..g.num_steps())
                 .flat_map(|j| g.step(j).iter())

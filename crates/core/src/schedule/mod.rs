@@ -83,6 +83,13 @@ pub enum ScheduleError {
         /// The step of the misdirected transfer.
         step: u32,
     },
+    /// The builder was asked for an impossible shape (zero members, zero
+    /// blocks, a rack assignment that does not cover the group, or a
+    /// custom family routed through [`GlobalSchedule::try_build`]).
+    InvalidShape {
+        /// What was wrong with the request.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -107,6 +114,7 @@ impl fmt::Display for ScheduleError {
             ScheduleError::RootReceives { step } => {
                 write!(f, "step {step}: the root is scheduled to receive")
             }
+            ScheduleError::InvalidShape { reason } => write!(f, "{reason}"),
         }
     }
 }
@@ -152,24 +160,57 @@ impl GlobalSchedule {
     /// # Panics
     ///
     /// Panics if `n == 0`, `k == 0`, or (for [`Algorithm::Hybrid`]) the
-    /// rack assignment length differs from `n`.
+    /// rack assignment length differs from `n`. Use
+    /// [`GlobalSchedule::try_build`] to get the violation as an error
+    /// instead.
     pub fn build(algorithm: &Algorithm, n: u32, k: u32) -> Self {
-        assert!(n >= 1, "group needs at least one member");
-        assert!(k >= 1, "need at least one block");
+        match GlobalSchedule::try_build(algorithm, n, k) {
+            Ok(g) => g,
+            Err(e) => panic!("cannot build {algorithm} schedule for n={n} k={k}: {e}"),
+        }
+    }
+
+    /// Like [`GlobalSchedule::build`], but reports impossible shapes as
+    /// [`ScheduleError::InvalidShape`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidShape`] if `n == 0`, `k == 0`, a
+    /// hybrid rack assignment does not cover every rank, or the algorithm
+    /// is [`Algorithm::Custom`] (which only
+    /// [`SchedulePlanner::from_fn`] can build).
+    pub fn try_build(algorithm: &Algorithm, n: u32, k: u32) -> Result<Self, ScheduleError> {
+        if n == 0 {
+            return Err(ScheduleError::InvalidShape {
+                reason: "group needs at least one member".to_owned(),
+            });
+        }
+        if k == 0 {
+            return Err(ScheduleError::InvalidShape {
+                reason: "need at least one block".to_owned(),
+            });
+        }
         if n == 1 {
             // A group of one: the root already has the message.
-            return GlobalSchedule::from_steps(algorithm.clone(), 1, k, Vec::new());
+            return Ok(GlobalSchedule::from_steps(
+                algorithm.clone(),
+                1,
+                k,
+                Vec::new(),
+            ));
         }
         match algorithm {
-            Algorithm::Sequential => sequential::build(n, k),
-            Algorithm::Chain => chain::build(n, k),
-            Algorithm::BinomialTree => tree::build(n, k),
-            Algorithm::BinomialPipeline => binomial::build(n, k),
+            Algorithm::Sequential => Ok(sequential::build(n, k)),
+            Algorithm::Chain => Ok(chain::build(n, k)),
+            Algorithm::BinomialTree => Ok(tree::build(n, k)),
+            Algorithm::BinomialPipeline => Ok(binomial::build(n, k)),
             Algorithm::Hybrid { rack_of } => hybrid::build(n, k, rack_of),
             Algorithm::HybridPipelined { rack_of } => hybrid::build_pipelined(n, k, rack_of),
-            Algorithm::Custom { name } => panic!(
-                "custom schedule family '{name}' must be built through SchedulePlanner::from_fn"
-            ),
+            Algorithm::Custom { name } => Err(ScheduleError::InvalidShape {
+                reason: format!(
+                    "custom schedule family '{name}' must be built through SchedulePlanner::from_fn"
+                ),
+            }),
         }
     }
 
@@ -205,6 +246,16 @@ impl GlobalSchedule {
     /// Total number of block transfers across all steps.
     pub fn num_transfers(&self) -> usize {
         self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// Every transfer of the schedule, tagged with its step, in step
+    /// order. The flat view the static analyzer and the partition
+    /// property tests consume.
+    pub fn transfers(&self) -> impl Iterator<Item = (u32, GlobalTransfer)> + '_ {
+        self.steps
+            .iter()
+            .enumerate()
+            .flat_map(|(j, step)| step.iter().map(move |t| (j as u32, *t)))
     }
 
     /// The step at which `rank` receives `block`, if scheduled.
@@ -421,6 +472,127 @@ impl RankSchedule {
     }
 }
 
+/// A shared, caching source of schedules, so the per-message schedule
+/// build (which depends on the just-learned block count) is amortised
+/// across messages and group members in one process.
+pub struct SchedulePlanner {
+    algorithm: Algorithm,
+    builder: Option<Box<dyn Fn(u32, u32) -> GlobalSchedule + Send + Sync>>,
+    /// Block count used to probe `first_sender` (2 for the built-in
+    /// algorithms, whose first senders are block-count invariant; custom
+    /// families may need the true per-message value).
+    probe_k: u32,
+    /// Reader/writer cache: the steady state of a long run is all hits,
+    /// which take only the shared lock, so concurrent experiment workers
+    /// planning the same group shapes never serialize on each other.
+    cache: std::sync::RwLock<BTreeMap<(u32, u32), Arc<GlobalSchedule>>>,
+    cache_hits: std::sync::atomic::AtomicU64,
+    cache_misses: std::sync::atomic::AtomicU64,
+}
+
+impl fmt::Debug for SchedulePlanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulePlanner")
+            .field("algorithm", &self.algorithm)
+            .field("probe_k", &self.probe_k)
+            .finish()
+    }
+}
+
+impl SchedulePlanner {
+    /// A planner for a built-in algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        assert!(
+            !matches!(algorithm, Algorithm::Custom { .. }),
+            "use SchedulePlanner::from_fn for custom schedule families"
+        );
+        SchedulePlanner {
+            algorithm,
+            builder: None,
+            probe_k: 2,
+            cache: std::sync::RwLock::new(BTreeMap::new()),
+            cache_hits: std::sync::atomic::AtomicU64::new(0),
+            cache_misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A planner for an externally defined schedule family. `probe_k` is
+    /// the block count used to answer [`SchedulePlanner::first_sender`];
+    /// pass the block count the messages will actually use if the family's
+    /// first senders depend on it (MPI-style broadcasts may switch
+    /// algorithms by size — a luxury RDMC does not have, as the paper
+    /// notes in §6: MPI receivers know every transfer's size in advance).
+    pub fn from_fn<F>(name: &str, probe_k: u32, build: F) -> Self
+    where
+        F: Fn(u32, u32) -> GlobalSchedule + Send + Sync + 'static,
+    {
+        SchedulePlanner {
+            algorithm: Algorithm::Custom {
+                name: name.to_owned(),
+            },
+            builder: Some(Box::new(build)),
+            probe_k: probe_k.max(1),
+            cache: std::sync::RwLock::new(BTreeMap::new()),
+            cache_hits: std::sync::atomic::AtomicU64::new(0),
+            cache_misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The algorithm this planner builds.
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+
+    /// The (cached) global schedule for `n` members and `k` blocks.
+    ///
+    /// Hits take only the shared read lock. On a miss the schedule is
+    /// built *outside* any lock (two racing builders may do redundant
+    /// work, but schedule construction is pure so whichever insert lands
+    /// first wins and both callers agree).
+    pub fn plan(&self, n: u32, k: u32) -> Arc<GlobalSchedule> {
+        use std::sync::atomic::Ordering;
+        // A panic while holding the lock poisons it, but the cache itself
+        // is never left mid-update (inserts are atomic at the BTreeMap
+        // level), so recover the guard instead of propagating the panic.
+        if let Some(hit) = self
+            .cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(n, k))
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(match &self.builder {
+            Some(build) => build(n, k),
+            None => GlobalSchedule::build(&self.algorithm, n, k),
+        });
+        let mut cache = self
+            .cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(cache.entry((n, k)).or_insert(built))
+    }
+
+    /// `(hits, misses)` of the schedule cache so far. A miss that races
+    /// another miss on the same key still counts once per caller.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Who sends `rank` its first block in an `n`-member group (see
+    /// [`GlobalSchedule::first_sender`]; probed at this planner's
+    /// `probe_k`).
+    pub fn first_sender(&self, n: u32, rank: Rank) -> Option<Rank> {
+        self.plan(n, self.probe_k).first_sender(rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,120 +752,5 @@ mod tests {
         let _c = planner.plan(16, 4);
         assert!(Arc::ptr_eq(&a, &b), "hit must return the cached schedule");
         assert_eq!(planner.cache_stats(), (1, 2));
-    }
-}
-
-/// A shared, caching source of schedules, so the per-message schedule
-/// build (which depends on the just-learned block count) is amortised
-/// across messages and group members in one process.
-pub struct SchedulePlanner {
-    algorithm: Algorithm,
-    builder: Option<Box<dyn Fn(u32, u32) -> GlobalSchedule + Send + Sync>>,
-    /// Block count used to probe `first_sender` (2 for the built-in
-    /// algorithms, whose first senders are block-count invariant; custom
-    /// families may need the true per-message value).
-    probe_k: u32,
-    /// Reader/writer cache: the steady state of a long run is all hits,
-    /// which take only the shared lock, so concurrent experiment workers
-    /// planning the same group shapes never serialize on each other.
-    cache: std::sync::RwLock<BTreeMap<(u32, u32), Arc<GlobalSchedule>>>,
-    cache_hits: std::sync::atomic::AtomicU64,
-    cache_misses: std::sync::atomic::AtomicU64,
-}
-
-impl fmt::Debug for SchedulePlanner {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SchedulePlanner")
-            .field("algorithm", &self.algorithm)
-            .field("probe_k", &self.probe_k)
-            .finish()
-    }
-}
-
-impl SchedulePlanner {
-    /// A planner for a built-in algorithm.
-    pub fn new(algorithm: Algorithm) -> Self {
-        assert!(
-            !matches!(algorithm, Algorithm::Custom { .. }),
-            "use SchedulePlanner::from_fn for custom schedule families"
-        );
-        SchedulePlanner {
-            algorithm,
-            builder: None,
-            probe_k: 2,
-            cache: std::sync::RwLock::new(BTreeMap::new()),
-            cache_hits: std::sync::atomic::AtomicU64::new(0),
-            cache_misses: std::sync::atomic::AtomicU64::new(0),
-        }
-    }
-
-    /// A planner for an externally defined schedule family. `probe_k` is
-    /// the block count used to answer [`SchedulePlanner::first_sender`];
-    /// pass the block count the messages will actually use if the family's
-    /// first senders depend on it (MPI-style broadcasts may switch
-    /// algorithms by size — a luxury RDMC does not have, as the paper
-    /// notes in §6: MPI receivers know every transfer's size in advance).
-    pub fn from_fn<F>(name: &str, probe_k: u32, build: F) -> Self
-    where
-        F: Fn(u32, u32) -> GlobalSchedule + Send + Sync + 'static,
-    {
-        SchedulePlanner {
-            algorithm: Algorithm::Custom {
-                name: name.to_owned(),
-            },
-            builder: Some(Box::new(build)),
-            probe_k: probe_k.max(1),
-            cache: std::sync::RwLock::new(BTreeMap::new()),
-            cache_hits: std::sync::atomic::AtomicU64::new(0),
-            cache_misses: std::sync::atomic::AtomicU64::new(0),
-        }
-    }
-
-    /// The algorithm this planner builds.
-    pub fn algorithm(&self) -> &Algorithm {
-        &self.algorithm
-    }
-
-    /// The (cached) global schedule for `n` members and `k` blocks.
-    ///
-    /// Hits take only the shared read lock. On a miss the schedule is
-    /// built *outside* any lock (two racing builders may do redundant
-    /// work, but schedule construction is pure so whichever insert lands
-    /// first wins and both callers agree).
-    pub fn plan(&self, n: u32, k: u32) -> Arc<GlobalSchedule> {
-        use std::sync::atomic::Ordering;
-        if let Some(hit) = self
-            .cache
-            .read()
-            .expect("schedule cache poisoned")
-            .get(&(n, k))
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(match &self.builder {
-            Some(build) => build(n, k),
-            None => GlobalSchedule::build(&self.algorithm, n, k),
-        });
-        let mut cache = self.cache.write().expect("schedule cache poisoned");
-        Arc::clone(cache.entry((n, k)).or_insert(built))
-    }
-
-    /// `(hits, misses)` of the schedule cache so far. A miss that races
-    /// another miss on the same key still counts once per caller.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering;
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
-    }
-
-    /// Who sends `rank` its first block in an `n`-member group (see
-    /// [`GlobalSchedule::first_sender`]; probed at this planner's
-    /// `probe_k`).
-    pub fn first_sender(&self, n: u32, rank: Rank) -> Option<Rank> {
-        self.plan(n, self.probe_k).first_sender(rank)
     }
 }

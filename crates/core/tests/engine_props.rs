@@ -24,10 +24,10 @@ fn run_interleaved(
     let mut engines = Vec::new();
     let mut channels: BTreeMap<(Rank, Rank), VecDeque<Event>> = BTreeMap::new();
     let mut delivered: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
-    let mut perform = |from: Rank,
-                       actions: Vec<Action>,
-                       channels: &mut BTreeMap<(Rank, Rank), VecDeque<Event>>,
-                       delivered: &mut Vec<Vec<u64>>| {
+    let perform = |from: Rank,
+                   actions: Vec<Action>,
+                   channels: &mut BTreeMap<(Rank, Rank), VecDeque<Event>>,
+                   delivered: &mut Vec<Vec<u64>>| {
         for action in actions {
             match action {
                 Action::SendReady { to } => channels

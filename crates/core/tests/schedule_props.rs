@@ -14,6 +14,46 @@ fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
     ]
 }
 
+/// An algorithm paired with a legal group size — includes both hybrid
+/// variants over an arbitrary rack assignment (so non-power-of-two group
+/// and rack sizes are exercised constantly).
+fn arb_algorithm_with_n() -> impl Strategy<Value = (Algorithm, u32)> {
+    let flat = (arb_algorithm(), 1u32..24).prop_map(|(alg, n)| (alg, n));
+    // Rack assignments: every rank gets a rack in 0..nr, remapped so the
+    // used rack ids are contiguous (the builders require rack ids to
+    // cover 0..#racks).
+    let hybrid = (
+        2u32..20,
+        2u32..5,
+        any::<bool>(),
+        prop::collection::vec(0u32..4, 2..20),
+    )
+        .prop_map(|(n, nr, pipelined, raw)| {
+            let mut rack_of: Vec<u32> = (0..n as usize)
+                .map(|i| raw.get(i % raw.len()).copied().unwrap_or(0) % nr)
+                .collect();
+            // Remap to contiguous rack ids 0..#used.
+            let mut seen: Vec<u32> = Vec::new();
+            for r in &mut rack_of {
+                let id = match seen.iter().position(|s| s == r) {
+                    Some(p) => p as u32,
+                    None => {
+                        seen.push(*r);
+                        (seen.len() - 1) as u32
+                    }
+                };
+                *r = id;
+            }
+            let alg = if pipelined {
+                Algorithm::HybridPipelined { rack_of }
+            } else {
+                Algorithm::Hybrid { rack_of }
+            };
+            (alg, n)
+        });
+    prop_oneof![flat, hybrid]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -74,6 +114,40 @@ proptest! {
         }
         prop_assert_eq!(out_total, g.num_transfers());
         prop_assert_eq!(in_total, g.num_transfers());
+    }
+
+    /// Exact partition: the multiset of `(step, from, to, block)` tuples
+    /// reassembled from the per-rank sender slices — and, independently,
+    /// from the per-rank receiver slices — is *identical* to the global
+    /// schedule's transfer list. Every transfer lands in exactly one
+    /// sender slice and exactly one receiver slice; nothing is dropped,
+    /// duplicated, or re-addressed by the slicing. Covers both hybrid
+    /// variants at non-power-of-two group and rack sizes.
+    #[test]
+    fn rank_slices_are_an_exact_partition((alg, n) in arb_algorithm_with_n(), k in 1u32..10) {
+        let g = GlobalSchedule::build(&alg, n, k);
+        let mut global: Vec<(u32, u32, u32, u32)> = g
+            .transfers()
+            .map(|(j, t)| (j, t.from, t.to, t.block))
+            .collect();
+        let mut from_senders = Vec::with_capacity(global.len());
+        let mut from_receivers = Vec::with_capacity(global.len());
+        for rank in 0..n {
+            let rs = g.for_rank(rank);
+            for &(j, t) in rs.outgoing() {
+                from_senders.push((j, rank, t.peer, t.block));
+            }
+            for peer in rs.in_peers().collect::<Vec<_>>() {
+                for &(j, block) in rs.incoming_from(peer) {
+                    from_receivers.push((j, peer, rank, block));
+                }
+            }
+        }
+        global.sort_unstable();
+        from_senders.sort_unstable();
+        from_receivers.sort_unstable();
+        prop_assert_eq!(&from_senders, &global, "{} n={} k={}: sender slices", alg, n, k);
+        prop_assert_eq!(&from_receivers, &global, "{} n={} k={}: receiver slices", alg, n, k);
     }
 
     /// The §4.4 closed-form send rule agrees with the built power-of-two

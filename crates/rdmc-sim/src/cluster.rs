@@ -358,6 +358,16 @@ impl SimCluster {
         while let Some((time, node, delivery)) = self.fabric.advance() {
             self.dispatch(time, node, delivery);
         }
+        // Runtime mirror of the analyzer's static posting-order lint: the
+        // ready-for-block discipline means no send ever finds its receiver
+        // without a posted receive, so the RNR machinery must never arm
+        // (§4.2) — not even on failure runs, where connections break via
+        // crash detection rather than retry exhaustion.
+        debug_assert_eq!(
+            self.fabric.stats().rnr_arms,
+            0,
+            "a send raced ahead of receive posting and armed an RNR timer"
+        );
     }
 
     /// Completion records for every message submitted so far.
@@ -560,6 +570,21 @@ impl SimCluster {
                     let _ =
                         self.fabric
                             .post_send(qp, WrId(u64::from(block)), bytes, total_size, None);
+                    // Debug-build mirror of the static invariant: a block
+                    // send is emitted only against a ready credit, and each
+                    // credit was granted after the matching receive was
+                    // posted — so the receiver's queue cannot be empty here
+                    // unless the connection already broke.
+                    #[cfg(debug_assertions)]
+                    {
+                        let peer_qp = self.groups[group].qps[&(to, rank)];
+                        let snap = self.fabric.posting_snapshot(peer_qp);
+                        debug_assert!(
+                            snap.broken || snap.posted_recvs >= 1,
+                            "group {group}: rank {rank} posted block {block} to {to} \
+                             with no receive posted at the target"
+                        );
+                    }
                 }
                 Action::AllocateBuffer { size } => {
                     // malloc on the critical path (§4.6) gates everything;

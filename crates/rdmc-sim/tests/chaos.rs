@@ -103,21 +103,21 @@ proptest! {
         // and bypasses the flow accounting entirely).
         let net = cluster.fabric().net();
         let topo = cluster.fabric().topology();
-        let mut expected_rx = vec![0.0f64; 10];
+        let mut expected_rx = [0.0f64; 10];
         for (plan, &id) in groups.iter().zip(&ids) {
             let _ = id;
             for &m in &plan.members[1..] {
                 expected_rx[m] += plan.messages.iter().map(|&s| s as f64).sum::<f64>();
             }
         }
-        for node in 0..10 {
+        for (node, &expected) in expected_rx.iter().enumerate() {
             let carried = net.bytes_carried(topo.rx_link(node));
             prop_assert!(
-                carried + 1024.0 >= expected_rx[node],
+                carried + 1024.0 >= expected,
                 "node {} downlink carried {} < expected {}",
                 node,
                 carried,
-                expected_rx[node]
+                expected
             );
         }
     }

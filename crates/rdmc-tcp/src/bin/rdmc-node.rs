@@ -13,6 +13,8 @@
 //! Every node prints a checksum per completed message; the root exits
 //! after a clean group close, certifying delivery everywhere (§4.6).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::mpsc;

@@ -373,7 +373,11 @@ impl FlowNet {
         let generation = self.generations[slot as usize];
         let id = FlowId::new(slot, generation);
         let mut frontier = std::mem::take(&mut self.scratch.frontier);
-        for l in &self.slots[slot as usize].as_ref().expect("just inserted").path {
+        for l in &self.slots[slot as usize]
+            .as_ref()
+            .expect("just inserted")
+            .path
+        {
             self.link_flows[l.0 as usize].push((slot, generation));
             self.link_live[l.0 as usize] += 1;
             frontier.push(l.0);
@@ -770,7 +774,7 @@ impl FlowNet {
         // live counts — no adjacency iteration at all. A real traversal
         // still runs every 64th reallocation to detect when components
         // shrink back below the threshold.
-        let probe = self.stats.count % 64 == 0;
+        let probe = self.stats.count.is_multiple_of(64);
         if self.full_mode && !probe {
             self.stats.full += 1;
             scratch.frontier.clear();

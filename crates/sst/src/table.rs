@@ -118,12 +118,18 @@ impl SstTable {
     /// Minimum of a column across all rows — the workhorse aggregate for
     /// stability tracking ("everyone has at least k").
     pub fn min_column(&self, col: u32) -> u64 {
-        (0..self.rows).map(|r| self.get(r, col)).min().expect("rows >= 1")
+        (0..self.rows)
+            .map(|r| self.get(r, col))
+            .min()
+            .expect("rows >= 1")
     }
 
     /// Maximum of a column across all rows.
     pub fn max_column(&self, col: u32) -> u64 {
-        (0..self.rows).map(|r| self.get(r, col)).max().expect("rows >= 1")
+        (0..self.rows)
+            .map(|r| self.get(r, col))
+            .max()
+            .expect("rows >= 1")
     }
 
     /// Sum of a column across all rows.
@@ -158,13 +164,16 @@ impl SstCluster {
         let mut qps: Vec<Vec<Option<QpHandle>>> = vec![vec![None; n]; n];
         for a in 0..n {
             for b in a + 1..n {
-                let (qa, qb) =
-                    fabric.connect(NodeId(members[a] as u32), NodeId(members[b] as u32));
+                let (qa, qb) = fabric.connect(NodeId(members[a] as u32), NodeId(members[b] as u32));
                 qps[a][b] = Some(qa);
                 qps[b][a] = Some(qb);
             }
         }
-        SstCluster { fabric, tables, qps }
+        SstCluster {
+            fabric,
+            tables,
+            qps,
+        }
     }
 
     /// Member `rank`'s local replica.
@@ -224,7 +233,7 @@ impl SstCluster {
 
     fn owner_of(&self, qp: QpHandle) -> usize {
         for (a, row) in self.qps.iter().enumerate() {
-            if row.iter().any(|&q| q == Some(qp)) {
+            if row.contains(&Some(qp)) {
                 return a;
             }
         }

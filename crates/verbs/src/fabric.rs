@@ -133,6 +133,34 @@ pub struct FabricStats {
     pub cpu_requeues: u64,
     /// Linear connection scans for in-flight flows.
     pub inflight_scans: u64,
+    /// Times a send found its peer without a posted receive and armed the
+    /// RNR retry timer. Under RDMC's ready-for-block discipline this stays
+    /// zero on healthy runs (§4.2); a non-zero count means senders are
+    /// racing ahead of receive posting and burning retry budget.
+    pub rnr_arms: u64,
+}
+
+/// A snapshot of one queue-pair endpoint's posting state, for static
+/// analysis and debug-build invariant checks. `queued_sends` counts sends
+/// not yet on the wire (including one blocked on receiver-not-ready);
+/// `posted_recvs` counts receives not yet consumed. A non-zero
+/// `rnr_started` with an empty peer receive queue is exactly the posting
+/// window RDMC's ready-for-block protocol exists to keep closed (§4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PostingSnapshot {
+    /// Sends posted on this endpoint that have not started transmitting.
+    pub queued_sends: usize,
+    /// Whether a send from this endpoint is currently on the wire.
+    pub send_inflight: bool,
+    /// Receives posted at this endpoint and not yet consumed.
+    pub posted_recvs: usize,
+    /// Whether this endpoint's head-of-line send has an RNR timer armed
+    /// (it found the peer without a posted receive).
+    pub rnr_armed: bool,
+    /// Remaining RNR retries before the connection breaks.
+    pub rnr_remaining: u32,
+    /// Whether the connection has broken.
+    pub broken: bool,
 }
 
 /// The simulated RDMA fabric. See the crate docs for an end-to-end
@@ -211,6 +239,24 @@ impl Fabric {
     /// Fabric-wide hardware constants.
     pub fn params(&self) -> &FabricParams {
         &self.params
+    }
+
+    /// Posting-order metadata for one queue-pair endpoint: what is queued,
+    /// what is posted, and how close the endpoint is to RNR exhaustion.
+    /// Static analyses (the `analyzer` crate) and debug-build runtime
+    /// mirrors use this to check the receive-before-send discipline
+    /// without disturbing the simulation.
+    pub fn posting_snapshot(&self, qp: QpHandle) -> PostingSnapshot {
+        let conn = &self.conns[qp.conn as usize];
+        let d = &conn.dirs[qp.end as usize];
+        PostingSnapshot {
+            queued_sends: d.queue.len(),
+            send_inflight: d.inflight.is_some(),
+            posted_recvs: conn.recvs[qp.end as usize].len(),
+            rnr_armed: d.rnr_armed,
+            rnr_remaining: d.rnr_remaining,
+            broken: conn.broken,
+        }
     }
 
     /// Sets a node's host cost profile.
@@ -627,6 +673,7 @@ impl Fabric {
                             Decision::Nothing
                         } else {
                             d.rnr_armed = true;
+                            self.stats.rnr_arms += 1;
                             Decision::ArmRnr { epoch: d.rnr_epoch }
                         }
                     }

@@ -59,7 +59,7 @@ mod fabric;
 pub mod perf;
 mod types;
 
-pub use fabric::{Fabric, FabricStats};
+pub use fabric::{Fabric, FabricStats, PostingSnapshot};
 pub use types::{
     CompletionMode, CpuReport, Delivery, FabricParams, NodeId, QpHandle, VerbsError, WaitSpec, WrId,
 };

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(cluster.nodes()[0].send(42, payload));
     }
     // Every member (including the root) gets a completion per message.
-    let mut seen = vec![0usize; NODES];
+    let mut seen = [0usize; NODES];
     for _ in 0..NODES * MESSAGES {
         let (node, sum) = rx.recv()?;
         let idx = seen[node as usize];

@@ -11,6 +11,8 @@
 //! - [`rdmc_tcp`] — the real-TCP port of the protocol (paper section 5.3).
 //! - [`sst`], [`baselines`], [`workloads`] — comparators and workloads.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use rdmc;
 pub use rdmc_sim;

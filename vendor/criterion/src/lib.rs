@@ -89,7 +89,11 @@ impl BenchmarkGroup<'_> {
         } else {
             0.0
         };
-        println!("{full}: {} ({} iterations)", format_ns(mean_ns), bencher.iters);
+        println!(
+            "{full}: {} ({} iterations)",
+            format_ns(mean_ns),
+            bencher.iters
+        );
         self
     }
 
@@ -119,8 +123,8 @@ impl Bencher {
             // reads; a batch never overshoots the budget by more than ~2x.
             let remaining = self.budget.saturating_sub(elapsed);
             let per_iter = elapsed.as_nanos().max(1) / iters as u128;
-            let batch = (remaining.as_nanos() / per_iter.max(1))
-                .clamp(1, iters.max(1) as u128 * 2) as u64;
+            let batch =
+                (remaining.as_nanos() / per_iter.max(1)).clamp(1, iters.max(1) as u128 * 2) as u64;
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());

@@ -161,7 +161,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter_map {:?} rejected 10000 consecutive draws", self.whence);
+        panic!(
+            "prop_filter_map {:?} rejected 10000 consecutive draws",
+            self.whence
+        );
     }
 }
 
@@ -183,7 +186,10 @@ pub struct Union<T>(Vec<BoxedStrategy<T>>);
 impl<T: Debug> Union<T> {
     /// A union over the given branches; must be non-empty.
     pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
         Union(branches)
     }
 }
@@ -270,20 +276,29 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
@@ -296,7 +311,10 @@ impl SizeRange {
 /// A `Vec` whose length is drawn from `size` and whose elements are drawn
 /// from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec`].
@@ -449,7 +467,11 @@ mod tests {
 
     #[test]
     fn union_hits_every_branch() {
-        let u = Union::new(vec![Just(0u8).boxed(), Just(1u8).boxed(), Just(2u8).boxed()]);
+        let u = Union::new(vec![
+            Just(0u8).boxed(),
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+        ]);
         let mut rng = TestRng::new(4);
         let mut seen = [false; 3];
         for _ in 0..100 {

@@ -103,7 +103,10 @@ impl_sample_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
 
 impl SampleUniform for f64 {
     fn sample_inclusive<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad f64 range");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad f64 range"
+        );
         lo + unit_f64(rng.next_u64()) * (hi - lo)
     }
 }
