@@ -25,8 +25,14 @@
 //!   over in-order connections) for small `n, k` and proves there are no
 //!   stuck states and that every terminal state has delivered all `k`
 //!   blocks at every rank.
+//! - [`resume`] — a model checker for **recovery resume schedules**
+//!   (the `recovery` crate's planner output): exact missing-block
+//!   coverage, causality rooted at wedge-time holdings, strict port
+//!   budgets, and survivors-only addressing. The sweep drives it over
+//!   every wedge point of the binomial pipeline with every single- and
+//!   double-failure pattern.
 //!
-//! [`sweep`] runs all three over an `(algorithm, n, k)` grid; the
+//! [`sweep`] runs all of these over an `(algorithm, n, k)` grid; the
 //! `analyzer` binary (`cargo run -p analyzer -- --sweep`) drives it from
 //! the command line and exits non-zero on any violation.
 
@@ -36,9 +42,11 @@
 pub mod deadlock;
 pub mod model;
 pub mod reach;
+pub mod resume;
 pub mod sweep;
 
 pub use deadlock::{lint_schedule, DeadlockReport};
 pub use model::{check_schedule, ModelReport, PortBudget, StepBound, TraceEntry, Violation};
 pub use reach::{explore, ReachConfig, ReachReport};
+pub use resume::{check_resume_schedule, check_resume_schedule_with};
 pub use sweep::{sweep, SweepConfig, SweepReport};

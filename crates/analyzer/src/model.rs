@@ -499,7 +499,7 @@ fn provenance_of(delivered: &[Vec<Option<TraceEntry>>], entry: TraceEntry) -> Ve
     chain
 }
 
-fn port_conflicts(
+pub(crate) fn port_conflicts(
     step_idx: u32,
     step: &[rdmc::schedule::GlobalTransfer],
     n: u32,

@@ -1,0 +1,281 @@
+//! Model checking for *resume* schedules — the recovery planner's output.
+//!
+//! A resume schedule differs from a fresh multicast in exactly one
+//! respect: block possession does not start concentrated at the root, it
+//! starts wherever the wedge left it. That changes what "correct" means:
+//!
+//! - **Exact missing-block coverage**: every survivor must receive every
+//!   block it *lacks* — and none it already holds. Retransmitting a held
+//!   block is a violation here (the whole point of block-wise resume is
+//!   that only missing blocks move), where the fresh-schedule checker
+//!   would merely call it a duplicate.
+//! - **Causality from the initial holdings**: a rank may relay a block
+//!   only if it held it at the wedge or received it in a strictly
+//!   earlier step.
+//! - **Port budgets**: one send and one receive per rank per step —
+//!   resume schedules are custom-built, so they get no shadow-vertex
+//!   allowance unless the caller grants one.
+//! - **Survivors only**: every rank named by the schedule must be a
+//!   new-epoch (survivor) rank. An out-of-range rank is a send to a
+//!   failed member by construction, since survivors are renumbered
+//!   densely from zero.
+//!
+//! Violations reuse the [`model`](crate::model) vocabulary so sweep
+//! reports read uniformly; [`check_resume_schedule`] is the entry point
+//! and [`crate::sweep`] drives it over binomial pipelines cut at every
+//! step with every failure pattern.
+
+use rdmc::schedule::GlobalSchedule;
+
+use crate::model::{ModelReport, PortBudget, TraceEntry, Violation};
+
+/// Model-checks a resume schedule against the survivors' wedge-time
+/// holdings (`holdings[r][b]` = new-epoch rank `r` held block `b` when
+/// the group wedged), under a strict one-send-one-receive budget.
+pub fn check_resume_schedule(schedule: &GlobalSchedule, holdings: &[Vec<bool>]) -> ModelReport {
+    check_resume_schedule_with(schedule, holdings, PortBudget { send: 1, recv: 1 })
+}
+
+/// [`check_resume_schedule`] with an explicit port budget.
+///
+/// # Panics
+///
+/// Panics if `holdings` does not match the schedule's shape (one bitmap
+/// per rank, one bit per block) — that is a harness bug, not a schedule
+/// defect.
+pub fn check_resume_schedule_with(
+    schedule: &GlobalSchedule,
+    holdings: &[Vec<bool>],
+    budget: PortBudget,
+) -> ModelReport {
+    let n = schedule.num_nodes();
+    let k = schedule.num_blocks();
+    assert_eq!(holdings.len(), n as usize, "one bitmap per survivor");
+    assert!(
+        holdings.iter().all(|h| h.len() == k as usize),
+        "one bit per block"
+    );
+    let mut violations = Vec::new();
+
+    // delivered[rank][block] = the transfer that delivered it in THIS
+    // schedule (initial holdings are not deliveries).
+    let mut delivered: Vec<Vec<Option<TraceEntry>>> = vec![vec![None; k as usize]; n as usize];
+    // holds[rank][block]: relayable now — wedge-time holdings up front,
+    // receipts maturing at the next step.
+    let mut holds: Vec<Vec<bool>> = holdings.to_vec();
+
+    for j in 0..schedule.num_steps() {
+        let step = schedule.step(j);
+        for t in step {
+            let entry = TraceEntry {
+                step: j,
+                from: t.from,
+                to: t.to,
+                block: t.block,
+            };
+            if t.from >= n || t.to >= n || t.block >= k {
+                // Survivors are renumbered densely, so any out-of-range
+                // rank is a transfer touching a failed member.
+                violations.push(Violation::Malformed { transfer: entry });
+                continue;
+            }
+            if t.from == t.to {
+                violations.push(Violation::SelfSend { transfer: entry });
+                continue;
+            }
+            if !holds[t.from as usize][t.block as usize] {
+                violations.push(Violation::SendWithoutBlock {
+                    transfer: entry,
+                    provenance: Vec::new(), // provenance roots at holdings, not rank 0
+                });
+            }
+            // "Exactly the missing blocks": receiving a block the rank
+            // held at the wedge is as redundant as receiving one twice.
+            if holdings[t.to as usize][t.block as usize] {
+                violations.push(Violation::DuplicateDelivery {
+                    transfer: entry,
+                    first: entry, // held since the wedge; no delivering transfer exists
+                });
+            } else if let Some(first) = delivered[t.to as usize][t.block as usize] {
+                violations.push(Violation::DuplicateDelivery {
+                    transfer: entry,
+                    first,
+                });
+            } else {
+                delivered[t.to as usize][t.block as usize] = Some(entry);
+            }
+        }
+        for t in step {
+            if t.from < n && t.to < n && t.block < k && t.from != t.to {
+                holds[t.to as usize][t.block as usize] = true;
+            }
+        }
+        violations.extend(crate::model::port_conflicts(j, step, n, budget));
+    }
+
+    for rank in 0..n {
+        for block in 0..k {
+            if !holdings[rank as usize][block as usize]
+                && delivered[rank as usize][block as usize].is_none()
+            {
+                violations.push(Violation::MissingBlock { rank, block });
+            }
+        }
+    }
+
+    ModelReport {
+        algorithm: format!("resume:{}", schedule.algorithm()),
+        n,
+        k,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdmc::schedule::{GlobalSchedule, GlobalTransfer};
+
+    fn custom(n: u32, k: u32, steps: Vec<Vec<GlobalTransfer>>) -> GlobalSchedule {
+        GlobalSchedule::from_custom_steps("resume", n, k, steps)
+    }
+
+    #[test]
+    fn exact_resume_is_clean() {
+        // Rank 0 holds both blocks, rank 1 holds none: two steps, one
+        // block each.
+        let s = custom(
+            2,
+            2,
+            vec![
+                vec![GlobalTransfer {
+                    from: 0,
+                    to: 1,
+                    block: 0,
+                }],
+                vec![GlobalTransfer {
+                    from: 0,
+                    to: 1,
+                    block: 1,
+                }],
+            ],
+        );
+        let holdings = vec![vec![true, true], vec![false, false]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn retransmitting_a_held_block_is_flagged() {
+        let s = custom(
+            2,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 0,
+                to: 1,
+                block: 0,
+            }]],
+        );
+        // Rank 1 already holds block 0: nothing should move.
+        let holdings = vec![vec![true], vec![true]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::DuplicateDelivery { .. })),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn relaying_before_receipt_is_flagged() {
+        // Rank 1 forwards block 0 in the same step it receives it.
+        let s = custom(
+            3,
+            1,
+            vec![vec![
+                GlobalTransfer {
+                    from: 0,
+                    to: 1,
+                    block: 0,
+                },
+                GlobalTransfer {
+                    from: 1,
+                    to: 2,
+                    block: 0,
+                },
+            ]],
+        );
+        let holdings = vec![vec![true], vec![false], vec![false]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::SendWithoutBlock { .. })),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn uncovered_hole_is_flagged() {
+        let s = custom(2, 2, vec![]);
+        let holdings = vec![vec![true, true], vec![true, false]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert_eq!(
+            r.violations,
+            vec![Violation::MissingBlock { rank: 1, block: 1 }]
+        );
+    }
+
+    #[test]
+    fn transfer_to_a_failed_rank_is_flagged() {
+        // Rank 2 does not exist in the two-survivor epoch: a send to it
+        // is a send to a failed member.
+        let s = custom(
+            2,
+            1,
+            vec![vec![GlobalTransfer {
+                from: 0,
+                to: 2,
+                block: 0,
+            }]],
+        );
+        let holdings = vec![vec![true], vec![true]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::Malformed { .. })),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn port_budget_is_strict_by_default() {
+        // Rank 0 sends two blocks in one step.
+        let s = custom(
+            3,
+            2,
+            vec![vec![
+                GlobalTransfer {
+                    from: 0,
+                    to: 1,
+                    block: 0,
+                },
+                GlobalTransfer {
+                    from: 0,
+                    to: 2,
+                    block: 1,
+                },
+            ]],
+        );
+        let holdings = vec![vec![true, true], vec![true, false], vec![false, true]];
+        let r = check_resume_schedule(&s, &holdings);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::SendPortConflict { .. })),
+            "{r}"
+        );
+    }
+}

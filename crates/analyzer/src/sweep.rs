@@ -1,14 +1,19 @@
 //! The exhaustive `(algorithm, n, k)` sweep: model-checks and
-//! deadlock-lints every generator over the full grid, and runs the
-//! engine reachability proof on the small corner where exhaustive state
-//! enumeration is feasible.
+//! deadlock-lints every generator over the full grid, runs the engine
+//! reachability proof on the small corner where exhaustive state
+//! enumeration is feasible, and model-checks the recovery planner's
+//! resume schedules over every wedge point of the binomial pipeline.
+
+use std::collections::BTreeSet;
 
 use rdmc::schedule::GlobalSchedule;
 use rdmc::Algorithm;
+use recovery::{plan_message_resume, survivor_map, MessagePlan};
 
 use crate::deadlock::{lint_schedule, DeadlockReport};
-use crate::model::{check_schedule, ModelReport};
+use crate::model::{check_schedule, ModelReport, Violation};
 use crate::reach::{explore, ReachConfig, ReachReport};
+use crate::resume::check_resume_schedule;
 
 /// Grid parameters for one sweep.
 #[derive(Clone, Debug)]
@@ -25,6 +30,9 @@ pub struct SweepConfig {
     pub ready_windows: Vec<u32>,
     /// Whether to run the engine reachability corner.
     pub reachability: bool,
+    /// Whether to model-check recovery resume schedules (binomial
+    /// pipelines cut at every step, every failure pattern).
+    pub resume: bool,
 }
 
 impl Default for SweepConfig {
@@ -35,6 +43,7 @@ impl Default for SweepConfig {
             rack_counts: vec![2, 3, 4, 8],
             ready_windows: vec![1, 2],
             reachability: true,
+            resume: true,
         }
     }
 }
@@ -48,6 +57,7 @@ impl SweepConfig {
             rack_counts: vec![2, 3],
             ready_windows: vec![1],
             reachability: true,
+            resume: true,
         }
     }
 }
@@ -63,6 +73,8 @@ pub struct SweepReport {
     pub reach_runs: usize,
     /// Total states visited across reachability runs.
     pub reach_states: usize,
+    /// Resume plans model-checked (wedge point x failure pattern).
+    pub resumes_checked: usize,
     /// Model-checker reports with violations.
     pub model_failures: Vec<ModelReport>,
     /// Deadlock reports with cycles or premature sends.
@@ -70,6 +82,9 @@ pub struct SweepReport {
     /// Reachability reports with stuck states, engine errors, or
     /// truncation.
     pub reach_failures: Vec<ReachReport>,
+    /// Resume-schedule reports with violations (including planner
+    /// verdicts that disagree with ground-truth block coverage).
+    pub resume_failures: Vec<ModelReport>,
 }
 
 impl SweepReport {
@@ -78,6 +93,7 @@ impl SweepReport {
         self.model_failures.is_empty()
             && self.deadlock_failures.is_empty()
             && self.reach_failures.is_empty()
+            && self.resume_failures.is_empty()
     }
 }
 
@@ -85,8 +101,12 @@ impl std::fmt::Display for SweepReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "swept {} schedules, {} deadlock lints, {} reachability runs ({} states)",
-            self.schedules_checked, self.lints_run, self.reach_runs, self.reach_states
+            "swept {} schedules, {} deadlock lints, {} reachability runs ({} states), {} resume plans",
+            self.schedules_checked,
+            self.lints_run,
+            self.reach_runs,
+            self.reach_states,
+            self.resumes_checked
         )?;
         if self.is_clean() {
             write!(f, "all invariants hold")
@@ -100,12 +120,16 @@ impl std::fmt::Display for SweepReport {
             for r in &self.reach_failures {
                 writeln!(f, "REACH: {r}")?;
             }
+            for r in &self.resume_failures {
+                writeln!(f, "RESUME: {r}")?;
+            }
             write!(
                 f,
-                "{} model / {} deadlock / {} reachability failure(s)",
+                "{} model / {} deadlock / {} reachability / {} resume failure(s)",
                 self.model_failures.len(),
                 self.deadlock_failures.len(),
-                self.reach_failures.len()
+                self.reach_failures.len(),
+                self.resume_failures.len()
             )
         }
     }
@@ -207,7 +231,93 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
             }
         }
     }
+
+    if config.resume {
+        sweep_resume(&mut report, config.max_n);
+    }
     report
+}
+
+/// Model-checks the recovery planner over every wedge point of the
+/// binomial pipeline: for each `(n, k)` on the grid, cut the schedule at
+/// every step boundary, fail every single rank (and every rank pair at
+/// small `n` — concurrent failures), plan the survivors' resume, and
+/// check it against the wedge-time holdings. Planner verdicts are also
+/// cross-checked against ground truth: `Unrecoverable` must coincide
+/// exactly with a block losing its last copy.
+fn sweep_resume(report: &mut SweepReport, max_n: u32) {
+    for n in 2..=max_n.min(10) {
+        for k in [1u32, 2, 4, 8] {
+            let g = GlobalSchedule::build(&Algorithm::BinomialPipeline, n, k);
+            for cut in 0..=g.num_steps() {
+                // Holdings at the wedge: everything delivered in steps
+                // strictly before `cut` (the root holds all from the
+                // start).
+                let mut held: Vec<Vec<bool>> = vec![vec![false; k as usize]; n as usize];
+                held[0] = vec![true; k as usize];
+                for j in 0..cut {
+                    for t in g.step(j) {
+                        held[t.to as usize][t.block as usize] = true;
+                    }
+                }
+                let mut failure_sets: Vec<BTreeSet<u32>> =
+                    (0..n).map(|f| BTreeSet::from([f])).collect();
+                if (3..=6).contains(&n) {
+                    for a in 0..n {
+                        for b in a + 1..n {
+                            failure_sets.push(BTreeSet::from([a, b]));
+                        }
+                    }
+                }
+                for failed in failure_sets {
+                    let survivors = survivor_map(n, &failed);
+                    let holdings: Vec<Vec<bool>> = survivors
+                        .iter()
+                        .map(|&r| held[r as usize].clone())
+                        .collect();
+                    let covered = (0..k as usize).all(|b| holdings.iter().any(|h| h[b]));
+                    report.resumes_checked += 1;
+                    match plan_message_resume(&holdings) {
+                        MessagePlan::Resume { schedule, .. } => {
+                            if !covered {
+                                report.resume_failures.push(ModelReport {
+                                    algorithm: "resume:planner-verdict".into(),
+                                    n,
+                                    k,
+                                    violations: vec![Violation::BuildRejected {
+                                        reason: format!(
+                                            "planner resumed despite a lost block \
+                                             (cut {cut}, failed {failed:?})"
+                                        ),
+                                    }],
+                                });
+                                continue;
+                            }
+                            let r = check_resume_schedule(&schedule, &holdings);
+                            if !r.is_clean() {
+                                report.resume_failures.push(r);
+                            }
+                        }
+                        MessagePlan::Unrecoverable => {
+                            if covered {
+                                report.resume_failures.push(ModelReport {
+                                    algorithm: "resume:planner-verdict".into(),
+                                    n,
+                                    k,
+                                    violations: vec![Violation::BuildRejected {
+                                        reason: format!(
+                                            "planner gave up on a covered message \
+                                             (cut {cut}, failed {failed:?})"
+                                        ),
+                                    }],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The reachability corner: small shapes covering every schedule

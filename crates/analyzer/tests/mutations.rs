@@ -261,8 +261,10 @@ fn sweep_over_a_small_grid_is_clean() {
         rack_counts: vec![2],
         ready_windows: vec![1],
         reachability: false,
+        resume: true,
     });
     assert!(report.is_clean(), "{report}");
     assert!(report.schedules_checked > 0);
     assert!(report.lints_run > 0);
+    assert!(report.resumes_checked > 0);
 }

@@ -84,6 +84,7 @@ fn main() {
         ("fig11", e::fig11_interrupts),
         ("fig12", e::fig12_core_direct),
         ("robustness", e::robustness_analysis),
+        ("recovery", e::recovery_failover),
         ("sst", e::sst_small_messages),
         ("kernel", e::kernel_throughput),
         ("analyzer", e::analyzer_sweep),

@@ -7,7 +7,7 @@ use baselines::run_mvapich_multicast;
 use rdmc::{analysis, Algorithm};
 use rdmc_sim::{
     run_concurrent_overlapping, run_offloaded_chain, run_single_multicast, ClusterSpec, GroupSpec,
-    SimCluster, TopoSpec, TraceKind,
+    RecoveryConfig, SimCluster, TopoSpec, TraceKind,
 };
 use simnet::{JitterModel, SimDuration};
 use verbs::CompletionMode;
@@ -732,6 +732,87 @@ pub fn robustness_analysis(quick: bool) -> String {
         "\nScheduling jitter (2% of actions delayed 50-150us on every node): slowdown {:.2}x\n\n",
         jittered.as_secs_f64() / clean.latency.as_secs_f64()
     ));
+    out
+}
+
+/// Epoch-based failure recovery: detection latency, reconfiguration
+/// time, and resumed-transfer completion against the failure-free
+/// baseline. A mid-group member crashes at one third of the failure-free
+/// protocol steps; the membership layer reconfigures the wedged group
+/// and the resume planner retransmits only the missing blocks.
+pub fn recovery_failover(quick: bool) -> String {
+    let msg = if quick { 16 * MB } else { 64 * MB };
+    let groups: Vec<usize> = if quick { vec![4, 8] } else { vec![4, 8, 16] };
+    let mut out = String::from(
+        "Epoch-based failure recovery (the paper's §2.4 membership assumption made concrete)\n\n",
+    );
+    let rows = par_map(&groups, |&n| {
+        let spec = ClusterSpec::fractus(n);
+        let run = |crash: Option<(usize, u64)>| {
+            let mut cluster = SimCluster::new(spec.build());
+            cluster.enable_recovery(RecoveryConfig::default());
+            let group = cluster.create_group(pipeline_group_spec(
+                (0..n).collect(),
+                MB,
+                Algorithm::BinomialPipeline,
+            ));
+            if let Some((victim, step)) = crash {
+                cluster.crash_after_events(victim, step);
+            }
+            cluster.submit_send(group, msg);
+            cluster.run();
+            cluster
+        };
+        let baseline = run(None);
+        let base_lat = baseline.message_results()[0]
+            .latency()
+            .expect("failure-free run completes");
+        let steps = baseline.events_fed();
+        let victim = n / 2;
+        let cluster = run(Some((victim, steps / 3)));
+        let stats = cluster.recovery_stats();
+        let det = &stats.detections[0];
+        let rc = &stats.reconfigurations[0];
+        let detect = det
+            .suspected_at
+            .since(cluster.crash_time(victim).expect("victim crashed"));
+        let reconf = rc.installed_at.since(rc.first_suspected_at);
+        let msg0 = &cluster.message_results()[0];
+        let completed = cluster
+            .surviving_ranks(0)
+            .iter()
+            .filter_map(|&o| msg0.delivered_at[o as usize])
+            .max()
+            .expect("survivors completed the resumed transfer");
+        let total = completed.since(msg0.submitted);
+        let k = msg.div_ceil(MB) as usize;
+        row![
+            n,
+            format!("{:.2}", detect.as_secs_f64() * 1e3),
+            format!("{:.2}", reconf.as_secs_f64() * 1e3),
+            format!("{}/{}", rc.resumed_blocks, k * (n - 2)),
+            format!("{:.1}", base_lat.as_secs_f64() * 1e3),
+            format!("{:.1}", total.as_secs_f64() * 1e3),
+            format!("{:.2}x", total.as_secs_f64() / base_lat.as_secs_f64())
+        ]
+    });
+    out.push_str(&render(
+        &row![
+            "n",
+            "detect (ms)",
+            "reconfig (ms)",
+            "resent/full blocks",
+            "no-fault (ms)",
+            "crash+resume (ms)",
+            "slowdown"
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\ncrash lands at 1/3 of the failure-free protocol steps; detect = crash to first\n\
+         suspicion; reconfig = first suspicion to new-epoch install; \"resent\" counts the\n\
+         resume schedule's transfers against a full re-multicast to every non-root survivor\n",
+    );
     out
 }
 

@@ -22,8 +22,14 @@
 //!   always pre-posted and RNR retries never fire (§4.2). Readiness is
 //!   credit-based, granted [`EngineConfig::ready_window`] transfers ahead.
 //! - **Failure wedging.** On a peer failure the group stops transmitting
-//!   and relays the notice so every survivor learns (§3 property 6); the
-//!   application is expected to destroy and re-create the group.
+//!   and relays the notice so every survivor learns (§3 property 6).
+//! - **Epoch-based recovery.** Once the survivors agree on the failure
+//!   set, a membership layer calls [`GroupEngine::install_epoch`] with the
+//!   surviving membership and per-message *resume* schedules that
+//!   retransmit exactly the blocks each survivor was missing at the
+//!   wedge; the engine then continues in the new epoch. Wedge-only
+//!   operation (destroy and re-create the group by hand) remains the
+//!   pre-recovery subset of this machinery.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -200,6 +206,54 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// One interrupted message's continuation plan for a member, installed
+/// with [`GroupEngine::install_epoch`]. Built by the membership layer
+/// (the `recovery` crate) from every survivor's received-block bitmap:
+/// the schedule's incoming transfers are exactly this member's missing
+/// blocks, and its outgoing transfers only ever carry blocks the member
+/// holds (initially or after a scheduled receive).
+#[derive(Clone, Debug)]
+pub struct ResumeTransfer {
+    /// The message's total size in bytes.
+    pub total_size: u64,
+    /// This member's slice of the resume schedule, expressed in
+    /// *new-epoch* ranks.
+    pub sched: RankSchedule,
+    /// Which blocks this member already holds from the old epoch.
+    pub have: Vec<bool>,
+    /// True if the member already delivered the message before the wedge
+    /// (it participates to re-seed others but must not deliver twice).
+    pub already_delivered: bool,
+}
+
+/// A new-epoch installation order for one member: its new rank, the
+/// surviving group size, and the interrupted messages to finish first
+/// (in original submission order).
+#[derive(Clone, Debug)]
+pub struct EpochInstall {
+    /// Monotonically increasing epoch number (the initial epoch is 0).
+    pub epoch: u64,
+    /// This member's rank in the new epoch.
+    pub rank: Rank,
+    /// Surviving group size.
+    pub num_nodes: u32,
+    /// Interrupted messages to resume, oldest first.
+    pub resumes: Vec<ResumeTransfer>,
+}
+
+/// A snapshot of one not-yet-delivered (or delivered-but-still-relaying)
+/// message at a wedged member, exported for the membership layer to plan
+/// resumes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferStatus {
+    /// The message's total size in bytes.
+    pub total_size: u64,
+    /// Received-block bitmap (true = this member holds the block).
+    pub have: Vec<bool>,
+    /// Whether the member already delivered the message locally.
+    pub delivered: bool,
+}
+
 /// State of an in-progress message transfer at this member.
 #[derive(Clone, Debug)]
 struct ActiveTransfer {
@@ -234,6 +288,11 @@ pub struct GroupEngine {
     failed: BTreeSet<Rank>,
     wedged: bool,
     messages_completed: u64,
+    /// Current configuration epoch (bumped by `install_epoch`).
+    epoch: u64,
+    /// Interrupted messages awaiting resumption in the current epoch,
+    /// oldest first; drained before any newly queued send.
+    pending_resumes: VecDeque<ResumeTransfer>,
 }
 
 impl GroupEngine {
@@ -271,19 +330,27 @@ impl GroupEngine {
                 failed: BTreeSet::new(),
                 wedged: false,
                 messages_completed: 0,
+                epoch: 0,
+                pending_resumes: VecDeque::new(),
             },
             actions,
         )
     }
 
-    /// This member's rank.
+    /// This member's rank (in the current epoch).
     pub fn rank(&self) -> Rank {
         self.config.rank
     }
 
-    /// True when no transfer is active and none is queued.
+    /// The current configuration epoch (0 until a reconfiguration).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when no transfer is active, none is queued, and no resume is
+    /// pending.
     pub fn is_idle(&self) -> bool {
-        self.active.is_none() && self.send_queue.is_empty()
+        self.active.is_none() && self.send_queue.is_empty() && self.pending_resumes.is_empty()
     }
 
     /// True once a failure has wedged the group (no further transfers).
@@ -301,6 +368,141 @@ impl GroupEngine {
         self.messages_completed
     }
 
+    /// The active transfer's received-block bitmap (true = held), or
+    /// `None` while idle. At a wedge this is exactly what the membership
+    /// layer reports to plan block-wise resumption.
+    pub fn received_blocks(&self) -> Option<&[bool]> {
+        self.active.as_ref().map(|t| t.have.as_slice())
+    }
+
+    /// Root only: sizes of messages accepted but not yet begun (the
+    /// membership layer uses this to tell "never started" from
+    /// "interrupted" at a wedge).
+    pub fn queued_sizes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.send_queue.iter().copied()
+    }
+
+    /// Every message this member has begun but not fully finished with —
+    /// the active transfer followed by any still-pending resumes, oldest
+    /// first. Messages whose `delivered` flag is set were handed to the
+    /// application before the wedge but may still owe relays to peers.
+    pub fn incomplete_transfers(&self) -> Vec<TransferStatus> {
+        let mut out = Vec::new();
+        if let Some(t) = &self.active {
+            out.push(TransferStatus {
+                total_size: t.layout.size,
+                have: t.have.clone(),
+                delivered: t.delivered,
+            });
+        }
+        for r in &self.pending_resumes {
+            out.push(TransferStatus {
+                total_size: r.total_size,
+                have: r.have.clone(),
+                delivered: r.already_delivered,
+            });
+        }
+        out
+    }
+
+    /// Installs a new configuration epoch on a wedged member: adopts the
+    /// surviving membership (`rank` / `num_nodes` are in new-epoch
+    /// numbering), clears the failure state, and begins working through
+    /// the resume plans — then any still-queued sends. Returns the
+    /// actions to perform, exactly like [`GroupEngine::handle`].
+    ///
+    /// The caller (membership layer) must install compatible epochs on
+    /// every survivor: same epoch number, same message list, schedules
+    /// drawn from one global resume plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not wedged, the epoch does not advance,
+    /// the new shape is nonsensical, or a resume's bitmap disagrees with
+    /// its schedule's block count.
+    pub fn install_epoch(&mut self, install: EpochInstall) -> Vec<Action> {
+        assert!(self.wedged, "install_epoch requires a wedged engine");
+        assert!(install.epoch > self.epoch, "epoch must advance");
+        assert!(install.num_nodes >= 1, "new epoch needs members");
+        assert!(install.rank < install.num_nodes, "new rank out of range");
+        for r in &install.resumes {
+            let layout = MessageLayout::new(r.total_size, self.config.block_size);
+            assert_eq!(
+                r.have.len(),
+                layout.num_blocks as usize,
+                "resume bitmap length disagrees with the block count"
+            );
+        }
+        self.epoch = install.epoch;
+        self.config.rank = install.rank;
+        self.config.num_nodes = install.num_nodes;
+        self.failed.clear();
+        self.wedged = false;
+        // Old-epoch credits and the interrupted transfer die with the old
+        // connections; resumes restate everything in new-epoch terms.
+        self.credits.clear();
+        self.active = None;
+        self.pending_resumes = install.resumes.into();
+        if self.config.rank != 0 {
+            // Queued sends belong to the root; a member that is no longer
+            // rank 0 can never multicast them.
+            self.send_queue.clear();
+        }
+        let mut actions = Vec::new();
+        self.begin_next_work(&mut actions);
+        actions
+    }
+
+    /// Starts the next unit of work: the oldest pending resume if any,
+    /// else (root) the next queued send, else re-arm the idle credit.
+    fn begin_next_work(&mut self, actions: &mut Vec<Action>) {
+        if let Some(resume) = self.pending_resumes.pop_front() {
+            self.begin_resume(resume, actions);
+            return;
+        }
+        if self.config.rank == 0 {
+            self.begin_next_send(actions);
+        } else if let Some(first) = self
+            .config
+            .planner
+            .first_sender(self.config.num_nodes, self.config.rank)
+        {
+            // Re-grant the idle-state credit for the next message.
+            actions.push(Action::SendReady { to: first });
+        }
+    }
+
+    /// Activates one resume plan: the message continues from this
+    /// member's old-epoch bitmap under the freshly built schedule.
+    fn begin_resume(&mut self, resume: ResumeTransfer, actions: &mut Vec<Action>) {
+        let layout = MessageLayout::new(resume.total_size, self.config.block_size);
+        let have_count = resume.have.iter().filter(|&&h| h).count() as u32;
+        if !resume.already_delivered && have_count < layout.num_blocks {
+            // The buffer from the old epoch survives at this member in
+            // real deployments; our drivers re-allocate, so surface the
+            // allocation cost again only when blocks are still missing.
+            actions.push(Action::AllocateBuffer {
+                size: resume.total_size,
+            });
+        }
+        self.active = Some(ActiveTransfer {
+            layout,
+            sched: resume.sched,
+            have: resume.have,
+            have_count,
+            received_count: 0,
+            out_idx: 0,
+            sends_inflight: BTreeMap::new(),
+            total_inflight: 0,
+            granted: BTreeMap::new(),
+            recvd: BTreeMap::new(),
+            delivered: resume.already_delivered,
+        });
+        self.top_up_grants(None, actions);
+        self.try_issue_send(actions);
+        self.try_complete(actions);
+    }
+
     /// Canonical encoding of the protocol-visible state, for state-space
     /// exploration (two engines with equal digests behave identically on
     /// every future event sequence). The encoding covers the credit map,
@@ -309,6 +511,19 @@ impl GroupEngine {
     /// per-peer grant/arrival counters.
     pub fn state_digest(&self) -> Vec<u64> {
         let mut d = Vec::new();
+        d.push(self.epoch);
+        d.push(self.pending_resumes.len() as u64);
+        for r in &self.pending_resumes {
+            d.push(r.total_size);
+            d.push(u64::from(r.already_delivered));
+            for chunk in r.have.chunks(64) {
+                let mut word = 0u64;
+                for (i, &bit) in chunk.iter().enumerate() {
+                    word |= u64::from(bit) << i;
+                }
+                d.push(word);
+            }
+        }
         d.push(u64::from(self.wedged));
         d.push(self.messages_completed);
         d.push(self.credits.len() as u64);
@@ -409,7 +624,12 @@ impl GroupEngine {
                     });
                 }
                 if self.wedged {
-                    return Ok(actions); // group is dead; the app will learn via the failure callback
+                    // The wedged group transmits nothing, but the message
+                    // is accepted: it goes out in the next epoch if this
+                    // member remains the root (§3 property 4 ordering is
+                    // preserved across the reconfiguration).
+                    self.send_queue.push_back(size);
+                    return Ok(actions);
                 }
                 self.send_queue.push_back(size);
                 if self.active.is_none() {
@@ -613,38 +833,33 @@ impl GroupEngine {
         }
     }
 
-    /// Delivers the message and returns to idle once all receives and
-    /// relays are done.
+    /// Delivers the message (unless it already was, pre-wedge) and
+    /// returns to the next unit of work once all receives and relays are
+    /// done.
     fn try_complete(&mut self, actions: &mut Vec<Action>) {
         let Some(t) = self.active.as_mut() else {
             return;
         };
         let all_received = t.received_count == t.sched.in_count();
         let all_sent = t.out_idx >= t.sched.outgoing().len() && t.total_inflight == 0;
-        if !(all_received && all_sent) || t.delivered {
+        if !(all_received && all_sent) {
             return;
         }
-        t.delivered = true;
-        let size = t.layout.size;
-        actions.push(Action::DeliverMessage { size });
-        self.messages_completed += 1;
-        self.active = None;
-        if self.config.rank == 0 {
-            self.begin_next_send(actions);
-        } else if let Some(first) = self
-            .config
-            .planner
-            .first_sender(self.config.num_nodes, self.config.rank)
-        {
-            // Re-grant the idle-state credit for the next message.
-            actions.push(Action::SendReady { to: first });
+        if !t.delivered {
+            t.delivered = true;
+            let size = t.layout.size;
+            actions.push(Action::DeliverMessage { size });
+            self.messages_completed += 1;
         }
+        self.active = None;
+        self.begin_next_work(actions);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::{GlobalSchedule, GlobalTransfer};
     use crate::Algorithm;
 
     fn engine(rank: Rank, n: u32) -> (GroupEngine, Vec<Action>) {
@@ -820,6 +1035,236 @@ mod tests {
         assert!(actions.contains(&Action::DeliverMessage { size: 10 }));
         assert!(e.is_idle());
         assert_eq!(e.messages_completed(), 1);
+    }
+
+    /// One member's slice of a hand-built resume schedule.
+    fn resume_sched(n: u32, k: u32, steps: Vec<Vec<GlobalTransfer>>, rank: Rank) -> RankSchedule {
+        GlobalSchedule::from_custom_steps("resume", n, k, steps).for_rank(rank)
+    }
+
+    #[test]
+    fn wedge_then_resume_retransmits_only_missing_blocks() {
+        // Rank 1 of a 3-member group receives one block of a 3-block
+        // message, then learns rank 2 died (mid-transfer failure).
+        let (mut e, _) = engine(1, 3);
+        let planner = Arc::new(SchedulePlanner::new(Algorithm::BinomialPipeline));
+        let first = planner.first_sender(3, 1).expect("rank 1 receives");
+        let (got_block, _, _) = e.incoming_block_info(first, 3072).expect("first block");
+        e.handle(Event::BlockReceived {
+            from: first,
+            total_size: 3072,
+        })
+        .unwrap();
+        e.handle(Event::PeerFailed { rank: 2 }).unwrap();
+        assert!(e.is_wedged());
+        // The wedge-time bitmap is exported for the membership layer.
+        let have = e.received_blocks().expect("transfer active").to_vec();
+        assert_eq!(have.iter().filter(|&&h| h).count(), 1);
+        assert!(have[got_block as usize]);
+        // Survivors {0, 1} renumber to {0, 1}; the resume schedule sends
+        // rank 1 exactly its two missing blocks, nothing else.
+        let missing: Vec<u32> = (0..3).filter(|&b| !have[b as usize]).collect();
+        let steps: Vec<Vec<GlobalTransfer>> = missing
+            .iter()
+            .map(|&b| {
+                vec![GlobalTransfer {
+                    from: 0,
+                    to: 1,
+                    block: b,
+                }]
+            })
+            .collect();
+        let actions = e.install_epoch(EpochInstall {
+            epoch: 1,
+            rank: 1,
+            num_nodes: 2,
+            resumes: vec![ResumeTransfer {
+                total_size: 3072,
+                sched: resume_sched(2, 3, steps, 1),
+                have,
+                already_delivered: false,
+            }],
+        });
+        assert!(!e.is_wedged());
+        assert_eq!(e.epoch(), 1);
+        // The resume grants readiness for both missing blocks up front.
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::SendReady { to: 0 }))
+                .count(),
+            2
+        );
+        let a = e.handle(Event::BlockReceived {
+            from: 0,
+            total_size: 3072,
+        });
+        assert!(a
+            .unwrap()
+            .iter()
+            .all(|x| !matches!(x, Action::DeliverMessage { .. })));
+        let a = e
+            .handle(Event::BlockReceived {
+                from: 0,
+                total_size: 3072,
+            })
+            .unwrap();
+        assert!(a.contains(&Action::DeliverMessage { size: 3072 }));
+        assert!(e.is_idle());
+        assert_eq!(e.messages_completed(), 1);
+    }
+
+    #[test]
+    fn resume_after_sender_failure_relays_held_blocks() {
+        // The current sender (old rank 0) dies mid-transfer; old rank 1
+        // holds block 0 and becomes new rank 0. The resume plan has it
+        // forward block 0 while fetching blocks 1-2 from new rank 1.
+        let (mut e, _) = engine(1, 3);
+        let planner = Arc::new(SchedulePlanner::new(Algorithm::BinomialPipeline));
+        let first = planner.first_sender(3, 1).expect("rank 1 receives");
+        e.handle(Event::BlockReceived {
+            from: first,
+            total_size: 3072,
+        })
+        .unwrap();
+        let have = e.received_blocks().unwrap().to_vec();
+        let held: Vec<u32> = (0..3).filter(|&b| have[b as usize]).collect();
+        assert_eq!(held.len(), 1);
+        e.handle(Event::PeerFailed { rank: 0 }).unwrap();
+        let missing: Vec<u32> = (0..3).filter(|&b| !have[b as usize]).collect();
+        let mut steps = vec![vec![GlobalTransfer {
+            from: 0,
+            to: 1,
+            block: held[0],
+        }]];
+        for &b in &missing {
+            steps.push(vec![GlobalTransfer {
+                from: 1,
+                to: 0,
+                block: b,
+            }]);
+        }
+        let actions = e.install_epoch(EpochInstall {
+            epoch: 1,
+            rank: 0,
+            num_nodes: 2,
+            resumes: vec![ResumeTransfer {
+                total_size: 3072,
+                sched: resume_sched(2, 3, steps, 0),
+                have,
+                already_delivered: false,
+            }],
+        });
+        // It grants readiness for its two missing blocks...
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::SendReady { to: 1 }))
+                .count(),
+            2
+        );
+        // ...and once the peer is ready, forwards the block it held.
+        let a = e.handle(Event::ReadyReceived { from: 1 }).unwrap();
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::SendBlock { to: 1, block, .. } if *block == held[0]
+        )));
+        e.handle(Event::BlockReceived {
+            from: 1,
+            total_size: 3072,
+        })
+        .unwrap();
+        // All blocks in, but the outgoing relay is still in flight:
+        // delivery (and idling) wait for its completion.
+        let a = e
+            .handle(Event::BlockReceived {
+                from: 1,
+                total_size: 3072,
+            })
+            .unwrap();
+        assert!(!a.contains(&Action::DeliverMessage { size: 3072 }));
+        let a = e.handle(Event::SendCompleted { to: 1 }).unwrap();
+        assert!(a.contains(&Action::DeliverMessage { size: 3072 }));
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn already_delivered_member_reseeds_without_double_delivery() {
+        let (mut e, _) = engine(1, 3);
+        e.handle(Event::PeerFailed { rank: 2 }).unwrap();
+        let steps = vec![vec![GlobalTransfer {
+            from: 0,
+            to: 1,
+            block: 0,
+        }]];
+        // New rank 0 already delivered the 1-block message pre-wedge; it
+        // only re-seeds new rank 1.
+        let actions = e.install_epoch(EpochInstall {
+            epoch: 1,
+            rank: 0,
+            num_nodes: 2,
+            resumes: vec![ResumeTransfer {
+                total_size: 1024,
+                sched: resume_sched(2, 1, steps, 0),
+                have: vec![true],
+                already_delivered: true,
+            }],
+        });
+        assert!(
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::DeliverMessage { .. } | Action::AllocateBuffer { .. }
+            )),
+            "a delivered message must not deliver or allocate again"
+        );
+        let a = e.handle(Event::ReadyReceived { from: 1 }).unwrap();
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::SendBlock {
+                to: 1,
+                block: 0,
+                ..
+            }
+        )));
+        let a = e.handle(Event::SendCompleted { to: 1 }).unwrap();
+        assert!(!a.contains(&Action::DeliverMessage { size: 1024 }));
+        assert!(e.is_idle());
+        assert_eq!(e.messages_completed(), 0, "counted in the old epoch");
+    }
+
+    #[test]
+    fn wedged_start_send_queues_for_the_next_epoch() {
+        let (mut e, _) = engine(0, 2);
+        e.handle(Event::PeerFailed { rank: 1 }).unwrap();
+        assert!(e.handle(Event::StartSend { size: 500 }).unwrap().is_empty());
+        assert_eq!(e.queued_sizes().collect::<Vec<_>>(), vec![500]);
+        // Sole survivor: the new epoch is a singleton group, and the
+        // queued message delivers to itself immediately.
+        let actions = e.install_epoch(EpochInstall {
+            epoch: 1,
+            rank: 0,
+            num_nodes: 1,
+            resumes: Vec::new(),
+        });
+        assert!(actions.contains(&Action::DeliverMessage { size: 500 }));
+        assert!(e.is_idle());
+        assert_eq!(e.epoch(), 1);
+    }
+
+    #[test]
+    fn incomplete_transfers_snapshot_active_and_pending() {
+        let (mut e, _) = engine(1, 2);
+        e.handle(Event::BlockReceived {
+            from: 0,
+            total_size: 2048,
+        })
+        .unwrap();
+        e.handle(Event::PeerFailed { rank: 0 }).unwrap();
+        let snap = e.incomplete_transfers();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].total_size, 2048);
+        assert_eq!(snap[0].have, vec![true, false]);
+        assert!(!snap[0].delivered);
     }
 
     #[test]

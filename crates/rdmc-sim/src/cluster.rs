@@ -8,15 +8,38 @@
 //! [`Event`]s. Multiple groups — including fully overlapping ones with
 //! different senders, as in the paper's Figs. 9–10 — run concurrently over
 //! one fabric and contend for real link bandwidth.
+//!
+//! ## Failure recovery
+//!
+//! RDMC proper stops at the *wedge* (§3 property 6); §2.4 assumes an
+//! external membership service restarts interrupted transfers in a new
+//! group. [`SimCluster::enable_recovery`] turns that service on: each
+//! member runs an SST-style [`ViewTracker`] whose suspicion updates
+//! spread epidemically over the fabric (`TAG_VIEW` writes); once every
+//! unsuspected member publishes the identical failure set, the agreed
+//! view is installed — old queue pairs torn down, survivors renumbered,
+//! and every interrupted message resumed block-wise from the survivors'
+//! wedge-time bitmaps via the `recovery` planner (with sender-side
+//! re-multicast when one member holds everything, and consistent
+//! whole-group discard when the failed members took the only copy of a
+//! block with them). Reconfiguration attempts are paced by a grace
+//! timer with bounded exponential backoff, and after `force_after`
+//! fruitless attempts the orchestrator force-feeds the failure evidence
+//! rather than waiting for the epidemic — the simulation's stand-in for
+//! a heavyweight external failure detector.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use rdmc::engine::{Action, EngineConfig, Event, GroupEngine};
+use rdmc::engine::{
+    Action, EngineConfig, EpochInstall, Event, GroupEngine, ResumeTransfer, TransferStatus,
+};
 use rdmc::schedule::SchedulePlanner;
 use rdmc::{Algorithm, Rank};
+use recovery::{plan_message_resume, resume_transfers, MessagePlan, ResumeStrategy};
 use simnet::{JitterModel, SimDuration, SimTime};
+use sst::{View, ViewTracker};
 use verbs::{CompletionMode, CpuReport, Delivery, Fabric, NodeId, QpHandle, WrId};
 
 /// One-sided-write tag for ready-for-block notices.
@@ -25,6 +48,8 @@ const TAG_READY: u64 = 0;
 const TAG_FAILURE: u64 = 1;
 /// One-sided-write tag for atomic-delivery status counters (§4.6).
 const TAG_STATUS: u64 = 2;
+/// One-sided-write tag for membership-view (suspicion/epoch) updates.
+const TAG_VIEW: u64 = 3;
 
 /// Identifies a group within a [`SimCluster`].
 pub type GroupId = usize;
@@ -129,22 +154,162 @@ pub enum TraceKind {
     Delivered,
 }
 
+/// Configuration of the epoch-based recovery orchestration
+/// ([`SimCluster::enable_recovery`]).
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Delay from a member's first failure suspicion to the first
+    /// reconfiguration attempt (lets the epidemic converge and batches
+    /// near-simultaneous failures into one view change).
+    pub grace: SimDuration,
+    /// Cap on the exponential backoff between reconfiguration attempts.
+    pub max_backoff: SimDuration,
+    /// Fruitless attempts after which the orchestrator force-feeds the
+    /// failure evidence instead of waiting for the epidemic.
+    pub force_after: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            grace: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(16),
+            force_after: 5,
+        }
+    }
+}
+
+/// First suspicion of one failed member (detection-latency accounting).
+#[derive(Clone, Debug)]
+pub struct DetectionRecord {
+    /// The group that noticed.
+    pub group: GroupId,
+    /// The suspected member, in *original* group ranks.
+    pub failed: Rank,
+    /// The suspected member's fabric node.
+    pub node: usize,
+    /// When the first survivor suspected it.
+    pub suspected_at: SimTime,
+}
+
+/// One completed reconfiguration.
+#[derive(Clone, Debug)]
+pub struct ReconfigRecord {
+    /// The reconfigured group.
+    pub group: GroupId,
+    /// The installed epoch number.
+    pub epoch: u64,
+    /// Members removed by this view change, in original ranks.
+    pub removed: Vec<Rank>,
+    /// Surviving members, in original ranks (new rank = index).
+    pub survivors: Vec<Rank>,
+    /// When the triggering failure was first suspected.
+    pub first_suspected_at: SimTime,
+    /// When the new epoch was installed on every survivor.
+    pub installed_at: SimTime,
+    /// Messages resumed block-wise.
+    pub resumed: usize,
+    /// Messages resumed by sender-side re-multicast.
+    pub remulticast: usize,
+    /// Messages where every survivor already held every block.
+    pub already_complete: usize,
+    /// Total block transfers across all resume schedules (the bytes the
+    /// new epoch must move — only the *missing* blocks).
+    pub resumed_blocks: usize,
+    /// Message indices discarded group-wide (a failed member took the
+    /// only copy of some block).
+    pub abandoned: Vec<usize>,
+    /// Whether the orchestrator had to force the view.
+    pub forced: bool,
+}
+
+/// Everything the recovery orchestration measured.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// First-suspicion records, in suspicion order.
+    pub detections: Vec<DetectionRecord>,
+    /// Completed reconfigurations, in installation order.
+    pub reconfigurations: Vec<ReconfigRecord>,
+}
+
+/// Per-group membership/recovery state (present when recovery is on).
+///
+/// Trackers for single-member groups are degenerate (no peer can fail);
+/// `ViewTracker` itself requires `n >= 1` only.
+struct GroupRecovery {
+    /// One tracker per *original* rank; dead members' trackers freeze.
+    trackers: Vec<ViewTracker>,
+    /// Original ranks already counted in the detection stats.
+    detected: BTreeSet<Rank>,
+    /// Bumped at every install; reconfiguration timers carry the version
+    /// they were armed under and go stale when it moves.
+    version: u64,
+    /// First suspicion time of the in-progress cycle.
+    cycle_started: Option<SimTime>,
+}
+
+impl GroupRecovery {
+    fn new(n: usize) -> Self {
+        GroupRecovery {
+            trackers: (0..n)
+                .map(|r| ViewTracker::new(r as u32, n as u32))
+                .collect(),
+            detected: BTreeSet::new(),
+            version: 0,
+            cycle_started: None,
+        }
+    }
+}
+
 enum TimerAction {
-    Send { group: GroupId, size: u64 },
-    Crash { node: usize },
+    Send {
+        group: GroupId,
+        size: u64,
+    },
+    Crash {
+        node: usize,
+    },
+    Reconfigure {
+        group: GroupId,
+        version: u64,
+        attempt: u32,
+    },
 }
 
 struct GroupRuntime {
     spec: GroupSpec,
     engines: Vec<GroupEngine>,
-    /// (my rank, peer rank) -> my queue pair endpoint.
+    /// (my rank, peer rank) -> my queue pair endpoint (current epoch).
     qps: HashMap<(Rank, Rank), QpHandle>,
     submit_times: Vec<SimTime>,
-    /// Per rank: completion times in message order.
-    delivered: Vec<Vec<SimTime>>,
+    /// delivered[original rank][message index] -> completion time.
+    delivered: Vec<Vec<Option<SimTime>>>,
+    /// Per original rank: undelivered, unabandoned message indices in
+    /// delivery order (the engines deliver strictly in order, so the
+    /// front of the queue names the message a `DeliverMessage` is for).
+    pending: Vec<VecDeque<usize>>,
     sizes: Vec<u64>,
+    /// Original rank that submitted each message (its app buffer holds
+    /// every block, so it can re-seed a resume).
+    senders: Vec<usize>,
+    /// Fabric node of each *original* rank (never shrinks).
+    orig_members: Vec<usize>,
+    /// Current rank -> original rank (identity until a reconfiguration).
+    orig_rank: Vec<usize>,
     /// Derecho-style atomic delivery (None = plain RDMC semantics).
     atomic: Option<AtomicState>,
+    /// Membership/recovery state (None = wedge-only semantics).
+    recovery: Option<GroupRecovery>,
+}
+
+impl GroupRuntime {
+    /// Current rank of an original rank, if still a member.
+    fn current_of(&self, orig: usize) -> Option<Rank> {
+        self.orig_rank
+            .iter()
+            .position(|&o| o == orig)
+            .map(|c| c as Rank)
+    }
 }
 
 /// Derecho's §4.6 scheme: RDMC deliveries are buffered; each member
@@ -169,6 +334,15 @@ pub struct SimCluster {
     next_timer: u64,
     tracing: bool,
     traces: HashMap<(GroupId, Rank), Vec<TraceRecord>>,
+    recovery_config: Option<RecoveryConfig>,
+    recovery_stats: RecoveryStats,
+    /// When each crashed node went down (detection-latency baseline).
+    crash_times: HashMap<usize, SimTime>,
+    /// Engine events fed so far (the chaos harness's notion of a
+    /// deterministic protocol step).
+    fed_events: u64,
+    /// Step -> nodes to crash just before feeding that step's event.
+    event_crashes: HashMap<u64, Vec<usize>>,
 }
 
 impl SimCluster {
@@ -183,7 +357,49 @@ impl SimCluster {
             next_timer: 0,
             tracing: false,
             traces: HashMap::new(),
+            recovery_config: None,
+            recovery_stats: RecoveryStats::default(),
+            crash_times: HashMap::new(),
+            fed_events: 0,
+            event_crashes: HashMap::new(),
         }
+    }
+
+    /// Turns on epoch-based failure recovery (see the module docs):
+    /// failures stop wedging groups forever and instead trigger
+    /// agreement, reconfiguration, and block-wise resumption. Applies to
+    /// every group, present and future. Call before injecting failures.
+    pub fn enable_recovery(&mut self, config: RecoveryConfig) {
+        self.recovery_config = Some(config);
+        for g in &mut self.groups {
+            if g.recovery.is_none() {
+                g.recovery = Some(GroupRecovery::new(g.orig_members.len()));
+            }
+        }
+    }
+
+    /// What the recovery orchestration detected and reconfigured so far.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// The group's current membership as original ranks, ascending (new
+    /// rank = index). Before any reconfiguration this is `0..n`.
+    pub fn surviving_ranks(&self, group: GroupId) -> Vec<Rank> {
+        self.groups[group]
+            .orig_rank
+            .iter()
+            .map(|&o| o as Rank)
+            .collect()
+    }
+
+    /// The configuration epoch the group's members currently run.
+    pub fn group_epoch(&self, group: GroupId) -> u64 {
+        self.groups[group]
+            .engines
+            .first()
+            .map(|e| e.epoch())
+            .unwrap_or(0)
     }
 
     /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation).
@@ -261,14 +477,23 @@ impl SimCluster {
             engines.push(engine);
             initial.push((rank, actions));
         }
+        let orig_members = spec.members.clone();
         self.groups.push(GroupRuntime {
             spec,
             engines,
             qps: HashMap::new(),
             submit_times: Vec::new(),
             delivered: vec![Vec::new(); n as usize],
+            pending: vec![VecDeque::new(); n as usize],
             sizes: Vec::new(),
+            senders: Vec::new(),
+            orig_members,
+            orig_rank: (0..n as usize).collect(),
             atomic: None,
+            recovery: self
+                .recovery_config
+                .is_some()
+                .then(|| GroupRecovery::new(n as usize)),
         });
         for (rank, actions) in initial {
             self.execute(gid, rank, actions);
@@ -278,9 +503,28 @@ impl SimCluster {
 
     /// Submits a multicast of `size` random-content bytes on `group` now.
     pub fn submit_send(&mut self, group: GroupId, size: u64) {
+        self.do_submit(group, size);
+    }
+
+    /// Records a submission's bookkeeping (delivery slots for every
+    /// original member, pending-queue entries for the current ones) and
+    /// hands the send to the current root engine.
+    fn do_submit(&mut self, group: GroupId, size: u64) {
         let now = self.fabric.now();
-        self.groups[group].submit_times.push(now);
-        self.groups[group].sizes.push(size);
+        {
+            let g = &mut self.groups[group];
+            let idx = g.sizes.len();
+            g.submit_times.push(now);
+            g.sizes.push(size);
+            g.senders.push(g.orig_rank[0]);
+            for row in &mut g.delivered {
+                row.push(None);
+            }
+            let members = g.orig_rank.clone();
+            for o in members {
+                g.pending[o].push_back(idx);
+            }
+        }
         self.feed(group, 0, Event::StartSend { size });
     }
 
@@ -379,7 +623,7 @@ impl SimCluster {
                 let delivered_at = g
                     .delivered
                     .iter()
-                    .map(|per_rank| per_rank.get(idx).copied())
+                    .map(|per_rank| per_rank.get(idx).copied().flatten())
                     .collect();
                 out.push(MessageResult {
                     group: gid,
@@ -412,6 +656,20 @@ impl SimCluster {
             .all(|e| e.is_idle() && !e.is_wedged())
     }
 
+    /// True if every engine hosted on a *live* node is idle and unwedged —
+    /// quiescence from the survivors' point of view. With recovery
+    /// enabled this is the terminal condition every chaos run must reach:
+    /// all interrupted work was either finished in a later epoch or
+    /// consistently abandoned.
+    pub fn live_quiescent(&self) -> bool {
+        self.groups.iter().all(|g| {
+            g.engines.iter().enumerate().all(|(r, e)| {
+                let node = NodeId(g.spec.members[r] as u32);
+                self.fabric.is_crashed(node) || (e.is_idle() && !e.is_wedged())
+            })
+        })
+    }
+
     /// Ranks that consider the group wedged (learned of a failure).
     pub fn wedged_members(&self, group: GroupId) -> Vec<Rank> {
         self.groups[group]
@@ -435,7 +693,11 @@ impl SimCluster {
     fn dispatch(&mut self, _time: SimTime, node: NodeId, delivery: Delivery) {
         match delivery {
             Delivery::RecvDone { qp, imm, .. } => {
-                let (group, me, peer) = self.qp_owner[&qp];
+                // Completions for torn-down (old-epoch) queue pairs are
+                // stale: their owner entries are gone, so ignore them.
+                let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
+                    return;
+                };
                 let block = self.groups[group].engines[me as usize].next_expected_block(peer);
                 self.record(
                     group,
@@ -455,13 +717,17 @@ impl SimCluster {
                 );
             }
             Delivery::SendDone { qp, .. } => {
-                let (group, me, peer) = self.qp_owner[&qp];
+                let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
+                    return;
+                };
                 self.record(group, me, TraceKind::SendFinished { to: peer });
                 self.feed(group, me, Event::SendCompleted { to: peer });
             }
             Delivery::WriteDone { .. } => {}
             Delivery::WriteArrived { qp, tag, payload } => {
-                let (group, me, peer) = self.qp_owner[&qp];
+                let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
+                    return;
+                };
                 match tag {
                     TAG_READY => {
                         self.record(group, me, TraceKind::ReadyHeard { from: peer });
@@ -471,6 +737,7 @@ impl SimCluster {
                         let failed =
                             u32::from_le_bytes(payload[..4].try_into().expect("failure payload"));
                         self.feed(group, me, Event::PeerFailed { rank: failed });
+                        self.note_suspicion(group, me, failed);
                     }
                     TAG_STATUS => {
                         let count =
@@ -481,23 +748,35 @@ impl SimCluster {
                         }
                         self.advance_stability(group, me);
                     }
+                    TAG_VIEW => {
+                        self.view_update(group, me, peer, &payload);
+                    }
                     other => panic!("unknown control tag {other}"),
                 }
+            }
+            Delivery::WrFlushed { .. } => {
+                // Flushed WRs carry no protocol state the engines need;
+                // the QpBroken notice that follows triggers wedging.
             }
             Delivery::QpBroken { qp } => {
                 if let Some(&(group, me, peer)) = self.qp_owner.get(&qp) {
                     self.feed(group, me, Event::PeerFailed { rank: peer });
+                    self.note_suspicion(group, me, peer);
                 }
             }
             Delivery::Timer { token } => match self.timers.remove(&token) {
                 Some(TimerAction::Send { group, size }) => {
-                    let now = self.fabric.now();
-                    self.groups[group].submit_times.push(now);
-                    self.groups[group].sizes.push(size);
-                    self.feed(group, 0, Event::StartSend { size });
+                    self.do_submit(group, size);
                 }
                 Some(TimerAction::Crash { node }) => {
-                    self.fabric.crash(NodeId(node as u32));
+                    self.crash_now(node);
+                }
+                Some(TimerAction::Reconfigure {
+                    group,
+                    version,
+                    attempt,
+                }) => {
+                    self.try_reconfigure(group, version, attempt);
                 }
                 None => {
                     let _ = node; // stale or foreign timer: ignore
@@ -508,6 +787,14 @@ impl SimCluster {
 
     /// Feeds an event to one engine and executes the resulting actions.
     fn feed(&mut self, group: GroupId, rank: Rank, event: Event) {
+        // Deterministic chaos trigger: crash nodes scheduled for this
+        // protocol step just before the event reaches its engine.
+        if let Some(nodes) = self.event_crashes.remove(&self.fed_events) {
+            for victim in nodes {
+                self.crash_now(victim);
+            }
+        }
+        self.fed_events += 1;
         let node = self.groups[group].spec.members[rank as usize];
         if self.fabric.is_crashed(NodeId(node as u32)) {
             return; // dead software runs no handlers
@@ -600,12 +887,22 @@ impl SimCluster {
                 Action::DeliverMessage { size } => {
                     let now = self.fabric.now();
                     let g = &mut self.groups[group];
-                    g.delivered[rank as usize].push(now);
+                    let orig = g.orig_rank[rank as usize];
+                    let idx = g.pending[orig].pop_front().unwrap_or_else(|| {
+                        panic!("group {group} rank {rank}: delivery with no pending message")
+                    });
+                    g.delivered[orig][idx] = Some(now);
                     let _ = size;
                     self.record(group, rank, TraceKind::Delivered);
                     // Atomic mode: publish the new received-count to every
                     // peer's status table and re-evaluate stability.
-                    let count = self.groups[group].delivered[rank as usize].len() as u64;
+                    let count = {
+                        let g = &self.groups[group];
+                        g.delivered[g.orig_rank[rank as usize]]
+                            .iter()
+                            .flatten()
+                            .count() as u64
+                    };
                     let is_atomic = self.groups[group].atomic.is_some();
                     if is_atomic {
                         if let Some(a) = self.groups[group].atomic.as_mut() {
@@ -659,6 +956,594 @@ impl SimCluster {
         if deferred_copy > SimDuration::ZERO {
             self.fabric.consume_cpu(node, deferred_copy);
         }
+    }
+}
+
+/// Failure injection and the epoch-based recovery orchestration (the
+/// module docs' "membership service"). Everything here runs *outside*
+/// the protocol engines: engines only ever see `PeerFailed` events and
+/// `install_epoch` calls, exactly like a real RDMC deployment under an
+/// external membership layer (§2.4).
+impl SimCluster {
+    /// Crashes a node immediately: its queues drop, in-flight work is
+    /// flushed, and peers detect the broken connections.
+    pub fn crash_now(&mut self, node: usize) {
+        let now = self.fabric.now();
+        self.crash_times.entry(node).or_insert(now);
+        self.fabric.crash(NodeId(node as u32));
+    }
+
+    /// Crashes `node` just before the `n`-th engine event (0-based,
+    /// cluster-wide) is fed — the chaos harness's deterministic "crash at
+    /// protocol step `n`" trigger. `n = 0` crashes before any protocol
+    /// activity at all.
+    pub fn crash_after_events(&mut self, node: usize, n: u64) {
+        self.event_crashes.entry(n).or_default().push(node);
+    }
+
+    /// Engine events fed so far (the protocol-step counter
+    /// [`SimCluster::crash_after_events`] indexes into).
+    pub fn events_fed(&self) -> u64 {
+        self.fed_events
+    }
+
+    /// When `node` went down, if it crashed.
+    pub fn crash_time(&self, node: usize) -> Option<SimTime> {
+        self.crash_times.get(&node).copied()
+    }
+
+    /// Severs the queue pair between two current members of `group`
+    /// without crashing either node (a link flap). Both endpoints will
+    /// suspect each other; because there is no rejoin path, the agreed
+    /// view evicts every suspected member even though its node is alive.
+    pub fn inject_link_flap(&mut self, group: GroupId, a: Rank, b: Rank) {
+        let qp = self.ensure_qp(group, a, b);
+        self.fabric.break_qp(qp);
+    }
+
+    /// Registers `me`'s suspicion that current-rank `failed` is gone,
+    /// spreads it epidemically, and arms a reconfiguration timer.
+    fn note_suspicion(&mut self, group: GroupId, me: Rank, failed: Rank) {
+        let Some(config) = self.recovery_config.clone() else {
+            return;
+        };
+        let now = self.fabric.now();
+        let me_node = self.groups[group].spec.members[me as usize];
+        if self.fabric.is_crashed(NodeId(me_node as u32)) {
+            return;
+        }
+        let orig_me = self.groups[group].orig_rank[me as usize];
+        let orig_failed = self.groups[group].orig_rank[failed as usize];
+        if orig_me == orig_failed {
+            return;
+        }
+        let (payload, newly, version) = {
+            let g = &mut self.groups[group];
+            let Some(rec) = g.recovery.as_mut() else {
+                return;
+            };
+            let Some(payload) = rec.trackers[orig_me].suspect(orig_failed as u32) else {
+                return; // already suspected locally: nothing new to spread
+            };
+            rec.cycle_started.get_or_insert(now);
+            let newly = rec.detected.insert(orig_failed as Rank);
+            (payload, newly, rec.version)
+        };
+        if newly {
+            let node = self.groups[group].orig_members[orig_failed];
+            self.recovery_stats.detections.push(DetectionRecord {
+                group,
+                failed: orig_failed as Rank,
+                node,
+                suspected_at: now,
+            });
+        }
+        self.broadcast_view(group, me, &payload);
+        self.arm_reconfigure(group, me, version, 0, config.grace);
+    }
+
+    /// Handles an incoming `TAG_VIEW` write: merge it monotonically, wedge
+    /// the local engine on any newly learned failure, echo growth, and arm
+    /// a reconfiguration timer.
+    fn view_update(&mut self, group: GroupId, me: Rank, peer: Rank, payload: &[u8]) {
+        let Some(config) = self.recovery_config.clone() else {
+            return;
+        };
+        let now = self.fabric.now();
+        let me_node = self.groups[group].spec.members[me as usize];
+        if self.fabric.is_crashed(NodeId(me_node as u32)) {
+            return;
+        }
+        let orig_me = self.groups[group].orig_rank[me as usize];
+        let orig_peer = self.groups[group].orig_rank[peer as usize];
+        let (echo, newly_suspected, version) = {
+            let g = &mut self.groups[group];
+            let Some(rec) = g.recovery.as_mut() else {
+                return;
+            };
+            let before = rec.trackers[orig_me].suspected();
+            let echo = rec.trackers[orig_me].apply_remote(orig_peer as u32, payload);
+            let after = rec.trackers[orig_me].suspected();
+            let newly: Vec<u32> = after.difference(&before).copied().collect();
+            if !newly.is_empty() {
+                rec.cycle_started.get_or_insert(now);
+            }
+            (echo, newly, rec.version)
+        };
+        for &o in &newly_suspected {
+            let o = o as usize;
+            let newly_detected = {
+                let g = &mut self.groups[group];
+                g.recovery
+                    .as_mut()
+                    .expect("recovery on")
+                    .detected
+                    .insert(o as Rank)
+            };
+            if newly_detected {
+                let node = self.groups[group].orig_members[o];
+                self.recovery_stats.detections.push(DetectionRecord {
+                    group,
+                    failed: o as Rank,
+                    node,
+                    suspected_at: now,
+                });
+            }
+            // Wedge my engine on the newly learned failure.
+            if o != orig_me {
+                if let Some(cur) = self.groups[group].current_of(o) {
+                    self.feed(group, me, Event::PeerFailed { rank: cur });
+                }
+            }
+        }
+        if let Some(echo) = echo {
+            self.broadcast_view(group, me, &echo);
+        }
+        if !newly_suspected.is_empty() {
+            self.arm_reconfigure(group, me, version, 0, config.grace);
+        }
+    }
+
+    /// Posts a view-table row update from `me` to every live current peer.
+    fn broadcast_view(&mut self, group: GroupId, me: Rank, payload: &[u8]) {
+        let n = self.groups[group].spec.members.len() as Rank;
+        for peer in 0..n {
+            if peer == me {
+                continue;
+            }
+            let peer_node = NodeId(self.groups[group].spec.members[peer as usize] as u32);
+            if self.fabric.is_crashed(peer_node) {
+                continue;
+            }
+            let qp = self.ensure_qp(group, me, peer);
+            let _ = self.fabric.post_write(
+                qp,
+                WrId(2),
+                TAG_VIEW,
+                Bytes::copy_from_slice(payload),
+                None,
+            );
+        }
+    }
+
+    /// Schedules a reconfiguration attempt on `me`'s node after `delay`.
+    fn arm_reconfigure(
+        &mut self,
+        group: GroupId,
+        me: Rank,
+        version: u64,
+        attempt: u32,
+        delay: SimDuration,
+    ) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(
+            token,
+            TimerAction::Reconfigure {
+                group,
+                version,
+                attempt,
+            },
+        );
+        let node = self.groups[group].spec.members[me as usize];
+        self.fabric
+            .schedule_timer(NodeId(node as u32), delay, token);
+    }
+
+    /// One reconfiguration attempt: install the agreed view if the
+    /// epidemic has converged, otherwise retry with bounded exponential
+    /// backoff and force the view after `force_after` fruitless tries.
+    fn try_reconfigure(&mut self, group: GroupId, version: u64, attempt: u32) {
+        let Some(config) = self.recovery_config.clone() else {
+            return;
+        };
+        if self.groups[group].recovery.as_ref().map(|r| r.version) != Some(version) {
+            return; // a newer epoch was installed since this timer was armed
+        }
+        let live: Vec<Rank> = (0..self.groups[group].spec.members.len() as Rank)
+            .filter(|&r| {
+                let node = NodeId(self.groups[group].spec.members[r as usize] as u32);
+                !self.fabric.is_crashed(node)
+            })
+            .collect();
+        let Some(&coordinator) = live.first() else {
+            // Group extinct: close the cycle so stale timers die.
+            let g = &mut self.groups[group];
+            if let Some(rec) = g.recovery.as_mut() {
+                rec.version += 1;
+                rec.cycle_started = None;
+            }
+            return;
+        };
+        // First live member with an agreement candidate (mutually
+        // suspecting flap victims never produce one themselves).
+        let candidate: Option<View> = {
+            let g = &self.groups[group];
+            let rec = g.recovery.as_ref().expect("recovery on");
+            live.iter()
+                .find_map(|&r| rec.trackers[g.orig_rank[r as usize]].agreed_view())
+        };
+        let agreed = candidate.filter(|view| {
+            let g = &self.groups[group];
+            let rec = g.recovery.as_ref().expect("recovery on");
+            live.iter().all(|&r| {
+                let o = g.orig_rank[r as usize];
+                view.failed.contains(&(o as u32))
+                    || rec.trackers[o].agreed_view().as_ref() == Some(view)
+            })
+        });
+        if let Some(view) = agreed {
+            // A would-be survivor whose node is already down means the
+            // epidemic is behind the fabric: inject the suspicion at every
+            // live member and come back, so the installed view never
+            // contains a corpse.
+            let undetected: Vec<u32> = view
+                .members
+                .iter()
+                .copied()
+                .filter(|&o| {
+                    let node = NodeId(self.groups[group].orig_members[o as usize] as u32);
+                    self.fabric.is_crashed(node)
+                })
+                .collect();
+            if undetected.is_empty() {
+                self.perform_reconfiguration(group, view, false);
+                return;
+            }
+            for o in undetected {
+                self.suspect_everywhere(group, o);
+            }
+            self.arm_reconfigure(group, coordinator, version, attempt + 1, config.grace);
+            return;
+        }
+        if attempt + 1 >= config.force_after {
+            self.force_reconfiguration(group, &live);
+            return;
+        }
+        let backoff = SimDuration::from_nanos(
+            config
+                .grace
+                .as_nanos()
+                .saturating_mul(1u64 << attempt.min(20)),
+        )
+        .min(config.max_backoff);
+        self.arm_reconfigure(group, coordinator, version, attempt + 1, backoff);
+    }
+
+    /// Makes every live member suspect original rank `o` directly — the
+    /// simulation's stand-in for a heavyweight external failure detector.
+    fn suspect_everywhere(&mut self, group: GroupId, o: u32) {
+        let now = self.fabric.now();
+        let n = self.groups[group].spec.members.len() as Rank;
+        for r in 0..n {
+            let node = NodeId(self.groups[group].spec.members[r as usize] as u32);
+            if self.fabric.is_crashed(node) {
+                continue;
+            }
+            let orig_r = self.groups[group].orig_rank[r as usize];
+            if orig_r as u32 == o {
+                continue;
+            }
+            let (payload, newly) = {
+                let g = &mut self.groups[group];
+                let Some(rec) = g.recovery.as_mut() else {
+                    return;
+                };
+                rec.cycle_started.get_or_insert(now);
+                let payload = rec.trackers[orig_r].suspect(o);
+                let newly = rec.detected.insert(o as Rank);
+                (payload, newly)
+            };
+            if newly {
+                let fnode = self.groups[group].orig_members[o as usize];
+                self.recovery_stats.detections.push(DetectionRecord {
+                    group,
+                    failed: o as Rank,
+                    node: fnode,
+                    suspected_at: now,
+                });
+            }
+            if let Some(cur) = self.groups[group].current_of(o as usize) {
+                if cur != r {
+                    self.feed(group, r, Event::PeerFailed { rank: cur });
+                }
+            }
+            if let Some(p) = payload {
+                self.broadcast_view(group, r, &p);
+            }
+        }
+    }
+
+    /// Last resort after `force_after` attempts: union every suspicion and
+    /// every fabric-level crash into one view and install it.
+    fn force_reconfiguration(&mut self, group: GroupId, live: &[Rank]) {
+        let n_orig = self.groups[group].orig_members.len();
+        let mut mask: BTreeSet<u32> = BTreeSet::new();
+        {
+            let g = &self.groups[group];
+            let rec = g.recovery.as_ref().expect("recovery on");
+            for &r in live {
+                mask.extend(rec.trackers[g.orig_rank[r as usize]].suspected());
+            }
+            for o in 0..n_orig {
+                let crashed = self.fabric.is_crashed(NodeId(g.orig_members[o] as u32));
+                if crashed || g.current_of(o).is_none() {
+                    mask.insert(o as u32);
+                }
+            }
+        }
+        let members: Vec<u32> = (0..n_orig as u32).filter(|o| !mask.contains(o)).collect();
+        if members.is_empty() {
+            let g = &mut self.groups[group];
+            if let Some(rec) = g.recovery.as_mut() {
+                rec.version += 1;
+                rec.cycle_started = None;
+            }
+            return;
+        }
+        for &o in &mask {
+            self.suspect_everywhere(group, o);
+        }
+        let epoch = {
+            let g = &self.groups[group];
+            let rec = g.recovery.as_ref().expect("recovery on");
+            members
+                .iter()
+                .map(|&o| rec.trackers[o as usize].installed_epoch())
+                .max()
+                .expect("non-empty members")
+                + 1
+        };
+        let view = View {
+            epoch,
+            failed: mask,
+            members,
+        };
+        self.perform_reconfiguration(group, view, true);
+    }
+
+    /// Installs an agreed (or forced) view: evicts the failed members,
+    /// plans a resume for every interrupted message from the survivors'
+    /// wedge-time bitmaps, tears down the old epoch's queue pairs,
+    /// renumbers the survivors, and installs the new epoch on every
+    /// engine and tracker.
+    fn perform_reconfiguration(&mut self, group: GroupId, view: View, forced: bool) {
+        let now = self.fabric.now();
+        assert!(
+            self.groups[group].atomic.is_none(),
+            "atomic-delivery groups do not reconfigure"
+        );
+        // Members this view change actually removes (still present in the
+        // current epoch's membership), in original ranks.
+        let removed: Vec<Rank> = {
+            let g = &self.groups[group];
+            view.failed
+                .iter()
+                .filter(|&&o| g.current_of(o as usize).is_some())
+                .map(|&o| o as Rank)
+                .collect()
+        };
+        if removed.is_empty() {
+            let g = &mut self.groups[group];
+            if let Some(rec) = g.recovery.as_mut() {
+                rec.version += 1;
+                rec.cycle_started = None;
+            }
+            return;
+        }
+        // Evict: a suspected member with a live node (e.g. a link-flap
+        // victim) leaves the fabric too — there is no rejoin path, and a
+        // half-connected member must not keep acting.
+        let evict: Vec<usize> = {
+            let g = &self.groups[group];
+            view.failed
+                .iter()
+                .map(|&o| g.orig_members[o as usize])
+                .filter(|&node| !self.fabric.is_crashed(NodeId(node as u32)))
+                .collect()
+        };
+        for node in evict {
+            self.crash_now(node);
+        }
+        // Wedge every surviving engine that has not yet learned of the
+        // failure (install_epoch requires a wedged engine).
+        let delta_cur: Vec<Rank> = {
+            let g = &self.groups[group];
+            removed
+                .iter()
+                .filter_map(|&o| g.current_of(o as usize))
+                .collect()
+        };
+        let n_cur = self.groups[group].spec.members.len() as Rank;
+        for r in 0..n_cur {
+            let node = NodeId(self.groups[group].spec.members[r as usize] as u32);
+            if self.fabric.is_crashed(node) {
+                continue;
+            }
+            if !self.groups[group].engines[r as usize].is_wedged() {
+                let failed = delta_cur.first().copied().expect("non-empty removal");
+                self.feed(group, r, Event::PeerFailed { rank: failed });
+            }
+        }
+        let survivors_orig: Vec<usize> = view.members.iter().map(|&o| o as usize).collect();
+        let ns = survivors_orig.len();
+        let block_size = self.groups[group].spec.block_size;
+        // Snapshot every survivor's wedge-time transfer state, keyed by
+        // message index. An engine's undelivered transfers line up with
+        // the front of that member's pending queue (both are in message
+        // order, and the engine only knows about messages it has begun).
+        let mut status_of: HashMap<(usize, usize), TransferStatus> = HashMap::new();
+        let mut queued_at_root: BTreeSet<usize> = BTreeSet::new();
+        {
+            let g = &self.groups[group];
+            for &o in &survivors_orig {
+                let cur = g.current_of(o).expect("survivor is a current member") as usize;
+                let mut pend = g.pending[o].iter();
+                for s in g.engines[cur].incomplete_transfers() {
+                    if s.delivered {
+                        continue; // delivered pre-wedge: holdings are full
+                    }
+                    let idx = *pend
+                        .next()
+                        .expect("undelivered engine transfer has a pending slot");
+                    status_of.insert((o, idx), s);
+                }
+                // The surviving root's queued-but-unstarted sends restart
+                // naturally in the new epoch (install_epoch keeps them);
+                // they need no resume plan.
+                if cur == 0 {
+                    let qn = g.engines[0].queued_sizes().count();
+                    for &idx in g.pending[o].iter().rev().take(qn) {
+                        queued_at_root.insert(idx);
+                    }
+                }
+            }
+        }
+        let incomplete: BTreeSet<usize> = {
+            let g = &self.groups[group];
+            survivors_orig
+                .iter()
+                .flat_map(|&o| g.pending[o].iter().copied())
+                .filter(|idx| !queued_at_root.contains(idx))
+                .collect()
+        };
+        // Plan every interrupted message: resume block-wise, re-multicast
+        // from a lone full holder, or consistently abandon.
+        let mut resumes_by_rank: Vec<Vec<ResumeTransfer>> = vec![Vec::new(); ns];
+        let mut abandoned: Vec<usize> = Vec::new();
+        let (mut n_resumed, mut n_remulti, mut n_complete, mut n_blocks) = (0usize, 0, 0, 0);
+        for &idx in &incomplete {
+            let size = self.groups[group].sizes[idx];
+            let k = (size.div_ceil(block_size)).max(1) as usize;
+            let (holdings, delivered_flags): (Vec<Vec<bool>>, Vec<bool>) = {
+                let g = &self.groups[group];
+                survivors_orig
+                    .iter()
+                    .map(|&o| {
+                        let done = g.delivered[o].get(idx).copied().flatten().is_some();
+                        let have = if done || g.senders.get(idx) == Some(&o) {
+                            vec![true; k]
+                        } else if let Some(s) = status_of.get(&(o, idx)) {
+                            debug_assert_eq!(s.have.len(), k, "bitmap shape");
+                            s.have.clone()
+                        } else {
+                            vec![false; k]
+                        };
+                        (have, done)
+                    })
+                    .unzip()
+            };
+            match plan_message_resume(&holdings) {
+                MessagePlan::Unrecoverable => abandoned.push(idx),
+                MessagePlan::Resume { schedule, strategy } => {
+                    match strategy {
+                        ResumeStrategy::AlreadyComplete => n_complete += 1,
+                        ResumeStrategy::Remulticast => n_remulti += 1,
+                        ResumeStrategy::BlockResume => n_resumed += 1,
+                    }
+                    n_blocks += schedule.num_transfers();
+                    let rts = resume_transfers(&schedule, size, &holdings, &delivered_flags);
+                    for (r, rt) in rts.into_iter().enumerate() {
+                        resumes_by_rank[r].push(rt);
+                    }
+                }
+            }
+        }
+        // A lost message is dropped group-wide: no survivor may sit
+        // waiting for a delivery that can never happen.
+        if !abandoned.is_empty() {
+            let aset: BTreeSet<usize> = abandoned.iter().copied().collect();
+            let g = &mut self.groups[group];
+            for q in &mut g.pending {
+                q.retain(|i| !aset.contains(i));
+            }
+        }
+        // Tear down every old-epoch queue pair; completions still in
+        // flight for them become ownerless and are ignored.
+        let old_qps: Vec<QpHandle> = self.groups[group].qps.values().copied().collect();
+        for qp in old_qps {
+            self.qp_owner.remove(&qp);
+            self.fabric.break_qp(qp);
+        }
+        self.groups[group].qps.clear();
+        // Renumber: survivors in ascending original rank become the new
+        // ranks 0..ns, on a fresh set of connections.
+        let first_suspected;
+        {
+            let g = &mut self.groups[group];
+            let old_cur: Vec<usize> = survivors_orig
+                .iter()
+                .map(|&o| g.current_of(o).expect("survivor is current") as usize)
+                .collect();
+            let mut old_engines: Vec<Option<GroupEngine>> = g.engines.drain(..).map(Some).collect();
+            g.engines = old_cur
+                .iter()
+                .map(|&c| old_engines[c].take().expect("distinct current ranks"))
+                .collect();
+            g.spec.members = survivors_orig.iter().map(|&o| g.orig_members[o]).collect();
+            g.orig_rank = survivors_orig.clone();
+            let rec = g.recovery.as_mut().expect("recovery on");
+            first_suspected = rec.cycle_started.take().unwrap_or(now);
+            rec.version += 1;
+        }
+        // Install the epoch everywhere, then let the engines act: the
+        // membership maps are already in new-epoch shape, so the actions'
+        // lazily created queue pairs bind the right nodes.
+        let mut installs: Vec<(Rank, Vec<Action>)> = Vec::new();
+        let mut payloads: Vec<(Rank, Vec<u8>)> = Vec::new();
+        for (new_rank, &o) in survivors_orig.iter().enumerate() {
+            let resumes = std::mem::take(&mut resumes_by_rank[new_rank]);
+            let g = &mut self.groups[group];
+            let actions = g.engines[new_rank].install_epoch(EpochInstall {
+                epoch: view.epoch,
+                rank: new_rank as Rank,
+                num_nodes: ns as u32,
+                resumes,
+            });
+            let payload = g.recovery.as_mut().expect("recovery on").trackers[o].install(view.epoch);
+            installs.push((new_rank as Rank, actions));
+            payloads.push((new_rank as Rank, payload));
+        }
+        for (r, payload) in payloads {
+            self.broadcast_view(group, r, &payload);
+        }
+        for (r, actions) in installs {
+            self.execute(group, r, actions);
+        }
+        self.recovery_stats.reconfigurations.push(ReconfigRecord {
+            group,
+            epoch: view.epoch,
+            removed,
+            survivors: survivors_orig.iter().map(|&o| o as Rank).collect(),
+            first_suspected_at: first_suspected,
+            installed_at: now,
+            resumed: n_resumed,
+            remulticast: n_remulti,
+            already_complete: n_complete,
+            resumed_blocks: n_blocks,
+            abandoned,
+            forced,
+        });
     }
 }
 

@@ -9,6 +9,10 @@
 //! - [`SimCluster`]: multiple (possibly overlapping) RDMC groups over one
 //!   fabric, timed message injection, crash injection, jitter injection,
 //!   protocol tracing, and per-message completion records.
+//! - [`SimCluster::enable_recovery`]: the §2.4 external membership
+//!   service — epoch-based reconfiguration of wedged groups with
+//!   block-wise resumption of interrupted multicasts, instrumented by
+//!   [`RecoveryStats`].
 //! - [`run_single_multicast`] and friends: the one-line harnesses the
 //!   benchmark suite sweeps.
 //!
@@ -43,7 +47,10 @@ mod experiment;
 mod offload;
 mod profiles;
 
-pub use cluster::{GroupId, GroupSpec, MessageResult, SimCluster, TraceKind, TraceRecord};
+pub use cluster::{
+    DetectionRecord, GroupId, GroupSpec, MessageResult, ReconfigRecord, RecoveryConfig,
+    RecoveryStats, SimCluster, TraceKind, TraceRecord,
+};
 pub use experiment::{
     run_concurrent_overlapping, run_single_multicast, run_stream, MulticastOutcome,
 };

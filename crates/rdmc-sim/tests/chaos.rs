@@ -2,10 +2,17 @@
 //! mixed message sizes, scheduling jitter everywhere — assert the whole
 //! stack stays consistent (every message delivered everywhere, engines
 //! quiescent, byte conservation on receivers' NICs).
+//!
+//! The second half is the failure-recovery chaos harness: crash any rank
+//! at *any* protocol step (deterministically indexed by the engine-event
+//! counter) and prove the cluster always converges — survivors hold
+//! every byte of every non-abandoned message, abandonment is group-wide
+//! consistent, the RNR machinery never arms, and reruns are bit-for-bit
+//! deterministic.
 
 use proptest::prelude::*;
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
 use simnet::{JitterModel, SimDuration};
 
 fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
@@ -119,6 +126,140 @@ proptest! {
                 carried,
                 expected
             );
+        }
+    }
+}
+
+const BLOCK: u64 = 64 << 10;
+
+/// One recovery run: an `n`-member binomial-pipeline group with recovery
+/// enabled, one `k`-block message, optional scheduling jitter, and an
+/// optional crash of `victim` just before engine event `step`.
+fn recovery_run(
+    n: usize,
+    k: u64,
+    crash: Option<(usize, u64)>,
+    jitter_seed: Option<u64>,
+) -> SimCluster {
+    let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
+    cluster.enable_recovery(RecoveryConfig::default());
+    if let Some(seed) = jitter_seed {
+        for node in 0..n {
+            cluster.set_jitter(
+                node,
+                JitterModel::new(
+                    seed ^ node as u64,
+                    0.02,
+                    SimDuration::from_micros(20),
+                    SimDuration::from_micros(200),
+                ),
+            );
+        }
+    }
+    let group = cluster.create_group(GroupSpec {
+        members: (0..n).collect(),
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
+    });
+    if let Some((victim, step)) = crash {
+        cluster.crash_after_events(victim, step);
+    }
+    cluster.submit_send(group, k * BLOCK);
+    cluster.run();
+    cluster
+}
+
+/// The convergence invariant every chaos run must satisfy: survivors are
+/// quiescent, no RNR timer ever armed, and every message was either
+/// delivered at every survivor or consistently abandoned group-wide.
+fn assert_recovered(cluster: &SimCluster, n: usize, victim: usize) {
+    assert!(cluster.live_quiescent(), "survivors failed to quiesce");
+    assert_eq!(cluster.fabric().stats().rnr_arms, 0, "an RNR timer armed");
+    let survivors = cluster.surviving_ranks(0);
+    assert!(
+        !survivors.contains(&(victim as u32)),
+        "crashed rank {victim} still a member"
+    );
+    assert_eq!(survivors.len(), n - 1, "exactly the victim was removed");
+    let abandoned: Vec<usize> = cluster
+        .recovery_stats()
+        .reconfigurations
+        .iter()
+        .flat_map(|r| r.abandoned.iter().copied())
+        .collect();
+    for r in cluster.message_results() {
+        if abandoned.contains(&r.index) {
+            continue;
+        }
+        for &o in &survivors {
+            assert!(
+                r.delivered_at[o as usize].is_some(),
+                "message {} missing at surviving rank {o}",
+                r.index
+            );
+        }
+    }
+}
+
+/// Exhaustive mini-sweep: a 4-member pipeline, crashing *every* rank at
+/// *every* protocol step of the failure-free run. Quick but complete —
+/// the proptest below extends the same property to larger shapes.
+#[test]
+fn every_rank_crashing_at_every_step_recovers() {
+    let (n, k) = (4usize, 3u64);
+    let total = recovery_run(n, k, None, None).events_fed();
+    assert!(total > 0);
+    for victim in 0..n {
+        for step in 0..total {
+            let cluster = recovery_run(n, k, Some((victim, step)), None);
+            assert!(
+                !cluster.recovery_stats().reconfigurations.is_empty(),
+                "victim {victim} step {step}: no reconfiguration happened"
+            );
+            assert_recovered(&cluster, n, victim);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash any rank at any protocol step for n up to 8, with random
+    /// scheduling jitter: the group always reconfigures and converges,
+    /// and a rerun with identical parameters is identical (virtual time
+    /// makes the whole failure/recovery path deterministic).
+    #[test]
+    fn crash_at_any_protocol_step_recovers(
+        n in prop::sample::select(vec![2usize, 3, 4, 5, 6, 8]),
+        k in prop::sample::select(vec![2u64, 4, 7]),
+        victim_sel in any::<prop::sample::Index>(),
+        step_sel in any::<prop::sample::Index>(),
+        jitter_seed in any::<u64>(),
+    ) {
+        let total = recovery_run(n, k, None, Some(jitter_seed)).events_fed();
+        let victim = victim_sel.index(n);
+        let step = step_sel.index(total as usize) as u64;
+
+        let cluster = recovery_run(n, k, Some((victim, step)), Some(jitter_seed));
+        assert_recovered(&cluster, n, victim);
+
+        // Determinism: the rerun reproduces the run event-for-event.
+        let rerun = recovery_run(n, k, Some((victim, step)), Some(jitter_seed));
+        prop_assert_eq!(cluster.events_fed(), rerun.events_fed());
+        prop_assert_eq!(
+            cluster.fabric().now().as_nanos(),
+            rerun.fabric().now().as_nanos()
+        );
+        let (a, b) = (cluster.recovery_stats(), rerun.recovery_stats());
+        prop_assert_eq!(a.reconfigurations.len(), b.reconfigurations.len());
+        for (x, y) in a.reconfigurations.iter().zip(&b.reconfigurations) {
+            prop_assert_eq!(x.epoch, y.epoch);
+            prop_assert_eq!(&x.survivors, &y.survivors);
+            prop_assert_eq!(x.installed_at, y.installed_at);
+            prop_assert_eq!(x.resumed_blocks, y.resumed_blocks);
+            prop_assert_eq!(&x.abandoned, &y.abandoned);
         }
     }
 }

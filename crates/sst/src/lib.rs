@@ -15,12 +15,19 @@
 //! over the simulated verbs fabric; [`small_message_rate`] is the
 //! one-call benchmark harness the `sst_small_messages` bench sweeps
 //! against RDMC.
+//!
+//! [`ViewTracker`] layers the membership service the paper's §2.4
+//! assumes over the same rows: epidemic failure-suspicion agreement and
+//! monotone epoch installation, used by `rdmc-sim`'s recovery
+//! orchestration to reconfigure wedged groups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod membership;
 mod multicast;
 mod table;
 
+pub use membership::{View, ViewTracker};
 pub use multicast::{small_message_rate, SstMessageResult, SstMulticast};
 pub use table::{SstCluster, SstTable};

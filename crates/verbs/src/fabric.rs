@@ -67,6 +67,10 @@ struct Conn {
     recvs: [VecDeque<(WrId, u64)>; 2],
     dirs: [DirState; 2],
     broken: bool,
+    /// Work requests torn off the wire before the break was delivered
+    /// (e.g. an in-flight send aborted by a peer crash): flushed as error
+    /// completions when the break lands. `(endpoint, wr, is_recv)`.
+    pending_flush: Vec<(u8, WrId, bool)>,
 }
 
 struct Node {
@@ -292,15 +296,16 @@ impl Fabric {
     /// Creates a reliable connection between two distinct nodes, returning
     /// the local endpoint for each (first for `a`, second for `b`).
     ///
+    /// Connecting to a crashed peer is allowed — the connection attempt
+    /// behaves like the real handshake timing out: the queue pair exists
+    /// but breaks after the fabric's failure-detection delay.
+    ///
     /// # Panics
     ///
-    /// Panics if `a == b` or either node has crashed.
+    /// Panics if `a == b`.
     pub fn connect(&mut self, a: NodeId, b: NodeId) -> (QpHandle, QpHandle) {
         assert_ne!(a, b, "cannot connect a node to itself");
-        assert!(
-            !self.nodes[a.index()].crashed && !self.nodes[b.index()].crashed,
-            "cannot connect crashed nodes"
-        );
+        let dead_peer = self.nodes[a.index()].crashed || self.nodes[b.index()].crashed;
         let path_ab = self.topo.path(a.index(), b.index());
         let path_ba = self.topo.path(b.index(), a.index());
         let lat_ab = self.net.path_latency(&path_ab);
@@ -322,9 +327,14 @@ impl Fabric {
                 },
             ],
             broken: false,
+            pending_flush: Vec::new(),
         });
         self.nodes[a.index()].conns.push(idx);
         self.nodes[b.index()].conns.push(idx);
+        if dead_peer {
+            self.queue
+                .schedule_in(self.params.failure_detect, Ev::BreakConn { conn: idx });
+        }
         (
             QpHandle { conn: idx, end: 0 },
             QpHandle { conn: idx, end: 1 },
@@ -484,9 +494,18 @@ impl Fabric {
             }
             // The wire goes quiet immediately...
             for dir in 0..2 {
-                if let Some((flow, _, _)) = self.conns[c as usize].dirs[dir].inflight.take() {
+                if let Some((flow, send, claimed_recv)) =
+                    self.conns[c as usize].dirs[dir].inflight.take()
+                {
                     self.inflight_index.remove(&flow);
                     self.net.abort_flow(now, flow);
+                    // Remember the torn-off WRs so the eventual break
+                    // flushes them as error completions.
+                    let conn = &mut self.conns[c as usize];
+                    conn.pending_flush.push((dir as u8, send.wr_id, false));
+                    if let Some(wr) = claimed_recv {
+                        conn.pending_flush.push((1 - dir as u8, wr, true));
+                    }
                 }
             }
             self.net_stale = true;
@@ -631,6 +650,14 @@ impl Fabric {
         }
         let now = self.queue.now();
         let decision = {
+            let conn = &self.conns[conn_idx as usize];
+            // A crashed endpoint means the wire is already dead even if the
+            // survivor has not yet been told; nothing new may start.
+            if self.nodes[conn.nodes[0].index()].crashed
+                || self.nodes[conn.nodes[1].index()].crashed
+            {
+                return;
+            }
             let conn = &mut self.conns[conn_idx as usize];
             if conn.broken || conn.dirs[dir as usize].inflight.is_some() {
                 return;
@@ -927,21 +954,47 @@ impl Fabric {
         }
     }
 
-    /// Breaks a connection: aborts in-flight transfers, drops queued work,
-    /// and notifies both (surviving) endpoints.
+    /// Forcibly breaks the connection a queue pair belongs to, as if the
+    /// link failed: outstanding work requests are flushed as
+    /// [`Delivery::WrFlushed`] error completions and both surviving
+    /// endpoints receive [`Delivery::QpBroken`]. Idempotent. Drivers use
+    /// this for deliberate teardown (epoch reconfiguration) and fault
+    /// injection (link flaps).
+    pub fn break_qp(&mut self, qp: QpHandle) {
+        self.break_conn(qp.conn);
+    }
+
+    /// Breaks a connection: aborts in-flight transfers, flushes all
+    /// outstanding work requests as error completions, and notifies both
+    /// (surviving) endpoints.
     fn break_conn(&mut self, conn_idx: u32) {
         let now = self.queue.now();
         if self.conns[conn_idx as usize].broken {
             return;
         }
         self.conns[conn_idx as usize].broken = true;
+        // Collect every outstanding WR per endpoint, in posting order:
+        // WRs torn off earlier (peer crash), the in-flight op with its
+        // claimed receive, queued sends, then unconsumed posted receives.
+        let mut flushes: Vec<(u8, WrId, bool)> =
+            std::mem::take(&mut self.conns[conn_idx as usize].pending_flush);
         for dir in 0..2 {
-            if let Some((flow, _, _)) = self.conns[conn_idx as usize].dirs[dir].inflight.take() {
+            if let Some((flow, send, claimed_recv)) =
+                self.conns[conn_idx as usize].dirs[dir].inflight.take()
+            {
                 self.inflight_index.remove(&flow);
                 self.net.abort_flow(now, flow);
+                flushes.push((dir as u8, send.wr_id, false));
+                if let Some(wr) = claimed_recv {
+                    flushes.push((1 - dir as u8, wr, true));
+                }
             }
-            self.conns[conn_idx as usize].dirs[dir].queue.clear();
-            self.conns[conn_idx as usize].recvs[dir].clear();
+            for send in self.conns[conn_idx as usize].dirs[dir].queue.drain(..) {
+                flushes.push((dir as u8, send.wr_id, false));
+            }
+            for (wr, _) in self.conns[conn_idx as usize].recvs[dir].drain(..) {
+                flushes.push((dir as u8, wr, true));
+            }
         }
         self.net_stale = true;
         for end in 0..2u8 {
@@ -953,6 +1006,17 @@ impl Fabric {
                 conn: conn_idx,
                 end,
             };
+            // Flush errors drain through the CQ ahead of the break notice
+            // (same instant, FIFO), mirroring IBV_WC_WR_FLUSH_ERR order.
+            for &(_, wr_id, recv) in flushes.iter().filter(|&&(e, _, _)| e == end) {
+                self.queue.schedule_at(
+                    now,
+                    Ev::Deliver {
+                        node,
+                        delivery: Delivery::WrFlushed { qp, wr_id, recv },
+                    },
+                );
+            }
             self.queue.schedule_at(
                 now,
                 Ev::Deliver {

@@ -468,3 +468,95 @@ fn posts_rejected_after_crash() {
         Err(VerbsError::NodeCrashed)
     );
 }
+
+/// Per-node flush record: (wr_id, is_recv) in delivery order, plus where
+/// the QpBroken notice landed relative to the flushes.
+fn flush_log(events: &[(SimTime, NodeId, Delivery)], node: NodeId) -> (Vec<(u64, bool)>, bool) {
+    let mut flushes = Vec::new();
+    let mut broken_after_flushes = false;
+    for (_, n, d) in events {
+        if *n != node {
+            continue;
+        }
+        match d {
+            Delivery::WrFlushed { wr_id, recv, .. } => {
+                assert!(!broken_after_flushes, "flush delivered after QpBroken");
+                flushes.push((wr_id.0, *recv));
+            }
+            Delivery::QpBroken { .. } => broken_after_flushes = true,
+            _ => {}
+        }
+    }
+    (flushes, broken_after_flushes)
+}
+
+#[test]
+fn break_flushes_queued_sends_and_posted_recvs() {
+    let mut f = zero_overhead_fabric(2);
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 2000).unwrap();
+    f.post_recv(q1, WrId(2), 2000).unwrap();
+    f.post_send(q0, WrId(10), 1_000_000, 0, None).unwrap();
+    f.post_send(q0, WrId(11), 1_000_000, 0, None).unwrap();
+    f.post_send(q0, WrId(12), 1_000_000, 0, None).unwrap();
+    f.break_qp(q0);
+    let events = drain(&mut f);
+    // Every outstanding WR comes back as an error completion, in posting
+    // order, before the break notice (IBV_WC_WR_FLUSH_ERR semantics).
+    let (sender_flushes, sender_broken) = flush_log(&events, NodeId(0));
+    assert_eq!(sender_flushes, vec![(10, false), (11, false), (12, false)]);
+    assert!(sender_broken);
+    let (receiver_flushes, receiver_broken) = flush_log(&events, NodeId(1));
+    assert_eq!(receiver_flushes, vec![(1, true), (2, true)]);
+    assert!(receiver_broken);
+    // Nothing completed successfully.
+    assert!(!events
+        .iter()
+        .any(|(_, _, d)| matches!(d, Delivery::SendDone { .. } | Delivery::RecvDone { .. })));
+}
+
+#[test]
+fn crash_flushes_survivors_inflight_send() {
+    let mut net = FlowNet::new();
+    let topo = Topology::flat(&mut net, 2, 100.0, SimDuration::from_micros(2));
+    let mut f = Fabric::new(net, topo, FabricParams::default());
+    let (q0, q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_recv(q1, WrId(1), 1 << 30).unwrap();
+    // A 1 GB transfer takes ~86 ms; the receiver dies at 1 ms, mid-flight.
+    f.post_send(q0, WrId(2), 1 << 30, 0, None).unwrap();
+    f.schedule_timer(NodeId(0), SimDuration::from_millis(1), 5);
+    let mut events = Vec::new();
+    while let Some((t, node, d)) = f.advance() {
+        if matches!(d, Delivery::Timer { token: 5 }) {
+            f.crash(NodeId(1));
+            continue;
+        }
+        events.push((t, node, d));
+    }
+    let (flushes, broken) = flush_log(&events, NodeId(0));
+    assert_eq!(flushes, vec![(2, false)], "in-flight send must flush");
+    assert!(broken, "survivor must learn of the failure");
+    assert!(!events
+        .iter()
+        .any(|(_, _, d)| matches!(d, Delivery::SendDone { .. })));
+}
+
+#[test]
+fn connect_to_crashed_peer_times_out() {
+    let mut f = zero_overhead_fabric(2);
+    f.crash(NodeId(1));
+    // Re-establishing toward a dead node is allowed (recovery needs it);
+    // the attempt behaves like a handshake that times out.
+    let (q0, _q1) = f.connect(NodeId(0), NodeId(1));
+    f.post_send(q0, WrId(7), 1000, 0, None).unwrap();
+    let events = drain(&mut f);
+    let (flushes, broken) = flush_log(&events, NodeId(0));
+    assert_eq!(flushes, vec![(7, false)]);
+    assert!(broken);
+    let break_time = events
+        .iter()
+        .find(|(_, _, d)| matches!(d, Delivery::QpBroken { .. }))
+        .map(|(t, _, _)| t.as_nanos())
+        .expect("connection must break");
+    assert_eq!(break_time, 1_000_000, "breaks after failure_detect");
+}

@@ -124,10 +124,26 @@ pub enum Delivery {
         payload: Bytes,
     },
     /// The connection failed (peer crashed, RNR retries exhausted, or a
-    /// receive was too small). All outstanding work requests are dropped.
+    /// receive was too small). Every outstanding work request on the
+    /// queue pair is flushed back as a [`Delivery::WrFlushed`] error
+    /// completion before this notice arrives.
     QpBroken {
         /// The broken local queue pair.
         qp: QpHandle,
+    },
+    /// An outstanding work request was flushed with an error completion
+    /// because its queue pair broke (the verbs `IBV_WC_WR_FLUSH_ERR`
+    /// status). Emitted for queued sends, the in-flight send, and posted
+    /// receives, in posting order, ahead of the [`Delivery::QpBroken`]
+    /// notice for the same queue pair.
+    WrFlushed {
+        /// The broken local queue pair the work request was posted on.
+        qp: QpHandle,
+        /// The flushed work request.
+        wr_id: WrId,
+        /// True if the flushed work request was a posted receive, false
+        /// for a send or one-sided write.
+        recv: bool,
     },
     /// A driver-scheduled timer fired.
     Timer {
