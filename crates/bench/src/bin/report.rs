@@ -32,11 +32,19 @@ fn json_summary(
     threads: usize,
     total_wall_s: f64,
     sections: &[SectionPerf],
+    trace_overhead: Option<&e::TraceOverhead>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    if let Some(t) = trace_overhead {
+        out.push_str(&format!(
+            "  \"trace\": {{\"events\": {}, \"ns_per_disabled_call\": {:.3}, \
+             \"wall_disabled_s\": {:.3}, \"overhead_pct\": {:.4}}},\n",
+            t.events, t.ns_per_disabled_call, t.wall_disabled_s, t.overhead_pct,
+        ));
+    }
     out.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
         let d = &s.work;
@@ -88,10 +96,14 @@ fn main() {
         ("sst", e::sst_small_messages),
         ("kernel", e::kernel_throughput),
         ("analyzer", e::analyzer_sweep),
+        ("trace", e::trace_observability),
     ];
+    let chrome_path = std::env::args()
+        .find_map(|a| a.strip_prefix("--chrome-trace=").map(str::to_owned))
+        .or_else(|| std::env::var("RDMC_TRACE_CHROME").ok());
     let only: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| a != "--quick")
+        .filter(|a| a != "--quick" && !a.starts_with("--chrome-trace="))
         .collect();
     let mut perf: Vec<SectionPerf> = Vec::new();
     for (name, f) in sections {
@@ -110,11 +122,30 @@ fn main() {
         });
         eprintln!("[{name} took {wall_s:.1}s]");
     }
+    // The disabled-recorder overhead probe rides along whenever the
+    // trace section is in scope; its record lands in the JSON summary.
+    let trace_overhead = if only.is_empty() || only.iter().any(|o| o == "trace") {
+        let t = e::trace_overhead_probe(quick);
+        eprintln!(
+            "[trace overhead: {} events x {:.2}ns/call disabled = {:.3}% of {:.2}s untraced run]",
+            t.events, t.ns_per_disabled_call, t.overhead_pct, t.wall_disabled_s
+        );
+        Some(t)
+    } else {
+        None
+    };
+    if let Some(path) = &chrome_path {
+        match e::write_sample_chrome_trace(path) {
+            Ok(()) => eprintln!("[sample Chrome trace written to {path}]"),
+            Err(err) => eprintln!("[could not write Chrome trace {path}: {err}]"),
+        }
+    }
+
     let total = t0.elapsed().as_secs_f64();
     let threads = rdmc_bench::parallel::worker_threads();
     eprintln!("[total {total:.1}s on {threads} worker threads]");
 
-    let json = json_summary(quick, threads, total, &perf);
+    let json = json_summary(quick, threads, total, &perf, trace_overhead.as_ref());
     let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[kernel perf summary written to {path}]"),

@@ -6,8 +6,8 @@
 use baselines::run_mvapich_multicast;
 use rdmc::{analysis, Algorithm};
 use rdmc_sim::{
-    run_concurrent_overlapping, run_offloaded_chain, run_single_multicast, ClusterSpec, GroupSpec,
-    RecoveryConfig, SimCluster, TopoSpec, TraceKind,
+    run_concurrent_overlapping, run_offloaded_chain, run_single_multicast, run_traced_multicast,
+    ClusterSpec, GroupSpec, RecoveryConfig, SimCluster, TopoSpec, TraceKind,
 };
 use simnet::{JitterModel, SimDuration};
 use verbs::CompletionMode;
@@ -985,4 +985,156 @@ pub fn analyzer_sweep(quick: bool) -> String {
             &rows
         )
     )
+}
+
+/// Observability: stall attribution over the Fig. 4 binomial-pipeline
+/// sweep. For every configuration the five attribution classes —
+/// ideal transfer, link-limited, sender-limited, receiver-limited, and
+/// schedule idle — must sum to the end-to-end latency within 1% (they
+/// sum exactly by construction; the check guards the instrumentation).
+pub fn trace_observability(quick: bool) -> String {
+    let sizes: &[u64] = if quick {
+        &[8 * MB]
+    } else {
+        &[256 * MB, 8 * MB]
+    };
+    let groups: Vec<usize> = if quick {
+        vec![4, 8, 16]
+    } else {
+        (2..=16).collect()
+    };
+    let spec = ClusterSpec::fractus(16);
+    let mut out = String::new();
+    for &size in sizes {
+        let rows = par_map(&groups, |&n| {
+            let (outcome, events, wire) =
+                run_traced_multicast(&spec, n, Algorithm::BinomialPipeline, size, MB);
+            let b = trace::stall::attribute(&events, 0, &wire)
+                .expect("traced run has a complete group 0 recording");
+            let e2e = b.end_to_end_ns;
+            assert_eq!(
+                e2e,
+                (outcome.latency.as_secs_f64() * 1e9).round() as u64,
+                "trace-derived end-to-end disagrees with the engine (n={n})"
+            );
+            let gap = b.attributed_ns().abs_diff(e2e);
+            assert!(
+                gap as f64 <= 0.01 * e2e as f64,
+                "attribution gap {gap}ns exceeds 1% of {e2e}ns (n={n})"
+            );
+            let pct = |x: u64| format!("{:.1}%", 100.0 * x as f64 / e2e as f64);
+            row![
+                n,
+                format!("{:.2}", e2e as f64 / 1e6),
+                pct(b.transfer_ns),
+                pct(b.link_limited_ns),
+                pct(b.sender_limited_ns),
+                pct(b.receiver_limited_ns),
+                pct(b.schedule_idle_ns),
+                events.len()
+            ]
+        });
+        out.push_str(&format!(
+            "Stall attribution ({}): binomial pipeline, Fractus-like 100 Gb/s, 1 MB blocks\n\
+             (classes sum to end-to-end within 1% — asserted per row)\n",
+            bytes_label(size)
+        ));
+        out.push_str(&render(
+            &row![
+                "group",
+                "e2e (ms)",
+                "transfer",
+                "link",
+                "sender",
+                "receiver",
+                "sched-idle",
+                "events"
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+
+    // Per-rank timeline of one representative configuration: when each
+    // rank saw its first block, when it delivered, and how many blocks
+    // it moved — the flight recorder's answer to "who was the straggler".
+    let (_, events, _) = run_traced_multicast(&spec, 8, Algorithm::BinomialPipeline, 8 * MB, MB);
+    let rows: Vec<Vec<String>> = trace::stall::timelines(&events, 0)
+        .iter()
+        .map(|t| {
+            let ms = |x: Option<u64>| {
+                x.map_or_else(|| "-".to_owned(), |v| format!("{:.2}", v as f64 / 1e6))
+            };
+            row![
+                t.rank,
+                ms(t.first_block_ns),
+                ms(t.delivered_ns),
+                t.blocks_received,
+                t.blocks_sent
+            ]
+        })
+        .collect();
+    out.push_str("Per-rank timeline (8 MB, group of 8, binomial pipeline)\n");
+    out.push_str(&render(
+        &row![
+            "rank",
+            "first blk (ms)",
+            "delivered (ms)",
+            "rx blks",
+            "tx blks"
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// The disabled-recorder overhead record written to `BENCH_simnet.json`.
+pub struct TraceOverhead {
+    /// Events a fully traced Fig. 4 run (group of 16, 8 MB) records.
+    pub events: u64,
+    /// Cost of one record call against a disabled recorder.
+    pub ns_per_disabled_call: f64,
+    /// Wall time of the same run with tracing off entirely.
+    pub wall_disabled_s: f64,
+    /// `events x ns_per_call` as a fraction of the untraced wall time —
+    /// what leaving the instrumentation compiled-in but disabled costs.
+    pub overhead_pct: f64,
+}
+
+/// Measures the zero-cost-when-disabled claim on the Fig. 4 bench path:
+/// count the events a traced run records, time the untraced run, and
+/// time the disabled-recorder fast path per call.
+pub fn trace_overhead_probe(quick: bool) -> TraceOverhead {
+    let spec = ClusterSpec::fractus(16);
+    let (_, events, _) = run_traced_multicast(&spec, 16, Algorithm::BinomialPipeline, 8 * MB, MB);
+    let events = events.len() as u64;
+
+    let t = std::time::Instant::now();
+    let _ = run_single_multicast(&spec, 16, Algorithm::BinomialPipeline, 8 * MB, MB);
+    let wall_disabled_s = t.elapsed().as_secs_f64();
+
+    let recorder = trace::Recorder::disabled();
+    let scope = trace::Scope::group_rank(0, 0);
+    let iters: u64 = if quick { 1_000_000 } else { 10_000_000 };
+    let t = std::time::Instant::now();
+    for i in 0..iters {
+        let r = std::hint::black_box(&recorder);
+        r.record(scope, || trace::EventKind::ReadyHeard { from: i as u32 });
+    }
+    let ns_per_disabled_call = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    TraceOverhead {
+        events,
+        ns_per_disabled_call,
+        wall_disabled_s,
+        overhead_pct: 100.0 * events as f64 * ns_per_disabled_call / (wall_disabled_s * 1e9),
+    }
+}
+
+/// Writes the Chrome `trace_event` export of one traced multicast to
+/// `path` (open it in `chrome://tracing` or Perfetto).
+pub fn write_sample_chrome_trace(path: &str) -> std::io::Result<()> {
+    let spec = ClusterSpec::fractus(8);
+    let (_, events, _) = run_traced_multicast(&spec, 8, Algorithm::BinomialPipeline, 8 * MB, MB);
+    std::fs::write(path, trace::export::to_chrome_trace(&events))
 }

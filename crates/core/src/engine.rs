@@ -293,6 +293,14 @@ pub struct GroupEngine {
     /// Interrupted messages awaiting resumption in the current epoch,
     /// oldest first; drained before any newly queued send.
     pending_resumes: VecDeque<ResumeTransfer>,
+    /// Flight recorder for protocol events; disabled (one branch per
+    /// event) unless the driver attaches one. The engine is sans-IO and
+    /// has no clock — the recorder's shared clock, kept current by the
+    /// driver, timestamps its events.
+    recorder: trace::Recorder,
+    /// Where this engine's events are recorded (node/group/rank); the
+    /// rank coordinate follows epoch renumbering.
+    scope: trace::Scope,
 }
 
 impl GroupEngine {
@@ -332,9 +340,20 @@ impl GroupEngine {
                 messages_completed: 0,
                 epoch: 0,
                 pending_resumes: VecDeque::new(),
+                recorder: trace::Recorder::disabled(),
+                scope: trace::Scope::none(),
             },
             actions,
         )
+    }
+
+    /// Attaches a flight recorder, labelling this engine's events with
+    /// `scope`. The initial readiness credit returned by
+    /// [`GroupEngine::new`] predates this call; a driver that wants it
+    /// on the record must record it itself.
+    pub fn set_recorder(&mut self, recorder: trace::Recorder, scope: trace::Scope) {
+        self.recorder = recorder;
+        self.scope = scope;
     }
 
     /// This member's rank (in the current epoch).
@@ -436,6 +455,26 @@ impl GroupEngine {
         self.epoch = install.epoch;
         self.config.rank = install.rank;
         self.config.num_nodes = install.num_nodes;
+        if self.scope.rank.is_some() {
+            self.scope.rank = Some(install.rank);
+        }
+        if self.recorder.is_enabled() {
+            let resume_blocks_out: u32 = install
+                .resumes
+                .iter()
+                .map(|r| r.sched.outgoing().len() as u32)
+                .sum();
+            let (epoch, rank, num_nodes) = (install.epoch, install.rank, install.num_nodes);
+            let resumes = install.resumes.len() as u32;
+            self.recorder
+                .record(self.scope, || trace::EventKind::EpochInstalled {
+                    epoch,
+                    rank,
+                    num_nodes,
+                    resumes,
+                    resume_blocks_out,
+                });
+        }
         self.failed.clear();
         self.wedged = false;
         // Old-epoch credits and the interrupted transfer die with the old
@@ -468,6 +507,8 @@ impl GroupEngine {
             .first_sender(self.config.num_nodes, self.config.rank)
         {
             // Re-grant the idle-state credit for the next message.
+            self.recorder
+                .record(self.scope, || trace::EventKind::ReadyGranted { to: first });
             actions.push(Action::SendReady { to: first });
         }
     }
@@ -477,6 +518,18 @@ impl GroupEngine {
     fn begin_resume(&mut self, resume: ResumeTransfer, actions: &mut Vec<Action>) {
         let layout = MessageLayout::new(resume.total_size, self.config.block_size);
         let have_count = resume.have.iter().filter(|&&h| h).count() as u32;
+        self.recorder
+            .record(self.scope, || trace::EventKind::ResumeStarted {
+                size: resume.total_size,
+                blocks: layout.num_blocks,
+                held: resume
+                    .have
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &h)| h.then_some(i as u32))
+                    .collect(),
+                already_delivered: resume.already_delivered,
+            });
         if !resume.already_delivered && have_count < layout.num_blocks {
             // The buffer from the old epoch survives at this member in
             // real deployments; our drivers re-allocate, so surface the
@@ -484,6 +537,10 @@ impl GroupEngine {
             actions.push(Action::AllocateBuffer {
                 size: resume.total_size,
             });
+            self.recorder
+                .record(self.scope, || trace::EventKind::BufferRequested {
+                    size: resume.total_size,
+                });
         }
         self.active = Some(ActiveTransfer {
             layout,
@@ -623,6 +680,8 @@ impl GroupEngine {
                         rank: self.config.rank,
                     });
                 }
+                self.recorder
+                    .record(self.scope, || trace::EventKind::MessageSubmitted { size });
                 if self.wedged {
                     // The wedged group transmits nothing, but the message
                     // is accepted: it goes out in the next epoch if this
@@ -640,7 +699,8 @@ impl GroupEngine {
                 if self.wedged {
                     return Ok(actions);
                 }
-                if self.active.is_none() {
+                let first = self.active.is_none();
+                if first {
                     self.begin_receive(total_size, &mut actions);
                 }
                 let t = self.active.as_mut().expect("just initialised");
@@ -657,7 +717,7 @@ impl GroupEngine {
                     .incoming_from(from)
                     .get(*t.recvd.get(&from).unwrap_or(&0) as usize)
                     .copied();
-                let Some((_, block)) = expected else {
+                let Some((step, block)) = expected else {
                     return Err(EngineError::UnexpectedArrival { from });
                 };
                 *t.recvd.entry(from).or_insert(0) += 1;
@@ -666,12 +726,23 @@ impl GroupEngine {
                     t.have[block as usize] = true;
                     t.have_count += 1;
                 }
+                let epoch = self.epoch;
+                self.recorder
+                    .record(self.scope, || trace::EventKind::BlockArrived {
+                        from,
+                        block,
+                        step,
+                        first,
+                        epoch,
+                    });
                 self.top_up_grants(Some(from), &mut actions);
                 self.try_issue_send(&mut actions);
                 self.try_complete(&mut actions);
             }
             Event::ReadyReceived { from } => {
                 *self.credits.entry(from).or_insert(0) += 1;
+                self.recorder
+                    .record(self.scope, || trace::EventKind::ReadyHeard { from });
                 if self.wedged {
                     return Ok(actions);
                 }
@@ -689,6 +760,8 @@ impl GroupEngine {
                     }
                     _ => return Err(EngineError::UnexpectedSendCompletion { to }),
                 }
+                self.recorder
+                    .record(self.scope, || trace::EventKind::BlockSendCompleted { to });
                 if self.wedged {
                     return Ok(actions);
                 }
@@ -698,6 +771,8 @@ impl GroupEngine {
             Event::PeerFailed { rank } => {
                 if self.failed.insert(rank) {
                     self.wedged = true;
+                    self.recorder
+                        .record(self.scope, || trace::EventKind::Wedged { failed: rank });
                     actions.push(Action::RelayFailure { failed: rank });
                 }
             }
@@ -717,6 +792,12 @@ impl GroupEngine {
             .plan(self.config.num_nodes, layout.num_blocks)
             .for_rank(0);
         let k = layout.num_blocks;
+        self.recorder
+            .record(self.scope, || trace::EventKind::TransferStarted {
+                size,
+                blocks: k,
+                root: true,
+            });
         self.active = Some(ActiveTransfer {
             layout,
             sched,
@@ -748,6 +829,16 @@ impl GroupEngine {
             .for_rank(self.config.rank);
         actions.push(Action::AllocateBuffer { size: total_size });
         let k = layout.num_blocks;
+        self.recorder
+            .record(self.scope, || trace::EventKind::TransferStarted {
+                size: total_size,
+                blocks: k,
+                root: false,
+            });
+        self.recorder
+            .record(self.scope, || trace::EventKind::BufferRequested {
+                size: total_size,
+            });
         let mut granted = BTreeMap::new();
         if let Some(first) = self
             .config
@@ -791,6 +882,8 @@ impl GroupEngine {
             let target = total.min(recvd + window);
             while *granted < target {
                 *granted += 1;
+                self.recorder
+                    .record(self.scope, || trace::EventKind::ReadyGranted { to: peer });
                 actions.push(Action::SendReady { to: peer });
             }
         }
@@ -807,7 +900,7 @@ impl GroupEngine {
             if t.total_inflight >= max_outstanding || t.out_idx >= t.sched.outgoing().len() {
                 return;
             }
-            let (_, transfer) = t.sched.outgoing()[t.out_idx];
+            let (step, transfer) = t.sched.outgoing()[t.out_idx];
             if self.failed.contains(&transfer.peer) {
                 // Never send to the dead; the group is wedging anyway.
                 return;
@@ -823,6 +916,15 @@ impl GroupEngine {
             t.out_idx += 1;
             *t.sends_inflight.entry(transfer.peer).or_insert(0) += 1;
             t.total_inflight += 1;
+            let (bytes, epoch) = (t.layout.block_bytes(transfer.block), self.epoch);
+            self.recorder
+                .record(self.scope, || trace::EventKind::BlockSendIssued {
+                    to: transfer.peer,
+                    block: transfer.block,
+                    step,
+                    bytes,
+                    epoch,
+                });
             actions.push(Action::SendBlock {
                 to: transfer.peer,
                 block: transfer.block,
@@ -848,6 +950,8 @@ impl GroupEngine {
         if !t.delivered {
             t.delivered = true;
             let size = t.layout.size;
+            self.recorder
+                .record(self.scope, || trace::EventKind::Delivered { size });
             actions.push(Action::DeliverMessage { size });
             self.messages_completed += 1;
         }

@@ -332,8 +332,9 @@ pub struct SimCluster {
     qp_owner: HashMap<QpHandle, (GroupId, Rank, Rank)>,
     timers: HashMap<u64, TimerAction>,
     next_timer: u64,
-    tracing: bool,
-    traces: HashMap<(GroupId, Rank), Vec<TraceRecord>>,
+    /// Flight recorder shared by the fabric, the net, and every engine
+    /// (disabled — one branch per instrumentation point — by default).
+    recorder: trace::Recorder,
     recovery_config: Option<RecoveryConfig>,
     recovery_stats: RecoveryStats,
     /// When each crashed node went down (detection-latency baseline).
@@ -355,8 +356,7 @@ impl SimCluster {
             qp_owner: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 0,
-            tracing: false,
-            traces: HashMap::new(),
+            recorder: trace::Recorder::disabled(),
             recovery_config: None,
             recovery_stats: RecoveryStats::default(),
             crash_times: HashMap::new(),
@@ -402,9 +402,46 @@ impl SimCluster {
             .unwrap_or(0)
     }
 
-    /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation).
+    /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation):
+    /// shorthand for attaching a full-capture flight recorder.
     pub fn enable_tracing(&mut self) {
-        self.tracing = true;
+        if !self.recorder.is_enabled() {
+            self.enable_flight_recorder(trace::Mode::Full);
+        }
+    }
+
+    /// Attaches a flight recorder in the given capture mode. The fabric
+    /// stamps it with virtual time and every layer — flow network, verbs,
+    /// protocol engines (present and future), membership orchestration —
+    /// streams structured events into it. Returns a clone of the handle
+    /// for direct export/analysis; calling again replaces the recorder.
+    pub fn enable_flight_recorder(&mut self, mode: trace::Mode) -> trace::Recorder {
+        let recorder = trace::Recorder::new(mode);
+        self.recorder = recorder.clone();
+        self.fabric.set_recorder(recorder.clone());
+        for (gid, g) in self.groups.iter_mut().enumerate() {
+            for (rank, engine) in g.engines.iter_mut().enumerate() {
+                let scope = trace::Scope {
+                    node: Some(g.spec.members[rank] as u32),
+                    group: Some(gid as u32),
+                    rank: Some(rank as u32),
+                };
+                engine.set_recorder(recorder.clone(), scope);
+            }
+        }
+        recorder
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`SimCluster::enable_flight_recorder`] or
+    /// [`SimCluster::enable_tracing`] ran).
+    pub fn recorder(&self) -> &trace::Recorder {
+        &self.recorder
+    }
+
+    /// Snapshot of every recorded event so far, in order.
+    pub fn trace_events(&self) -> Vec<trace::TraceEvent> {
+        self.recorder.events()
     }
 
     /// Access the underlying fabric (topology, link accounting, CPU).
@@ -466,7 +503,7 @@ impl SimCluster {
         let mut engines = Vec::with_capacity(spec.members.len());
         let mut initial: Vec<(Rank, Vec<Action>)> = Vec::new();
         for rank in 0..n {
-            let (engine, actions) = GroupEngine::new(EngineConfig {
+            let (mut engine, actions) = GroupEngine::new(EngineConfig {
                 rank,
                 num_nodes: n,
                 block_size: spec.block_size,
@@ -474,6 +511,23 @@ impl SimCluster {
                 max_outstanding_sends: spec.max_outstanding_sends,
                 planner: Arc::clone(&planner),
             });
+            if self.recorder.is_enabled() {
+                let scope = trace::Scope {
+                    node: Some(spec.members[rank as usize] as u32),
+                    group: Some(gid as u32),
+                    rank: Some(rank),
+                };
+                engine.set_recorder(self.recorder.clone(), scope);
+                // The constructor's idle-state credit predates the
+                // recorder attach; restate it so credit accounting in the
+                // trace starts balanced.
+                for a in &actions {
+                    if let Action::SendReady { to } = *a {
+                        self.recorder
+                            .record(scope, || trace::EventKind::ReadyGranted { to });
+                    }
+                }
+            }
             engines.push(engine);
             initial.push((rank, actions));
         }
@@ -637,13 +691,41 @@ impl SimCluster {
         out
     }
 
-    /// The trace recorded for one member (empty unless
-    /// [`SimCluster::enable_tracing`] was called before the transfer).
-    pub fn trace(&self, group: GroupId, rank: Rank) -> &[TraceRecord] {
-        self.traces
-            .get(&(group, rank))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// The trace of one member (empty unless [`SimCluster::enable_tracing`]
+    /// or the flight recorder was enabled before the transfer), projected
+    /// from the recorder's event stream into the coarse [`TraceKind`]
+    /// vocabulary the Table 1 / Fig. 5 reports consume.
+    pub fn trace(&self, group: GroupId, rank: Rank) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for ev in self.recorder.events() {
+            if ev.scope.group != Some(group as u32) || ev.scope.rank != Some(rank) {
+                continue;
+            }
+            let kind = match ev.kind {
+                trace::EventKind::ReadyGranted { to } => TraceKind::ReadySent { to },
+                trace::EventKind::ReadyHeard { from } => TraceKind::ReadyHeard { from },
+                trace::EventKind::BlockSendIssued { to, block, .. } => {
+                    TraceKind::SendPosted { to, block }
+                }
+                trace::EventKind::BlockSendCompleted { to } => TraceKind::SendFinished { to },
+                trace::EventKind::BlockArrived {
+                    from, block, first, ..
+                } => TraceKind::BlockArrived {
+                    from,
+                    // The size-announcing first block of a message keeps
+                    // its classic `None` encoding.
+                    block: (!first).then_some(block),
+                },
+                trace::EventKind::BufferRequested { .. } => TraceKind::BufferAllocated,
+                trace::EventKind::Delivered { .. } => TraceKind::Delivered,
+                _ => continue,
+            };
+            out.push(TraceRecord {
+                time: SimTime::from_nanos(ev.t_ns),
+                kind,
+            });
+        }
+        out
     }
 
     /// True if every engine is idle and unwedged — the condition under
@@ -680,16 +762,6 @@ impl SimCluster {
             .collect()
     }
 
-    fn record(&mut self, group: GroupId, rank: Rank, kind: TraceKind) {
-        if self.tracing {
-            let time = self.fabric.now();
-            self.traces
-                .entry((group, rank))
-                .or_default()
-                .push(TraceRecord { time, kind });
-        }
-    }
-
     fn dispatch(&mut self, _time: SimTime, node: NodeId, delivery: Delivery) {
         match delivery {
             Delivery::RecvDone { qp, imm, .. } => {
@@ -698,15 +770,6 @@ impl SimCluster {
                 let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
                     return;
                 };
-                let block = self.groups[group].engines[me as usize].next_expected_block(peer);
-                self.record(
-                    group,
-                    me,
-                    TraceKind::BlockArrived {
-                        from: peer,
-                        block: block.map(|(b, _, _)| b),
-                    },
-                );
                 self.feed(
                     group,
                     me,
@@ -720,7 +783,6 @@ impl SimCluster {
                 let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
                     return;
                 };
-                self.record(group, me, TraceKind::SendFinished { to: peer });
                 self.feed(group, me, Event::SendCompleted { to: peer });
             }
             Delivery::WriteDone { .. } => {}
@@ -730,7 +792,6 @@ impl SimCluster {
                 };
                 match tag {
                     TAG_READY => {
-                        self.record(group, me, TraceKind::ReadyHeard { from: peer });
                         self.feed(group, me, Event::ReadyReceived { from: peer });
                     }
                     TAG_FAILURE => {
@@ -843,7 +904,6 @@ impl SimCluster {
                         Bytes::from_static(b"RDY"),
                         None,
                     );
-                    self.record(group, rank, TraceKind::ReadySent { to });
                 }
                 Action::SendBlock {
                     to,
@@ -853,7 +913,6 @@ impl SimCluster {
                     ..
                 } => {
                     let qp = self.ensure_qp(group, rank, to);
-                    self.record(group, rank, TraceKind::SendPosted { to, block });
                     let _ =
                         self.fabric
                             .post_send(qp, WrId(u64::from(block)), bytes, total_size, None);
@@ -882,7 +941,6 @@ impl SimCluster {
                     let first_block = size.min(self.groups[group].spec.block_size);
                     self.fabric.consume_cpu(node, profile.malloc_latency);
                     deferred_copy += profile.memcpy_time(first_block);
-                    self.record(group, rank, TraceKind::BufferAllocated);
                 }
                 Action::DeliverMessage { size } => {
                     let now = self.fabric.now();
@@ -893,7 +951,6 @@ impl SimCluster {
                     });
                     g.delivered[orig][idx] = Some(now);
                     let _ = size;
-                    self.record(group, rank, TraceKind::Delivered);
                     // Atomic mode: publish the new received-count to every
                     // peer's status table and re-evaluate stability.
                     let count = {
@@ -1029,6 +1086,16 @@ impl SimCluster {
             let newly = rec.detected.insert(orig_failed as Rank);
             (payload, newly, rec.version)
         };
+        self.recorder.record(
+            trace::Scope {
+                node: Some(me_node as u32),
+                group: Some(group as u32),
+                rank: Some(me),
+            },
+            || trace::EventKind::Suspected {
+                failed: orig_failed as u32,
+            },
+        );
         if newly {
             let node = self.groups[group].orig_members[orig_failed];
             self.recovery_stats.detections.push(DetectionRecord {
@@ -1070,6 +1137,20 @@ impl SimCluster {
             }
             (echo, newly, rec.version)
         };
+        if !newly_suspected.is_empty() {
+            let newly = newly_suspected.len() as u32;
+            self.recorder.record(
+                trace::Scope {
+                    node: Some(me_node as u32),
+                    group: Some(group as u32),
+                    rank: Some(me),
+                },
+                || trace::EventKind::ViewMerged {
+                    from: orig_peer as u32,
+                    newly,
+                },
+            );
+        }
         for &o in &newly_suspected {
             let o = o as usize;
             let newly_detected = {
@@ -1254,6 +1335,16 @@ impl SimCluster {
                 let newly = rec.detected.insert(o as Rank);
                 (payload, newly)
             };
+            if payload.is_some() {
+                self.recorder.record(
+                    trace::Scope {
+                        node: Some(node.0),
+                        group: Some(group as u32),
+                        rank: Some(r),
+                    },
+                    || trace::EventKind::Suspected { failed: o },
+                );
+            }
             if newly {
                 let fnode = self.groups[group].orig_members[o as usize];
                 self.recovery_stats.detections.push(DetectionRecord {
@@ -1506,6 +1597,16 @@ impl SimCluster {
             first_suspected = rec.cycle_started.take().unwrap_or(now);
             rec.version += 1;
         }
+        self.recorder.record(trace::Scope::group(group as u32), || {
+            trace::EventKind::ReconfigInstalled {
+                epoch: view.epoch,
+                survivors: survivors_orig.iter().map(|&o| o as u32).collect(),
+                removed: removed.clone(),
+                abandoned: abandoned.iter().map(|&i| i as u64).collect(),
+                resumed_blocks: n_blocks as u64,
+                forced,
+            }
+        });
         // Install the epoch everywhere, then let the engines act: the
         // membership maps are already in new-epoch shape, so the actions'
         // lazily created queue pairs bind the right nodes.

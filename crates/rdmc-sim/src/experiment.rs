@@ -4,7 +4,7 @@
 use rdmc::Algorithm;
 use simnet::SimDuration;
 
-use crate::{ClusterSpec, GroupSpec, SimCluster};
+use crate::{ClusterSpec, GroupSpec, SimCluster, TopoSpec};
 
 /// Outcome of a single multicast run.
 #[derive(Clone, Debug)]
@@ -57,6 +57,73 @@ pub fn run_single_multicast(
         latency,
         bandwidth_gbps: result.bandwidth_gbps().expect("nonzero latency"),
     }
+}
+
+/// The [`trace::stall::WireModel`] matching a cluster's calibration:
+/// host NIC rate (the slowest NIC on per-node topologies), one-hop
+/// latency, and the fabric's fixed per-operation overhead.
+pub fn wire_model_for(spec: &ClusterSpec) -> trace::stall::WireModel {
+    let (gbps, latency) = match &spec.topology {
+        TopoSpec::Flat { gbps, latency, .. } => (*gbps, *latency),
+        TopoSpec::FlatPerNode { gbps, latency } => {
+            (gbps.iter().copied().fold(f64::INFINITY, f64::min), *latency)
+        }
+        TopoSpec::Tor {
+            host_gbps, latency, ..
+        } => (*host_gbps, *latency),
+    };
+    trace::stall::WireModel {
+        gbps,
+        latency_ns: latency.as_nanos(),
+        nic_op_ns: spec.fabric.nic_op_overhead.as_nanos(),
+    }
+}
+
+/// Like [`run_single_multicast`], but with a full-capture flight
+/// recorder attached for the whole run. Returns the outcome, the
+/// recorded event stream, and the cluster's wire model so callers can
+/// feed [`trace::stall::attribute`] directly.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_single_multicast`].
+pub fn run_traced_multicast(
+    spec: &ClusterSpec,
+    group_size: usize,
+    algorithm: Algorithm,
+    size: u64,
+    block_size: u64,
+) -> (
+    MulticastOutcome,
+    Vec<trace::TraceEvent>,
+    trace::stall::WireModel,
+) {
+    assert!(
+        group_size <= spec.topology.nodes(),
+        "group larger than cluster"
+    );
+    let mut cluster = SimCluster::new(spec.build());
+    let recorder = cluster.enable_flight_recorder(trace::Mode::Full);
+    let group = cluster.create_group(GroupSpec {
+        members: (0..group_size).collect(),
+        algorithm,
+        block_size,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    cluster.submit_send(group, size);
+    cluster.run();
+    let result = &cluster.message_results()[0];
+    let latency = result
+        .latency()
+        .expect("multicast did not complete at every member");
+    let outcome = MulticastOutcome {
+        size,
+        group_size,
+        latency,
+        bandwidth_gbps: result.bandwidth_gbps().expect("nonzero latency"),
+    };
+    (outcome, recorder.events(), wire_model_for(spec))
 }
 
 /// Runs a back-to-back stream of `count` equal-size messages on one group

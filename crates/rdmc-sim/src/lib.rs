@@ -52,7 +52,8 @@ pub use cluster::{
     RecoveryStats, SimCluster, TraceKind, TraceRecord,
 };
 pub use experiment::{
-    run_concurrent_overlapping, run_single_multicast, run_stream, MulticastOutcome,
+    run_concurrent_overlapping, run_single_multicast, run_stream, run_traced_multicast,
+    wire_model_for, MulticastOutcome,
 };
 pub use offload::run_offloaded_chain;
 pub use profiles::{ClusterSpec, TopoSpec};

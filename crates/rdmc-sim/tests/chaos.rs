@@ -65,6 +65,7 @@ proptest! {
         jitter_seed in any::<u64>(),
     ) {
         let mut cluster = SimCluster::new(ClusterSpec::fractus(10).build());
+        cluster.enable_flight_recorder(trace::Mode::Full);
         for node in 0..10 {
             cluster.set_jitter(
                 node,
@@ -94,6 +95,11 @@ proptest! {
         }
         cluster.run();
         prop_assert!(cluster.all_quiescent(), "cluster failed to quiesce");
+        let oracle = trace::check::check_events(
+            &cluster.trace_events(),
+            &trace::check::CheckConfig::default(),
+        );
+        prop_assert!(oracle.is_ok(), "trace oracle: {:#?}", oracle.unwrap_err());
         let results = cluster.message_results();
         let expected: usize = groups.iter().map(|p| p.messages.len()).sum();
         prop_assert_eq!(results.len(), expected);
@@ -142,6 +148,7 @@ fn recovery_run(
     jitter_seed: Option<u64>,
 ) -> SimCluster {
     let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
+    cluster.enable_flight_recorder(trace::Mode::Full);
     cluster.enable_recovery(RecoveryConfig::default());
     if let Some(seed) = jitter_seed {
         for node in 0..n {
@@ -177,6 +184,17 @@ fn recovery_run(
 fn assert_recovered(cluster: &SimCluster, n: usize, victim: usize) {
     assert!(cluster.live_quiescent(), "survivors failed to quiesce");
     assert_eq!(cluster.fabric().stats().rnr_arms, 0, "an RNR timer armed");
+    // Trace oracle over the full flight recording: block causality,
+    // send/arrival pairing, delivery completeness, and no RNR arms must
+    // all hold even on crash/recovery runs. Budgets stay off — resume
+    // epochs run recovery-planner schedules with their own port shapes.
+    let oracle = trace::check::check_events(
+        &cluster.trace_events(),
+        &trace::check::CheckConfig::default(),
+    );
+    if let Err(violations) = &oracle {
+        panic!("trace oracle found violations: {violations:#?}");
+    }
     let survivors = cluster.surviving_ranks(0);
     assert!(
         !survivors.contains(&(victim as u32)),

@@ -13,6 +13,7 @@ const BLOCK: u64 = 64 << 10;
 
 fn build(n: usize) -> (SimCluster, rdmc_sim::GroupId) {
     let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
+    cluster.enable_flight_recorder(trace::Mode::Full);
     cluster.enable_recovery(RecoveryConfig::default());
     let group = cluster.create_group(GroupSpec {
         members: (0..n).collect(),
@@ -27,6 +28,15 @@ fn build(n: usize) -> (SimCluster, rdmc_sim::GroupId) {
 /// Every message was either delivered at every survivor or consistently
 /// abandoned group-wide.
 fn assert_survivors_complete(cluster: &SimCluster, group: rdmc_sim::GroupId) {
+    // The flight recording of the whole run — wedge, view epidemics,
+    // reconfiguration, block-wise resume — must satisfy the trace
+    // oracle's causality and pairing invariants.
+    if let Err(violations) = trace::check::check_events(
+        &cluster.trace_events(),
+        &trace::check::CheckConfig::default(),
+    ) {
+        panic!("trace oracle found violations: {violations:#?}");
+    }
     let abandoned: Vec<usize> = cluster
         .recovery_stats()
         .reconfigurations

@@ -63,6 +63,11 @@ impl FlowId {
         FlowId(u64::from(generation) << 32 | u64::from(slot))
     }
 
+    /// The raw id, for correlating with flow events in a trace.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
     fn slot(self) -> usize {
         (self.0 & 0xFFFF_FFFF) as usize
     }
@@ -184,6 +189,9 @@ pub struct FlowNet {
     /// only lower rates, so stale completion projections may be too
     /// early and [`FlowNet::next_due`] must flush before answering.
     dirty_start: bool,
+    /// Flight recorder for flow start/rate-change/finish events;
+    /// disabled (a single branch per event) by default.
+    recorder: trace::Recorder,
 }
 
 #[derive(Default)]
@@ -255,7 +263,14 @@ impl FlowNet {
             scratch: ReallocScratch::default(),
             dirty: false,
             dirty_start: false,
+            recorder: trace::Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder; flow starts, rate changes, and
+    /// completions are recorded from then on.
+    pub fn set_recorder(&mut self, recorder: trace::Recorder) {
+        self.recorder = recorder;
     }
 
     /// Runs the deferred reallocation, if one is pending.
@@ -387,6 +402,13 @@ impl FlowNet {
         // flush, which happens before any rate is observed or time moves.
         self.dirty = true;
         self.dirty_start = true;
+        self.recorder
+            .record_at(now.as_nanos(), trace::Scope::none(), || {
+                trace::EventKind::FlowStarted {
+                    flow: id.as_u64(),
+                    bytes: bytes as u64,
+                }
+            });
         id
     }
 
@@ -474,6 +496,13 @@ impl FlowNet {
             f.remaining_bytes
         );
         self.reallocate_after_removal(&f.path);
+        self.recorder
+            .record_at(now.as_nanos(), trace::Scope::none(), || {
+                trace::EventKind::FlowFinished {
+                    flow: flow.as_u64(),
+                    aborted: false,
+                }
+            });
         f.path
     }
 
@@ -489,6 +518,13 @@ impl FlowNet {
         materialize_slot(&mut self.slots, &mut self.links, now, flow.slot());
         let f = self.remove(flow).expect("checked above");
         self.reallocate_after_removal(&f.path);
+        self.recorder
+            .record_at(now.as_nanos(), trace::Scope::none(), || {
+                trace::EventKind::FlowFinished {
+                    flow: flow.as_u64(),
+                    aborted: true,
+                }
+            });
     }
 
     fn reallocate_after_removal(&mut self, path: &[LinkId]) {
@@ -911,6 +947,14 @@ impl FlowNet {
             let s = slot as usize;
             let f = self.slots[s].as_ref().expect("live flow");
             self.stats.rate_changes += 1;
+            if self.recorder.is_enabled() {
+                let flow = FlowId::new(slot, self.generations[s]).as_u64();
+                let gbps = f.rate_bps / 1e9;
+                self.recorder
+                    .record_at(self.last_update.as_nanos(), trace::Scope::none(), || {
+                        trace::EventKind::FlowRateChanged { flow, gbps }
+                    });
+            }
             self.rate_epoch[s] = self.rate_epoch[s].wrapping_add(1);
             let secs = (f.remaining_bytes * 8.0) / f.rate_bps;
             let mut at = self.last_update + SimDuration::from_secs_f64(secs);

@@ -1,0 +1,457 @@
+//! The trace oracle: replays a captured event stream against the
+//! protocol's invariants and reports every violation.
+//!
+//! The oracle is deliberately independent of the analyzer and engine
+//! crates (they sit *above* `trace` in the dependency graph), so the
+//! model parameters it checks against — per-step port budgets and the
+//! completion-step bound — are passed in via [`CheckConfig`] by the
+//! caller, which computes them from the analyzer.
+//!
+//! Invariants checked, per group:
+//!
+//! 1. **No block received before sent** — every `BlockArrived` must
+//!    pair FIFO with an earlier `BlockSendIssued` on the same
+//!    `(epoch, sender, receiver)` channel, for the same block number.
+//!    Keying by epoch keeps pairing sound across reconfigurations,
+//!    where ranks are renumbered.
+//! 2. **Causality** — a member may only send blocks it holds: the full
+//!    message at a root, blocks previously arrived, or blocks carried
+//!    into a resume epoch (`ResumeStarted::held`).
+//! 3. **Port budgets** — at most `send_budget` block sends issued and
+//!    `recv_budget` block arrivals per `(member, step)`, matching the
+//!    analyzer's port model for the algorithm.
+//! 4. **Step bound** — in the initial epoch, no scheduled transfer may
+//!    use a step beyond the analyzer's completion-step bound.
+//! 5. **Delivery completeness** — `Delivered` only fires once a member
+//!    holds every block of the active message.
+//! 6. **No RNR arms** — under the paper's ready-for-block credit
+//!    discipline (§4.2) a healthy or recovering run must never arm the
+//!    receiver-not-ready retry path.
+//!
+//! The oracle requires a *complete* trace: run the recorder in
+//! [`Mode::Full`](crate::Mode::Full), or confirm
+//! [`Recorder::dropped`](crate::Recorder::dropped) is zero on a ring
+//! capture before checking it.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Model parameters the oracle checks against; compute these from the
+/// analyzer for the algorithm under test. `None` disables a check.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Max block sends a member may issue at one schedule step.
+    pub send_budget: Option<u32>,
+    /// Max block arrivals a member may accept at one schedule step.
+    pub recv_budget: Option<u32>,
+    /// Max schedule step any initial-epoch transfer may use (the
+    /// analyzer's completion step for the algorithm at this (n, k)).
+    pub completion_step_bound: Option<u32>,
+    /// Fail on any `RnrArmed` event.
+    pub forbid_rnr: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            send_budget: None,
+            recv_budget: None,
+            completion_step_bound: None,
+            forbid_rnr: true,
+        }
+    }
+}
+
+/// Summary counters from a clean check, so callers can assert the
+/// oracle actually saw the traffic it was supposed to vet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Block sends issued.
+    pub issues: u64,
+    /// Block arrivals, each matched against a send.
+    pub arrivals: u64,
+    /// Delivery upcalls.
+    pub deliveries: u64,
+    /// Highest schedule step seen on any initial-epoch transfer.
+    pub max_step: Option<u32>,
+}
+
+/// Per-member holding state for the causality and delivery checks.
+/// A member processes one message at a time, and its events appear in
+/// processing order, so flat (group, rank) keying is sound; each
+/// `TransferStarted` / `ResumeStarted` resets the state.
+#[derive(Default)]
+struct MemberState {
+    held: BTreeSet<u32>,
+    blocks: Option<u32>,
+}
+
+type Chan = (u32, u64, u32, u32); // (group, epoch, sender, receiver)
+type Member = (u32, u32); // (group, rank)
+
+/// Checks every invariant over a complete event stream. Returns summary
+/// counters on success, or every violation found (never just the
+/// first — a broken run should be diagnosable in one pass).
+pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckStats, Vec<String>> {
+    let mut violations: Vec<String> = Vec::new();
+    let mut stats = CheckStats::default();
+
+    // FIFO per-channel queues of issued-but-unmatched sends.
+    let mut in_flight: HashMap<Chan, VecDeque<(u64, u32)>> = HashMap::new();
+    let mut members: HashMap<Member, MemberState> = HashMap::new();
+    // Step-budget counters, reset per message via the generation tag.
+    let mut sends_at: HashMap<(Member, u64, u32), u32> = HashMap::new();
+    let mut recvs_at: HashMap<(Member, u64, u32), u32> = HashMap::new();
+
+    for ev in events {
+        let place = |what: &str| -> String {
+            format!(
+                "seq {} t_ns {} [group {:?} rank {:?} node {:?}]: {what}",
+                ev.seq, ev.t_ns, ev.scope.group, ev.scope.rank, ev.scope.node
+            )
+        };
+        if cfg.forbid_rnr {
+            if let EventKind::RnrArmed { conn, dir } = &ev.kind {
+                violations.push(place(&format!(
+                    "RNR retry armed on conn {conn} dir {dir}; the ready-for-block \
+                     protocol must keep receives pre-posted"
+                )));
+                continue;
+            }
+        }
+        let (group, rank) = match (ev.scope.group, ev.scope.rank) {
+            (Some(g), Some(r)) => (g, r),
+            _ => continue,
+        };
+        let member = (group, rank);
+
+        match &ev.kind {
+            EventKind::TransferStarted { blocks, root, .. } => {
+                let st = members.entry(member).or_default();
+                st.blocks = Some(*blocks);
+                st.held = if *root {
+                    (0..*blocks).collect()
+                } else {
+                    BTreeSet::new()
+                };
+            }
+            EventKind::ResumeStarted { blocks, held, .. } => {
+                let st = members.entry(member).or_default();
+                st.blocks = Some(*blocks);
+                st.held = held.iter().copied().collect();
+            }
+            EventKind::BlockSendIssued {
+                to,
+                block,
+                step,
+                epoch,
+                ..
+            } => {
+                stats.issues += 1;
+                in_flight
+                    .entry((group, *epoch, rank, *to))
+                    .or_default()
+                    .push_back((ev.t_ns, *block));
+                let st = members.entry(member).or_default();
+                if !st.held.contains(block) {
+                    violations.push(place(&format!(
+                        "sent block {block} (step {step}, epoch {epoch}) without holding it"
+                    )));
+                }
+                if *epoch == 0 {
+                    stats.max_step = Some(stats.max_step.map_or(*step, |m| m.max(*step)));
+                    if let Some(bound) = cfg.completion_step_bound {
+                        if *step > bound {
+                            violations.push(place(&format!(
+                                "send at step {step} exceeds completion-step bound {bound}"
+                            )));
+                        }
+                    }
+                }
+                if let Some(budget) = cfg.send_budget {
+                    let n = sends_at.entry((member, *epoch, *step)).or_insert(0);
+                    *n += 1;
+                    if *n > budget {
+                        violations.push(place(&format!(
+                            "{n} sends issued at step {step} exceeds send port budget {budget}"
+                        )));
+                    }
+                }
+            }
+            EventKind::BlockArrived {
+                from,
+                block,
+                step,
+                epoch,
+                ..
+            } => {
+                stats.arrivals += 1;
+                let chan = (group, *epoch, *from, rank);
+                match in_flight.get_mut(&chan).and_then(VecDeque::pop_front) {
+                    None => violations.push(place(&format!(
+                        "block {block} arrived from rank {from} (epoch {epoch}) with no \
+                         matching send in flight"
+                    ))),
+                    Some((t_sent, sent_block)) => {
+                        if sent_block != *block {
+                            violations.push(place(&format!(
+                                "arrival block {block} does not match next in-flight block \
+                                 {sent_block} from rank {from} (FIFO order broken)"
+                            )));
+                        }
+                        if t_sent > ev.t_ns {
+                            violations.push(place(&format!(
+                                "block {block} arrived at {} before it was sent at {t_sent}",
+                                ev.t_ns
+                            )));
+                        }
+                    }
+                }
+                let st = members.entry(member).or_default();
+                if !st.held.insert(*block) {
+                    violations.push(place(&format!("block {block} arrived twice")));
+                }
+                if let Some(total) = st.blocks {
+                    if *block >= total {
+                        violations.push(place(&format!(
+                            "block {block} out of range for a {total}-block message"
+                        )));
+                    }
+                }
+                if *epoch == 0 {
+                    stats.max_step = Some(stats.max_step.map_or(*step, |m| m.max(*step)));
+                    if let Some(bound) = cfg.completion_step_bound {
+                        if *step > bound {
+                            violations.push(place(&format!(
+                                "arrival at step {step} exceeds completion-step bound {bound}"
+                            )));
+                        }
+                    }
+                }
+                if let Some(budget) = cfg.recv_budget {
+                    let n = recvs_at.entry((member, *epoch, *step)).or_insert(0);
+                    *n += 1;
+                    if *n > budget {
+                        violations.push(place(&format!(
+                            "{n} arrivals at step {step} exceeds recv port budget {budget}"
+                        )));
+                    }
+                }
+            }
+            EventKind::Delivered { .. } => {
+                stats.deliveries += 1;
+                let st = members.entry(member).or_default();
+                let complete = st.blocks.is_some_and(|b| st.held.len() as u32 == b);
+                if !complete {
+                    violations.push(place(&format!(
+                        "delivered holding {} of {:?} blocks",
+                        st.held.len(),
+                        st.blocks
+                    )));
+                }
+                // Next message on this rank starts fresh. Step budgets
+                // are also per message: retire this message's counters.
+                st.held.clear();
+                st.blocks = None;
+                sends_at.retain(|&(m, _, _), _| m != member);
+                recvs_at.retain(|&(m, _, _), _| m != member);
+            }
+            _ => {}
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Scope};
+
+    fn two_rank_clean() -> Vec<TraceEvent> {
+        let r = Recorder::full();
+        let g = 0;
+        r.set_now(0);
+        r.record(Scope::group_rank(g, 0), || EventKind::MessageSubmitted {
+            size: 2,
+        });
+        r.record(Scope::group_rank(g, 0), || EventKind::TransferStarted {
+            size: 2,
+            blocks: 2,
+            root: true,
+        });
+        r.record(Scope::group_rank(g, 1), || EventKind::TransferStarted {
+            size: 2,
+            blocks: 2,
+            root: false,
+        });
+        for b in 0..2u32 {
+            r.set_now(u64::from(b + 1) * 100);
+            r.record(Scope::group_rank(g, 0), || EventKind::BlockSendIssued {
+                to: 1,
+                block: b,
+                step: b,
+                bytes: 1,
+                epoch: 0,
+            });
+            r.set_now(u64::from(b + 1) * 100 + 50);
+            r.record(Scope::group_rank(g, 1), || EventKind::BlockArrived {
+                from: 0,
+                block: b,
+                step: b,
+                first: b == 0,
+                epoch: 0,
+            });
+        }
+        r.record(Scope::group_rank(g, 1), || EventKind::Delivered { size: 2 });
+        r.record(Scope::group_rank(g, 0), || EventKind::Delivered { size: 2 });
+        r.events()
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let cfg = CheckConfig {
+            send_budget: Some(1),
+            recv_budget: Some(1),
+            completion_step_bound: Some(1),
+            forbid_rnr: true,
+        };
+        let stats = check_events(&two_rank_clean(), &cfg).expect("clean trace");
+        assert_eq!(stats.issues, 2);
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.max_step, Some(1));
+    }
+
+    #[test]
+    fn arrival_without_send_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::group_rank(0, 1), || EventKind::BlockArrived {
+            from: 0,
+            block: 0,
+            step: 0,
+            first: true,
+            epoch: 0,
+        });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("no matching send")));
+    }
+
+    #[test]
+    fn sending_unheld_block_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::group_rank(0, 1), || EventKind::TransferStarted {
+            size: 2,
+            blocks: 2,
+            root: false,
+        });
+        r.record(Scope::group_rank(0, 1), || EventKind::BlockSendIssued {
+            to: 0,
+            block: 1,
+            step: 0,
+            bytes: 1,
+            epoch: 0,
+        });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("without holding it")));
+    }
+
+    #[test]
+    fn step_bound_violation_is_flagged() {
+        let cfg = CheckConfig {
+            completion_step_bound: Some(0),
+            ..CheckConfig::default()
+        };
+        let err = check_events(&two_rank_clean(), &cfg).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| v.contains("exceeds completion-step bound 0")));
+    }
+
+    #[test]
+    fn rnr_arm_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::node(3), || EventKind::RnrArmed { conn: 1, dir: 0 });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("RNR")));
+        assert!(check_events(
+            &r.events(),
+            &CheckConfig {
+                forbid_rnr: false,
+                ..CheckConfig::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn port_budget_violation_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::group_rank(0, 0), || EventKind::TransferStarted {
+            size: 4,
+            blocks: 4,
+            root: true,
+        });
+        for b in 0..2u32 {
+            r.record(Scope::group_rank(0, 0), || EventKind::BlockSendIssued {
+                to: 1,
+                block: b,
+                step: 0,
+                bytes: 1,
+                epoch: 0,
+            });
+        }
+        let cfg = CheckConfig {
+            send_budget: Some(1),
+            ..CheckConfig::default()
+        };
+        let err = check_events(&r.events(), &cfg).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("send port budget")));
+    }
+
+    #[test]
+    fn delivery_without_all_blocks_is_flagged() {
+        let mut ev = two_rank_clean();
+        // Drop rank 1's second arrival; its delivery is now premature.
+        let idx = ev
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::BlockArrived { block: 1, .. }))
+            .unwrap();
+        ev.remove(idx);
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| v.contains("delivered holding 1 of Some(2)")));
+    }
+
+    #[test]
+    fn resume_held_blocks_satisfy_causality() {
+        let r = Recorder::full();
+        // Epoch 1 resume: member kept block 0 and may send it on.
+        r.record(Scope::group_rank(0, 0), || EventKind::EpochInstalled {
+            epoch: 1,
+            rank: 0,
+            num_nodes: 2,
+            resumes: 1,
+            resume_blocks_out: 1,
+        });
+        r.record(Scope::group_rank(0, 0), || EventKind::ResumeStarted {
+            size: 2,
+            blocks: 2,
+            held: vec![0],
+            already_delivered: false,
+        });
+        r.record(Scope::group_rank(0, 0), || EventKind::BlockSendIssued {
+            to: 1,
+            block: 0,
+            step: 0,
+            bytes: 1,
+            epoch: 1,
+        });
+        assert!(check_events(&r.events(), &CheckConfig::default()).is_ok());
+    }
+}

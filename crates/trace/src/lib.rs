@@ -1,0 +1,476 @@
+//! # trace — the flight recorder
+//!
+//! A structured event recorder threaded through every layer of the
+//! reproduction: the flow network (`simnet`), the simulated verbs
+//! fabric (`verbs`), the sans-IO protocol engine (`rdmc`), and the
+//! simulation driver (`rdmc-sim`). The paper's evaluation (§5) explains
+//! every result in per-block terms — which step a block moved at, who
+//! stalled waiting on whom — and this crate is the substrate that makes
+//! those explanations reproducible from inside the system:
+//!
+//! - [`Recorder`] — a cheap-clone handle that is **zero-cost when
+//!   disabled**: every instrumentation point is a single branch on an
+//!   `Option<Arc<_>>`, and the event payload is built inside a closure
+//!   that never runs unless recording is on. Two capture modes:
+//!   a bounded ring buffer (flight-recorder style, keeps the most
+//!   recent events) and full capture.
+//! - [`TraceEvent`] / [`EventKind`] — the event taxonomy, spanning flow
+//!   starts and rate changes, verb posts/completions/RNR arms/flushes,
+//!   protocol steps (block send/receive, credit grants, wedge/resume),
+//!   and membership epidemics/reconfigurations.
+//! - [`export`] — deterministic JSONL and Chrome `trace_event`
+//!   exporters (load the latter in `chrome://tracing` or Perfetto).
+//! - [`stall`] — critical-path stall attribution: classifies every
+//!   nanosecond between submit and the last delivery as ideal transfer
+//!   time, link-limited, sender-limited, receiver-limited (credit /
+//!   posting order), or schedule-idle. The classes **sum exactly** to
+//!   the end-to-end latency by construction.
+//! - [`check`] — the trace oracle: replays a captured trace against the
+//!   protocol's invariants (no block received before sent, causality,
+//!   posting-window caps, step bounds, no RNR arms).
+//! - [`replay`] — recomputes engine-reported results (delivery times,
+//!   resumed-block counts) from the trace alone, for differential
+//!   testing.
+//!
+//! The recorder carries its own nanosecond clock (an atomic the driver
+//! keeps current), because the protocol engine is sans-IO and owns no
+//! clock of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod export;
+pub mod replay;
+pub mod stall;
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a [`Recorder`] stores events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Keep only the most recent `capacity` events (flight-recorder
+    /// style); older events are dropped and counted in
+    /// [`Recorder::dropped`].
+    Ring(usize),
+    /// Keep every event.
+    Full,
+}
+
+/// Where an event happened: a fabric node, a (group, rank), both, or
+/// neither (network-level events). Absent coordinates are `None`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// Fabric node index, when known.
+    pub node: Option<u32>,
+    /// Group id, for protocol-level events.
+    pub group: Option<u32>,
+    /// Member rank within the group (current-epoch numbering).
+    pub rank: Option<u32>,
+}
+
+impl Scope {
+    /// An event with no location (e.g. a flow-network event).
+    pub const fn none() -> Self {
+        Scope {
+            node: None,
+            group: None,
+            rank: None,
+        }
+    }
+
+    /// An event at a fabric node.
+    pub const fn node(node: u32) -> Self {
+        Scope {
+            node: Some(node),
+            group: None,
+            rank: None,
+        }
+    }
+
+    /// An event at one group member.
+    pub const fn group_rank(group: u32, rank: u32) -> Self {
+        Scope {
+            node: None,
+            group: Some(group),
+            rank: Some(rank),
+        }
+    }
+
+    /// A group-wide event (no single member).
+    pub const fn group(group: u32) -> Self {
+        Scope {
+            node: None,
+            group: Some(group),
+            rank: None,
+        }
+    }
+}
+
+/// One recorded moment: a global sequence number (total order), the
+/// virtual-time nanosecond it happened at, where, and what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number (dense while nothing is dropped).
+    pub seq: u64,
+    /// Virtual time in nanoseconds.
+    pub t_ns: u64,
+    /// Where it happened.
+    pub scope: Scope,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Everything the flight recorder distinguishes, across all layers.
+///
+/// Rank-valued fields are in the *current epoch's* numbering at record
+/// time; [`EventKind::ReconfigInstalled`] carries the original-rank
+/// survivor list needed to map them back.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // field meanings documented per variant
+pub enum EventKind {
+    // ---- simnet: flow network -------------------------------------
+    /// A bulk transfer started on the flow network.
+    FlowStarted { flow: u64, bytes: u64 },
+    /// A flow's max-min fair rate changed (link contention).
+    FlowRateChanged { flow: u64, gbps: f64 },
+    /// A flow left the network (completed, or aborted by a failure).
+    FlowFinished { flow: u64, aborted: bool },
+
+    // ---- verbs: simulated RDMA fabric -----------------------------
+    /// A two-sided send was posted to a queue pair.
+    SendPosted {
+        conn: u32,
+        end: u8,
+        wr: u64,
+        bytes: u64,
+    },
+    /// A receive was posted to a queue pair.
+    RecvPosted { conn: u32, end: u8, wr: u64 },
+    /// A one-sided write was posted to a queue pair.
+    WritePosted {
+        conn: u32,
+        end: u8,
+        tag: u64,
+        bytes: u64,
+    },
+    /// A work request completed in hardware (`recv` = consumer side).
+    WrCompleted {
+        conn: u32,
+        end: u8,
+        wr: u64,
+        recv: bool,
+    },
+    /// A one-sided write landed in the peer's memory.
+    WriteDelivered { conn: u32, end: u8, tag: u64 },
+    /// A send found its receiver without a posted receive and armed the
+    /// RNR retry timer — under RDMC's ready-for-block discipline this
+    /// must never happen on a healthy run (§4.2).
+    RnrArmed { conn: u32, dir: u8 },
+    /// An outstanding work request was flushed by a connection break.
+    WrFlushed {
+        conn: u32,
+        end: u8,
+        wr: u64,
+        recv: bool,
+    },
+    /// A connection broke (failure detection, link flap, teardown).
+    QpBroken { conn: u32 },
+    /// A node crashed.
+    NodeCrashed,
+
+    // ---- rdmc: protocol engine ------------------------------------
+    /// The application submitted a multicast at the root.
+    MessageSubmitted { size: u64 },
+    /// A message transfer became active (`root` = this member holds
+    /// every block from the start).
+    TransferStarted { size: u64, blocks: u32, root: bool },
+    /// An interrupted message resumed in a new epoch; `held` lists the
+    /// blocks this member kept from the old epoch.
+    ResumeStarted {
+        size: u64,
+        blocks: u32,
+        held: Vec<u32>,
+        already_delivered: bool,
+    },
+    /// The engine asked the application for a receive buffer.
+    BufferRequested { size: u64 },
+    /// We granted `to` a readiness credit (receive is pre-posted).
+    ReadyGranted { to: u32 },
+    /// `from` granted us a readiness credit.
+    ReadyHeard { from: u32 },
+    /// We posted a block send (schedule step `step` of epoch `epoch`).
+    BlockSendIssued {
+        to: u32,
+        block: u32,
+        step: u32,
+        bytes: u64,
+        epoch: u64,
+    },
+    /// A posted block send completed.
+    BlockSendCompleted { to: u32 },
+    /// A scheduled block arrived (`first` = it announced the message
+    /// size and the transfer was not yet active).
+    BlockArrived {
+        from: u32,
+        block: u32,
+        step: u32,
+        first: bool,
+        epoch: u64,
+    },
+    /// The message completed locally (the delivery upcall).
+    Delivered { size: u64 },
+    /// A failure notice wedged this member.
+    Wedged { failed: u32 },
+    /// A new configuration epoch was installed on this member
+    /// (`rank` is its new rank; `resume_blocks_out` counts the block
+    /// transfers this member must send across all resume schedules).
+    EpochInstalled {
+        epoch: u64,
+        rank: u32,
+        num_nodes: u32,
+        resumes: u32,
+        resume_blocks_out: u32,
+    },
+
+    // ---- rdmc-sim: membership / reconfiguration -------------------
+    /// A member first suspected an original rank of having failed.
+    Suspected { failed: u32 },
+    /// A view-table merge taught a member `newly` new suspicions.
+    ViewMerged { from: u32, newly: u32 },
+    /// The membership layer installed an agreed view group-wide.
+    /// `survivors` are original ranks ascending (new rank = index).
+    ReconfigInstalled {
+        epoch: u64,
+        survivors: Vec<u32>,
+        removed: Vec<u32>,
+        abandoned: Vec<u64>,
+        resumed_blocks: u64,
+        forced: bool,
+    },
+}
+
+struct Inner {
+    mode: Mode,
+    now: AtomicU64,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    buf: Mutex<VecDeque<TraceEvent>>,
+}
+
+/// The recorder handle. Cloning is cheap (an `Arc` bump) and every
+/// clone feeds the same buffer; the disabled recorder
+/// ([`Recorder::disabled`], also [`Default`]) costs one branch per
+/// instrumentation point and allocates nothing.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<Inner>>);
+
+impl Recorder {
+    /// A recorder that records nothing (the default everywhere).
+    pub const fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// An enabled recorder with the given capture mode.
+    pub fn new(mode: Mode) -> Self {
+        if let Mode::Ring(cap) = mode {
+            assert!(cap > 0, "ring capacity must be positive");
+        }
+        Recorder(Some(Arc::new(Inner {
+            mode,
+            now: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            buf: Mutex::new(VecDeque::new()),
+        })))
+    }
+
+    /// A flight recorder keeping the most recent `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Recorder::new(Mode::Ring(capacity))
+    }
+
+    /// A recorder keeping every event.
+    pub fn full() -> Self {
+        Recorder::new(Mode::Full)
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Updates the recorder's notion of "now" (virtual nanoseconds).
+    /// Drivers with a clock (the fabric's event loop) call this so that
+    /// clock-less layers (the sans-IO engine) timestamp correctly.
+    #[inline]
+    pub fn set_now(&self, t_ns: u64) {
+        if let Some(inner) = &self.0 {
+            inner.now.store(t_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// The recorder's current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.now.load(Ordering::Relaxed))
+    }
+
+    /// Records an event at the recorder's current time. The `kind`
+    /// closure only runs when recording is enabled, so a disabled
+    /// recorder never constructs the payload.
+    #[inline]
+    pub fn record(&self, scope: Scope, kind: impl FnOnce() -> EventKind) {
+        if let Some(inner) = &self.0 {
+            let t = inner.now.load(Ordering::Relaxed);
+            push(inner, t, scope, kind());
+        }
+    }
+
+    /// Records an event at an explicit time (layers that carry their
+    /// own clock, e.g. the flow network).
+    #[inline]
+    pub fn record_at(&self, t_ns: u64, scope: Scope, kind: impl FnOnce() -> EventKind) {
+        if let Some(inner) = &self.0 {
+            push(inner, t_ns, scope, kind());
+        }
+    }
+
+    /// A snapshot of the captured events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |inner| {
+            inner
+                .buf
+                .lock()
+                .expect("recorder poisoned")
+                .iter()
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Events dropped by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Discards everything captured so far (the sequence counter keeps
+    /// counting, so later events never reuse a sequence number).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.0 {
+            inner.buf.lock().expect("recorder poisoned").clear();
+        }
+    }
+}
+
+fn push(inner: &Inner, t_ns: u64, scope: Scope, kind: EventKind) {
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    let mut buf = inner.buf.lock().expect("recorder poisoned");
+    if let Mode::Ring(cap) = inner.mode {
+        if buf.len() == cap {
+            buf.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    buf.push_back(TraceEvent {
+        seq,
+        t_ns,
+        scope,
+        kind,
+    });
+}
+
+// `Debug` without exposing the buffer: engines derive `Debug`, and a
+// full event dump would swamp their output.
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => write!(f, "Recorder(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Recorder({:?}, {} events)",
+                inner.mode,
+                inner.buf.lock().map(|b| b.len()).unwrap_or(0)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.set_now(123);
+        assert_eq!(r.now(), 0);
+        r.record(Scope::none(), || panic!("payload closure must not run"));
+        assert!(r.events().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn full_mode_keeps_everything_in_order() {
+        let r = Recorder::full();
+        r.set_now(10);
+        r.record(Scope::node(1), || EventKind::NodeCrashed);
+        r.set_now(20);
+        r.record(Scope::group_rank(0, 2), || EventKind::Delivered { size: 5 });
+        let ev = r.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[0].t_ns, 10);
+        assert_eq!(ev[1].seq, 1);
+        assert_eq!(ev[1].t_ns, 20);
+        assert_eq!(ev[1].scope, Scope::group_rank(0, 2));
+    }
+
+    #[test]
+    fn ring_mode_drops_oldest() {
+        let r = Recorder::ring(2);
+        for i in 0..5u64 {
+            r.set_now(i);
+            r.record(Scope::none(), || EventKind::FlowStarted {
+                flow: i,
+                bytes: 1,
+            });
+        }
+        let ev = r.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(ev[0].t_ns, 3);
+        assert_eq!(ev[1].t_ns, 4);
+        assert_eq!(ev[1].seq, 4, "sequence numbers survive drops");
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let r = Recorder::full();
+        let r2 = r.clone();
+        r2.set_now(7);
+        r2.record(Scope::none(), || EventKind::NodeCrashed);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.now(), 7);
+    }
+
+    #[test]
+    fn clear_preserves_sequence_numbering() {
+        let r = Recorder::full();
+        r.record(Scope::none(), || EventKind::NodeCrashed);
+        r.clear();
+        r.record(Scope::none(), || EventKind::NodeCrashed);
+        let ev = r.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].seq, 1);
+    }
+}

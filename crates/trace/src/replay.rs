@@ -1,0 +1,114 @@
+//! Trace replay: recomputes results the engine reports — delivery
+//! times, message sizes, resumed-block counts — from the event stream
+//! alone, so differential tests can cross-check the two.
+//!
+//! Deliveries are keyed by *fabric node* rather than rank: ranks are
+//! renumbered by reconfiguration, but a member's node id is stable for
+//! the life of the simulation, so `(group, node)` identifies the same
+//! member across epochs without consulting survivor lists.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Everything [`replay`] recomputes from a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayResult {
+    /// Per `(group, node)`: each delivery upcall as `(t_ns, size)`,
+    /// in delivery order.
+    pub delivered: BTreeMap<(u32, u32), Vec<(u64, u64)>>,
+    /// Total delivery upcalls across the trace.
+    pub deliveries: u64,
+    /// Σ `resumed_blocks` over `ReconfigInstalled` events — the
+    /// cluster-side count of block transfers in resume schedules.
+    pub reconfig_resumed_blocks: u64,
+    /// Σ `resume_blocks_out` over `EpochInstalled` events — the same
+    /// quantity counted member-by-member at epoch install. Must equal
+    /// [`reconfig_resumed_blocks`](Self::reconfig_resumed_blocks).
+    pub member_resume_blocks: u64,
+    /// Reconfigurations observed.
+    pub reconfigurations: u64,
+    /// `RnrArmed` events observed (must be zero on any run).
+    pub rnr_arms: u64,
+}
+
+/// Recomputes [`ReplayResult`] from a complete event stream.
+pub fn replay(events: &[TraceEvent]) -> ReplayResult {
+    let mut out = ReplayResult::default();
+    for ev in events {
+        match &ev.kind {
+            EventKind::Delivered { size } => {
+                out.deliveries += 1;
+                if let (Some(g), Some(n)) = (ev.scope.group, ev.scope.node) {
+                    out.delivered
+                        .entry((g, n))
+                        .or_default()
+                        .push((ev.t_ns, *size));
+                }
+            }
+            EventKind::ReconfigInstalled { resumed_blocks, .. } => {
+                out.reconfigurations += 1;
+                out.reconfig_resumed_blocks += resumed_blocks;
+            }
+            EventKind::EpochInstalled {
+                resume_blocks_out, ..
+            } => {
+                out.member_resume_blocks += u64::from(*resume_blocks_out);
+            }
+            EventKind::RnrArmed { .. } => out.rnr_arms += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Scope};
+
+    #[test]
+    fn replay_collects_deliveries_and_resume_counts() {
+        let r = Recorder::full();
+        let member = |g: u32, rank: u32, node: u32| Scope {
+            node: Some(node),
+            group: Some(g),
+            rank: Some(rank),
+        };
+        r.set_now(100);
+        r.record(member(0, 1, 7), || EventKind::Delivered { size: 64 });
+        r.set_now(200);
+        r.record(Scope::group(0), || EventKind::ReconfigInstalled {
+            epoch: 1,
+            survivors: vec![0, 1],
+            removed: vec![2],
+            abandoned: vec![],
+            resumed_blocks: 5,
+            forced: false,
+        });
+        r.record(member(0, 0, 3), || EventKind::EpochInstalled {
+            epoch: 1,
+            rank: 0,
+            num_nodes: 2,
+            resumes: 1,
+            resume_blocks_out: 3,
+        });
+        r.record(member(0, 1, 7), || EventKind::EpochInstalled {
+            epoch: 1,
+            rank: 1,
+            num_nodes: 2,
+            resumes: 1,
+            resume_blocks_out: 2,
+        });
+        r.set_now(300);
+        r.record(member(0, 0, 3), || EventKind::Delivered { size: 64 });
+
+        let rep = replay(&r.events());
+        assert_eq!(rep.deliveries, 2);
+        assert_eq!(rep.delivered[&(0, 7)], vec![(100, 64)]);
+        assert_eq!(rep.delivered[&(0, 3)], vec![(300, 64)]);
+        assert_eq!(rep.reconfigurations, 1);
+        assert_eq!(rep.reconfig_resumed_blocks, 5);
+        assert_eq!(rep.member_resume_blocks, 5);
+        assert_eq!(rep.rnr_arms, 0);
+    }
+}

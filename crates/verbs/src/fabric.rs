@@ -185,6 +185,9 @@ pub struct Fabric {
     /// flow -> (conn, dir) index for completions.
     inflight_index: std::collections::HashMap<FlowId, (u32, u8)>,
     stats: FabricStats,
+    /// Flight recorder for verb-level events (posts, completions, RNR
+    /// arms, flushes); disabled — one branch per event — by default.
+    recorder: trace::Recorder,
 }
 
 impl Fabric {
@@ -217,7 +220,17 @@ impl Fabric {
             net_stale: false,
             inflight_index: std::collections::HashMap::new(),
             stats: FabricStats::default(),
+            recorder: trace::Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder to the fabric and its flow network.
+    /// The fabric keeps the recorder's clock current as its event loop
+    /// advances, so clock-less layers sharing the recorder (the sans-IO
+    /// protocol engines) timestamp correctly.
+    pub fn set_recorder(&mut self, recorder: trace::Recorder) {
+        self.net.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Internal work counters (for performance debugging).
@@ -390,6 +403,24 @@ impl Fabric {
     ) -> Result<(), VerbsError> {
         let node = self.qp_node(qp);
         self.check_postable(qp, node)?;
+        self.recorder.record_at(
+            self.queue.now().as_nanos(),
+            trace::Scope::node(node.index() as u32),
+            || match &kind {
+                SendKind::TwoSided { .. } => trace::EventKind::SendPosted {
+                    conn: qp.conn,
+                    end: qp.end,
+                    wr: wr_id.0,
+                    bytes,
+                },
+                SendKind::Write { tag, .. } => trace::EventKind::WritePosted {
+                    conn: qp.conn,
+                    end: qp.end,
+                    tag: *tag,
+                    bytes,
+                },
+            },
+        );
         let ready_at = self.charge_cpu(node, self.nodes[node.index()].profile.post_overhead);
         let conn = &mut self.conns[qp.conn as usize];
         conn.dirs[qp.end as usize].queue.push_back(PendingSend {
@@ -420,6 +451,15 @@ impl Fabric {
     pub fn post_recv(&mut self, qp: QpHandle, wr_id: WrId, max_len: u64) -> Result<(), VerbsError> {
         let node = self.qp_node(qp);
         self.check_postable(qp, node)?;
+        self.recorder.record_at(
+            self.queue.now().as_nanos(),
+            trace::Scope::node(node.index() as u32),
+            || trace::EventKind::RecvPosted {
+                conn: qp.conn,
+                end: qp.end,
+                wr: wr_id.0,
+            },
+        );
         let ready_at = self.charge_cpu(node, self.nodes[node.index()].profile.post_overhead);
         let conn = &mut self.conns[qp.conn as usize];
         conn.recvs[qp.end as usize].push_back((wr_id, max_len));
@@ -487,6 +527,11 @@ impl Fabric {
             return;
         }
         self.nodes[node.index()].crashed = true;
+        self.recorder.record_at(
+            now.as_nanos(),
+            trace::Scope::node(node.index() as u32),
+            || trace::EventKind::NodeCrashed,
+        );
         let conns = self.nodes[node.index()].conns.clone();
         for c in conns {
             if self.conns[c as usize].broken {
@@ -540,6 +585,10 @@ impl Fabric {
             }
             let (t, ev) = self.queue.pop()?;
             self.stats.events += 1;
+            // Keep the shared trace clock at the instant being
+            // processed; everything recorded while handling this event
+            // (including by protocol engines fed from it) stamps `t`.
+            self.recorder.set_now(t.as_nanos());
             match ev {
                 Ev::NetWake => {
                     self.net_wake = None;
@@ -712,6 +761,15 @@ impl Fabric {
         match decision {
             Decision::Nothing => {}
             Decision::ArmRnr { epoch } => {
+                let sender = self.conns[conn_idx as usize].nodes[dir as usize];
+                self.recorder.record_at(
+                    now.as_nanos(),
+                    trace::Scope::node(sender.index() as u32),
+                    || trace::EventKind::RnrArmed {
+                        conn: conn_idx,
+                        dir,
+                    },
+                );
                 self.queue.schedule_in(
                     self.params.rnr_timer,
                     Ev::RnrRetry {
@@ -877,6 +935,31 @@ impl Fabric {
         if self.nodes[node.index()].crashed {
             return;
         }
+        self.recorder.record_at(
+            t.as_nanos(),
+            trace::Scope::node(node.index() as u32),
+            || match &wr {
+                CompletedWr::Send { wr_id } | CompletedWr::WriteLocal { wr_id } => {
+                    trace::EventKind::WrCompleted {
+                        conn: conn_idx,
+                        end,
+                        wr: wr_id.0,
+                        recv: false,
+                    }
+                }
+                CompletedWr::Recv { wr_id, .. } => trace::EventKind::WrCompleted {
+                    conn: conn_idx,
+                    end,
+                    wr: wr_id.0,
+                    recv: true,
+                },
+                CompletedWr::WriteRemote { tag, .. } => trace::EventKind::WriteDelivered {
+                    conn: conn_idx,
+                    end,
+                    tag: *tag,
+                },
+            },
+        );
         // Record for cross-channel waiters, then give all of this node's
         // connections a chance to release dependent sends.
         let dep_key = match &wr {
@@ -997,6 +1080,10 @@ impl Fabric {
             }
         }
         self.net_stale = true;
+        self.recorder
+            .record_at(now.as_nanos(), trace::Scope::none(), || {
+                trace::EventKind::QpBroken { conn: conn_idx }
+            });
         for end in 0..2u8 {
             let node = self.conns[conn_idx as usize].nodes[end as usize];
             if self.nodes[node.index()].crashed {
@@ -1009,6 +1096,16 @@ impl Fabric {
             // Flush errors drain through the CQ ahead of the break notice
             // (same instant, FIFO), mirroring IBV_WC_WR_FLUSH_ERR order.
             for &(_, wr_id, recv) in flushes.iter().filter(|&&(e, _, _)| e == end) {
+                self.recorder.record_at(
+                    now.as_nanos(),
+                    trace::Scope::node(node.index() as u32),
+                    || trace::EventKind::WrFlushed {
+                        conn: conn_idx,
+                        end,
+                        wr: wr_id.0,
+                        recv,
+                    },
+                );
                 self.queue.schedule_at(
                     now,
                     Ev::Deliver {

@@ -10,6 +10,7 @@
 //! - [`rdmc_sim`] — binds the engine to the simulated fabric.
 //! - [`rdmc_tcp`] — the real-TCP port of the protocol (paper section 5.3).
 //! - [`sst`], [`baselines`], [`workloads`] — comparators and workloads.
+//! - [`trace`] — flight recorder, stall attribution, trace oracle.
 
 #![forbid(unsafe_code)]
 
@@ -19,5 +20,6 @@ pub use rdmc_sim;
 pub use rdmc_tcp;
 pub use simnet;
 pub use sst;
+pub use trace;
 pub use verbs;
 pub use workloads;
