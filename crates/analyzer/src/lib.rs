@@ -32,7 +32,7 @@
 //!   every wedge point of the binomial pipeline with every single- and
 //!   double-failure pattern.
 //!
-//! [`sweep`] runs all of these over an `(algorithm, n, k)` grid; the
+//! [`sweep()`] runs all of these over an `(algorithm, n, k)` grid; the
 //! `analyzer` binary (`cargo run -p analyzer -- --sweep`) drives it from
 //! the command line and exits non-zero on any violation.
 

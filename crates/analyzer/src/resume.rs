@@ -22,7 +22,7 @@
 //!
 //! Violations reuse the [`model`](crate::model) vocabulary so sweep
 //! reports read uniformly; [`check_resume_schedule`] is the entry point
-//! and [`crate::sweep`] drives it over binomial pipelines cut at every
+//! and [`crate::sweep()`] drives it over binomial pipelines cut at every
 //! step with every failure pattern.
 
 use rdmc::schedule::GlobalSchedule;

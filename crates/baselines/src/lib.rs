@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use rdmc::schedule::SchedulePlanner;
 use rdmc::MessageLayout;
-use rdmc_sim::{ClusterSpec, GroupSpec, MulticastOutcome, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, MulticastOutcome};
 
 /// A planner serving MVAPICH-style broadcast schedules. `probe_k` must be
 /// the block count the group's messages will use (MPI knows transfer
@@ -61,7 +61,7 @@ pub fn run_mvapich_multicast(
     block_size: u64,
 ) -> MulticastOutcome {
     let k = MessageLayout::new(size, block_size).num_blocks;
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group_with_planner(
         GroupSpec {
             members: (0..group_size).collect(),

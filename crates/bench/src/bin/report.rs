@@ -33,6 +33,7 @@ fn json_summary(
     total_wall_s: f64,
     sections: &[SectionPerf],
     trace_overhead: Option<&e::TraceOverhead>,
+    multigroup: Option<&e::MultigroupReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -44,6 +45,9 @@ fn json_summary(
              \"wall_disabled_s\": {:.3}, \"overhead_pct\": {:.4}}},\n",
             t.events, t.ns_per_disabled_call, t.wall_disabled_s, t.overhead_pct,
         ));
+    }
+    if let Some(m) = multigroup {
+        out.push_str(&format!("  \"multigroup\": {},\n", m.to_json()));
     }
     out.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
@@ -122,6 +126,18 @@ fn main() {
         });
         eprintln!("[{name} took {wall_s:.1}s]");
     }
+    // The multigroup sweep reports through the JSON summary as well as
+    // text, so it runs outside the plain-text section list.
+    let multigroup = if only.is_empty() || only.iter().any(|o| o == "multigroup") {
+        let t = std::time::Instant::now();
+        let m = e::multigroup_sweep(quick);
+        println!("==================== multigroup ====================");
+        println!("{}", m.text());
+        eprintln!("[multigroup took {:.1}s]", t.elapsed().as_secs_f64());
+        Some(m)
+    } else {
+        None
+    };
     // The disabled-recorder overhead probe rides along whenever the
     // trace section is in scope; its record lands in the JSON summary.
     let trace_overhead = if only.is_empty() || only.iter().any(|o| o == "trace") {
@@ -145,7 +161,14 @@ fn main() {
     let threads = rdmc_bench::parallel::worker_threads();
     eprintln!("[total {total:.1}s on {threads} worker threads]");
 
-    let json = json_summary(quick, threads, total, &perf, trace_overhead.as_ref());
+    let json = json_summary(
+        quick,
+        threads,
+        total,
+        &perf,
+        trace_overhead.as_ref(),
+        multigroup.as_ref(),
+    );
     let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[kernel perf summary written to {path}]"),

@@ -7,11 +7,11 @@ use baselines::run_mvapich_multicast;
 use rdmc::{analysis, Algorithm};
 use rdmc_sim::{
     run_concurrent_overlapping, run_offloaded_chain, run_single_multicast, run_traced_multicast,
-    ClusterSpec, GroupSpec, RecoveryConfig, SimCluster, TopoSpec, TraceKind,
+    ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, TopoSpec, TraceKind,
 };
 use simnet::{JitterModel, SimDuration};
 use verbs::CompletionMode;
-use workloads::{stats, CosmosTrace};
+use workloads::{stats, CosmosTrace, ShardedWorkload};
 
 use crate::parallel::par_map;
 use crate::row;
@@ -99,8 +99,7 @@ pub fn fig4_latency(quick: bool) -> String {
 pub fn table1_breakdown(quick: bool) -> String {
     let size = if quick { 64 * MB } else { 256 * MB };
     let spec = ClusterSpec::stampede(4);
-    let mut cluster = SimCluster::new(spec.build());
-    cluster.enable_tracing();
+    let mut cluster = ClusterBuilder::new(spec.clone()).tracing().build();
     let group = cluster.create_group(pipeline_group_spec(
         (0..4).collect(),
         MB,
@@ -177,19 +176,20 @@ pub fn table1_breakdown(quick: bool) -> String {
 pub fn fig5_step_timeline(quick: bool) -> String {
     let size = if quick { 32 * MB } else { 256 * MB };
     let spec = ClusterSpec::stampede(4);
-    let mut cluster = SimCluster::new(spec.build());
-    cluster.enable_tracing();
     // A rare, fixed-length preemption on the relayer (the paper observed
     // one such stall near the end of its instrumented transfer).
-    cluster.set_jitter(
-        1,
-        JitterModel::new(
-            11,
-            0.005,
-            SimDuration::from_micros(100),
-            SimDuration::from_micros(100),
-        ),
-    );
+    let mut cluster = ClusterBuilder::new(spec.clone())
+        .tracing()
+        .jitter(
+            1,
+            JitterModel::new(
+                11,
+                0.005,
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(100),
+            ),
+        )
+        .build();
     let group = cluster.create_group(pipeline_group_spec(
         (0..4).collect(),
         MB,
@@ -311,7 +311,7 @@ pub fn fig7_one_byte(quick: bool) -> String {
     let count = if quick { 100 } else { 400 };
     let spec = ClusterSpec::fractus(16);
     let rows = par_map(&groups, |&n| {
-        let mut cluster = SimCluster::new(spec.build());
+        let mut cluster = ClusterBuilder::new(spec.clone()).build();
         let group = cluster.create_group(pipeline_group_spec(
             (0..n).collect(),
             MB,
@@ -400,7 +400,7 @@ pub fn fig9_cosmos(quick: bool) -> String {
         Algorithm::BinomialPipeline,
     ];
     let rows = par_map(&algorithms, |alg| {
-        let mut cluster = SimCluster::new(ClusterSpec::fractus(16).build());
+        let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(16)).build();
         // Pre-create one group per distinct target set used by the sample
         // (the paper pre-creates all 455).
         let mut group_of: std::collections::HashMap<Vec<usize>, rdmc_sim::GroupId> =
@@ -552,7 +552,7 @@ pub fn fig11_interrupts(quick: bool) -> String {
     let measured = par_map(&cases, |&(size, n, mode)| {
         let mut spec = ClusterSpec::fractus(16);
         spec.completion_mode = mode;
-        let mut cluster = SimCluster::new(spec.build());
+        let mut cluster = ClusterBuilder::new(spec).build();
         let group = cluster.create_group(pipeline_group_spec(
             (0..n).collect(),
             MB.min(size.max(1)),
@@ -708,9 +708,9 @@ pub fn robustness_analysis(quick: bool) -> String {
     // Jitter absorption.
     let spec = ClusterSpec::fractus(8);
     let clean = run_single_multicast(&spec, 8, Algorithm::BinomialPipeline, msg, MB);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut builder = ClusterBuilder::new(spec.clone());
     for node in 0..8 {
-        cluster.set_jitter(
+        builder = builder.jitter(
             node,
             JitterModel::new(
                 node as u64 + 77,
@@ -720,6 +720,7 @@ pub fn robustness_analysis(quick: bool) -> String {
             ),
         );
     }
+    let mut cluster = builder.build();
     let group = cluster.create_group(pipeline_group_spec(
         (0..8).collect(),
         MB,
@@ -749,8 +750,9 @@ pub fn recovery_failover(quick: bool) -> String {
     let rows = par_map(&groups, |&n| {
         let spec = ClusterSpec::fractus(n);
         let run = |crash: Option<(usize, u64)>| {
-            let mut cluster = SimCluster::new(spec.build());
-            cluster.enable_recovery(RecoveryConfig::default());
+            let mut cluster = ClusterBuilder::new(spec.clone())
+                .recovery(RecoveryConfig::default())
+                .build();
             let group = cluster.create_group(pipeline_group_spec(
                 (0..n).collect(),
                 MB,
@@ -839,7 +841,7 @@ pub fn sst_small_messages(quick: bool) -> String {
     let rows = par_map(&cases, |&(size, n)| {
         let sst_rate = sst::small_message_rate(n, size, count, 16);
         // RDMC: the same stream through the binomial pipeline.
-        let mut cluster = SimCluster::new(ClusterSpec::fractus(32).build());
+        let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(32)).build();
         let group = cluster.create_group(pipeline_group_spec(
             (0..n).collect(),
             MB,
@@ -1086,6 +1088,228 @@ pub fn trace_observability(quick: bool) -> String {
         &rows,
     ));
     out
+}
+
+/// One measured cell of the multigroup sweep: a (topology, shard count,
+/// offered load, pacing policy) combination.
+pub struct MultigroupCell {
+    /// `"flat"` (Fractus-like) or `"oversubscribed"` (Apt-like ToR).
+    pub topology: &'static str,
+    /// Number of shard groups sharing the fabric.
+    pub shards: usize,
+    /// Aggregate offered load across all shards, Gb/s.
+    pub offered_gbps: f64,
+    /// `"unpaced"` or the admission policy label.
+    pub policy: String,
+    /// Messages the schedule offered.
+    pub messages: usize,
+    /// Median delivery latency (submit to last replica), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile delivery latency, milliseconds.
+    pub p99_ms: f64,
+    /// Goodput over the run (payload bytes once per group), Gb/s.
+    pub agg_gbps: f64,
+    /// Block sends the admission layer held back at least once.
+    pub deferred_sends: u64,
+    /// Trace rollup: ideal wire time across all groups, milliseconds.
+    pub transfer_ms: f64,
+    /// Trace rollup: admission (pacer) wait, milliseconds.
+    pub sender_limited_ms: f64,
+    /// Trace rollup: wire occupancy beyond ideal, milliseconds.
+    pub link_limited_ms: f64,
+}
+
+/// The multigroup sweep's results, renderable as text and as the
+/// `multigroup` section of `BENCH_simnet.json`.
+pub struct MultigroupReport {
+    /// One cell per (topology, shards, load, policy) run.
+    pub cells: Vec<MultigroupCell>,
+}
+
+impl MultigroupReport {
+    /// Text table for the report output.
+    pub fn text(&self) -> String {
+        let mut out = String::from(
+            "Multigroup steady state: open-loop sharded tenants, per-NIC send admission\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                row![
+                    c.topology,
+                    c.shards,
+                    format!("{:.0}", c.offered_gbps),
+                    c.policy,
+                    format!("{:.2}", c.p50_ms),
+                    format!("{:.2}", c.p99_ms),
+                    format!("{:.1}", c.agg_gbps),
+                    c.deferred_sends,
+                    format!("{:.1}", c.sender_limited_ms),
+                    format!("{:.1}", c.link_limited_ms)
+                ]
+            })
+            .collect();
+        out.push_str(&render(
+            &row![
+                "topology",
+                "shards",
+                "offered Gb/s",
+                "policy",
+                "p50 ms",
+                "p99 ms",
+                "agg Gb/s",
+                "deferred",
+                "sender ms",
+                "link ms"
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        out
+    }
+
+    /// The `multigroup` JSON array (keys in fixed order, byte-stable for
+    /// a given cell list).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"topology\": \"{}\", \"shards\": {}, \"offered_gbps\": {:.1}, \
+                 \"policy\": \"{}\", \"messages\": {}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"agg_gbps\": {:.2}, \"deferred_sends\": {}, \
+                 \"transfer_ms\": {:.3}, \"sender_limited_ms\": {:.3}, \
+                 \"link_limited_ms\": {:.3}}}{}\n",
+                c.topology,
+                c.shards,
+                c.offered_gbps,
+                c.policy,
+                c.messages,
+                c.p50_ms,
+                c.p99_ms,
+                c.agg_gbps,
+                c.deferred_sends,
+                c.transfer_ms,
+                c.sender_limited_ms,
+                c.link_limited_ms,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+/// The multi-tenant traffic engine's sweep: a Derecho-style sharded
+/// deployment (overlapping 3-replica shard groups over one fabric) under
+/// an open-loop arrival schedule, at several shard-count x offered-load
+/// points, on the flat Fractus-like fabric and the oversubscribed
+/// Apt-like fabric — each point unpaced and under every admission
+/// policy. Every run is traced so the per-group stall rollup can split
+/// admission wait from link contention.
+pub fn multigroup_sweep(quick: bool) -> MultigroupReport {
+    const NODES: usize = 16;
+    let messages = if quick { 64 } else { 160 };
+    // (per-shard offered capacity scale in Gb/s, load factors): per-shard
+    // sustainable throughput differs by an order of magnitude between the
+    // full-bisection and oversubscribed fabrics.
+    let topologies: [(&'static str, ClusterSpec, f64); 2] = [
+        ("flat", ClusterSpec::fractus(NODES), 24.0),
+        ("oversubscribed", ClusterSpec::apt(4, 4), 7.0),
+    ];
+    // Shard-count x relative-load grid: light load, near saturation, and
+    // past it (open loop keeps offering regardless).
+    let points: [(usize, f64); 5] = [(8, 0.5), (8, 1.5), (16, 0.5), (16, 1.5), (24, 1.2)];
+    let policies: [(&'static str, Option<rdmc_sim::PacerConfig>); 4] = [
+        ("unpaced", None),
+        (
+            "fifo",
+            Some(rdmc_sim::PacerConfig::new(5, rdmc_sim::PacingPolicy::Fifo)),
+        ),
+        (
+            "smallest_first",
+            Some(rdmc_sim::PacerConfig::new(
+                5,
+                rdmc_sim::PacingPolicy::SmallestFirst,
+            )),
+        ),
+        (
+            "round_robin",
+            Some(rdmc_sim::PacerConfig::new(
+                5,
+                rdmc_sim::PacingPolicy::RoundRobin,
+            )),
+        ),
+    ];
+
+    let mut configs = Vec::new();
+    for (topo, spec, cap) in &topologies {
+        for &(shards, factor) in &points {
+            for (policy, pacing) in &policies {
+                configs.push((
+                    *topo,
+                    spec.clone(),
+                    shards,
+                    factor * *cap * shards as f64,
+                    *policy,
+                    *pacing,
+                ));
+            }
+        }
+    }
+    let cells = par_map(&configs, |(topo, spec, shards, offered, policy, pacing)| {
+        let workload = ShardedWorkload {
+            seed: 0x1DE5,
+            nodes: NODES,
+            shards: *shards,
+            replication_factor: 4,
+            offered_gbps: *offered,
+            median_bytes: 1.7e6,
+            mean_bytes: 2e6,
+            min_bytes: 256 << 10,
+            max_bytes: 6 * MB,
+        };
+        let memberships: Vec<Vec<usize>> = (0..*shards).map(|s| workload.members(s)).collect();
+        let arrivals: Vec<rdmc_sim::OpenLoopArrival> = workload
+            .generate(messages)
+            .into_iter()
+            .map(|a| rdmc_sim::OpenLoopArrival {
+                at_ns: a.at_ns,
+                group_index: a.shard,
+                size: a.size,
+            })
+            .collect();
+        let outcome = rdmc_sim::run_open_loop(spec, &memberships, &arrivals, MB / 8, *pacing, true);
+        let latencies: Vec<f64> = outcome
+            .all_latencies()
+            .iter()
+            .map(|l| l.as_secs_f64() * 1e3)
+            .collect();
+        let stall_sum = |f: fn(&trace::stall::GroupStall) -> u64| -> f64 {
+            outcome
+                .per_group
+                .iter()
+                .filter_map(|g| g.stall.as_ref())
+                .map(f)
+                .sum::<u64>() as f64
+                / 1e6
+        };
+        MultigroupCell {
+            topology: topo,
+            shards: *shards,
+            offered_gbps: *offered,
+            policy: (*policy).to_owned(),
+            messages,
+            p50_ms: stats::percentile(&latencies, 50.0),
+            p99_ms: stats::percentile(&latencies, 99.0),
+            agg_gbps: outcome.aggregate_gbps(),
+            deferred_sends: outcome.pacing.map_or(0, |p| p.deferred_sends),
+            transfer_ms: stall_sum(|s| s.transfer_ns),
+            sender_limited_ms: stall_sum(|s| s.sender_limited_ns),
+            link_limited_ms: stall_sum(|s| s.link_limited_ns),
+        }
+    });
+    MultigroupReport { cells }
 }
 
 /// The disabled-recorder overhead record written to `BENCH_simnet.json`.

@@ -241,6 +241,44 @@ pub struct EpochInstall {
     pub resumes: Vec<ResumeTransfer>,
 }
 
+/// Placement of one schedule-determined block within a message buffer:
+/// which block is (or will be) on the wire, and where its bytes live.
+/// Returned by [`GroupEngine::next_expected_block`] and
+/// [`GroupEngine::incoming_block_info`] so drivers can aim incoming
+/// payloads without tuple-position guesswork.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDescriptor {
+    /// Block number within the message.
+    pub block: u32,
+    /// Byte offset of the block within the message buffer.
+    pub offset: u64,
+    /// Block length in bytes (the final block may be short).
+    pub bytes: u64,
+}
+
+/// Instantaneous send-side pressure at one member, for admission and
+/// load-reporting layers (the multi-tenant traffic engine samples this
+/// at every arrival to find each group's backlog high-water mark).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueuePressure {
+    /// Root only: messages accepted but not yet begun.
+    pub queued_messages: usize,
+    /// Whether a transfer is currently active at this member.
+    pub active: bool,
+    /// Block sends posted to the NIC and not yet completed.
+    pub inflight_block_sends: u32,
+    /// Interrupted messages still awaiting resumption in this epoch.
+    pub pending_resumes: usize,
+}
+
+impl QueuePressure {
+    /// Messages this member still owes work for: queued sends, pending
+    /// resumes, and the active transfer if any.
+    pub fn backlog(&self) -> usize {
+        self.queued_messages + self.pending_resumes + usize::from(self.active)
+    }
+}
+
 /// A snapshot of one not-yet-delivered (or delivered-but-still-relaying)
 /// message at a wedged member, exported for the membership layer to plan
 /// resumes from.
@@ -399,6 +437,17 @@ impl GroupEngine {
     /// "interrupted" at a wedge).
     pub fn queued_sizes(&self) -> impl Iterator<Item = u64> + '_ {
         self.send_queue.iter().copied()
+    }
+
+    /// This member's instantaneous send-side pressure: queued sends,
+    /// active-transfer flag, in-flight block sends, pending resumes.
+    pub fn queue_pressure(&self) -> QueuePressure {
+        QueuePressure {
+            queued_messages: self.send_queue.len(),
+            active: self.active.is_some(),
+            inflight_block_sends: self.active.as_ref().map_or(0, |t| t.total_inflight),
+            pending_resumes: self.pending_resumes.len(),
+        }
     }
 
     /// Every message this member has begun but not fully finished with —
@@ -628,21 +677,21 @@ impl GroupEngine {
         d
     }
 
-    /// The `(block, offset, bytes)` the schedule says `from` will deliver
+    /// The [`BlockDescriptor`] the schedule says `from` will deliver
     /// next, so a driver can aim the incoming bytes at the right place in
     /// the receive buffer before reading them. `None` while idle (the
     /// first block's destination is only known once the size arrives —
     /// real RDMC receives it into a scratch block and copies, §4.2) or
     /// when nothing more is expected from `from`.
-    pub fn next_expected_block(&self, from: Rank) -> Option<(u32, u64, u64)> {
+    pub fn next_expected_block(&self, from: Rank) -> Option<BlockDescriptor> {
         let t = self.active.as_ref()?;
         let idx = *t.recvd.get(&from).unwrap_or(&0) as usize;
         let (_, block) = t.sched.incoming_from(from).get(idx).copied()?;
-        Some((
+        Some(BlockDescriptor {
             block,
-            t.layout.block_offset(block),
-            t.layout.block_bytes(block),
-        ))
+            offset: t.layout.block_offset(block),
+            bytes: t.layout.block_bytes(block),
+        })
     }
 
     /// Like [`GroupEngine::next_expected_block`], but also answers while
@@ -650,7 +699,7 @@ impl GroupEngine {
     /// announced. Drivers that must place payload bytes before handing the
     /// engine the event (e.g. the TCP transport) use this for every
     /// arrival.
-    pub fn incoming_block_info(&self, from: Rank, total_size: u64) -> Option<(u32, u64, u64)> {
+    pub fn incoming_block_info(&self, from: Rank, total_size: u64) -> Option<BlockDescriptor> {
         if self.active.is_some() {
             return self.next_expected_block(from);
         }
@@ -661,7 +710,11 @@ impl GroupEngine {
             .plan(self.config.num_nodes, layout.num_blocks)
             .for_rank(self.config.rank);
         let (_, block) = sched.incoming_from(from).first().copied()?;
-        Some((block, layout.block_offset(block), layout.block_bytes(block)))
+        Some(BlockDescriptor {
+            block,
+            offset: layout.block_offset(block),
+            bytes: layout.block_bytes(block),
+        })
     }
 
     /// Feeds one event to the engine, returning the actions the driver
@@ -1111,10 +1164,15 @@ mod tests {
     #[test]
     fn next_expected_block_tracks_arrivals() {
         let (mut e, _) = engine(1, 2);
+        let desc = |block, offset, bytes| BlockDescriptor {
+            block,
+            offset,
+            bytes,
+        };
         assert_eq!(e.next_expected_block(0), None, "idle: nothing active");
         assert_eq!(
             e.incoming_block_info(0, 3000),
-            Some((0, 0, 1024)),
+            Some(desc(0, 0, 1024)),
             "idle lookups plan against the announced size"
         );
         e.handle(Event::BlockReceived {
@@ -1122,14 +1180,14 @@ mod tests {
             total_size: 3000,
         })
         .unwrap();
-        assert_eq!(e.next_expected_block(0), Some((1, 1024, 1024)));
+        assert_eq!(e.next_expected_block(0), Some(desc(1, 1024, 1024)));
         e.handle(Event::BlockReceived {
             from: 0,
             total_size: 3000,
         })
         .unwrap();
         // The final block is short: 3000 - 2048 = 952 bytes.
-        assert_eq!(e.next_expected_block(0), Some((2, 2048, 952)));
+        assert_eq!(e.next_expected_block(0), Some(desc(2, 2048, 952)));
     }
 
     #[test]
@@ -1153,7 +1211,10 @@ mod tests {
         let (mut e, _) = engine(1, 3);
         let planner = Arc::new(SchedulePlanner::new(Algorithm::BinomialPipeline));
         let first = planner.first_sender(3, 1).expect("rank 1 receives");
-        let (got_block, _, _) = e.incoming_block_info(first, 3072).expect("first block");
+        let got_block = e
+            .incoming_block_info(first, 3072)
+            .expect("first block")
+            .block;
         e.handle(Event::BlockReceived {
             from: first,
             total_size: 3072,

@@ -1,0 +1,131 @@
+//! Typed, one-shot construction of [`SimCluster`]s.
+//!
+//! The builder replaces the grow-as-you-go mutator API
+//! (`SimCluster::new` followed by `enable_recovery`, `enable_tracing`,
+//! `set_completion_mode`, …): every knob is declared up front, the
+//! cluster comes out of [`ClusterBuilder::build`] fully configured, and
+//! configuration that must precede traffic (recovery, pacing, the
+//! flight recorder) cannot be applied too late by accident. The legacy
+//! mutators remain as deprecated shims and produce bit-for-bit the same
+//! clusters.
+
+use simnet::JitterModel;
+use verbs::{CompletionMode, Fabric, NodeId};
+
+use crate::cluster::{RecoveryConfig, SimCluster};
+use crate::pacer::PacerConfig;
+use crate::profiles::ClusterSpec;
+
+/// Declarative configuration of a [`SimCluster`].
+///
+/// # Example
+///
+/// ```
+/// use rdmc::Algorithm;
+/// use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
+///
+/// let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4)).build();
+/// let group = cluster.create_group(GroupSpec {
+///     members: vec![0, 1, 2, 3],
+///     algorithm: Algorithm::BinomialPipeline,
+///     block_size: 1 << 20,
+///     ready_window: 2,
+///     max_outstanding_sends: 2,
+/// });
+/// let id = cluster.submit_send(group, 8 << 20);
+/// cluster.run();
+/// assert!(cluster.result(id).expect("submitted").latency().is_some());
+/// ```
+#[must_use = "call `.build()` to obtain the cluster"]
+pub struct ClusterBuilder {
+    fabric: Fabric,
+    recorder_mode: Option<trace::Mode>,
+    recovery: Option<RecoveryConfig>,
+    pacing: Option<PacerConfig>,
+    completion_modes: Vec<(usize, CompletionMode)>,
+    jitter: Vec<(usize, JitterModel)>,
+}
+
+impl ClusterBuilder {
+    /// Starts from a cluster profile (topology + host model); see the
+    /// [`ClusterSpec`] presets.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self::from_fabric(spec.build())
+    }
+
+    /// Starts from an already-built fabric, for hand-rolled topologies.
+    pub fn from_fabric(fabric: Fabric) -> Self {
+        ClusterBuilder {
+            fabric,
+            recorder_mode: None,
+            recovery: None,
+            pacing: None,
+            completion_modes: Vec::new(),
+            jitter: Vec::new(),
+        }
+    }
+
+    /// Turns on epoch-based failure recovery (the §2.4 membership
+    /// service): failures stop wedging groups forever and instead
+    /// trigger agreement, reconfiguration, and block-wise resumption.
+    pub fn recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = Some(config);
+        self
+    }
+
+    /// Enables protocol-event tracing: shorthand for a full-capture
+    /// [`ClusterBuilder::flight_recorder`].
+    pub fn tracing(self) -> Self {
+        self.flight_recorder(trace::Mode::Full)
+    }
+
+    /// Attaches a flight recorder in the given capture mode; every layer
+    /// (flow network, verbs, engines, membership orchestration) streams
+    /// structured events into it. Retrieve the handle from the built
+    /// cluster via [`SimCluster::recorder`].
+    pub fn flight_recorder(mut self, mode: trace::Mode) -> Self {
+        self.recorder_mode = Some(mode);
+        self
+    }
+
+    /// Bounds each node's concurrent outbound block sends and picks the
+    /// order in which queued sends take freed slots — the multi-tenant
+    /// admission layer (see [`PacerConfig`]).
+    pub fn pacing(mut self, config: PacerConfig) -> Self {
+        self.pacing = Some(config);
+        self
+    }
+
+    /// Sets one node's completion mode (polling / interrupt / hybrid).
+    pub fn completion_mode(mut self, node: usize, mode: CompletionMode) -> Self {
+        self.completion_modes.push((node, mode));
+        self
+    }
+
+    /// Sets one node's scheduling-jitter model.
+    pub fn jitter(mut self, node: usize, jitter: JitterModel) -> Self {
+        self.jitter.push((node, jitter));
+        self
+    }
+
+    /// Builds the configured cluster.
+    pub fn build(mut self) -> SimCluster {
+        for (node, mode) in self.completion_modes.drain(..) {
+            self.fabric.set_completion_mode(NodeId(node as u32), mode);
+        }
+        for (node, jitter) in self.jitter.drain(..) {
+            self.fabric.set_jitter(NodeId(node as u32), jitter);
+        }
+        let mut cluster = SimCluster::from_fabric(self.fabric);
+        if let Some(mode) = self.recorder_mode {
+            let _ = cluster.attach_recorder(mode);
+        }
+        if let Some(config) = self.recovery {
+            cluster.set_recovery(config);
+        }
+        if let Some(config) = self.pacing {
+            cluster.set_pacing(config);
+        }
+        cluster
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! RDMC proper stops at the *wedge* (§3 property 6); §2.4 assumes an
 //! external membership service restarts interrupted transfers in a new
-//! group. [`SimCluster::enable_recovery`] turns that service on: each
+//! group. [`crate::ClusterBuilder::recovery`] turns that service on: each
 //! member runs an SST-style [`ViewTracker`] whose suspicion updates
 //! spread epidemically over the fabric (`TAG_VIEW` writes); once every
 //! unsuspected member publishes the identical failure set, the agreed
@@ -31,6 +31,7 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
+use crate::pacer::{PacerConfig, PacerState, PacingStats, QueuedSend};
 use bytes::Bytes;
 use rdmc::engine::{
     Action, EngineConfig, EpochInstall, Event, GroupEngine, ResumeTransfer, TransferStatus,
@@ -53,6 +54,14 @@ const TAG_VIEW: u64 = 3;
 
 /// Identifies a group within a [`SimCluster`].
 pub type GroupId = usize;
+
+/// Opaque handle to one multicast message submitted on a [`SimCluster`]
+/// (returned by [`SimCluster::submit_send`] and
+/// [`SimCluster::schedule_send_at`]). Look its completion record up with
+/// [`SimCluster::result`] — the handle-based replacement for positional
+/// indexing into [`SimCluster::message_results`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(u64);
 
 /// A group to instantiate on the cluster.
 #[derive(Clone, Debug)]
@@ -155,7 +164,7 @@ pub enum TraceKind {
 }
 
 /// Configuration of the epoch-based recovery orchestration
-/// ([`SimCluster::enable_recovery`]).
+/// ([`crate::ClusterBuilder::recovery`]).
 #[derive(Clone, Debug)]
 pub struct RecoveryConfig {
     /// Delay from a member's first failure suspicion to the first
@@ -265,6 +274,7 @@ enum TimerAction {
     Send {
         group: GroupId,
         size: u64,
+        message: MessageId,
     },
     Crash {
         node: usize,
@@ -281,17 +291,19 @@ struct GroupRuntime {
     engines: Vec<GroupEngine>,
     /// (my rank, peer rank) -> my queue pair endpoint (current epoch).
     qps: HashMap<(Rank, Rank), QpHandle>,
-    submit_times: Vec<SimTime>,
-    /// delivered[original rank][message index] -> completion time.
-    delivered: Vec<Vec<Option<SimTime>>>,
+    /// Completion record of every message, in submission order (the
+    /// `delivered_at` rows are indexed by *original* rank).
+    results: Vec<MessageResult>,
     /// Per original rank: undelivered, unabandoned message indices in
     /// delivery order (the engines deliver strictly in order, so the
     /// front of the queue names the message a `DeliverMessage` is for).
     pending: Vec<VecDeque<usize>>,
-    sizes: Vec<u64>,
     /// Original rank that submitted each message (its app buffer holds
     /// every block, so it can re-seed a resume).
     senders: Vec<usize>,
+    /// High-water mark of the root's send-side backlog, sampled at every
+    /// submission (the traffic engine's overload evidence).
+    peak_backlog: usize,
     /// Fabric node of each *original* rank (never shrinks).
     orig_members: Vec<usize>,
     /// Current rank -> original rank (identity until a reconfiguration).
@@ -332,6 +344,10 @@ pub struct SimCluster {
     qp_owner: HashMap<QpHandle, (GroupId, Rank, Rank)>,
     timers: HashMap<u64, TimerAction>,
     next_timer: u64,
+    /// Message handle -> (group, per-group message index). A scheduled
+    /// send's slot is bound when its timer fires.
+    message_slots: HashMap<u64, (GroupId, usize)>,
+    next_message: u64,
     /// Flight recorder shared by the fabric, the net, and every engine
     /// (disabled — one branch per instrumentation point — by default).
     recorder: trace::Recorder,
@@ -344,32 +360,62 @@ pub struct SimCluster {
     fed_events: u64,
     /// Step -> nodes to crash just before feeding that step's event.
     event_crashes: HashMap<u64, Vec<usize>>,
+    /// Per-NIC send admission (None = unpaced, the default; see
+    /// [`crate::PacerConfig`]).
+    pacer: Option<PacerState>,
 }
 
 impl SimCluster {
     /// Wraps a built fabric (see
     /// [`ClusterSpec::build`](crate::ClusterSpec::build)).
+    #[deprecated(note = "construct through `ClusterBuilder` instead")]
     pub fn new(fabric: Fabric) -> Self {
+        Self::from_fabric(fabric)
+    }
+
+    /// The constructor proper ([`crate::ClusterBuilder::build`] ends
+    /// here).
+    pub(crate) fn from_fabric(fabric: Fabric) -> Self {
         SimCluster {
             fabric,
             groups: Vec::new(),
             qp_owner: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 0,
+            message_slots: HashMap::new(),
+            next_message: 0,
             recorder: trace::Recorder::disabled(),
             recovery_config: None,
             recovery_stats: RecoveryStats::default(),
             crash_times: HashMap::new(),
             fed_events: 0,
             event_crashes: HashMap::new(),
+            pacer: None,
         }
+    }
+
+    /// Turns on per-NIC send admission ([`crate::ClusterBuilder::pacing`]
+    /// is the public path). Call before any sends.
+    pub(crate) fn set_pacing(&mut self, config: PacerConfig) {
+        self.pacer = Some(PacerState::new(config));
+    }
+
+    /// Counters of the send admission layer, if pacing is enabled.
+    pub fn pacing_stats(&self) -> Option<PacingStats> {
+        self.pacer.as_ref().map(|p| p.stats)
     }
 
     /// Turns on epoch-based failure recovery (see the module docs):
     /// failures stop wedging groups forever and instead trigger
     /// agreement, reconfiguration, and block-wise resumption. Applies to
     /// every group, present and future. Call before injecting failures.
+    #[deprecated(note = "use `ClusterBuilder::recovery` instead")]
     pub fn enable_recovery(&mut self, config: RecoveryConfig) {
+        self.set_recovery(config);
+    }
+
+    /// Recovery switch proper ([`crate::ClusterBuilder::recovery`]).
+    pub(crate) fn set_recovery(&mut self, config: RecoveryConfig) {
         self.recovery_config = Some(config);
         for g in &mut self.groups {
             if g.recovery.is_none() {
@@ -404,9 +450,10 @@ impl SimCluster {
 
     /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation):
     /// shorthand for attaching a full-capture flight recorder.
+    #[deprecated(note = "use `ClusterBuilder::tracing` instead")]
     pub fn enable_tracing(&mut self) {
         if !self.recorder.is_enabled() {
-            self.enable_flight_recorder(trace::Mode::Full);
+            let _ = self.attach_recorder(trace::Mode::Full);
         }
     }
 
@@ -415,7 +462,13 @@ impl SimCluster {
     /// protocol engines (present and future), membership orchestration —
     /// streams structured events into it. Returns a clone of the handle
     /// for direct export/analysis; calling again replaces the recorder.
+    #[deprecated(note = "use `ClusterBuilder::flight_recorder` instead")]
     pub fn enable_flight_recorder(&mut self, mode: trace::Mode) -> trace::Recorder {
+        self.attach_recorder(mode)
+    }
+
+    /// Recorder attach proper ([`crate::ClusterBuilder::flight_recorder`]).
+    pub(crate) fn attach_recorder(&mut self, mode: trace::Mode) -> trace::Recorder {
         let recorder = trace::Recorder::new(mode);
         self.recorder = recorder.clone();
         self.fabric.set_recorder(recorder.clone());
@@ -450,11 +503,13 @@ impl SimCluster {
     }
 
     /// Sets one node's completion mode (polling / interrupt / hybrid).
+    #[deprecated(note = "use `ClusterBuilder::completion_mode` instead")]
     pub fn set_completion_mode(&mut self, node: usize, mode: CompletionMode) {
         self.fabric.set_completion_mode(NodeId(node as u32), mode);
     }
 
     /// Sets one node's scheduling-jitter model.
+    #[deprecated(note = "use `ClusterBuilder::jitter` instead")]
     pub fn set_jitter(&mut self, node: usize, jitter: JitterModel) {
         self.fabric.set_jitter(NodeId(node as u32), jitter);
     }
@@ -536,11 +591,10 @@ impl SimCluster {
             spec,
             engines,
             qps: HashMap::new(),
-            submit_times: Vec::new(),
-            delivered: vec![Vec::new(); n as usize],
+            results: Vec::new(),
             pending: vec![VecDeque::new(); n as usize],
-            sizes: Vec::new(),
             senders: Vec::new(),
+            peak_backlog: 0,
             orig_members,
             orig_rank: (0..n as usize).collect(),
             atomic: None,
@@ -555,42 +609,83 @@ impl SimCluster {
         gid
     }
 
-    /// Submits a multicast of `size` random-content bytes on `group` now.
-    pub fn submit_send(&mut self, group: GroupId, size: u64) {
-        self.do_submit(group, size);
+    /// Submits a multicast of `size` random-content bytes on `group` now,
+    /// returning the handle its completion record is filed under.
+    pub fn submit_send(&mut self, group: GroupId, size: u64) -> MessageId {
+        let id = MessageId(self.next_message);
+        self.next_message += 1;
+        let idx = self.do_submit(group, size);
+        self.message_slots.insert(id.0, (group, idx));
+        id
     }
 
     /// Records a submission's bookkeeping (delivery slots for every
     /// original member, pending-queue entries for the current ones) and
-    /// hands the send to the current root engine.
-    fn do_submit(&mut self, group: GroupId, size: u64) {
+    /// hands the send to the current root engine. Returns the message's
+    /// index within the group.
+    fn do_submit(&mut self, group: GroupId, size: u64) -> usize {
         let now = self.fabric.now();
-        {
+        let idx = {
             let g = &mut self.groups[group];
-            let idx = g.sizes.len();
-            g.submit_times.push(now);
-            g.sizes.push(size);
+            let idx = g.results.len();
+            g.results.push(MessageResult {
+                group,
+                index: idx,
+                size,
+                submitted: now,
+                delivered_at: vec![None; g.orig_members.len()],
+            });
             g.senders.push(g.orig_rank[0]);
-            for row in &mut g.delivered {
-                row.push(None);
-            }
             let members = g.orig_rank.clone();
             for o in members {
                 g.pending[o].push_back(idx);
             }
-        }
+            idx
+        };
         self.feed(group, 0, Event::StartSend { size });
+        let g = &mut self.groups[group];
+        if let Some(root) = g.engines.first() {
+            g.peak_backlog = g.peak_backlog.max(root.queue_pressure().backlog());
+        }
+        idx
     }
 
-    /// Schedules a multicast submission at an absolute virtual time.
-    pub fn schedule_send_at(&mut self, group: GroupId, at: SimTime, size: u64) {
+    /// Schedules a multicast submission at an absolute virtual time,
+    /// returning its handle immediately. The handle resolves to a
+    /// completion record ([`SimCluster::result`]) once the timer fires
+    /// and the send is actually submitted.
+    pub fn schedule_send_at(&mut self, group: GroupId, at: SimTime, size: u64) -> MessageId {
+        let message = MessageId(self.next_message);
+        self.next_message += 1;
         let token = self.next_timer;
         self.next_timer += 1;
-        self.timers.insert(token, TimerAction::Send { group, size });
+        self.timers.insert(
+            token,
+            TimerAction::Send {
+                group,
+                size,
+                message,
+            },
+        );
         let root_node = self.groups[group].spec.members[0];
         let delay = at.saturating_since(self.fabric.now());
         self.fabric
             .schedule_timer(NodeId(root_node as u32), delay, token);
+        message
+    }
+
+    /// The completion record of one message, by handle. `None` for a
+    /// scheduled send whose timer has not fired yet.
+    pub fn result(&self, id: MessageId) -> Option<&MessageResult> {
+        let &(group, idx) = self.message_slots.get(&id.0)?;
+        self.groups.get(group)?.results.get(idx)
+    }
+
+    /// High-water mark of the group root's send-side backlog (active +
+    /// queued + resuming messages), sampled at every submission — the
+    /// per-group queue-pressure evidence the traffic engine reports.
+    pub fn peak_backlog(&self, group: GroupId) -> usize {
+        self.groups[group].peak_backlog
     }
 
     /// Schedules a node crash at an absolute virtual time.
@@ -614,7 +709,7 @@ impl SimCluster {
     pub fn enable_atomic_delivery(&mut self, group: GroupId) {
         let g = &mut self.groups[group];
         assert!(
-            g.submit_times.is_empty(),
+            g.results.is_empty(),
             "enable atomic delivery before sending"
         );
         let n = g.spec.members.len();
@@ -668,27 +763,15 @@ impl SimCluster {
         );
     }
 
-    /// Completion records for every message submitted so far.
+    /// Completion records for every message submitted so far, grouped by
+    /// group and ordered by submission within each group. Prefer
+    /// [`SimCluster::result`] with the [`MessageId`] a submission
+    /// returned over positional indexing into this list.
     pub fn message_results(&self) -> Vec<MessageResult> {
-        let mut out = Vec::new();
-        for (gid, g) in self.groups.iter().enumerate() {
-            for (idx, (&submitted, &size)) in g.submit_times.iter().zip(g.sizes.iter()).enumerate()
-            {
-                let delivered_at = g
-                    .delivered
-                    .iter()
-                    .map(|per_rank| per_rank.get(idx).copied().flatten())
-                    .collect();
-                out.push(MessageResult {
-                    group: gid,
-                    index: idx,
-                    size,
-                    submitted,
-                    delivered_at,
-                });
-            }
-        }
-        out
+        self.groups
+            .iter()
+            .flat_map(|g| g.results.iter().cloned())
+            .collect()
     }
 
     /// The trace of one member (empty unless [`SimCluster::enable_tracing`]
@@ -779,11 +862,17 @@ impl SimCluster {
                     },
                 );
             }
-            Delivery::SendDone { qp, .. } => {
-                let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
-                    return;
-                };
-                self.feed(group, me, Event::SendCompleted { to: peer });
+            Delivery::SendDone { qp, wr_id } => {
+                let freed = self.release_send_slot(qp, wr_id);
+                if let Some(&(group, me, peer)) = self.qp_owner.get(&qp) {
+                    self.feed(group, me, Event::SendCompleted { to: peer });
+                }
+                // Pump after feeding: sends the completion just triggered
+                // are in the queue by now, so the policy arbitrates them
+                // against everything already waiting.
+                if let Some(node) = freed {
+                    self.pump(node);
+                }
             }
             Delivery::WriteDone { .. } => {}
             Delivery::WriteArrived { qp, tag, payload } => {
@@ -815,9 +904,19 @@ impl SimCluster {
                     other => panic!("unknown control tag {other}"),
                 }
             }
-            Delivery::WrFlushed { .. } => {
+            Delivery::WrFlushed { qp, wr_id, recv } => {
                 // Flushed WRs carry no protocol state the engines need;
-                // the QpBroken notice that follows triggers wedging.
+                // the QpBroken notice that follows triggers wedging. But a
+                // flushed *send* never gets a SendDone, so its admission
+                // slot must be released here. (A flushed control write with
+                // a colliding work-request id may release the slot a beat
+                // early; the ledger entry leaves exactly once either way,
+                // so the accounting stays balanced through teardown.)
+                if !recv {
+                    if let Some(node) = self.release_send_slot(qp, wr_id) {
+                        self.pump(node);
+                    }
+                }
             }
             Delivery::QpBroken { qp } => {
                 if let Some(&(group, me, peer)) = self.qp_owner.get(&qp) {
@@ -826,8 +925,13 @@ impl SimCluster {
                 }
             }
             Delivery::Timer { token } => match self.timers.remove(&token) {
-                Some(TimerAction::Send { group, size }) => {
-                    self.do_submit(group, size);
+                Some(TimerAction::Send {
+                    group,
+                    size,
+                    message,
+                }) => {
+                    let idx = self.do_submit(group, size);
+                    self.message_slots.insert(message.0, (group, idx));
                 }
                 Some(TimerAction::Crash { node }) => {
                     self.crash_now(node);
@@ -912,25 +1016,7 @@ impl SimCluster {
                     total_size,
                     ..
                 } => {
-                    let qp = self.ensure_qp(group, rank, to);
-                    let _ =
-                        self.fabric
-                            .post_send(qp, WrId(u64::from(block)), bytes, total_size, None);
-                    // Debug-build mirror of the static invariant: a block
-                    // send is emitted only against a ready credit, and each
-                    // credit was granted after the matching receive was
-                    // posted — so the receiver's queue cannot be empty here
-                    // unless the connection already broke.
-                    #[cfg(debug_assertions)]
-                    {
-                        let peer_qp = self.groups[group].qps[&(to, rank)];
-                        let snap = self.fabric.posting_snapshot(peer_qp);
-                        debug_assert!(
-                            snap.broken || snap.posted_recvs >= 1,
-                            "group {group}: rank {rank} posted block {block} to {to} \
-                             with no receive posted at the target"
-                        );
-                    }
+                    self.admit_or_queue_block(group, rank, to, block, bytes, total_size);
                 }
                 Action::AllocateBuffer { size } => {
                     // malloc on the critical path (§4.6) gates everything;
@@ -949,15 +1035,16 @@ impl SimCluster {
                     let idx = g.pending[orig].pop_front().unwrap_or_else(|| {
                         panic!("group {group} rank {rank}: delivery with no pending message")
                     });
-                    g.delivered[orig][idx] = Some(now);
+                    g.results[idx].delivered_at[orig] = Some(now);
                     let _ = size;
                     // Atomic mode: publish the new received-count to every
                     // peer's status table and re-evaluate stability.
                     let count = {
                         let g = &self.groups[group];
-                        g.delivered[g.orig_rank[rank as usize]]
+                        let o = g.orig_rank[rank as usize];
+                        g.results
                             .iter()
-                            .flatten()
+                            .filter(|m| m.delivered_at[o].is_some())
                             .count() as u64
                     };
                     let is_atomic = self.groups[group].atomic.is_some();
@@ -1014,6 +1101,134 @@ impl SimCluster {
             self.fabric.consume_cpu(node, deferred_copy);
         }
     }
+
+    /// Routes an engine block send through the admission layer: unpaced
+    /// clusters post straight to the fabric; paced ones enqueue and let
+    /// the policy decide what the NIC's free slots carry.
+    fn admit_or_queue_block(
+        &mut self,
+        group: GroupId,
+        rank: Rank,
+        to: Rank,
+        block: u32,
+        bytes: u64,
+        total_size: u64,
+    ) {
+        let node = self.groups[group].spec.members[rank as usize];
+        let Some(p) = self.pacer.as_mut() else {
+            self.post_block(group, rank, to, block, bytes, total_size);
+            return;
+        };
+        let max = p.config.max_inflight;
+        let np = p.nodes.entry(node).or_default();
+        // Invariant: after every pump, a non-empty queue means the NIC is
+        // saturated — so a send arriving with a free slot is admitted by
+        // the pump below without ever waiting.
+        if np.inflight >= max {
+            p.stats.deferred_sends += 1;
+        }
+        let enqueued_ns = self.recorder.now();
+        np.queue.push_back(QueuedSend {
+            group,
+            rank,
+            to,
+            block,
+            bytes,
+            total_size,
+            enqueued_ns,
+        });
+        let depth = np.queue.len();
+        p.stats.peak_queue_depth = p.stats.peak_queue_depth.max(depth);
+        self.pump(node);
+    }
+
+    /// Admits queued sends on `node` while it has free admission slots,
+    /// in policy order.
+    fn pump(&mut self, node: usize) {
+        loop {
+            let Some(p) = self.pacer.as_mut() else {
+                return;
+            };
+            let config = p.config;
+            let Some(np) = p.nodes.get_mut(&node) else {
+                return;
+            };
+            if np.inflight >= config.max_inflight {
+                return;
+            }
+            let Some(i) = PacerState::pick(&config, np) else {
+                return;
+            };
+            let qs = np.queue.remove(i).expect("picked index in range");
+            np.rr_last = Some(qs.group);
+            // A rejected post (the connection broke while the send sat in
+            // the queue) takes no slot, so the loop just tries the next
+            // candidate.
+            if self.post_block(qs.group, qs.rank, qs.to, qs.block, qs.bytes, qs.total_size) {
+                self.recorder
+                    .record(trace::Scope::group_rank(qs.group as u32, qs.rank), || {
+                        trace::EventKind::SendAdmitted {
+                            to: qs.to,
+                            block: qs.block,
+                            queued_ns: self.recorder.now().saturating_sub(qs.enqueued_ns),
+                        }
+                    });
+            }
+        }
+    }
+
+    /// Posts one block send to the fabric, recording it in the pacer's
+    /// ledger (so its completion releases the admission slot) when pacing
+    /// is on. Returns whether the fabric accepted the post.
+    fn post_block(
+        &mut self,
+        group: GroupId,
+        rank: Rank,
+        to: Rank,
+        block: u32,
+        bytes: u64,
+        total_size: u64,
+    ) -> bool {
+        let qp = self.ensure_qp(group, rank, to);
+        let posted = self
+            .fabric
+            .post_send(qp, WrId(u64::from(block)), bytes, total_size, None)
+            .is_ok();
+        // Debug-build mirror of the static invariant: a block send is
+        // emitted only against a ready credit, and each credit was granted
+        // after the matching receive was posted — so the receiver's queue
+        // cannot be empty here unless the connection already broke.
+        #[cfg(debug_assertions)]
+        {
+            let peer_qp = self.groups[group].qps[&(to, rank)];
+            let snap = self.fabric.posting_snapshot(peer_qp);
+            debug_assert!(
+                snap.broken || snap.posted_recvs >= 1,
+                "group {group}: rank {rank} posted block {block} to {to} \
+                 with no receive posted at the target"
+            );
+        }
+        if posted {
+            let node = self.groups[group].spec.members[rank as usize];
+            if let Some(p) = self.pacer.as_mut() {
+                p.admitted.insert((qp, WrId(u64::from(block))), node);
+                p.nodes.entry(node).or_default().inflight += 1;
+            }
+        }
+        posted
+    }
+
+    /// Releases the admission slot a retiring work request held, if it
+    /// was a pacer-admitted block send. Returns the posting node so the
+    /// caller can pump its queue.
+    fn release_send_slot(&mut self, qp: QpHandle, wr_id: WrId) -> Option<usize> {
+        let p = self.pacer.as_mut()?;
+        let node = p.admitted.remove(&(qp, wr_id))?;
+        if let Some(np) = p.nodes.get_mut(&node) {
+            np.inflight = np.inflight.saturating_sub(1);
+        }
+        Some(node)
+    }
 }
 
 /// Failure injection and the epoch-based recovery orchestration (the
@@ -1028,6 +1243,13 @@ impl SimCluster {
         let now = self.fabric.now();
         self.crash_times.entry(node).or_insert(now);
         self.fabric.crash(NodeId(node as u32));
+        // Dead software posts nothing: whatever the node's admission queue
+        // still held dies with it (its posted sends flush separately).
+        if let Some(p) = self.pacer.as_mut() {
+            if let Some(np) = p.nodes.get_mut(&node) {
+                np.queue.clear();
+            }
+        }
     }
 
     /// Crashes `node` just before the `n`-th engine event (0-based,
@@ -1524,14 +1746,14 @@ impl SimCluster {
         let mut abandoned: Vec<usize> = Vec::new();
         let (mut n_resumed, mut n_remulti, mut n_complete, mut n_blocks) = (0usize, 0, 0, 0);
         for &idx in &incomplete {
-            let size = self.groups[group].sizes[idx];
+            let size = self.groups[group].results[idx].size;
             let k = (size.div_ceil(block_size)).max(1) as usize;
             let (holdings, delivered_flags): (Vec<Vec<bool>>, Vec<bool>) = {
                 let g = &self.groups[group];
                 survivors_orig
                     .iter()
                     .map(|&o| {
-                        let done = g.delivered[o].get(idx).copied().flatten().is_some();
+                        let done = g.results[idx].delivered_at[o].is_some();
                         let have = if done || g.senders.get(idx) == Some(&o) {
                             vec![true; k]
                         } else if let Some(s) = status_of.get(&(o, idx)) {
@@ -1569,14 +1791,29 @@ impl SimCluster {
                 q.retain(|i| !aset.contains(i));
             }
         }
-        // Tear down every old-epoch queue pair; completions still in
+        // Tear down every old-epoch queue pair in rank order (the map's
+        // own iteration order is unseeded and would make teardown — and
+        // the flight recording — vary run to run); completions still in
         // flight for them become ownerless and are ignored.
-        let old_qps: Vec<QpHandle> = self.groups[group].qps.values().copied().collect();
-        for qp in old_qps {
+        let mut old_qps: Vec<((Rank, Rank), QpHandle)> = self.groups[group]
+            .qps
+            .iter()
+            .map(|(&pair, &qp)| (pair, qp))
+            .collect();
+        old_qps.sort_unstable_by_key(|&(pair, _)| pair);
+        for (_, qp) in old_qps {
             self.qp_owner.remove(&qp);
             self.fabric.break_qp(qp);
         }
         self.groups[group].qps.clear();
+        // Queued (never-posted) sends of this group carry old-epoch ranks;
+        // drop them — the resume plans below re-issue whatever still
+        // matters, in new-epoch terms.
+        if let Some(p) = self.pacer.as_mut() {
+            for np in p.nodes.values_mut() {
+                np.queue.retain(|q| q.group != group);
+            }
+        }
         // Renumber: survivors in ascending original rank become the new
         // ranks 0..ns, on a fresh set of connections.
         let first_suspected;

@@ -1,10 +1,10 @@
-//! One-line experiment harnesses over [`SimCluster`], shared by the test
-//! suite and the figure-regenerating benchmarks.
+//! One-line experiment harnesses over [`crate::SimCluster`], shared by
+//! the test suite and the figure-regenerating benchmarks.
 
 use rdmc::Algorithm;
-use simnet::SimDuration;
+use simnet::{SimDuration, SimTime};
 
-use crate::{ClusterSpec, GroupSpec, SimCluster, TopoSpec};
+use crate::{ClusterBuilder, ClusterSpec, GroupSpec, PacerConfig, PacingStats, TopoSpec};
 
 /// Outcome of a single multicast run.
 #[derive(Clone, Debug)]
@@ -37,7 +37,7 @@ pub fn run_single_multicast(
         group_size <= spec.topology.nodes(),
         "group larger than cluster"
     );
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..group_size).collect(),
         algorithm,
@@ -102,8 +102,10 @@ pub fn run_traced_multicast(
         group_size <= spec.topology.nodes(),
         "group larger than cluster"
     );
-    let mut cluster = SimCluster::new(spec.build());
-    let recorder = cluster.enable_flight_recorder(trace::Mode::Full);
+    let mut cluster = ClusterBuilder::new(spec.clone())
+        .flight_recorder(trace::Mode::Full)
+        .build();
+    let recorder = cluster.recorder().clone();
     let group = cluster.create_group(GroupSpec {
         members: (0..group_size).collect(),
         algorithm,
@@ -137,7 +139,7 @@ pub fn run_stream(
     block_size: u64,
     count: usize,
 ) -> (f64, Vec<SimDuration>) {
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..group_size).collect(),
         algorithm,
@@ -165,6 +167,157 @@ pub fn run_stream(
     (aggregate, latencies)
 }
 
+/// One offered message of an open-loop schedule ([`run_open_loop`]):
+/// `group_index` indexes the harness's membership list, not a live
+/// [`crate::GroupId`].
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopArrival {
+    /// Virtual-time nanosecond the application submits the message.
+    pub at_ns: u64,
+    /// Which group (tenant) the message belongs to.
+    pub group_index: usize,
+    /// Message size in bytes.
+    pub size: u64,
+}
+
+/// What [`run_open_loop`] measured for one group.
+#[derive(Clone, Debug)]
+pub struct GroupLoadReport {
+    /// Index into the membership list the harness was given.
+    pub group_index: usize,
+    /// Submit-to-last-delivery latency of each of the group's messages,
+    /// in submission order.
+    pub latencies: Vec<SimDuration>,
+    /// Bytes the group's messages carried.
+    pub bytes: u64,
+    /// Stall split of every block send the group moved (traced runs
+    /// only).
+    pub stall: Option<trace::stall::GroupStall>,
+}
+
+/// Outcome of one open-loop run across all groups.
+#[derive(Clone, Debug)]
+pub struct OpenLoopOutcome {
+    /// Per-group reports, in membership-list order.
+    pub per_group: Vec<GroupLoadReport>,
+    /// First submit to last delivery.
+    pub span: SimDuration,
+    /// Admission-layer counters, when the run was paced.
+    pub pacing: Option<PacingStats>,
+}
+
+impl OpenLoopOutcome {
+    /// Every message latency across all groups (unsorted).
+    pub fn all_latencies(&self) -> Vec<SimDuration> {
+        self.per_group
+            .iter()
+            .flat_map(|g| g.latencies.iter().copied())
+            .collect()
+    }
+
+    /// Goodput over the whole run: every delivered payload byte,
+    /// counted once per group (not per replica), over the span.
+    pub fn aggregate_gbps(&self) -> f64 {
+        let bytes: u64 = self.per_group.iter().map(|g| g.bytes).sum();
+        let secs = self.span.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        bytes as f64 * 8.0 / secs / 1e9
+    }
+}
+
+/// Drives a multi-tenant steady state: one RDMC group per membership
+/// set, fed by a pre-computed open-loop arrival schedule
+/// ([`crate::SimCluster::schedule_send_at`] keeps the offered timing
+/// independent of delivery progress). `pacing` bounds each NIC's
+/// concurrent outbound block sends; `traced` attaches a full-capture
+/// flight recorder and returns a per-group stall split.
+///
+/// # Panics
+///
+/// Panics if a membership set does not fit the cluster, an arrival
+/// references a missing group, or a message never completes (open-loop
+/// schedules are finite, so every message must eventually deliver).
+pub fn run_open_loop(
+    spec: &ClusterSpec,
+    memberships: &[Vec<usize>],
+    arrivals: &[OpenLoopArrival],
+    block_size: u64,
+    pacing: Option<PacerConfig>,
+    traced: bool,
+) -> OpenLoopOutcome {
+    let mut builder = ClusterBuilder::new(spec.clone());
+    if let Some(config) = pacing {
+        builder = builder.pacing(config);
+    }
+    if traced {
+        builder = builder.flight_recorder(trace::Mode::Full);
+    }
+    let mut cluster = builder.build();
+    let recorder = cluster.recorder().clone();
+    let groups: Vec<_> = memberships
+        .iter()
+        .map(|members| {
+            assert!(
+                members.iter().all(|&m| m < spec.topology.nodes()),
+                "membership {members:?} does not fit the cluster"
+            );
+            cluster.create_group(GroupSpec {
+                members: members.clone(),
+                algorithm: Algorithm::BinomialPipeline,
+                block_size,
+                ready_window: 6,
+                max_outstanding_sends: 6,
+            })
+        })
+        .collect();
+    for a in arrivals {
+        cluster.schedule_send_at(groups[a.group_index], SimTime::from_nanos(a.at_ns), a.size);
+    }
+    cluster.run();
+
+    let rollup =
+        traced.then(|| trace::stall::rollup_by_group(&recorder.events(), &wire_model_for(spec)));
+    let mut per_group: Vec<GroupLoadReport> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| GroupLoadReport {
+            group_index: i,
+            latencies: Vec::new(),
+            bytes: 0,
+            stall: rollup
+                .as_ref()
+                .map(|r| r.get(&(g as u32)).copied().unwrap_or_default()),
+        })
+        .collect();
+    let mut first_submit = None;
+    let mut last_delivery = None;
+    for r in cluster.message_results() {
+        let latency = r
+            .latency()
+            .unwrap_or_else(|| panic!("message {}/{} never completed", r.group, r.index));
+        let i = groups
+            .iter()
+            .position(|&g| g == r.group)
+            .expect("result for a group this run created");
+        per_group[i].latencies.push(latency);
+        per_group[i].bytes += r.size;
+        first_submit = Some(first_submit.map_or(r.submitted, |t: SimTime| t.min(r.submitted)));
+        let done = r.delivered_at.iter().flatten().max().copied();
+        last_delivery = last_delivery.max(done);
+    }
+    let span = match (first_submit, last_delivery) {
+        (Some(a), Some(b)) => b.since(a),
+        _ => SimDuration::ZERO,
+    };
+    OpenLoopOutcome {
+        per_group,
+        span,
+        pacing: cluster.pacing_stats(),
+    }
+}
+
 /// The paper's Fig. 10 pattern: `senders` groups with *identical
 /// membership* (`group_size` nodes) but distinct roots, each root streaming
 /// `per_sender_bytes` in `message_size` messages concurrently. Returns the
@@ -179,7 +332,7 @@ pub fn run_concurrent_overlapping(
     block_size: u64,
 ) -> f64 {
     assert!(senders >= 1 && senders <= group_size);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let mut groups = Vec::new();
     for s in 0..senders {
         // Same members, rotated so member `s` is the root.

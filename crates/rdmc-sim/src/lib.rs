@@ -6,13 +6,18 @@
 //!
 //! - [`ClusterSpec`] presets for the paper's testbeds (Fractus, Stampede,
 //!   Sierra, Apt).
-//! - [`SimCluster`]: multiple (possibly overlapping) RDMC groups over one
-//!   fabric, timed message injection, crash injection, jitter injection,
-//!   protocol tracing, and per-message completion records.
-//! - [`SimCluster::enable_recovery`]: the §2.4 external membership
+//! - [`ClusterBuilder`]: typed one-shot configuration — recovery, flight
+//!   recorder, per-NIC send pacing, completion modes, jitter — producing a
+//!   [`SimCluster`]: multiple (possibly overlapping) RDMC groups over one
+//!   fabric, timed message injection, crash injection, and per-message
+//!   completion records filed under [`MessageId`] handles.
+//! - [`ClusterBuilder::recovery`]: the §2.4 external membership
 //!   service — epoch-based reconfiguration of wedged groups with
 //!   block-wise resumption of interrupted multicasts, instrumented by
 //!   [`RecoveryStats`].
+//! - [`ClusterBuilder::pacing`]: the multi-tenant admission layer — a
+//!   bound on each NIC's concurrent outbound block sends plus a
+//!   [`PacingPolicy`] ordering the queued sends of overlapping groups.
 //! - [`run_single_multicast`] and friends: the one-line harnesses the
 //!   benchmark suite sweeps.
 //!
@@ -20,11 +25,11 @@
 //!
 //! ```
 //! use rdmc::Algorithm;
-//! use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+//! use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 //!
 //! // 4 Fractus nodes, one group, one 8 MB multicast over the binomial
 //! // pipeline with 1 MB blocks.
-//! let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
+//! let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4)).build();
 //! let group = cluster.create_group(GroupSpec {
 //!     members: vec![0, 1, 2, 3],
 //!     algorithm: Algorithm::BinomialPipeline,
@@ -32,28 +37,33 @@
 //!     ready_window: 2,
 //!     max_outstanding_sends: 2,
 //! });
-//! cluster.submit_send(group, 8 << 20);
+//! let id = cluster.submit_send(group, 8 << 20);
 //! cluster.run();
-//! let results = cluster.message_results();
-//! let latency = results[0].latency().expect("all members delivered");
+//! let result = cluster.result(id).expect("submitted");
+//! let latency = result.latency().expect("all members delivered");
 //! assert!(latency.as_secs_f64() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod cluster;
 mod experiment;
 mod offload;
+mod pacer;
 mod profiles;
 
+pub use builder::ClusterBuilder;
 pub use cluster::{
-    DetectionRecord, GroupId, GroupSpec, MessageResult, ReconfigRecord, RecoveryConfig,
+    DetectionRecord, GroupId, GroupSpec, MessageId, MessageResult, ReconfigRecord, RecoveryConfig,
     RecoveryStats, SimCluster, TraceKind, TraceRecord,
 };
 pub use experiment::{
-    run_concurrent_overlapping, run_single_multicast, run_stream, run_traced_multicast,
-    wire_model_for, MulticastOutcome,
+    run_concurrent_overlapping, run_open_loop, run_single_multicast, run_stream,
+    run_traced_multicast, wire_model_for, GroupLoadReport, MulticastOutcome, OpenLoopArrival,
+    OpenLoopOutcome,
 };
 pub use offload::run_offloaded_chain;
+pub use pacer::{PacerConfig, PacingPolicy, PacingStats};
 pub use profiles::{ClusterSpec, TopoSpec};

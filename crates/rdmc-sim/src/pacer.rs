@@ -1,0 +1,160 @@
+//! Per-NIC send admission and pacing for multi-tenant clusters.
+//!
+//! With many overlapping groups on one fabric (the Derecho-style
+//! deployment of §I/§VII), every group's engine paces itself, but
+//! nothing bounds what one *NIC* has in flight across groups: on an
+//! oversubscribed fabric dozens of concurrent block sends share the
+//! uplink, every transfer slows down, and tail latency balloons. The
+//! pacer is the cluster's admission layer: each node may have at most
+//! [`PacerConfig::max_inflight`] outbound block sends posted at once,
+//! and when a slot frees, the queued candidates — which may belong to
+//! different groups — are admitted in [`PacingPolicy`] order.
+//!
+//! Pacing is off by default; an unpaced cluster behaves bit-for-bit as
+//! before (the golden-trace suite pins this). Control traffic
+//! (readiness grants, failure relays, status and view writes) is never
+//! paced: it is latency-critical and tiny.
+
+use std::collections::{HashMap, VecDeque};
+
+use rdmc::Rank;
+use verbs::{QpHandle, WrId};
+
+use crate::cluster::GroupId;
+
+/// How queued block sends contending for a NIC's admission slots are
+/// ordered when a slot frees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacingPolicy {
+    /// Admit in arrival order (the unpaced ordering, just bounded).
+    Fifo,
+    /// Admit the send belonging to the smallest message first
+    /// (shortest-job-first across groups; ties break by arrival).
+    SmallestFirst,
+    /// Rotate admission across groups so no tenant starves another.
+    RoundRobin,
+}
+
+impl PacingPolicy {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacingPolicy::Fifo => "fifo",
+            PacingPolicy::SmallestFirst => "smallest_first",
+            PacingPolicy::RoundRobin => "round_robin",
+        }
+    }
+}
+
+/// Configuration of the per-node send admission layer
+/// ([`crate::ClusterBuilder::pacing`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PacerConfig {
+    /// Outbound block sends one node may have posted at once (≥ 1;
+    /// admission keeps at least one send moving so progress never
+    /// stalls).
+    pub max_inflight: u32,
+    /// Admission order for queued sends.
+    pub policy: PacingPolicy,
+}
+
+impl PacerConfig {
+    /// A bound with the given policy.
+    pub fn new(max_inflight: u32, policy: PacingPolicy) -> Self {
+        assert!(max_inflight >= 1, "pacer needs at least one inflight send");
+        PacerConfig {
+            max_inflight,
+            policy,
+        }
+    }
+}
+
+/// Counters the pacer accumulates over a run, for load reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacingStats {
+    /// Block sends that were held in an admission queue (at least once).
+    pub deferred_sends: u64,
+    /// Deepest any single node's admission queue ever got.
+    pub peak_queue_depth: usize,
+}
+
+/// One block send held back by admission control.
+#[derive(Clone, Debug)]
+pub(crate) struct QueuedSend {
+    pub group: GroupId,
+    pub rank: Rank,
+    pub to: Rank,
+    pub block: u32,
+    pub bytes: u64,
+    pub total_size: u64,
+    /// Recorder time the engine issued the send (for the
+    /// `SendAdmitted` trace event's queue-wait field).
+    pub enqueued_ns: u64,
+}
+
+/// Per-node admission state.
+#[derive(Default)]
+pub(crate) struct NodePacer {
+    /// Block sends currently posted to the fabric from this node.
+    pub inflight: u32,
+    /// Held sends, in arrival order.
+    pub queue: VecDeque<QueuedSend>,
+    /// Group admitted last (the round-robin cursor).
+    pub rr_last: Option<GroupId>,
+}
+
+/// The cluster-wide pacer: per-node admission plus the posted-send
+/// ledger that maps completions back to their node.
+pub(crate) struct PacerState {
+    pub config: PacerConfig,
+    pub nodes: HashMap<usize, NodePacer>,
+    /// (queue pair, work request) -> posting node, for every block send
+    /// the pacer admitted and the fabric accepted. Entries leave on
+    /// `SendDone` or `WrFlushed`; control writes never enter.
+    pub admitted: HashMap<(QpHandle, WrId), usize>,
+    pub stats: PacingStats,
+}
+
+impl PacerState {
+    pub fn new(config: PacerConfig) -> Self {
+        PacerState {
+            config,
+            nodes: HashMap::new(),
+            admitted: HashMap::new(),
+            stats: PacingStats::default(),
+        }
+    }
+
+    /// Index into `queue` of the send the policy admits next. `None`
+    /// when the queue is empty.
+    pub fn pick(config: &PacerConfig, np: &NodePacer) -> Option<usize> {
+        if np.queue.is_empty() {
+            return None;
+        }
+        match config.policy {
+            PacingPolicy::Fifo => Some(0),
+            PacingPolicy::SmallestFirst => np
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, q)| (q.total_size, *i))
+                .map(|(i, _)| i),
+            PacingPolicy::RoundRobin => {
+                // The next distinct group after the cursor (cycling);
+                // within a group, arrival order.
+                let mut groups: Vec<GroupId> = np.queue.iter().map(|q| q.group).collect();
+                groups.sort_unstable();
+                groups.dedup();
+                let next = match np.rr_last {
+                    Some(last) => groups
+                        .iter()
+                        .copied()
+                        .find(|&g| g > last)
+                        .unwrap_or(groups[0]),
+                    None => groups[0],
+                };
+                np.queue.iter().position(|q| q.group == next)
+            }
+        }
+    }
+}

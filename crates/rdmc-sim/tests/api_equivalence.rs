@@ -1,0 +1,228 @@
+//! API-equivalence suite for the [`ClusterBuilder`] redesign: the typed
+//! builder and the legacy grow-as-you-go mutator API (kept as
+//! `#[deprecated]` shims) must configure bit-for-bit identical clusters.
+//!
+//! Three angles, from cheapest to most adversarial:
+//!
+//! 1. the builder reproduces the checked-in golden traces byte-for-byte
+//!    (so does the legacy path), proving the redesign shifted no event,
+//!    timestamp, or serialization detail;
+//! 2. a jittered multi-group run configured through both paths exports
+//!    identical flight recordings;
+//! 3. a crash/recovery run configured through both paths agrees on the
+//!    full chaos digest — events fed, final virtual time, every
+//!    reconfiguration record, and every per-rank delivery time.
+
+#![allow(deprecated)]
+
+use rdmc::Algorithm;
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
+use simnet::{JitterModel, SimDuration};
+use verbs::CompletionMode;
+
+const BLOCK: u64 = 64 << 10;
+
+/// The golden-trace scenario: one 4-member, 4-block multicast on the
+/// Fractus preset with a full flight recording.
+fn golden_scenario(mut cluster: SimCluster, algorithm: Algorithm) -> String {
+    let recorder = cluster.recorder().clone();
+    let group = cluster.create_group(GroupSpec {
+        members: vec![0, 1, 2, 3],
+        algorithm,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
+    });
+    cluster.submit_send(group, 4 * BLOCK);
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    trace::export::to_jsonl(&recorder.events())
+}
+
+fn checked_in_golden(name: &str) -> String {
+    let path = format!(
+        "{}/../../tests/golden/{name}.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"))
+}
+
+/// Both construction paths replay every checked-in golden trace
+/// byte-for-byte.
+#[test]
+fn both_apis_reproduce_checked_in_golden_traces() {
+    let cases = [
+        ("sequential", Algorithm::Sequential),
+        ("binomial_tree", Algorithm::BinomialTree),
+        ("chain", Algorithm::Chain),
+        ("binomial_pipeline", Algorithm::BinomialPipeline),
+    ];
+    for (name, algorithm) in cases {
+        let want = checked_in_golden(name);
+
+        let built = ClusterBuilder::new(ClusterSpec::fractus(4))
+            .flight_recorder(trace::Mode::Full)
+            .build();
+        assert_eq!(
+            golden_scenario(built, algorithm.clone()),
+            want,
+            "builder path diverged from golden {name}"
+        );
+
+        let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
+        let _ = legacy.enable_flight_recorder(trace::Mode::Full);
+        assert_eq!(
+            golden_scenario(legacy, algorithm),
+            want,
+            "legacy mutator path diverged from golden {name}"
+        );
+    }
+}
+
+/// `enable_tracing` is the same switch as
+/// `flight_recorder(trace::Mode::Full)`.
+#[test]
+fn enable_tracing_matches_flight_recorder_full() {
+    let built = ClusterBuilder::new(ClusterSpec::fractus(4))
+        .tracing()
+        .build();
+    let a = golden_scenario(built, Algorithm::Chain);
+
+    let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
+    legacy.enable_tracing();
+    let b = golden_scenario(legacy, Algorithm::Chain);
+    assert_eq!(a, b);
+}
+
+/// A jittered, completion-mode-mixed, two-group run: the builder and the
+/// legacy mutators produce identical flight recordings.
+fn overlapping_run(mut cluster: SimCluster) -> (String, u64) {
+    let recorder = cluster.recorder().clone();
+    let g0 = cluster.create_group(GroupSpec {
+        members: vec![0, 1, 2, 3, 4],
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
+    });
+    let g1 = cluster.create_group(GroupSpec {
+        members: vec![3, 4, 5],
+        algorithm: Algorithm::Chain,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
+    });
+    cluster.submit_send(g0, 6 * BLOCK);
+    cluster.submit_send(g1, 3 * BLOCK);
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    (
+        trace::export::to_jsonl(&recorder.events()),
+        cluster.fabric().now().as_nanos(),
+    )
+}
+
+#[test]
+fn jitter_and_completion_modes_agree_across_apis() {
+    let jitter = |node: u64| {
+        JitterModel::new(
+            0xBEEF ^ node,
+            0.02,
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(200),
+        )
+    };
+
+    let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
+        .flight_recorder(trace::Mode::Full)
+        .completion_mode(1, CompletionMode::Interrupt)
+        .completion_mode(4, CompletionMode::Hybrid);
+    for node in 0..6u64 {
+        builder = builder.jitter(node as usize, jitter(node));
+    }
+    let (trace_a, t_a) = overlapping_run(builder.build());
+
+    let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
+    let _ = legacy.enable_flight_recorder(trace::Mode::Full);
+    legacy.set_completion_mode(1, CompletionMode::Interrupt);
+    legacy.set_completion_mode(4, CompletionMode::Hybrid);
+    for node in 0..6u64 {
+        legacy.set_jitter(node as usize, jitter(node));
+    }
+    let (trace_b, t_b) = overlapping_run(legacy);
+
+    assert_eq!(trace_a, trace_b, "flight recordings diverged");
+    assert_eq!(t_a, t_b, "final virtual times diverged");
+}
+
+/// A crash/recovery run under jitter through one construction path,
+/// digested: events fed, final virtual time, full trace export,
+/// reconfiguration records, and per-rank delivery times.
+fn chaos_digest(mut cluster: SimCluster) -> String {
+    let recorder = cluster.recorder().clone();
+    let group = cluster.create_group(GroupSpec {
+        members: (0..6).collect(),
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
+    });
+    cluster.crash_after_events(2, 40);
+    cluster.submit_send(group, 5 * BLOCK);
+    cluster.run();
+    assert!(cluster.live_quiescent(), "survivors failed to quiesce");
+
+    let mut digest = String::new();
+    digest.push_str(&format!(
+        "events_fed={} now_ns={}\n",
+        cluster.events_fed(),
+        cluster.fabric().now().as_nanos()
+    ));
+    for r in &cluster.recovery_stats().reconfigurations {
+        digest.push_str(&format!(
+            "epoch={} survivors={:?} installed_at={:?} resumed={} abandoned={:?}\n",
+            r.epoch, r.survivors, r.installed_at, r.resumed_blocks, r.abandoned
+        ));
+    }
+    for r in cluster.message_results() {
+        digest.push_str(&format!(
+            "msg group={} index={} delivered_at={:?}\n",
+            r.group, r.index, r.delivered_at
+        ));
+    }
+    digest.push_str(&trace::export::to_jsonl(&recorder.events()));
+    digest
+}
+
+#[test]
+fn recovery_chaos_digest_agrees_across_apis() {
+    let jitter = |node: u64| {
+        JitterModel::new(
+            0x5EED ^ node,
+            0.02,
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(200),
+        )
+    };
+
+    let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
+        .flight_recorder(trace::Mode::Full)
+        .recovery(RecoveryConfig::default());
+    for node in 0..6u64 {
+        builder = builder.jitter(node as usize, jitter(node));
+    }
+    let a = chaos_digest(builder.build());
+
+    let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
+    let _ = legacy.enable_flight_recorder(trace::Mode::Full);
+    legacy.enable_recovery(RecoveryConfig::default());
+    for node in 0..6u64 {
+        legacy.set_jitter(node as usize, jitter(node));
+    }
+    let b = chaos_digest(legacy);
+
+    assert_eq!(
+        a, b,
+        "chaos digests diverged between builder and legacy APIs"
+    );
+}

@@ -4,7 +4,7 @@
 //! no bandwidth is lost.
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, SimCluster};
 
 const MB: u64 = 1 << 20;
 
@@ -19,7 +19,7 @@ fn spec_group(members: Vec<usize>) -> GroupSpec {
 }
 
 fn run(atomic: bool, count: usize, size: u64) -> (SimCluster, usize) {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(8).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(8)).build();
     let group = cluster.create_group(spec_group((0..8).collect()));
     if atomic {
         cluster.enable_atomic_delivery(group);
@@ -92,7 +92,7 @@ fn added_delay_is_small_and_bandwidth_is_kept() {
 
 #[test]
 fn crash_stalls_stability_but_not_rdmc_bookkeeping() {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4)).build();
     let group = cluster.create_group(spec_group((0..4).collect()));
     cluster.enable_atomic_delivery(group);
     cluster.submit_send(group, 64 * MB);

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
 use simnet::{JitterModel, SimDuration};
 
 fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
@@ -64,10 +64,10 @@ proptest! {
         groups in prop::collection::vec(arb_group(10), 1..6),
         jitter_seed in any::<u64>(),
     ) {
-        let mut cluster = SimCluster::new(ClusterSpec::fractus(10).build());
-        cluster.enable_flight_recorder(trace::Mode::Full);
+        let mut builder = ClusterBuilder::new(ClusterSpec::fractus(10))
+            .flight_recorder(trace::Mode::Full);
         for node in 0..10 {
-            cluster.set_jitter(
+            builder = builder.jitter(
                 node,
                 JitterModel::new(
                     jitter_seed ^ node as u64,
@@ -77,6 +77,7 @@ proptest! {
                 ),
             );
         }
+        let mut cluster = builder.build();
         let mut ids = Vec::new();
         for plan in &groups {
             let id = cluster.create_group(GroupSpec {
@@ -147,12 +148,12 @@ fn recovery_run(
     crash: Option<(usize, u64)>,
     jitter_seed: Option<u64>,
 ) -> SimCluster {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
-    cluster.enable_flight_recorder(trace::Mode::Full);
-    cluster.enable_recovery(RecoveryConfig::default());
+    let mut builder = ClusterBuilder::new(ClusterSpec::fractus(n))
+        .flight_recorder(trace::Mode::Full)
+        .recovery(RecoveryConfig::default());
     if let Some(seed) = jitter_seed {
         for node in 0..n {
-            cluster.set_jitter(
+            builder = builder.jitter(
                 node,
                 JitterModel::new(
                     seed ^ node as u64,
@@ -163,6 +164,7 @@ fn recovery_run(
             );
         }
     }
+    let mut cluster = builder.build();
     let group = cluster.create_group(GroupSpec {
         members: (0..n).collect(),
         algorithm: Algorithm::BinomialPipeline,

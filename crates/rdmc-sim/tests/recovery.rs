@@ -6,15 +6,16 @@
 //! cluster quiescent with zero RNR arms.
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
 use simnet::SimDuration;
 
 const BLOCK: u64 = 64 << 10;
 
 fn build(n: usize) -> (SimCluster, rdmc_sim::GroupId) {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
-    cluster.enable_flight_recorder(trace::Mode::Full);
-    cluster.enable_recovery(RecoveryConfig::default());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(n))
+        .flight_recorder(trace::Mode::Full)
+        .recovery(RecoveryConfig::default())
+        .build();
     let group = cluster.create_group(GroupSpec {
         members: (0..n).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -206,15 +207,16 @@ fn link_flap_evicts_both_endpoints() {
 
 #[test]
 fn impatient_config_forces_the_view_before_the_epidemic_settles() {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
     // A grace period far below the fabric's propagation delay: the first
     // reconfiguration attempt always beats the TAG_VIEW epidemic, so the
     // orchestrator must fall back to forcing the failure evidence.
-    cluster.enable_recovery(RecoveryConfig {
-        grace: SimDuration::from_nanos(10),
-        max_backoff: SimDuration::from_nanos(20),
-        force_after: 1,
-    });
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4))
+        .recovery(RecoveryConfig {
+            grace: SimDuration::from_nanos(10),
+            max_backoff: SimDuration::from_nanos(20),
+            force_after: 1,
+        })
+        .build();
     let group = cluster.create_group(GroupSpec {
         members: vec![0, 1, 2, 3],
         algorithm: Algorithm::BinomialPipeline,

@@ -2,8 +2,8 @@
 
 use rdmc::Algorithm;
 use rdmc_sim::{
-    run_concurrent_overlapping, run_single_multicast, run_stream, ClusterSpec, GroupSpec,
-    SimCluster, TraceKind,
+    run_concurrent_overlapping, run_single_multicast, run_stream, ClusterBuilder, ClusterSpec,
+    GroupSpec, TraceKind,
 };
 use simnet::{JitterModel, SimDuration, SimTime};
 
@@ -103,7 +103,7 @@ fn one_byte_messages_are_overhead_bound_not_bandwidth_bound() {
     // submitted up front, so per-message latency is cumulative queueing;
     // the meaningful number is the sustained rate.
     let spec = ClusterSpec::fractus(4);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..4).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -169,7 +169,7 @@ fn oversubscribed_tor_caps_cross_rack_bandwidth() {
         out.bandwidth_gbps
     );
     // The same group entirely within one rack runs at NIC speeds.
-    let mut cluster = SimCluster::new(apt.build());
+    let mut cluster = ClusterBuilder::new(apt.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: vec![0, 1, 2, 3],
         algorithm: Algorithm::BinomialPipeline,
@@ -224,7 +224,7 @@ fn hybrid_schedule_beats_random_embedding_on_tor() {
 #[test]
 fn crash_mid_transfer_wedges_all_survivors() {
     let spec = ClusterSpec::fractus(8);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..8).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -255,7 +255,7 @@ fn quiescence_after_clean_run_guarantees_delivery() {
     // §4.6: successful close (= quiescent, unwedged) implies every message
     // reached every destination.
     let spec = ClusterSpec::fractus(5);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..5).collect(),
         algorithm: Algorithm::Chain,
@@ -280,17 +280,18 @@ fn scheduling_jitter_degrades_gracefully() {
     let spec = ClusterSpec::fractus(8);
     let clean = run_single_multicast(&spec, 8, Algorithm::BinomialPipeline, 64 * MB, MB);
 
-    let mut cluster = SimCluster::new(spec.build());
     // 100 us preemption on 5% of node 3's software actions.
-    cluster.set_jitter(
-        3,
-        JitterModel::new(
-            1234,
-            0.05,
-            SimDuration::from_micros(100),
-            SimDuration::from_micros(100),
-        ),
-    );
+    let mut cluster = ClusterBuilder::new(spec.clone())
+        .jitter(
+            3,
+            JitterModel::new(
+                1234,
+                0.05,
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(100),
+            ),
+        )
+        .build();
     let group = cluster.create_group(GroupSpec {
         members: (0..8).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -347,8 +348,7 @@ fn slow_nic_costs_less_than_chain_would_suffer() {
 #[test]
 fn tracing_captures_the_protocol_conversation() {
     let spec = ClusterSpec::stampede(4);
-    let mut cluster = SimCluster::new(spec.build());
-    cluster.enable_tracing();
+    let mut cluster = ClusterBuilder::new(spec.clone()).tracing().build();
     let group = cluster.create_group(GroupSpec {
         members: (0..4).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -457,7 +457,7 @@ fn binomial_pipeline_moves_no_redundant_bytes() {
     // copy of the message (plus sub-percent control traffic), and the
     // senders' uplinks carry exactly (n-1) copies in total.
     let spec = ClusterSpec::fractus(8);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..8).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -495,7 +495,7 @@ fn sequential_send_overloads_the_root_nic() {
     // §4.3: sequential send puts N*B bytes on the sender's NIC while
     // every receiver only downloads B — the hot spot the schedules fix.
     let spec = ClusterSpec::fractus(6);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..6).collect(),
         algorithm: Algorithm::Sequential,
@@ -525,7 +525,7 @@ fn sequential_send_overloads_the_root_nic() {
 #[test]
 fn message_result_accessors_are_consistent() {
     let spec = ClusterSpec::fractus(3);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: vec![0, 1, 2],
         algorithm: Algorithm::Chain,
@@ -549,7 +549,7 @@ fn message_result_accessors_are_consistent() {
 #[test]
 fn traces_are_empty_unless_enabled() {
     let spec = ClusterSpec::fractus(3);
-    let mut cluster = SimCluster::new(spec.build());
+    let mut cluster = ClusterBuilder::new(spec.clone()).build();
     let group = cluster.create_group(GroupSpec {
         members: vec![0, 1, 2],
         algorithm: Algorithm::BinomialPipeline,

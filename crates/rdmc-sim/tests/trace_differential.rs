@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig};
 
 const BLOCK: u64 = 4 << 10;
 
@@ -35,9 +35,11 @@ proptest! {
         victim_sel in any::<prop::sample::Index>(),
         crash_step in 10u64..120,
     ) {
-        let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
-        let recorder = cluster.enable_flight_recorder(trace::Mode::Full);
-        cluster.enable_recovery(RecoveryConfig::default());
+        let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(n))
+            .flight_recorder(trace::Mode::Full)
+            .recovery(RecoveryConfig::default())
+            .build();
+        let recorder = cluster.recorder().clone();
         let group = cluster.create_group(GroupSpec {
             members: (0..n).collect(),
             algorithm,

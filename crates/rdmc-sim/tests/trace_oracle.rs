@@ -5,7 +5,7 @@
 //! recordings (no vacuous passes).
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 use trace::check::{check_events, CheckConfig};
 use trace::EventKind;
 
@@ -14,8 +14,9 @@ const BLOCK: u64 = 64 << 10;
 /// Runs one `k`-block multicast over `n` members with a full-capture
 /// recorder and returns the event stream.
 fn traced_run(n: usize, k: u64, algorithm: Algorithm) -> Vec<trace::TraceEvent> {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(n).build());
-    cluster.enable_flight_recorder(trace::Mode::Full);
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(n))
+        .flight_recorder(trace::Mode::Full)
+        .build();
     let group = cluster.create_group(GroupSpec {
         members: (0..n).collect(),
         algorithm,
@@ -117,8 +118,10 @@ fn oracle_rejects_a_tampered_recording() {
 fn ring_mode_drops_oldest_but_keeps_recent_window() {
     // A small ring on a real run: the recorder must report drops (so
     // oracle users know the capture is partial) and retain the tail.
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
-    let recorder = cluster.enable_flight_recorder(trace::Mode::Ring(64));
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4))
+        .flight_recorder(trace::Mode::Ring(64))
+        .build();
+    let recorder = cluster.recorder().clone();
     let group = cluster.create_group(GroupSpec {
         members: (0..4).collect(),
         algorithm: Algorithm::BinomialPipeline,

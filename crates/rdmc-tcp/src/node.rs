@@ -459,10 +459,9 @@ impl EventLoop {
                 // the bytes it is sending).
                 let g = self.groups.get_mut(&number).expect("group exists");
                 if g.my_rank != 0 {
-                    if let Some((_, offset, bytes)) =
-                        g.engine.incoming_block_info(from_rank, total_size)
-                    {
-                        debug_assert_eq!(bytes as usize, payload.len());
+                    if let Some(desc) = g.engine.incoming_block_info(from_rank, total_size) {
+                        debug_assert_eq!(desc.bytes as usize, payload.len());
+                        let offset = desc.offset;
                         if g.recv_buf.is_none() {
                             // First block of a message: get the buffer from
                             // the application (the engine will also emit

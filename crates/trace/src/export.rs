@@ -124,6 +124,18 @@ fn fields(kind: &EventKind) -> (&'static str, Vec<(&'static str, Val)>) {
         ),
         QpBroken { conn } => ("qp_broken", vec![("conn", U(u64::from(*conn)))]),
         NodeCrashed => ("node_crashed", vec![]),
+        SendAdmitted {
+            to,
+            block,
+            queued_ns,
+        } => (
+            "send_admitted",
+            vec![
+                ("to", U(u64::from(*to))),
+                ("block", U(u64::from(*block))),
+                ("queued_ns", U(*queued_ns)),
+            ],
+        ),
         MessageSubmitted { size } => ("message_submitted", vec![("size", U(*size))]),
         TransferStarted { size, blocks, root } => (
             "transfer_started",

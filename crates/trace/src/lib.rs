@@ -24,7 +24,10 @@
 //!   nanosecond between submit and the last delivery as ideal transfer
 //!   time, link-limited, sender-limited, receiver-limited (credit /
 //!   posting order), or schedule-idle. The classes **sum exactly** to
-//!   the end-to-end latency by construction.
+//!   the end-to-end latency by construction. For multi-tenant runs,
+//!   [`stall::rollup_by_group`] aggregates every block send in the
+//!   trace into a per-group split of ideal transfer time, admission
+//!   (sender-limited) wait, and link contention.
 //! - [`check`] — the trace oracle: replays a captured trace against the
 //!   protocol's invariants (no block received before sent, causality,
 //!   posting-window caps, step bounds, no RNR arms).
@@ -212,6 +215,10 @@ pub enum EventKind {
     },
     /// A posted block send completed.
     BlockSendCompleted { to: u32 },
+    /// The per-NIC admission layer released a block send to the fabric;
+    /// `queued_ns` is how long admission control held it after the
+    /// engine issued it (zero when a slot was free on arrival).
+    SendAdmitted { to: u32, block: u32, queued_ns: u64 },
     /// A scheduled block arrived (`first` = it announced the message
     /// size and the transfer was not yet active).
     BlockArrived {

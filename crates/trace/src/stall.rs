@@ -375,6 +375,96 @@ pub fn attribute(events: &[TraceEvent], group: u32, wire: &WireModel) -> Option<
     Some(b)
 }
 
+/// Aggregate stall split of every block send one group moved over a
+/// whole run — the multi-tenant counterpart of [`attribute`], which
+/// walks a single message's critical path. The three time classes
+/// cover each send's issue-to-completion span:
+///
+/// - `transfer_ns` — ideal wire time per [`WireModel`];
+/// - `sender_limited_ns` — time the per-NIC admission layer held sends
+///   after the engine issued them ([`EventKind::SendAdmitted`]);
+/// - `link_limited_ns` — the remainder: the flow ran below full rate
+///   because links were shared.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupStall {
+    /// Completed block sends counted.
+    pub sends: u64,
+    /// Bytes those sends moved.
+    pub bytes: u64,
+    /// Ideal wire time across the counted sends.
+    pub transfer_ns: u64,
+    /// Admission-queue wait (pacer holds).
+    pub sender_limited_ns: u64,
+    /// Wire occupancy beyond ideal (shared links).
+    pub link_limited_ns: u64,
+}
+
+impl GroupStall {
+    /// Total issue-to-completion time across the counted sends.
+    pub fn total_ns(&self) -> u64 {
+        self.transfer_ns + self.sender_limited_ns + self.link_limited_ns
+    }
+}
+
+/// Splits every completed block send in the trace into ideal transfer,
+/// admission wait, and link contention, grouped by group id.
+///
+/// Sends to the same peer complete in post order, so each completion is
+/// paired with the matching issue per (rank, destination) stream; the
+/// aggregate span is invariant under pairing, which keeps the totals
+/// exact even when an admission policy reorders sends within a stream.
+/// Issues that never completed (flushed by a failure) are left out.
+pub fn rollup_by_group(events: &[TraceEvent], wire: &WireModel) -> BTreeMap<u32, GroupStall> {
+    // (group, rank, to) -> issue (t, bytes) / completion t streams.
+    let mut issues: BTreeMap<(u32, u32, u32), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut comps: BTreeMap<(u32, u32, u32), Vec<u64>> = BTreeMap::new();
+    let mut queued: BTreeMap<u32, u64> = BTreeMap::new();
+    for ev in events {
+        let (Some(group), Some(rank)) = (ev.scope.group, ev.scope.rank) else {
+            continue;
+        };
+        match &ev.kind {
+            EventKind::BlockSendIssued { to, bytes, .. } => {
+                issues
+                    .entry((group, rank, *to))
+                    .or_default()
+                    .push((ev.t_ns, *bytes));
+            }
+            EventKind::BlockSendCompleted { to } => {
+                comps.entry((group, rank, *to)).or_default().push(ev.t_ns);
+            }
+            EventKind::SendAdmitted { queued_ns, .. } => {
+                *queued.entry(group).or_default() += queued_ns;
+            }
+            _ => {}
+        }
+    }
+    let mut out: BTreeMap<u32, GroupStall> = BTreeMap::new();
+    for (key, issued) in &issues {
+        let group = key.0;
+        let done = comps.get(key).map_or(&[][..], Vec::as_slice);
+        let st = out.entry(group).or_default();
+        for (&(t_issue, bytes), &t_done) in issued.iter().zip(done) {
+            let span = t_done.saturating_sub(t_issue);
+            let ideal = wire.ideal_ns(bytes).min(span);
+            st.sends += 1;
+            st.bytes += bytes;
+            st.transfer_ns += ideal;
+            st.link_limited_ns += span - ideal;
+        }
+    }
+    // Admission wait is part of the issue-to-completion span; move it
+    // out of the contention class it initially landed in.
+    for (group, q) in queued {
+        if let Some(st) = out.get_mut(&group) {
+            let q = q.min(st.link_limited_ns);
+            st.sender_limited_ns += q;
+            st.link_limited_ns -= q;
+        }
+    }
+    out
+}
+
 /// Per-rank timelines for the first message of `group`, rank order.
 pub fn timelines(events: &[TraceEvent], group: u32) -> Vec<RankTimeline> {
     let (_, ranks) = index_group(events, group);
@@ -531,6 +621,106 @@ mod tests {
         let b = attribute(&r.events(), 0, &wire).expect("breakdown");
         assert_eq!(b.end_to_end_ns, 500);
         assert_eq!(b.attributed_ns(), 500);
+    }
+
+    #[test]
+    fn rollup_splits_admission_wait_from_link_contention() {
+        let wire = WireModel {
+            gbps: 8.0,
+            latency_ns: 50,
+            nic_op_ns: 0,
+        };
+        let r = Recorder::full();
+        // Group 0: one 1000-byte send (ideal 1050 ns) issued at t=0,
+        // held 200 ns by admission, completed at 1500: 250 ns of link
+        // contention remain.
+        r.record_at(0, Scope::group_rank(0, 0), || EventKind::BlockSendIssued {
+            to: 1,
+            block: 0,
+            step: 0,
+            bytes: 1000,
+            epoch: 0,
+        });
+        r.record_at(200, Scope::group_rank(0, 0), || EventKind::SendAdmitted {
+            to: 1,
+            block: 0,
+            queued_ns: 200,
+        });
+        r.record_at(1500, Scope::group_rank(0, 0), || {
+            EventKind::BlockSendCompleted { to: 1 }
+        });
+        // Group 1: an unpaced send at the ideal rate — pure transfer.
+        r.record_at(0, Scope::group_rank(1, 0), || EventKind::BlockSendIssued {
+            to: 1,
+            block: 0,
+            step: 0,
+            bytes: 1000,
+            epoch: 0,
+        });
+        r.record_at(1050, Scope::group_rank(1, 0), || {
+            EventKind::BlockSendCompleted { to: 1 }
+        });
+        // A dangling issue (never completed) must not be counted.
+        r.record_at(2000, Scope::group_rank(1, 0), || {
+            EventKind::BlockSendIssued {
+                to: 1,
+                block: 1,
+                step: 1,
+                bytes: 1000,
+                epoch: 0,
+            }
+        });
+        let rollup = rollup_by_group(&r.events(), &wire);
+        assert_eq!(rollup.len(), 2);
+        let g0 = rollup[&0];
+        assert_eq!(g0.sends, 1);
+        assert_eq!(g0.bytes, 1000);
+        assert_eq!(g0.transfer_ns, 1050);
+        assert_eq!(g0.sender_limited_ns, 200);
+        assert_eq!(g0.link_limited_ns, 250);
+        assert_eq!(g0.total_ns(), 1500);
+        let g1 = rollup[&1];
+        assert_eq!(g1.sends, 1);
+        assert_eq!(g1.transfer_ns, 1050);
+        assert_eq!(g1.sender_limited_ns, 0);
+        assert_eq!(g1.link_limited_ns, 0);
+    }
+
+    #[test]
+    fn rollup_totals_survive_reordered_admission() {
+        // Two sends on one stream admitted out of issue order: the
+        // completion order follows the posts, but the aggregate span —
+        // and so the class totals — must still balance.
+        let wire = WireModel {
+            gbps: 8.0,
+            latency_ns: 0,
+            nic_op_ns: 0,
+        };
+        let r = Recorder::full();
+        for (t_issue, bytes) in [(0u64, 1000u64), (100, 1000)] {
+            r.record_at(t_issue, Scope::group_rank(0, 0), || {
+                EventKind::BlockSendIssued {
+                    to: 1,
+                    block: 0,
+                    step: 0,
+                    bytes,
+                    epoch: 0,
+                }
+            });
+        }
+        for t_done in [1100u64, 2100] {
+            r.record_at(t_done, Scope::group_rank(0, 0), || {
+                EventKind::BlockSendCompleted { to: 1 }
+            });
+        }
+        let rollup = rollup_by_group(&r.events(), &wire);
+        let g0 = rollup[&0];
+        assert_eq!(g0.sends, 2);
+        // Aggregate span 3100 = 2 * 1000-ns ideal + 1100 contention,
+        // regardless of which completion belonged to which issue.
+        assert_eq!(g0.total_ns(), 3100);
+        assert_eq!(g0.transfer_ns, 2000);
+        assert_eq!(g0.link_limited_ns, 1100);
     }
 
     #[test]

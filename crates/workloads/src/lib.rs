@@ -7,6 +7,9 @@
 //!   of Fig. 9, resynthesised from its published statistics (3-node
 //!   writes, log-normal sizes with 12 MB median / 29 MB mean, 15 replica
 //!   hosts, 455 pre-created groups).
+//! - [`ShardedWorkload`] — the Derecho-style multi-tenant deployment:
+//!   overlapping shard groups on one fabric, driven by an open-loop
+//!   exponential arrival process at a configured offered load.
 //! - [`stats`] — percentile/CDF helpers for reporting distributions.
 //!
 //! ## Example
@@ -25,6 +28,8 @@
 #![warn(missing_docs)]
 
 mod cosmos;
+mod shards;
 pub mod stats;
 
 pub use cosmos::{CosmosTrace, CosmosWrite};
+pub use shards::{ShardArrival, ShardedWorkload};

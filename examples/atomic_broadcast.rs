@@ -13,14 +13,14 @@
 //! ```
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 
 const MB: u64 = 1 << 20;
 const MESSAGES: usize = 10;
 const SIZE: u64 = 16 * MB;
 
 fn run(atomic: bool) -> (f64, f64) {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(8).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(8)).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..8).collect(),
         algorithm: Algorithm::BinomialPipeline,

@@ -11,13 +11,13 @@
 use std::collections::HashMap;
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 use workloads::{stats, CosmosTrace};
 
 const MB: u64 = 1 << 20;
 
 fn replay(alg: Algorithm, writes: &[workloads::CosmosWrite]) -> (Vec<f64>, f64) {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(16).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(16)).build();
     let mut groups: HashMap<Vec<usize>, usize> = HashMap::new();
     for w in writes {
         let mut members = vec![0usize]; // node 0 generates all traffic

@@ -9,7 +9,7 @@
 //! ```
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 use simnet::SimTime;
 
 const MB: u64 = 1 << 20;
@@ -26,7 +26,7 @@ fn group_spec(members: Vec<usize>) -> GroupSpec {
 
 fn main() {
     // Attempt 1: node 5 dies 2 ms into a 256 MB transfer.
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(8).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(8)).build();
     let group = cluster.create_group(group_spec((0..8).collect()));
     cluster.submit_send(group, 256 * MB);
     cluster.schedule_crash_at(5, SimTime::from_nanos(2_000_000));

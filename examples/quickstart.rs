@@ -8,14 +8,14 @@
 use std::sync::mpsc;
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 use rdmc_tcp::{GroupConfig, LocalCluster};
 
 const MB: u64 = 1 << 20;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 1. Simulated RDMA: 8 nodes on a 100 Gb/s switch. -------------
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(8).build());
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(8)).build();
     let group = cluster.create_group(GroupSpec {
         members: (0..8).collect(),
         algorithm: Algorithm::BinomialPipeline,

@@ -14,6 +14,14 @@
 
 #![forbid(unsafe_code)]
 
+// Compile-checks every Rust code block in the README as a doc-test, so
+// the documented API (including the migration table's target API) can
+// never drift from the code. CI's doc job runs these via
+// `cargo test --doc`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub use baselines;
 pub use rdmc;
 pub use rdmc_sim;

@@ -17,15 +17,17 @@
 //! change.
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 
 const BLOCK: u64 = 64 << 10;
 
 /// One 4-member, 4-block multicast on the Fractus preset with a full
 /// flight recording, exported as JSONL.
 fn traced_jsonl(algorithm: Algorithm) -> String {
-    let mut cluster = SimCluster::new(ClusterSpec::fractus(4).build());
-    let recorder = cluster.enable_flight_recorder(trace::Mode::Full);
+    let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(4))
+        .flight_recorder(trace::Mode::Full)
+        .build();
+    let recorder = cluster.recorder().clone();
     let group = cluster.create_group(GroupSpec {
         members: vec![0, 1, 2, 3],
         algorithm,

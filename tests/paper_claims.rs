@@ -97,7 +97,7 @@ fn sst_crossover_matches_the_paper() {
     let sst_large_group = sst::small_message_rate(32, 100 << 10, 100, 16);
 
     let rdmc_rate = |n: usize, size: u64, count: usize| {
-        let mut cluster = rdmc_sim::SimCluster::new(ClusterSpec::fractus(32).build());
+        let mut cluster = rdmc_sim::ClusterBuilder::new(ClusterSpec::fractus(32)).build();
         let group = cluster.create_group(rdmc_sim::GroupSpec {
             members: (0..n).collect(),
             algorithm: Algorithm::BinomialPipeline,

@@ -6,7 +6,7 @@ use std::sync::mpsc;
 
 use rdmc::Algorithm;
 use rdmc_repro::*;
-use rdmc_sim::{ClusterSpec, GroupSpec, SimCluster};
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
 use rdmc_tcp::{GroupConfig, LocalCluster};
 
 const KB: u64 = 1 << 10;
@@ -28,7 +28,7 @@ fn both_transports_deliver_identical_message_sequences() {
     let sizes: Vec<u64> = vec![10 * KB, 1, 64 * KB, 3 * KB];
     for alg in algorithms() {
         // Simulated RDMA.
-        let mut sim = SimCluster::new(ClusterSpec::fractus(n).build());
+        let mut sim = ClusterBuilder::new(ClusterSpec::fractus(n)).build();
         let group = sim.create_group(GroupSpec {
             members: (0..n).collect(),
             algorithm: alg.clone(),
@@ -88,7 +88,7 @@ fn both_transports_deliver_identical_message_sequences() {
 #[test]
 fn close_barrier_semantics_match() {
     // Simulated: quiescent after a clean run.
-    let mut sim = SimCluster::new(ClusterSpec::fractus(4).build());
+    let mut sim = ClusterBuilder::new(ClusterSpec::fractus(4)).build();
     let group = sim.create_group(GroupSpec {
         members: (0..4).collect(),
         algorithm: Algorithm::BinomialPipeline,
@@ -131,7 +131,7 @@ fn close_barrier_semantics_match() {
 #[test]
 fn failure_surfaces_on_both_transports() {
     // Simulated fabric.
-    let mut sim = SimCluster::new(ClusterSpec::fractus(6).build());
+    let mut sim = ClusterBuilder::new(ClusterSpec::fractus(6)).build();
     let group = sim.create_group(GroupSpec {
         members: (0..6).collect(),
         algorithm: Algorithm::BinomialPipeline,
