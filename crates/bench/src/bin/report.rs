@@ -34,6 +34,7 @@ fn json_summary(
     sections: &[SectionPerf],
     trace_overhead: Option<&e::TraceOverhead>,
     multigroup: Option<&e::MultigroupReport>,
+    scale: Option<&e::ScaleReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -48,6 +49,9 @@ fn json_summary(
     }
     if let Some(m) = multigroup {
         out.push_str(&format!("  \"multigroup\": {},\n", m.to_json()));
+    }
+    if let Some(s) = scale {
+        out.push_str(&format!("  \"scale\": {},\n", s.to_json()));
     }
     out.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
@@ -105,9 +109,13 @@ fn main() {
     let chrome_path = std::env::args()
         .find_map(|a| a.strip_prefix("--chrome-trace=").map(str::to_owned))
         .or_else(|| std::env::var("RDMC_TRACE_CHROME").ok());
+    let baseline_path =
+        std::env::args().find_map(|a| a.strip_prefix("--baseline=").map(str::to_owned));
     let only: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| a != "--quick" && !a.starts_with("--chrome-trace="))
+        .filter(|a| {
+            a != "--quick" && !a.starts_with("--chrome-trace=") && !a.starts_with("--baseline=")
+        })
         .collect();
     let mut perf: Vec<SectionPerf> = Vec::new();
     for (name, f) in sections {
@@ -135,6 +143,18 @@ fn main() {
         println!("{}", m.text());
         eprintln!("[multigroup took {:.1}s]", t.elapsed().as_secs_f64());
         Some(m)
+    } else {
+        None
+    };
+    // The datacenter-scale benchmark also reports through the JSON
+    // summary, so it runs outside the plain-text section list.
+    let scale = if only.is_empty() || only.iter().any(|o| o == "scale") {
+        let t = std::time::Instant::now();
+        let s = e::scale_benchmark(quick);
+        println!("==================== scale ====================");
+        println!("{}", s.text());
+        eprintln!("[scale took {:.1}s]", t.elapsed().as_secs_f64());
+        Some(s)
     } else {
         None
     };
@@ -168,10 +188,65 @@ fn main() {
         &perf,
         trace_overhead.as_ref(),
         multigroup.as_ref(),
+        scale.as_ref(),
     );
     let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[kernel perf summary written to {path}]"),
         Err(err) => eprintln!("[could not write {path}: {err}]"),
     }
+
+    if let (Some(path), Some(s)) = (baseline_path, scale.as_ref()) {
+        if !check_scale_baseline(&path, s) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pulls the first `"key": <number>` after `anchor` out of a JSON blob —
+/// enough to read our own byte-stable summary without a JSON dependency.
+fn json_number_after(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(anchor)? + anchor.len()..];
+    let needle = format!("\"{key}\": ");
+    let rest = &rest[rest.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares this run's events/sec against the committed baseline summary
+/// (`--baseline=BENCH_simnet.json`); returns false — fail the job — on a
+/// more-than-20% regression in either the sharded run or the churn
+/// microbench. A baseline without a `scale` section passes (first run).
+fn check_scale_baseline(path: &str, s: &e::ScaleReport) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("[baseline {path} unreadable; skipping regression check]");
+        return true;
+    };
+    let mut ok = true;
+    let mut check = |label: &str, baseline: Option<f64>, current: f64| match baseline {
+        Some(b) if b > 0.0 => {
+            let ratio = current / b;
+            let verdict = if ratio < 0.8 {
+                ok = false;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            eprintln!("[baseline {label}: {current:.0}/s vs {b:.0}/s ({ratio:.2}x) {verdict}]");
+        }
+        _ => eprintln!("[baseline {label}: no committed figure; skipping]"),
+    };
+    check(
+        "sharded events/sec",
+        json_number_after(&text, "\"sharded\"", "events_per_sec"),
+        s.sharded.events_per_sec,
+    );
+    check(
+        "churn events/sec",
+        json_number_after(&text, "\"churn\"", "scaled_events_per_sec"),
+        s.churn.scaled_events_per_sec,
+    );
+    ok
 }

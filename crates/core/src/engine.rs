@@ -726,6 +726,21 @@ impl GroupEngine {
     /// state is unspecified afterwards and the group should be destroyed.
     pub fn handle(&mut self, event: Event) -> Result<Vec<Action>, EngineError> {
         let mut actions = Vec::new();
+        self.handle_into(event, &mut actions)?;
+        Ok(actions)
+    }
+
+    /// Like [`GroupEngine::handle`], but appends the resulting actions to
+    /// a caller-owned buffer instead of allocating a fresh `Vec` per event
+    /// — the hot path for drivers feeding thousands of events per virtual
+    /// millisecond. Actions already in `out` are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on protocol violations; the engine's
+    /// state is unspecified afterwards and the group should be destroyed.
+    pub fn handle_into(&mut self, event: Event, out: &mut Vec<Action>) -> Result<(), EngineError> {
+        let actions = out;
         match event {
             Event::StartSend { size } => {
                 if self.config.rank != 0 {
@@ -741,20 +756,20 @@ impl GroupEngine {
                     // member remains the root (§3 property 4 ordering is
                     // preserved across the reconfiguration).
                     self.send_queue.push_back(size);
-                    return Ok(actions);
+                    return Ok(());
                 }
                 self.send_queue.push_back(size);
                 if self.active.is_none() {
-                    self.begin_next_send(&mut actions);
+                    self.begin_next_send(actions);
                 }
             }
             Event::BlockReceived { from, total_size } => {
                 if self.wedged {
-                    return Ok(actions);
+                    return Ok(());
                 }
                 let first = self.active.is_none();
                 if first {
-                    self.begin_receive(total_size, &mut actions);
+                    self.begin_receive(total_size, actions);
                 }
                 let t = self.active.as_mut().expect("just initialised");
                 if t.layout.size != total_size {
@@ -788,19 +803,19 @@ impl GroupEngine {
                         first,
                         epoch,
                     });
-                self.top_up_grants(Some(from), &mut actions);
-                self.try_issue_send(&mut actions);
-                self.try_complete(&mut actions);
+                self.top_up_grants(Some(from), actions);
+                self.try_issue_send(actions);
+                self.try_complete(actions);
             }
             Event::ReadyReceived { from } => {
                 *self.credits.entry(from).or_insert(0) += 1;
                 self.recorder
                     .record(self.scope, || trace::EventKind::ReadyHeard { from });
                 if self.wedged {
-                    return Ok(actions);
+                    return Ok(());
                 }
-                self.try_issue_send(&mut actions);
-                self.try_complete(&mut actions);
+                self.try_issue_send(actions);
+                self.try_complete(actions);
             }
             Event::SendCompleted { to } => {
                 let Some(t) = self.active.as_mut() else {
@@ -816,10 +831,10 @@ impl GroupEngine {
                 self.recorder
                     .record(self.scope, || trace::EventKind::BlockSendCompleted { to });
                 if self.wedged {
-                    return Ok(actions);
+                    return Ok(());
                 }
-                self.try_issue_send(&mut actions);
-                self.try_complete(&mut actions);
+                self.try_issue_send(actions);
+                self.try_complete(actions);
             }
             Event::PeerFailed { rank } => {
                 if self.failed.insert(rank) {
@@ -830,7 +845,7 @@ impl GroupEngine {
                 }
             }
         }
-        Ok(actions)
+        Ok(())
     }
 
     /// Root: pop the next queued message and begin its transfer.

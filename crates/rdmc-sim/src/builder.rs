@@ -44,6 +44,7 @@ pub struct ClusterBuilder {
     pacing: Option<PacerConfig>,
     completion_modes: Vec<(usize, CompletionMode)>,
     jitter: Vec<(usize, JitterModel)>,
+    intern_paths: bool,
 }
 
 impl ClusterBuilder {
@@ -62,7 +63,19 @@ impl ClusterBuilder {
             pacing: None,
             completion_modes: Vec::new(),
             jitter: Vec::new(),
+            intern_paths: false,
         }
+    }
+
+    /// Turns on flow-set interning in the kernel: flows sharing an
+    /// identical link path (the multicast common case) collapse into one
+    /// allocation entry, so a reallocation visits each distinct *path*
+    /// once instead of each *flow*. Rates are max-min fair either way;
+    /// only floating-point summation order differs, so keep this off for
+    /// byte-exact comparisons against legacy runs.
+    pub fn intern_paths(mut self) -> Self {
+        self.intern_paths = true;
+        self
     }
 
     /// Turns on epoch-based failure recovery (the §2.4 membership
@@ -110,6 +123,9 @@ impl ClusterBuilder {
 
     /// Builds the configured cluster.
     pub fn build(mut self) -> SimCluster {
+        if self.intern_paths {
+            self.fabric.set_path_interning(true);
+        }
         for (node, mode) in self.completion_modes.drain(..) {
             self.fabric.set_completion_mode(NodeId(node as u32), mode);
         }

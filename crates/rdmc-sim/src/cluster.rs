@@ -363,6 +363,11 @@ pub struct SimCluster {
     /// Per-NIC send admission (None = unpaced, the default; see
     /// [`crate::PacerConfig`]).
     pacer: Option<PacerState>,
+    /// Pool of recycled engine-action buffers: `feed` pops one, fills it
+    /// via [`GroupEngine::handle_into`], executes, and returns it — no
+    /// per-event `Vec` allocation. A pool (not a single buffer) because
+    /// executing actions can feed further events reentrantly.
+    action_pool: Vec<Vec<Action>>,
 }
 
 impl SimCluster {
@@ -391,6 +396,7 @@ impl SimCluster {
             fed_events: 0,
             event_crashes: HashMap::new(),
             pacer: None,
+            action_pool: Vec::new(),
         }
     }
 
@@ -603,8 +609,8 @@ impl SimCluster {
                 .is_some()
                 .then(|| GroupRecovery::new(n as usize)),
         });
-        for (rank, actions) in initial {
-            self.execute(gid, rank, actions);
+        for (rank, mut actions) in initial {
+            self.execute(gid, rank, &mut actions);
         }
         gid
     }
@@ -964,10 +970,13 @@ impl SimCluster {
         if self.fabric.is_crashed(NodeId(node as u32)) {
             return; // dead software runs no handlers
         }
-        let actions = self.groups[group].engines[rank as usize]
-            .handle(event)
+        let mut actions = self.action_pool.pop().unwrap_or_default();
+        self.groups[group].engines[rank as usize]
+            .handle_into(event, &mut actions)
             .unwrap_or_else(|e| panic!("group {group} rank {rank}: protocol violation: {e}"));
-        self.execute(group, rank, actions);
+        self.execute(group, rank, &mut actions);
+        actions.clear();
+        self.action_pool.push(actions);
     }
 
     /// Lazily creates the queue pair between two group members.
@@ -985,14 +994,14 @@ impl SimCluster {
         qa
     }
 
-    fn execute(&mut self, group: GroupId, rank: Rank, actions: Vec<Action>) {
+    fn execute(&mut self, group: GroupId, rank: Rank, actions: &mut Vec<Action>) {
         let node = NodeId(self.groups[group].spec.members[rank as usize] as u32);
         // The first-block copy is charged *after* all posts from this
         // handler: the paper's receivers post their receives first "and in
         // parallel, copy the first block" (§4.2), so the copy must not
         // delay readiness grants or relays.
         let mut deferred_copy = SimDuration::ZERO;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::SendReady { to } => {
                     let qp = self.ensure_qp(group, rank, to);
@@ -1865,8 +1874,8 @@ impl SimCluster {
         for (r, payload) in payloads {
             self.broadcast_view(group, r, &payload);
         }
-        for (r, actions) in installs {
-            self.execute(group, r, actions);
+        for (r, mut actions) in installs {
+            self.execute(group, r, &mut actions);
         }
         self.recovery_stats.reconfigurations.push(ReconfigRecord {
             group,

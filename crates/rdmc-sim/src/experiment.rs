@@ -71,6 +71,9 @@ pub fn wire_model_for(spec: &ClusterSpec) -> trace::stall::WireModel {
         TopoSpec::Tor {
             host_gbps, latency, ..
         } => (*host_gbps, *latency),
+        TopoSpec::FatTree {
+            host_gbps, latency, ..
+        } => (*host_gbps, *latency),
     };
     trace::stall::WireModel {
         gbps,
@@ -204,6 +207,9 @@ pub struct OpenLoopOutcome {
     pub span: SimDuration,
     /// Admission-layer counters, when the run was paced.
     pub pacing: Option<PacingStats>,
+    /// Times the RNR retry machinery armed during the run; the
+    /// ready-for-block discipline means this must be zero (§4.2).
+    pub rnr_arms: u64,
 }
 
 impl OpenLoopOutcome {
@@ -247,7 +253,35 @@ pub fn run_open_loop(
     pacing: Option<PacerConfig>,
     traced: bool,
 ) -> OpenLoopOutcome {
+    run_open_loop_with(
+        spec,
+        memberships,
+        arrivals,
+        block_size,
+        pacing,
+        traced,
+        false,
+    )
+}
+
+/// [`run_open_loop`] with the kernel's flow-set interning switched on —
+/// the configuration the datacenter-scale benchmark runs, where the
+/// multicast groups put many flows on identical paths
+/// ([`ClusterBuilder::intern_paths`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_loop_with(
+    spec: &ClusterSpec,
+    memberships: &[Vec<usize>],
+    arrivals: &[OpenLoopArrival],
+    block_size: u64,
+    pacing: Option<PacerConfig>,
+    traced: bool,
+    intern_paths: bool,
+) -> OpenLoopOutcome {
     let mut builder = ClusterBuilder::new(spec.clone());
+    if intern_paths {
+        builder = builder.intern_paths();
+    }
     if let Some(config) = pacing {
         builder = builder.pacing(config);
     }
@@ -315,6 +349,7 @@ pub fn run_open_loop(
         per_group,
         span,
         pacing: cluster.pacing_stats(),
+        rnr_arms: cluster.fabric().stats().rnr_arms,
     }
 }
 

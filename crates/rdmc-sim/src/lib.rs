@@ -60,9 +60,9 @@ pub use cluster::{
     RecoveryStats, SimCluster, TraceKind, TraceRecord,
 };
 pub use experiment::{
-    run_concurrent_overlapping, run_open_loop, run_single_multicast, run_stream,
-    run_traced_multicast, wire_model_for, GroupLoadReport, MulticastOutcome, OpenLoopArrival,
-    OpenLoopOutcome,
+    run_concurrent_overlapping, run_open_loop, run_open_loop_with, run_single_multicast,
+    run_stream, run_traced_multicast, wire_model_for, GroupLoadReport, MulticastOutcome,
+    OpenLoopArrival, OpenLoopOutcome,
 };
 pub use offload::run_offloaded_chain;
 pub use pacer::{PacerConfig, PacingPolicy, PacingStats};

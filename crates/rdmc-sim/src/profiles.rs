@@ -41,6 +41,20 @@ pub enum TopoSpec {
         /// One-hop latency.
         latency: SimDuration,
     },
+    /// Non-blocking fat-tree: pods whose aggregation links carry exactly
+    /// `per_pod * host_gbps` and are declared transparent to the
+    /// allocator (never a bottleneck), so edge-link rate churn stays
+    /// inside one pod — the datacenter-scale profile.
+    FatTree {
+        /// Pod count.
+        pods: usize,
+        /// Hosts per pod.
+        per_pod: usize,
+        /// Host NIC speed, Gb/s.
+        host_gbps: f64,
+        /// One-hop latency.
+        latency: SimDuration,
+    },
 }
 
 impl TopoSpec {
@@ -52,6 +66,7 @@ impl TopoSpec {
             TopoSpec::Tor {
                 racks, per_rack, ..
             } => racks * per_rack,
+            TopoSpec::FatTree { pods, per_pod, .. } => pods * per_pod,
         }
     }
 }
@@ -144,6 +159,32 @@ impl ClusterSpec {
         }
     }
 
+    /// Datacenter: `nodes` 100 Gb/s hosts in pods of 32 behind a
+    /// non-blocking fat-tree whose aggregation tier is transparent to
+    /// the allocator — the 1000-node scale profile (ROADMAP item 5).
+    pub fn datacenter(nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        // Prefer an exact pod division (largest pod size up to 32) so the
+        // cluster has exactly the requested node count; otherwise round
+        // up to whole pods of 32.
+        let per_pod = (16..=32.min(nodes))
+            .rev()
+            .find(|p| nodes.is_multiple_of(*p))
+            .unwrap_or(32.min(nodes));
+        let pods = nodes.div_ceil(per_pod);
+        ClusterSpec {
+            topology: TopoSpec::FatTree {
+                pods,
+                per_pod,
+                host_gbps: 100.0,
+                latency: SimDuration::from_micros(4),
+            },
+            profile: HostProfile::default(),
+            fabric: FabricParams::default(),
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
     /// Builds the fabric: flow network, topology, node profiles.
     pub fn build(&self) -> Fabric {
         let mut net = FlowNet::new();
@@ -170,6 +211,12 @@ impl ClusterSpec {
                 *uplink_gbps,
                 *latency,
             ),
+            TopoSpec::FatTree {
+                pods,
+                per_pod,
+                host_gbps,
+                latency,
+            } => Topology::fat_tree(&mut net, *pods, *per_pod, *host_gbps, *latency),
         };
         let nodes = topo.num_nodes();
         let mut fabric = Fabric::new(net, topo, self.fabric.clone());
@@ -193,6 +240,12 @@ mod tests {
         assert_eq!(ClusterSpec::apt(4, 8).build().topology().num_nodes(), 32);
         let sierra = ClusterSpec::sierra(512);
         assert_eq!(sierra.build().topology().num_nodes(), 512);
+        let dc = ClusterSpec::datacenter(1000);
+        assert_eq!(dc.topology.nodes(), 1000); // 40 pods of 25
+        assert_eq!(dc.build().topology().num_nodes(), 1000);
+        assert_eq!(ClusterSpec::datacenter(1024).topology.nodes(), 1024);
+        assert_eq!(ClusterSpec::datacenter(4).topology.nodes(), 4);
+        assert_eq!(ClusterSpec::datacenter(37).topology.nodes(), 64); // no divisor
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! 3. a crash/recovery run configured through both paths agrees on the
 //!    full chaos digest — events fed, final virtual time, every
 //!    reconfiguration record, and every per-rank delivery time.
-
-#![allow(deprecated)]
+//!
+//! The deprecated mutators are exercised *on purpose*: each legacy arm
+//! carries its own `#[allow(deprecated)]` so the lint still bites if a
+//! deprecated call sneaks in anywhere else.
 
 use rdmc::Algorithm;
 use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
@@ -69,7 +71,9 @@ fn both_apis_reproduce_checked_in_golden_traces() {
             "builder path diverged from golden {name}"
         );
 
+        #[allow(deprecated)]
         let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
+        #[allow(deprecated)]
         let _ = legacy.enable_flight_recorder(trace::Mode::Full);
         assert_eq!(
             golden_scenario(legacy, algorithm),
@@ -88,7 +92,9 @@ fn enable_tracing_matches_flight_recorder_full() {
         .build();
     let a = golden_scenario(built, Algorithm::Chain);
 
+    #[allow(deprecated)]
     let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
+    #[allow(deprecated)]
     legacy.enable_tracing();
     let b = golden_scenario(legacy, Algorithm::Chain);
     assert_eq!(a, b);
@@ -142,10 +148,15 @@ fn jitter_and_completion_modes_agree_across_apis() {
     }
     let (trace_a, t_a) = overlapping_run(builder.build());
 
+    #[allow(deprecated)]
     let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
+    #[allow(deprecated)]
     let _ = legacy.enable_flight_recorder(trace::Mode::Full);
+    #[allow(deprecated)]
     legacy.set_completion_mode(1, CompletionMode::Interrupt);
+    #[allow(deprecated)]
     legacy.set_completion_mode(4, CompletionMode::Hybrid);
+    #[allow(deprecated)]
     for node in 0..6u64 {
         legacy.set_jitter(node as usize, jitter(node));
     }
@@ -213,9 +224,13 @@ fn recovery_chaos_digest_agrees_across_apis() {
     }
     let a = chaos_digest(builder.build());
 
+    #[allow(deprecated)]
     let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
+    #[allow(deprecated)]
     let _ = legacy.enable_flight_recorder(trace::Mode::Full);
+    #[allow(deprecated)]
     legacy.enable_recovery(RecoveryConfig::default());
+    #[allow(deprecated)]
     for node in 0..6u64 {
         legacy.set_jitter(node as usize, jitter(node));
     }

@@ -44,7 +44,7 @@
 //! event loop (see the `verbs` crate).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
@@ -88,6 +88,10 @@ struct Link {
     /// [`FlowNet::bytes_carried`] adds the still-unmaterialized progress of
     /// live flows on top of this.
     bytes_carried: f64,
+    /// The link is a full-bisection aggregation hop that can never be the
+    /// binding bottleneck; the allocator skips it during ripple traversal
+    /// and water-filling. See [`FlowNet::set_link_transparent`].
+    transparent: bool,
 }
 
 /// An active transfer.
@@ -125,6 +129,15 @@ pub struct ReallocStats {
     /// Flows whose rate actually changed (each one costs a completion-heap
     /// push; the rest keep their projected completion time).
     pub rate_changes: u64,
+    /// Links visited by ripple traversals and full scans, summed — the
+    /// "ripple link-visits" figure the scale benchmarks track per event.
+    pub link_visits: u64,
+    /// Flow starts/removals that piggybacked on an already-pending
+    /// deferred reallocation (same-instant coalescing): each one is a
+    /// recomputation that never ran.
+    pub coalesced: u64,
+    /// Projection-heap compactions (sweeps of stale completion entries).
+    pub heap_compactions: u64,
 }
 
 /// A set of links plus the active flows crossing them.
@@ -192,6 +205,38 @@ pub struct FlowNet {
     /// Flight recorder for flow start/rate-change/finish events;
     /// disabled (a single branch per event) by default.
     recorder: trace::Recorder,
+    /// Flow-set interning state; `None` (the default) runs the per-flow
+    /// allocator. See [`FlowNet::set_interning`].
+    intern: Option<InternState>,
+}
+
+/// Flow-set interning: flows with byte-identical paths share one node
+/// ("class") in the allocator's sharing graph. A multicast step that
+/// launches k same-path transfers then costs O(1) class work per
+/// reallocation instead of O(k) flow work: traversal, freezing, and
+/// residual subtraction all happen once per class, scaled by its live
+/// count. Classes are append-only (one entry per distinct path ever
+/// seen); a class with no live flows contributes nothing and is skipped.
+#[derive(Default)]
+struct InternState {
+    /// Path → class id.
+    classes: HashMap<Vec<LinkId>, u32>,
+    /// Per-class path (the interned key, shared by every member).
+    class_path: Vec<Vec<LinkId>>,
+    /// Per-class `(slot, generation)` members; entries of removed flows go
+    /// stale in place and are compacted once they outnumber live ones.
+    class_members: Vec<Vec<(u32, u32)>>,
+    /// Per-class live-member count.
+    class_live: Vec<u32>,
+    /// Epoch-stamped traversal marks, indexed by class.
+    class_mark: Vec<u32>,
+    /// Epoch-stamped "frozen in the current fill" marks, indexed by class.
+    class_frozen: Vec<u32>,
+    /// Per-slot class id (meaningful while the slot is occupied).
+    class_of: Vec<u32>,
+    /// Per-link list of classes whose path crosses it. Each class appears
+    /// at most once per link, pushed exactly once at class creation.
+    link_classes: Vec<Vec<u32>>,
 }
 
 #[derive(Default)]
@@ -264,6 +309,7 @@ impl FlowNet {
             dirty: false,
             dirty_start: false,
             recorder: trace::Recorder::disabled(),
+            intern: None,
         }
     }
 
@@ -271,6 +317,59 @@ impl FlowNet {
     /// completions are recorded from then on.
     pub fn set_recorder(&mut self, recorder: trace::Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Enables flow-set (path) interning: flows sharing a byte-identical
+    /// path share one node in the allocator's sharing graph, so a
+    /// multicast step with k same-path transfers costs O(1) class work
+    /// per reallocation instead of O(k). Opt-in because grouping fuses
+    /// the per-flow residual subtractions of the fill into one
+    /// `share * live` step, which changes the floating-point summation
+    /// order: rates may differ from the default kernel in the last ulps.
+    /// Enable it for scale experiments, not for golden-trace runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow has ever been started on this network.
+    pub fn set_interning(&mut self, on: bool) {
+        assert!(
+            self.slots.is_empty(),
+            "interning must be configured before the first flow starts"
+        );
+        self.intern = on.then(|| InternState {
+            link_classes: vec![Vec::new(); self.links.len()],
+            ..InternState::default()
+        });
+    }
+
+    /// Marks `link` as a *transparent* aggregation hop: the caller
+    /// guarantees its capacity is at least the sum of the capacities of
+    /// the edge links feeding flows into it (full bisection), so it can
+    /// never be the strictly binding bottleneck of a max-min allocation.
+    /// The allocator then skips it during ripple traversal and
+    /// water-filling — a rate change on one edge link no longer ripples
+    /// through the aggregation tier into disjoint pods. The exclusion is
+    /// exact, not an approximation: a never-binding link's fair share is
+    /// always at least the minimum share of its feeders, and in the tie
+    /// case every involved share is equal, so progressive filling with or
+    /// without the link assigns identical rates.
+    ///
+    /// Latency and byte accounting are unaffected: the link still
+    /// contributes to [`FlowNet::path_latency`] and
+    /// [`FlowNet::bytes_carried`], and the differential oracle
+    /// ([`FlowNet::max_min_reference`]) keeps filling over it, so the
+    /// equivalence is continuously tested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flows already cross the link (mark topology up front).
+    pub fn set_link_transparent(&mut self, link: LinkId) {
+        let i = link.0 as usize;
+        assert_eq!(
+            self.link_live[i], 0,
+            "cannot make a loaded link transparent"
+        );
+        self.links[i].transparent = true;
     }
 
     /// Runs the deferred reallocation, if one is pending.
@@ -298,9 +397,13 @@ impl FlowNet {
             capacity_bps: capacity_gbps * 1e9,
             latency,
             bytes_carried: 0.0,
+            transparent: false,
         });
         self.link_flows.push(Vec::new());
         self.link_live.push(0);
+        if let Some(intern) = &mut self.intern {
+            intern.link_classes.push(Vec::new());
+        }
         id
     }
 
@@ -339,14 +442,28 @@ impl FlowNet {
     pub fn bytes_carried(&self, link: LinkId) -> f64 {
         let i = link.0 as usize;
         let mut total = self.links[i].bytes_carried;
-        for &(slot, generation) in &self.link_flows[i] {
+        let unmaterialized = |slot: u32, generation: u32| -> f64 {
             let s = slot as usize;
             if self.generations[s] != generation {
-                continue; // stale entry of a removed flow
+                return 0.0; // stale entry of a removed flow
             }
-            if let Some(f) = &self.slots[s] {
-                let dt = self.last_update.since(f.synced_at).as_secs_f64();
-                total += (f.rate_bps / 8.0 * dt).min(f.remaining_bytes);
+            match &self.slots[s] {
+                Some(f) => {
+                    let dt = self.last_update.since(f.synced_at).as_secs_f64();
+                    (f.rate_bps / 8.0 * dt).min(f.remaining_bytes)
+                }
+                None => 0.0,
+            }
+        };
+        if let Some(intern) = &self.intern {
+            for &cid in &intern.link_classes[i] {
+                for &(slot, generation) in &intern.class_members[cid as usize] {
+                    total += unmaterialized(slot, generation);
+                }
+            }
+        } else {
+            for &(slot, generation) in &self.link_flows[i] {
+                total += unmaterialized(slot, generation);
             }
         }
         total
@@ -365,20 +482,15 @@ impl FlowNet {
         for l in &path {
             assert!((l.0 as usize) < self.links.len(), "unknown link {l:?}");
         }
+        assert!(
+            path.iter().any(|l| !self.links[l.0 as usize].transparent),
+            "flow path must cross at least one non-transparent link"
+        );
         self.advance_to(now);
-        let flow = Flow {
-            path,
-            remaining_bytes: bytes.max(COMPLETION_EPSILON_BYTES / 2.0),
-            rate_bps: 0.0,
-            synced_at: now,
-        };
         let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.slots[s as usize] = Some(flow);
-                s
-            }
+            Some(s) => s,
             None => {
-                self.slots.push(Some(flow));
+                self.slots.push(None);
                 self.generations.push(0);
                 self.rate_epoch.push(0);
                 (self.slots.len() - 1) as u32
@@ -387,16 +499,51 @@ impl FlowNet {
         self.active_flows += 1;
         let generation = self.generations[slot as usize];
         let id = FlowId::new(slot, generation);
-        let mut frontier = std::mem::take(&mut self.scratch.frontier);
-        for l in &self.slots[slot as usize]
-            .as_ref()
-            .expect("just inserted")
-            .path
-        {
-            self.link_flows[l.0 as usize].push((slot, generation));
-            self.link_live[l.0 as usize] += 1;
-            frontier.push(l.0);
+        if self.dirty {
+            self.stats.coalesced += 1;
         }
+        let mut frontier = std::mem::take(&mut self.scratch.frontier);
+        for l in &path {
+            let li = l.0 as usize;
+            self.link_live[li] += 1;
+            if !self.links[li].transparent {
+                frontier.push(l.0);
+            }
+        }
+        if let Some(intern) = &mut self.intern {
+            let cid = match intern.classes.get(&path) {
+                Some(&c) => c,
+                None => {
+                    let c = u32::try_from(intern.class_path.len()).expect("too many classes");
+                    intern.classes.insert(path.clone(), c);
+                    intern.class_path.push(path.clone());
+                    intern.class_members.push(Vec::new());
+                    intern.class_live.push(0);
+                    intern.class_mark.push(0);
+                    intern.class_frozen.push(0);
+                    for l in &path {
+                        intern.link_classes[l.0 as usize].push(c);
+                    }
+                    c
+                }
+            };
+            intern.class_live[cid as usize] += 1;
+            intern.class_members[cid as usize].push((slot, generation));
+            if intern.class_of.len() <= slot as usize {
+                intern.class_of.resize(slot as usize + 1, 0);
+            }
+            intern.class_of[slot as usize] = cid;
+        } else {
+            for l in &path {
+                self.link_flows[l.0 as usize].push((slot, generation));
+            }
+        }
+        self.slots[slot as usize] = Some(Flow {
+            path,
+            remaining_bytes: bytes.max(COMPLETION_EPSILON_BYTES / 2.0),
+            rate_bps: 0.0,
+            synced_at: now,
+        });
         self.scratch.frontier = frontier;
         // Defer the recomputation: the new flow carries nothing until the
         // flush, which happens before any rate is observed or time moves.
@@ -528,7 +675,15 @@ impl FlowNet {
     }
 
     fn reallocate_after_removal(&mut self, path: &[LinkId]) {
-        self.scratch.frontier.extend(path.iter().map(|l| l.0));
+        if self.dirty {
+            self.stats.coalesced += 1;
+        }
+        let links = &self.links;
+        self.scratch.frontier.extend(
+            path.iter()
+                .filter(|l| !links[l.0 as usize].transparent)
+                .map(|l| l.0),
+        );
         self.dirty = true;
     }
 
@@ -542,16 +697,30 @@ impl FlowNet {
         self.rate_epoch[slot] = self.rate_epoch[slot].wrapping_add(1);
         self.free_slots.push(slot as u32);
         self.active_flows -= 1;
-        // The adjacency entries go stale in place; compact a list once its
-        // stale entries outnumber the live ones (amortized O(1) per
-        // removal), so full-mode reallocations — which skip the compacting
-        // traversal — still iterate mostly-live lists.
-        for l in &f.path {
-            let li = l.0 as usize;
-            self.link_live[li] -= 1;
-            if self.link_flows[li].len() > 2 * self.link_live[li] as usize + 8 {
+        if let Some(intern) = &mut self.intern {
+            for l in &f.path {
+                self.link_live[l.0 as usize] -= 1;
+            }
+            // The member entry goes stale in place; compact the class once
+            // stale entries outnumber live ones (amortized O(1)).
+            let cid = intern.class_of[slot] as usize;
+            intern.class_live[cid] -= 1;
+            if intern.class_members[cid].len() > 2 * intern.class_live[cid] as usize + 8 {
                 let generations = &self.generations;
-                self.link_flows[li].retain(|&(s, g)| generations[s as usize] == g);
+                intern.class_members[cid].retain(|&(s, g)| generations[s as usize] == g);
+            }
+        } else {
+            // The adjacency entries go stale in place; compact a list once
+            // its stale entries outnumber the live ones (amortized O(1) per
+            // removal), so full-mode reallocations — which skip the
+            // compacting traversal — still iterate mostly-live lists.
+            for l in &f.path {
+                let li = l.0 as usize;
+                self.link_live[li] -= 1;
+                if self.link_flows[li].len() > 2 * self.link_live[li] as usize + 8 {
+                    let generations = &self.generations;
+                    self.link_flows[li].retain(|&(s, g)| generations[s as usize] == g);
+                }
             }
         }
         Some(f)
@@ -689,7 +858,8 @@ impl FlowNet {
                     scratch.flow_mark[s] = mark;
                     scratch.comp.push(slot);
                     for l in &self.slots[s].as_ref().expect("live flow").path {
-                        if scratch.link_mark[l.0 as usize] != mark {
+                        let j = l.0 as usize;
+                        if !self.links[j].transparent && scratch.link_mark[j] != mark {
                             scratch.frontier.push(l.0);
                         }
                     }
@@ -713,7 +883,8 @@ impl FlowNet {
                 scratch.flow_mark[s] = mark;
                 scratch.comp.push(s as u32);
                 for l in &f.path {
-                    if scratch.link_mark[l.0 as usize] != mark {
+                    let j = l.0 as usize;
+                    if !self.links[j].transparent && scratch.link_mark[j] != mark {
                         scratch.frontier.push(l.0);
                     }
                 }
@@ -746,6 +917,54 @@ impl FlowNet {
             }
         }
         scratch.frontier.clear();
+    }
+
+    /// Interned variant of [`FlowNet::ripple_traversal`]: walks the
+    /// class/link sharing graph instead of the flow/link graph, so a link
+    /// carrying k same-path flows is expanded through once. `comp`
+    /// collects class ids; per-link unfrozen counts are still *flow*
+    /// counts (fair shares divide by flows, not classes). Returns the
+    /// number of live flows in the component.
+    fn ripple_traversal_interned(
+        &mut self,
+        intern: &mut InternState,
+        scratch: &mut ReallocScratch,
+        mark: u32,
+    ) -> usize {
+        let mut remaining = 0usize;
+        let mut qi = 0;
+        while qi < scratch.frontier.len() {
+            let li = scratch.frontier[qi] as usize;
+            qi += 1;
+            if scratch.link_mark[li] == mark {
+                continue;
+            }
+            scratch.link_mark[li] = mark;
+            scratch.touched.push(li as u32);
+            scratch.residual[li] = self.links[li].capacity_bps;
+            scratch.count[li] = 0;
+            for &cid in &intern.link_classes[li] {
+                let c = cid as usize;
+                let live = intern.class_live[c];
+                if live == 0 {
+                    continue; // a path no live flow currently uses
+                }
+                scratch.count[li] += live;
+                if intern.class_mark[c] != mark {
+                    intern.class_mark[c] = mark;
+                    scratch.comp.push(cid);
+                    remaining += live as usize;
+                    for l in &intern.class_path[c] {
+                        let j = l.0 as usize;
+                        if !self.links[j].transparent && scratch.link_mark[j] != mark {
+                            scratch.frontier.push(l.0);
+                        }
+                    }
+                }
+            }
+        }
+        scratch.frontier.clear();
+        remaining
     }
 
     /// Recomputes rates by progressive filling (max-min fairness) over the
@@ -810,8 +1029,16 @@ impl FlowNet {
         // live counts — no adjacency iteration at all. A real traversal
         // still runs every 64th reallocation to detect when components
         // shrink back below the threshold.
+        let mut intern = self.intern.take();
         let probe = self.stats.count.is_multiple_of(64);
-        if self.full_mode && !probe {
+        let mut remaining;
+        if let Some(intern) = intern.as_mut() {
+            // Interned mode traverses the class graph; components stay
+            // small by construction (transparent links don't connect
+            // pods), so there is no full-mode shortcut to maintain.
+            remaining = self.ripple_traversal_interned(intern, &mut scratch, mark);
+            self.stats.flows_visited += remaining as u64;
+        } else if self.full_mode && !probe {
             self.stats.full += 1;
             scratch.frontier.clear();
             for (s, f) in self.slots.iter().enumerate() {
@@ -820,13 +1047,15 @@ impl FlowNet {
                 }
             }
             for li in 0..num_links {
-                if self.link_live[li] > 0 {
+                if self.link_live[li] > 0 && !self.links[li].transparent {
                     scratch.link_mark[li] = mark;
                     scratch.touched.push(li as u32);
                     scratch.residual[li] = self.links[li].capacity_bps;
                     scratch.count[li] = self.link_live[li];
                 }
             }
+            remaining = scratch.comp.len();
+            self.stats.flows_visited += scratch.comp.len() as u64;
         } else {
             self.ripple_traversal(&mut scratch, mark);
             // Stay in (or enter) full mode while ripples keep covering
@@ -836,8 +1065,10 @@ impl FlowNet {
             // many independent small components.
             self.full_mode =
                 scratch.comp.len() >= 128 && scratch.comp.len() * 4 > self.active_flows * 3;
+            remaining = scratch.comp.len();
+            self.stats.flows_visited += scratch.comp.len() as u64;
         }
-        self.stats.flows_visited += scratch.comp.len() as u64;
+        self.stats.link_visits += scratch.touched.len() as u64;
 
         // Phase 2: heap-based water-filling over the component. f64 shares
         // are ordered through their bit pattern (finite, non-negative
@@ -868,7 +1099,6 @@ impl FlowNet {
         let mut requeue: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::from(requeue_buf);
         let mut idx = 0;
         let mut work_pushes: u64 = 0;
-        let mut remaining = scratch.comp.len();
         while remaining > 0 {
             let (key, link) = match (sorted.get(idx), requeue.peek()) {
                 (Some(&s), Some(&Reverse(r))) if s <= r => {
@@ -898,6 +1128,51 @@ impl FlowNet {
                 requeue.push(Reverse((current, link)));
                 continue;
             }
+            if let Some(intern) = intern.as_mut() {
+                // Freeze whole classes: every member shares the path, so
+                // max-min gives them identical rates and they all freeze
+                // at the same bottleneck instant.
+                let on_link = std::mem::take(&mut intern.link_classes[i]);
+                for &cid in &on_link {
+                    let c = cid as usize;
+                    let live = intern.class_live[c];
+                    if live == 0 || intern.class_frozen[c] == mark {
+                        continue; // dead path, or frozen via another link
+                    }
+                    intern.class_frozen[c] = mark;
+                    remaining -= live as usize;
+                    let members = std::mem::take(&mut intern.class_members[c]);
+                    for &(slot, generation) in &members {
+                        let s = slot as usize;
+                        if self.generations[s] != generation {
+                            continue; // stale member of a removed flow
+                        }
+                        let f = self.slots[s].as_ref().expect("live member");
+                        if f.rate_bps.to_bits() != share.to_bits() {
+                            materialize_slot(&mut self.slots, &mut self.links, self.last_update, s);
+                            self.slots[s].as_mut().expect("live member").rate_bps = share;
+                            scratch.changed.push(slot);
+                        }
+                    }
+                    intern.class_members[c] = members;
+                    // One fused subtraction per class instead of one per
+                    // member flow.
+                    for l in &intern.class_path[c] {
+                        let j = l.0 as usize;
+                        if self.links[j].transparent {
+                            continue;
+                        }
+                        debug_assert_eq!(
+                            scratch.link_mark[j], mark,
+                            "component class crosses an unvisited link"
+                        );
+                        scratch.residual[j] = (scratch.residual[j] - share * live as f64).max(0.0);
+                        scratch.count[j] -= live;
+                    }
+                }
+                intern.link_classes[i] = on_link;
+                continue;
+            }
             // Freeze every unfrozen flow crossing the bottleneck,
             // straight off the adjacency list (the generation check skips
             // entries of removed flows, which full mode leaves in place).
@@ -923,6 +1198,9 @@ impl FlowNet {
                 let f = self.slots[s].as_ref().expect("flow disappeared");
                 for &l in &f.path {
                     let j = l.0 as usize;
+                    if self.links[j].transparent {
+                        continue; // never part of the fill
+                    }
                     debug_assert_eq!(
                         scratch.link_mark[j], mark,
                         "component flow crosses an unvisited link"
@@ -972,6 +1250,7 @@ impl FlowNet {
         // O(active flows) for amortized O(1) per push (a rebuild costs
         // one pass over entries that each paid for themselves on insert).
         if self.completions.len() > 4 * self.active_flows + 64 {
+            self.stats.heap_compactions += 1;
             let mut entries = std::mem::take(&mut self.completions).into_vec();
             entries.retain(|&Reverse((_, slot, epoch))| {
                 let s = slot as usize;
@@ -980,6 +1259,7 @@ impl FlowNet {
             self.completions = BinaryHeap::from(entries);
         }
 
+        self.intern = intern;
         self.scratch = scratch;
         self.stats.nanos += t0.elapsed().as_nanos() as u64;
     }
@@ -1200,5 +1480,153 @@ mod tests {
         let first = net.next_completion();
         assert_eq!(first, net.next_completion());
         assert_eq!(first, net.next_completion());
+    }
+
+    #[test]
+    fn transparent_uplink_is_allocation_neutral() {
+        // Two hosts feed a full-bisection uplink (capacity = sum of the
+        // feeders): excluding it from the fill must not change any rate,
+        // including the exact-tie case where the uplink saturates.
+        let rates = |transparent: bool| {
+            let mut net = FlowNet::new();
+            let tx0 = gb(&mut net, 10.0);
+            let tx1 = gb(&mut net, 10.0);
+            let up = gb(&mut net, 20.0);
+            if transparent {
+                net.set_link_transparent(up);
+            }
+            let ids = [
+                net.start_flow(SimTime::ZERO, vec![tx0, up], 1e6),
+                net.start_flow(SimTime::ZERO, vec![tx1, up], 2e6),
+                net.start_flow(SimTime::ZERO, vec![tx1, up], 3e6),
+            ];
+            ids.map(|id| net.flow_rate_bps(id).unwrap())
+        };
+        assert_eq!(rates(true), rates(false));
+    }
+
+    #[test]
+    fn transparent_link_ripple_stays_in_its_pod() {
+        // Hosts a, b share an uplink but no edge link: with the uplink
+        // transparent, churn on a's side must not re-rate b's flow.
+        let mut net = FlowNet::new();
+        let a_tx = gb(&mut net, 10.0);
+        let b_tx = gb(&mut net, 10.0);
+        let up = gb(&mut net, 20.0);
+        net.set_link_transparent(up);
+        let fb = net.start_flow(SimTime::ZERO, vec![b_tx, up], 1e8);
+        let changes_after_b = net.realloc_stats().rate_changes;
+        let fa1 = net.start_flow(SimTime::ZERO, vec![a_tx, up], 1e6);
+        let _fa2 = net.start_flow(SimTime::ZERO, vec![a_tx, up], 1e6);
+        assert_eq!(net.flow_rate_bps(fb), Some(10e9));
+        assert_eq!(net.flow_rate_bps(fa1), Some(5e9));
+        net.abort_flow(SimTime::from_nanos(100), fa1);
+        assert_eq!(net.flow_rate_bps(fb), Some(10e9));
+        // Only a's flows re-rated; b never did.
+        assert_eq!(net.realloc_stats().rate_changes - changes_after_b, 4);
+    }
+
+    #[test]
+    fn transparent_link_still_counts_latency_and_bytes() {
+        let mut net = FlowNet::new();
+        let tx = net.add_link(8.0, SimDuration::from_micros(1)); // 1 GB/s
+        let up = net.add_link(16.0, SimDuration::from_micros(3));
+        net.set_link_transparent(up);
+        assert_eq!(
+            net.path_latency(&[tx, up]),
+            SimDuration::from_micros(4),
+            "latency must include transparent hops"
+        );
+        let f = net.start_flow(SimTime::ZERO, vec![tx, up], 2_000_000.0);
+        net.advance_to(SimTime::from_nanos(1_000_000)); // 1 ms -> 1 MB
+        assert!((net.bytes_carried(up) - 1_000_000.0).abs() < 1.0);
+        let (t, _) = net.next_completion().unwrap();
+        net.complete_flow(t, f);
+        assert!((net.bytes_carried(up) - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn interned_rates_match_reference_through_churn() {
+        // Same churn script as `incremental_rates_match_reference_after_churn`
+        // but with path interning on (including two identical-path flows):
+        // rates must still match the textbook oracle.
+        let mut net = FlowNet::new();
+        net.set_interning(true);
+        let l0 = gb(&mut net, 4.0);
+        let mid = gb(&mut net, 10.0);
+        let l2 = gb(&mut net, 6.0);
+        let l3 = gb(&mut net, 3.0);
+        let mut flows = vec![
+            net.start_flow(SimTime::ZERO, vec![l0, mid], 1e9),
+            net.start_flow(SimTime::ZERO, vec![mid, l2], 1e9),
+            net.start_flow(SimTime::ZERO, vec![mid, l2], 2e9), // same path as above
+            net.start_flow(SimTime::ZERO, vec![l3], 1e9),
+        ];
+        flows.push(net.start_flow(SimTime::from_nanos(50), vec![mid], 1e9));
+        net.abort_flow(SimTime::from_nanos(90), flows[1]);
+        flows.push(net.start_flow(SimTime::from_nanos(120), vec![l2, mid, l0], 1e9));
+        for (id, want) in net.max_min_reference() {
+            let got = net.flow_rate_bps(id).expect("oracle lists live flows");
+            assert!(
+                (got - want).abs() <= want * 1e-9,
+                "flow {id:?}: interned {got} vs reference {want}"
+            );
+        }
+        // Drain to empty: completions must all surface despite class
+        // bookkeeping.
+        while let Some((t, f)) = net.next_completion() {
+            net.complete_flow(t, f);
+        }
+        assert_eq!(net.num_flows(), 0);
+    }
+
+    #[test]
+    fn interned_identical_paths_share_one_class_visit() {
+        // k same-path flows: each reallocation visits one class, so
+        // flows_visited grows by k (members re-rated) but the traversal
+        // is O(1) in k — link_visits per realloc stays at the path length.
+        let mut net = FlowNet::new();
+        net.set_interning(true);
+        let a = gb(&mut net, 10.0);
+        let b = gb(&mut net, 10.0);
+        for _ in 0..16 {
+            let _ = net.start_flow(SimTime::ZERO, vec![a, b], 1e6);
+        }
+        let _ = net.next_completion();
+        let s = net.realloc_stats();
+        assert_eq!(s.count, 1, "same-instant starts coalesce into one fill");
+        assert_eq!(s.coalesced, 15);
+        assert_eq!(s.link_visits, 2, "one visit per path link, not per flow");
+    }
+
+    #[test]
+    fn same_instant_churn_coalesces_into_one_reallocation() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let _a = net.start_flow(SimTime::ZERO, vec![l], 1e6);
+        let _b = net.start_flow(SimTime::ZERO, vec![l], 2e6);
+        let _c = net.start_flow(SimTime::ZERO, vec![l], 3e6);
+        let _ = net.next_completion();
+        let s = net.realloc_stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.coalesced, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-transparent")]
+    fn all_transparent_path_rejected() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        net.set_link_transparent(l);
+        net.start_flow(SimTime::ZERO, vec![l], 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first flow")]
+    fn interning_after_flows_rejected() {
+        let mut net = FlowNet::new();
+        let l = gb(&mut net, 10.0);
+        let _ = net.start_flow(SimTime::ZERO, vec![l], 1e6);
+        net.set_interning(true);
     }
 }

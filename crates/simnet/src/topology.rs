@@ -141,6 +141,31 @@ impl Topology {
         Self::oversubscribed_tor(net, pods, per_pod, host_gbps, uplink_gbps, latency)
     }
 
+    /// A non-blocking (full-bisection) fat-tree: pods of `per_pod` hosts
+    /// whose aggregation links are provisioned at exactly
+    /// `per_pod * host_gbps` per direction and *declared transparent* to
+    /// the allocator ([`FlowNet::set_link_transparent`]). The aggregation
+    /// tier can then never be a max-min bottleneck, so rate churn on a
+    /// host edge link never ripples across pod boundaries — the
+    /// structural fact the datacenter-scale kernel exploits. Paths,
+    /// latencies, and byte accounting are identical to
+    /// [`Topology::two_tier`] with the same uplink capacity.
+    pub fn fat_tree(
+        net: &mut FlowNet,
+        pods: usize,
+        per_pod: usize,
+        host_gbps: f64,
+        latency: SimDuration,
+    ) -> Self {
+        let uplink_gbps = host_gbps * per_pod as f64;
+        let topo = Self::oversubscribed_tor(net, pods, per_pod, host_gbps, uplink_gbps, latency);
+        for rack in &topo.racks {
+            net.set_link_transparent(rack.up);
+            net.set_link_transparent(rack.down);
+        }
+        topo
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -246,6 +271,48 @@ mod tests {
             Topology::oversubscribed_tor(&mut net, 2, 2, 56.0, 10.0, SimDuration::from_micros(2));
         let f = net.start_flow(SimTime::ZERO, t.path(0, 1), 1e9);
         assert_eq!(net.flow_rate_bps(f), Some(56e9));
+    }
+
+    #[test]
+    fn fat_tree_matches_two_tier_rates() {
+        // The transparent aggregation tier must be allocation-neutral:
+        // every flow rate equals the same scenario on a two_tier fabric
+        // with participating (but never-binding) uplinks.
+        let run = |fat: bool| {
+            let mut net = FlowNet::new();
+            let t = if fat {
+                Topology::fat_tree(&mut net, 3, 4, 25.0, SimDuration::from_micros(2))
+            } else {
+                Topology::two_tier(&mut net, 3, 4, 25.0, 100.0, SimDuration::from_micros(2))
+            };
+            // Cross-pod fan-out from pod 0 plus intra-pod traffic in pod 1.
+            let mut flows = vec![
+                net.start_flow(SimTime::ZERO, t.path(0, 4), 1e9),
+                net.start_flow(SimTime::ZERO, t.path(0, 8), 1e9),
+                net.start_flow(SimTime::ZERO, t.path(1, 4), 1e9),
+                net.start_flow(SimTime::ZERO, t.path(5, 6), 1e9),
+            ];
+            flows.push(net.start_flow(SimTime::from_nanos(100), t.path(2, 9), 1e9));
+            flows
+                .into_iter()
+                .map(|f| net.flow_rate_bps(f).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_gets_full_host_rate() {
+        let mut net = FlowNet::new();
+        let t = Topology::fat_tree(&mut net, 2, 4, 25.0, SimDuration::from_micros(2));
+        // All four hosts of pod 0 send cross-pod at once: full bisection
+        // means every flow still gets the full host rate.
+        let flows: Vec<_> = (0..4)
+            .map(|i| net.start_flow(SimTime::ZERO, t.path(i, 4 + i), 1e9))
+            .collect();
+        for f in flows {
+            assert_eq!(net.flow_rate_bps(f), Some(25e9));
+        }
     }
 
     #[test]

@@ -184,6 +184,9 @@ pub struct Fabric {
     net_stale: bool,
     /// flow -> (conn, dir) index for completions.
     inflight_index: std::collections::HashMap<FlowId, (u32, u8)>,
+    /// Reusable buffer for a node's connection list while dependent sends
+    /// are re-kicked (avoids one Vec allocation per hardware completion).
+    conn_scratch: Vec<u32>,
     stats: FabricStats,
     /// Flight recorder for verb-level events (posts, completions, RNR
     /// arms, flushes); disabled — one branch per event — by default.
@@ -219,6 +222,7 @@ impl Fabric {
             net_wake: None,
             net_stale: false,
             inflight_index: std::collections::HashMap::new(),
+            conn_scratch: Vec::new(),
             stats: FabricStats::default(),
             recorder: trace::Recorder::disabled(),
         }
@@ -231,6 +235,19 @@ impl Fabric {
     pub fn set_recorder(&mut self, recorder: trace::Recorder) {
         self.net.set_recorder(recorder.clone());
         self.recorder = recorder;
+    }
+
+    /// Opts the underlying flow network into flow-set interning
+    /// ([`FlowNet::set_interning`]): transfers sharing an identical path —
+    /// the common many-flows-same-route multicast case — share one entry
+    /// in the allocator's sharing graph. Intended for scale experiments;
+    /// interned rates can differ from the default kernel in the last ulps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer has already been started on the fabric.
+    pub fn set_path_interning(&mut self, on: bool) {
+        self.net.set_interning(on);
     }
 
     /// Internal work counters (for performance debugging).
@@ -580,8 +597,22 @@ impl Fabric {
     pub fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
         loop {
             if self.net_stale {
-                self.net_stale = false;
-                self.resync_net();
+                // Same-instant coalescing: while further events share the
+                // current instant, keep deferring the NetWake re-aim — and
+                // the rate recomputation forced through
+                // [`FlowNet::next_completion`] — so a burst of k flow
+                // changes at one instant costs one reallocation instead of
+                // k. Safe because every allocator-managed flow is larger
+                // than [`TINY_BYPASS_BYTES`] and thus never completes at
+                // the instant it started, and no virtual time passes while
+                // the changes are pending, so the batched fill is
+                // bit-identical to k sequential same-instant fills.
+                // Skipped when a flight recorder is attached: traces pin
+                // every intermediate rate-change event.
+                if self.recorder.is_enabled() || self.queue.peek_time() != Some(self.queue.now()) {
+                    self.net_stale = false;
+                    self.resync_net();
+                }
             }
             let (t, ev) = self.queue.pop()?;
             self.stats.events += 1;
@@ -971,14 +1002,17 @@ impl Fabric {
         };
         if let Some(key) = dep_key {
             self.nodes[node.index()].hw_completed.insert(key);
-            let conns = self.nodes[node.index()].conns.clone();
-            for c in conns {
+            let mut conns = std::mem::take(&mut self.conn_scratch);
+            conns.clear();
+            conns.extend_from_slice(&self.nodes[node.index()].conns);
+            for &c in &conns {
                 for d in 0..2u8 {
                     if self.conns[c as usize].nodes[d as usize] == node {
                         self.kick(c, d);
                     }
                 }
             }
+            self.conn_scratch = conns;
         }
         let qp = QpHandle {
             conn: conn_idx,
@@ -1153,6 +1187,9 @@ impl Drop for Fabric {
             heap_pushes: r.heap_pushes,
             rate_changes: r.rate_changes,
             full_reallocs: r.full,
+            link_visits: r.link_visits,
+            coalesced: r.coalesced,
+            heap_compactions: r.heap_compactions,
             sim_nanos: self.queue.now().as_nanos(),
         });
     }

@@ -30,6 +30,9 @@ static FLOWS_VISITED: AtomicU64 = AtomicU64::new(0);
 static HEAP_PUSHES: AtomicU64 = AtomicU64::new(0);
 static RATE_CHANGES: AtomicU64 = AtomicU64::new(0);
 static FULL_REALLOCS: AtomicU64 = AtomicU64::new(0);
+static LINK_VISITS: AtomicU64 = AtomicU64::new(0);
+static COALESCED: AtomicU64 = AtomicU64::new(0);
+static HEAP_COMPACTIONS: AtomicU64 = AtomicU64::new(0);
 static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the process-wide kernel counters.
@@ -53,6 +56,13 @@ pub struct KernelPerf {
     pub rate_changes: u64,
     /// Reallocations that extended to a full recomputation.
     pub full_reallocs: u64,
+    /// Links visited by ripple traversals and full scans, summed.
+    pub link_visits: u64,
+    /// Flow starts/removals coalesced into an already-pending
+    /// reallocation (recomputations that never had to run).
+    pub coalesced: u64,
+    /// Completion-heap compactions (stale-entry sweeps).
+    pub heap_compactions: u64,
     /// Virtual nanoseconds simulated (summed over fabrics).
     pub sim_nanos: u64,
 }
@@ -71,6 +81,9 @@ impl KernelPerf {
             heap_pushes: self.heap_pushes.saturating_sub(base.heap_pushes),
             rate_changes: self.rate_changes.saturating_sub(base.rate_changes),
             full_reallocs: self.full_reallocs.saturating_sub(base.full_reallocs),
+            link_visits: self.link_visits.saturating_sub(base.link_visits),
+            coalesced: self.coalesced.saturating_sub(base.coalesced),
+            heap_compactions: self.heap_compactions.saturating_sub(base.heap_compactions),
             sim_nanos: self.sim_nanos.saturating_sub(base.sim_nanos),
         }
     }
@@ -88,6 +101,9 @@ pub fn snapshot() -> KernelPerf {
         heap_pushes: HEAP_PUSHES.load(Ordering::Relaxed),
         rate_changes: RATE_CHANGES.load(Ordering::Relaxed),
         full_reallocs: FULL_REALLOCS.load(Ordering::Relaxed),
+        link_visits: LINK_VISITS.load(Ordering::Relaxed),
+        coalesced: COALESCED.load(Ordering::Relaxed),
+        heap_compactions: HEAP_COMPACTIONS.load(Ordering::Relaxed),
         sim_nanos: SIM_NANOS.load(Ordering::Relaxed),
     }
 }
@@ -104,6 +120,9 @@ pub(crate) fn record(d: KernelPerf) {
     HEAP_PUSHES.fetch_add(d.heap_pushes, Ordering::Relaxed);
     RATE_CHANGES.fetch_add(d.rate_changes, Ordering::Relaxed);
     FULL_REALLOCS.fetch_add(d.full_reallocs, Ordering::Relaxed);
+    LINK_VISITS.fetch_add(d.link_visits, Ordering::Relaxed);
+    COALESCED.fetch_add(d.coalesced, Ordering::Relaxed);
+    HEAP_COMPACTIONS.fetch_add(d.heap_compactions, Ordering::Relaxed);
     SIM_NANOS.fetch_add(d.sim_nanos, Ordering::Relaxed);
 }
 
@@ -123,6 +142,9 @@ mod tests {
             heap_pushes: 9,
             rate_changes: 2,
             full_reallocs: 1,
+            link_visits: 20,
+            coalesced: 6,
+            heap_compactions: 1,
             sim_nanos: 400,
         };
         let mut b = a;
