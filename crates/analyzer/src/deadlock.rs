@@ -40,6 +40,7 @@ use crate::model::TraceEntry;
 
 /// What the lint concluded about one schedule.
 #[derive(Clone, Debug)]
+#[must_use = "check `is_clean()`; an unread report hides deadlock cycles"]
 pub struct DeadlockReport {
     /// Human-readable algorithm label.
     pub algorithm: String,

@@ -1,0 +1,946 @@
+//! Stateless model checking of protocol *executions*: drives the
+//! deterministic simulator through alternative interleavings and checks
+//! every explored execution against the protocol's invariants.
+//!
+//! The rest of this crate proves properties of *schedules* — static
+//! artifacts. This module checks the *dynamic* side: the event loop's
+//! tie-breaks. The simulator is deterministic, which makes every run
+//! reproducible but also means one arbitrary interleaving out of many
+//! legal ones is the only one ever tested. The explorer externalises the
+//! tie-breaks through the [`verbs::Scheduler`] trait: every burst of
+//! same-instant software-visible deliveries, every pacer admission tie,
+//! and every configured crash-injection site becomes an explicit *choice
+//! point*, and a recorded choice sequence replays the execution
+//! bit-for-bit.
+//!
+//! Three strategies:
+//!
+//! - [`Strategy::Exhaustive`] — enumerate every interleaving (small
+//!   `n, k` only; the CI tier).
+//! - [`Strategy::Dpor`] — dynamic partial-order reduction: prune
+//!   interleavings that only permute *independent* events (disjoint node
+//!   and connection footprints). Backtrack points are added at **every**
+//!   earlier choice point where the executed event was enabled and
+//!   dependent — a sound over-approximation of Flanagan–Godefroid
+//!   persistent sets, validated against exhaustive enumeration in the
+//!   test suite.
+//! - [`Strategy::Random`] — a seeded random walk with an execution
+//!   budget, for wide shallow coverage in time-boxed CI runs.
+//!
+//! Every explored execution is vetted by the invariant suite: survivor
+//! view agreement, stable-delivery monotonicity and gaplessness (§4.6),
+//! zero RNR arms (§4.2), trace-oracle validity (which subsumes
+//! delivery-before-receipt), terminal quiescence, and — the determinism
+//! audit — [`SimCluster::state_digest`] equality across replays of one
+//! choice sequence and across all crash-free interleavings. The audit is
+//! the mechanical form of the review that once caught hash-order
+//! iteration in epoch teardown: a `HashMap`-order bug diverges under
+//! replay and fails immediately.
+//!
+//! Violations come back as a [`Counterexample`]: a minimal choice
+//! sequence plus the flight-recorder trace, re-runnable bit-for-bit via
+//! [`replay`] (the CLI's `--replay=CHOICES` flag).
+
+use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+use rdmc::Algorithm;
+use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, Mutation, RecoveryConfig, SimCluster};
+use verbs::{Candidate, CandidateKind, ChoicePoint, PointKind, Scheduler, SharedScheduler};
+
+/// One resolved choice point, as recorded during an execution. The
+/// sequence of records *is* the execution's identity: replaying the
+/// `chosen` indices reproduces it bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointRecord {
+    /// Virtual time of the racing events, in nanoseconds.
+    pub time_ns: u64,
+    /// Which layer asked.
+    pub kind: PointKind,
+    /// The enabled candidates, in deterministic default order.
+    pub candidates: Vec<Candidate>,
+    /// Index of the candidate that ran.
+    pub chosen: usize,
+}
+
+/// SplitMix64 — a tiny deterministic generator for the random walk (the
+/// walk must be replayable from its seed alone).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// How one execution's choices are made.
+enum Pick {
+    /// Follow a scripted prefix; answer the deterministic default (0)
+    /// beyond it. Out-of-range scripted entries also fall back to 0, so
+    /// any recorded script replays against any compatible run.
+    Script(Vec<usize>),
+    /// Uniform pseudorandom choices from a seeded generator.
+    Random(SplitMix64),
+}
+
+/// The scheduler the explorer injects: resolves choices per [`Pick`] and
+/// logs every resolved point.
+struct LoggingScheduler {
+    pick: Pick,
+    log: Vec<PointRecord>,
+}
+
+impl Scheduler for LoggingScheduler {
+    fn choose(&mut self, point: &ChoicePoint<'_>) -> usize {
+        let n = point.candidates.len();
+        let chosen = match &mut self.pick {
+            Pick::Script(script) => {
+                let scripted = script.get(self.log.len()).copied().unwrap_or(0);
+                if scripted < n {
+                    scripted
+                } else {
+                    0
+                }
+            }
+            Pick::Random(rng) => (rng.next() % n as u64) as usize,
+        };
+        self.log.push(PointRecord {
+            time_ns: point.time_ns,
+            kind: point.kind,
+            candidates: point.candidates.to_vec(),
+            chosen,
+        });
+        chosen
+    }
+}
+
+/// The workload one exploration drives: a single group, `messages`
+/// multicasts from the root, with optional atomic delivery, recovery,
+/// crash-injection sites, and seeded mutations.
+#[derive(Clone, Debug)]
+pub struct ExploreScenario {
+    /// Block-dissemination algorithm.
+    pub algorithm: Algorithm,
+    /// Group size.
+    pub n: u32,
+    /// Blocks per message (message size = `k * block_size`).
+    pub k: u32,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Multicasts submitted at time zero.
+    pub messages: u32,
+    /// Readiness credits granted ahead per peer.
+    pub ready_window: u32,
+    /// Block sends a member may have posted at once.
+    pub max_outstanding_sends: u32,
+    /// Derecho-style §4.6 atomic delivery (stable-frontier invariants
+    /// apply). Mutually exclusive with `fault_sites` (atomic groups do
+    /// not reconfigure).
+    pub atomic: bool,
+    /// Crash-injection sites `(protocol step, victim node)`. When
+    /// non-empty, the execution's *first* choice point picks one site —
+    /// or none — and recovery is enabled so the run can finish.
+    pub fault_sites: Vec<(u64, usize)>,
+    /// Deliberately seeded ordering bugs (mutation testing).
+    pub mutations: Vec<Mutation>,
+}
+
+impl ExploreScenario {
+    /// The CI-tier default: a small group moving a few blocks with
+    /// atomic delivery on, sized so exhaustive enumeration stays
+    /// tractable.
+    pub fn small(algorithm: Algorithm, n: u32, k: u32) -> Self {
+        ExploreScenario {
+            algorithm,
+            n,
+            k,
+            block_size: 64 << 10,
+            messages: 1,
+            ready_window: 1,
+            max_outstanding_sends: 1,
+            atomic: true,
+            fault_sites: Vec::new(),
+            mutations: Vec::new(),
+        }
+    }
+
+    /// A crash-exploring variant: recovery on, atomic off, with the
+    /// given `(protocol step, victim node)` sites offered to the
+    /// explorer as alternative first choices.
+    pub fn with_faults(mut self, sites: Vec<(u64, usize)>) -> Self {
+        self.atomic = false;
+        self.fault_sites = sites;
+        self
+    }
+
+    /// Seeds a deliberate ordering bug (see [`Mutation`]).
+    pub fn with_mutation(mut self, m: Mutation) -> Self {
+        self.mutations.push(m);
+        self
+    }
+}
+
+/// Everything one execution produced.
+#[derive(Clone, Debug)]
+#[must_use = "check `violations`; an unread execution hides failures"]
+pub struct ExecutionResult {
+    /// The resolved choice points, in order. The `chosen` indices are
+    /// the replay script.
+    pub points: Vec<PointRecord>,
+    /// Canonical time-free digest of the terminal cluster state
+    /// (`0` when the run panicked).
+    pub digest: u64,
+    /// Invariant violations (empty for a clean execution).
+    pub violations: Vec<String>,
+    /// The flight-recorder trace, JSONL-encoded (for counterexample
+    /// artifacts; empty when the run panicked).
+    pub trace_jsonl: String,
+    /// The panic message, if the run aborted (engine protocol-violation
+    /// panics and debug asserts surface here; also counted as a
+    /// violation).
+    pub panic: Option<String>,
+    /// Whether a crash was injected (the first choice picked a fault
+    /// site rather than "no fault").
+    pub crashed: bool,
+}
+
+impl ExecutionResult {
+    /// The replay script: the chosen index at each point.
+    pub fn script(&self) -> Vec<usize> {
+        self.points.iter().map(|p| p.chosen).collect()
+    }
+}
+
+/// A minimal failing execution: replaying `choices` through [`replay`]
+/// reproduces `violations` bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The minimized choice sequence.
+    pub choices: Vec<usize>,
+    /// What the invariant suite reported.
+    pub violations: Vec<String>,
+    /// Terminal digest of the failing execution (0 on panic).
+    pub digest: u64,
+    /// Flight-recorder trace of the failing execution, JSONL-encoded.
+    pub trace_jsonl: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let choices: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+        writeln!(f, "counterexample: --replay={}", choices.join(","))?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        write!(f, "  terminal digest {:#018x}", self.digest)
+    }
+}
+
+/// How to walk the interleaving space.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Every interleaving, depth-first.
+    Exhaustive,
+    /// Dynamic partial-order reduction over the same space.
+    Dpor,
+    /// A seeded random walk of `executions` runs.
+    Random {
+        /// PRNG seed (the walk is fully determined by it).
+        seed: u64,
+        /// Executions to attempt.
+        executions: u64,
+    },
+}
+
+/// One exploration request.
+#[derive(Clone, Debug)]
+#[must_use = "pass the config to `explore_executions`"]
+pub struct ExploreConfig {
+    /// The workload.
+    pub scenario: ExploreScenario,
+    /// The walk.
+    pub strategy: Strategy,
+    /// Hard cap on executions (exhaustive/DPOR runs that hit it report
+    /// `truncated` — loudly, never silently).
+    pub max_executions: u64,
+    /// Re-run every `n`-th execution with the identical script and
+    /// compare digests, traces, and choice logs (the replay-determinism
+    /// audit). `1` audits every execution; `0` audits only the first.
+    pub replay_every: u64,
+}
+
+impl ExploreConfig {
+    /// Exhaustive enumeration of a scenario with CI-friendly caps.
+    pub fn exhaustive(scenario: ExploreScenario) -> Self {
+        ExploreConfig {
+            scenario,
+            strategy: Strategy::Exhaustive,
+            max_executions: 20_000,
+            replay_every: 64,
+        }
+    }
+
+    /// DPOR over the same space.
+    pub fn dpor(scenario: ExploreScenario) -> Self {
+        ExploreConfig {
+            strategy: Strategy::Dpor,
+            ..Self::exhaustive(scenario)
+        }
+    }
+
+    /// A seeded random walk.
+    pub fn random(scenario: ExploreScenario, seed: u64, executions: u64) -> Self {
+        ExploreConfig {
+            scenario,
+            strategy: Strategy::Random { seed, executions },
+            max_executions: executions,
+            replay_every: 16,
+        }
+    }
+}
+
+/// What an exploration found.
+#[derive(Clone, Debug)]
+#[must_use = "check `is_clean()`; an unread report hides counterexamples"]
+pub struct ExploreReport {
+    /// Executions actually run (excluding replay-audit re-runs and
+    /// minimization probes).
+    pub executions: u64,
+    /// Total choice points resolved across all executions.
+    pub points_resolved: u64,
+    /// Deepest execution (choice points in one run).
+    pub max_depth: usize,
+    /// Distinct terminal digests over crash-free executions (must stay
+    /// at 1 — state convergence; a second digest is itself a violation).
+    pub crash_free_digests: BTreeSet<u64>,
+    /// Distinct terminal digests over crash-injected executions
+    /// (informational: different detection timings may legally abandon
+    /// different messages).
+    pub crashed_digests: BTreeSet<u64>,
+    /// The exploration hit `max_executions` before exhausting the space
+    /// (a random walk never sets this: its budget *is* the space).
+    pub truncated: bool,
+    /// The first invariant violation found, minimized.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// True when every explored execution satisfied every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+impl std::fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} executions, {} choice points (max depth {}), {} crash-free digest(s){}{}",
+            self.executions,
+            self.points_resolved,
+            self.max_depth,
+            self.crash_free_digests.len(),
+            if self.truncated {
+                " [TRUNCATED at max_executions]"
+            } else {
+                ""
+            },
+            if self.is_clean() { ", clean" } else { "" },
+        )?;
+        if let Some(cex) = &self.counterexample {
+            write!(f, "\n{cex}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one execution under the given pick policy.
+fn run_with(scenario: &ExploreScenario, pick: Pick) -> ExecutionResult {
+    let sched = Arc::new(Mutex::new(LoggingScheduler {
+        pick,
+        log: Vec::new(),
+    }));
+    let shared: SharedScheduler = sched.clone();
+
+    let mut violations = Vec::new();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut builder = ClusterBuilder::new(ClusterSpec::fractus(scenario.n as usize))
+            .flight_recorder(trace::Mode::Full)
+            .scheduler(shared.clone());
+        if !scenario.fault_sites.is_empty() {
+            builder = builder.recovery(RecoveryConfig::default());
+        }
+        let mut cluster = builder.build();
+        for &m in &scenario.mutations {
+            cluster.seed_mutation(m);
+        }
+        let group = cluster.create_group(GroupSpec {
+            members: (0..scenario.n as usize).collect(),
+            algorithm: scenario.algorithm.clone(),
+            block_size: scenario.block_size,
+            ready_window: scenario.ready_window,
+            max_outstanding_sends: scenario.max_outstanding_sends,
+        });
+        if scenario.atomic {
+            cluster.enable_atomic_delivery(group);
+        }
+        let injected = offer_fault_choice(scenario, &shared, &mut cluster);
+        for _ in 0..scenario.messages {
+            let size = scenario.block_size * u64::from(scenario.k);
+            let _ = cluster.submit_send(group, size);
+        }
+        while cluster.step() {}
+        (cluster, group, injected)
+    }));
+
+    let (digest, trace_jsonl, panic, crashed) = match outcome {
+        Ok((cluster, group, injected)) => {
+            check_invariants(scenario, &cluster, group, injected, &mut violations);
+            (
+                cluster.state_digest(),
+                trace::export::to_jsonl(&cluster.trace_events()),
+                None,
+                injected,
+            )
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            violations.push(format!("execution panicked: {msg}"));
+            (0, String::new(), Some(msg), false)
+        }
+    };
+
+    let points = std::mem::take(&mut sched.lock().expect("scheduler mutex").log);
+    ExecutionResult {
+        points,
+        digest,
+        violations,
+        trace_jsonl,
+        panic,
+        crashed,
+    }
+}
+
+/// The fault-injection choice point: candidate 0 is "no fault", the rest
+/// are the scenario's sites. Routed through the shared scheduler so the
+/// choice lands in the same global sequence as every delivery race.
+/// Returns whether a crash was scheduled.
+fn offer_fault_choice(
+    scenario: &ExploreScenario,
+    shared: &SharedScheduler,
+    cluster: &mut SimCluster,
+) -> bool {
+    if scenario.fault_sites.is_empty() {
+        return false;
+    }
+    let mut candidates = vec![Candidate {
+        seq: 0,
+        node: u32::MAX,
+        conn: None,
+        kind: CandidateKind::FaultSite {
+            step: u64::MAX,
+            victim: u32::MAX,
+        },
+    }];
+    candidates.extend(
+        scenario
+            .fault_sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(step, victim))| Candidate {
+                seq: i as u64 + 1,
+                node: victim as u32,
+                conn: None,
+                kind: CandidateKind::FaultSite {
+                    step,
+                    victim: victim as u32,
+                },
+            }),
+    );
+    let point = ChoicePoint {
+        time_ns: 0,
+        kind: PointKind::FaultSite,
+        candidates: &candidates,
+    };
+    let chosen = verbs::sched::pick(shared, &point);
+    if let CandidateKind::FaultSite { step, victim } = candidates[chosen].kind {
+        if victim != u32::MAX {
+            cluster.crash_after_events(victim as usize, step);
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs one execution of `scenario` under the given choice script
+/// (default-0 beyond its end) and checks the per-execution invariants.
+/// This is the exact runner the explorer uses, exposed so recorded
+/// counterexamples replay bit-for-bit.
+pub fn replay(scenario: &ExploreScenario, script: &[usize]) -> ExecutionResult {
+    run_with(scenario, Pick::Script(script.to_vec()))
+}
+
+/// The per-execution invariant suite.
+fn check_invariants(
+    scenario: &ExploreScenario,
+    cluster: &SimCluster,
+    group: rdmc_sim::GroupId,
+    injected: bool,
+    violations: &mut Vec<String>,
+) {
+    // §4.2: the credit discipline means the RNR machinery never arms.
+    let rnr = cluster.fabric().stats().rnr_arms;
+    if rnr != 0 {
+        violations.push(format!(
+            "a send raced ahead of receive posting: {rnr} RNR arm(s)"
+        ));
+    }
+    // Terminal quiescence: survivors finished or consistently abandoned
+    // every message.
+    if !cluster.live_quiescent() {
+        violations.push("not live-quiescent at termination".to_string());
+    }
+    if !injected && !cluster.all_quiescent() {
+        violations.push("crash-free run not fully quiescent at termination".to_string());
+    }
+    // View agreement: all survivors run the same epoch.
+    let epochs = cluster.live_member_epochs(group);
+    if epochs.windows(2).any(|w| w[0] != w[1]) {
+        violations.push(format!("survivors disagree on the epoch: {epochs:?}"));
+    }
+    // Crash-free completeness: every message delivered at every member.
+    if !injected {
+        for m in cluster.message_results() {
+            if m.delivered_at.iter().any(|d| d.is_none()) {
+                violations.push(format!(
+                    "message {} of group {} missing deliveries in a crash-free run",
+                    m.index, m.group
+                ));
+            }
+        }
+    }
+    // §4.6 stable frontier: per member, stable deliveries are gapless
+    // (the delivered prefix — all of it at quiescence) and their times
+    // are monotone.
+    if scenario.atomic {
+        for rank in 0..scenario.n {
+            let stable = cluster.stable_deliveries(group, rank);
+            if stable.len() != scenario.messages as usize {
+                violations.push(format!(
+                    "rank {rank}: {} of {} messages stably delivered",
+                    stable.len(),
+                    scenario.messages
+                ));
+            }
+            if stable.windows(2).any(|w| w[1] < w[0]) {
+                violations.push(format!("rank {rank}: stable-delivery times regressed"));
+            }
+        }
+    }
+    // The trace oracle: FIFO send/arrival pairing (no delivery before
+    // receipt), causality, delivery completeness, no RNR arms.
+    if cluster.recorder().dropped() == 0 {
+        let events = cluster.trace_events();
+        if let Err(errs) =
+            trace::check::check_events(&events, &trace::check::CheckConfig::default())
+        {
+            for e in errs.into_iter().take(5) {
+                violations.push(format!("trace oracle: {e}"));
+            }
+        }
+    } else {
+        violations.push("flight recorder dropped events under Mode::Full".to_string());
+    }
+}
+
+/// Replays `script` twice and reports any divergence — the determinism
+/// audit. A divergence means some state consulted during the run is not
+/// a pure function of (scenario, choices): unordered-map iteration,
+/// address-dependent ordering, stray global state. Returns violations
+/// (empty when the two runs match bit-for-bit).
+pub fn audit_replay(scenario: &ExploreScenario, script: &[usize]) -> Vec<String> {
+    let a = replay(scenario, script);
+    let b = replay(scenario, script);
+    let mut out = Vec::new();
+    if a.digest != b.digest {
+        out.push(format!(
+            "replay divergence: digests {:#018x} vs {:#018x} for one choice sequence",
+            a.digest, b.digest
+        ));
+    }
+    if a.points != b.points {
+        let at = a
+            .points
+            .iter()
+            .zip(&b.points)
+            .position(|(x, y)| x != y)
+            .map_or_else(
+                || format!("lengths {} vs {}", a.points.len(), b.points.len()),
+                |i| format!("first divergent point {i}"),
+            );
+        out.push(format!("replay divergence in the choice-point log: {at}"));
+    }
+    if a.trace_jsonl != b.trace_jsonl {
+        out.push("replay divergence in the flight-recorder trace".to_string());
+    }
+    out
+}
+
+/// Two candidates commute iff their footprints are disjoint: different
+/// observing nodes and different connections. Timers are conservatively
+/// dependent with everything (their handlers touch cluster-wide state:
+/// submissions, crashes, reconfiguration).
+fn dependent(a: &Candidate, b: &Candidate) -> bool {
+    if matches!(a.kind, CandidateKind::Timer { .. })
+        || matches!(b.kind, CandidateKind::Timer { .. })
+    {
+        return true;
+    }
+    if a.node == b.node {
+        return true;
+    }
+    matches!((a.conn, b.conn), (Some(x), Some(y)) if x == y)
+}
+
+/// Shared bookkeeping across an exploration.
+struct Driver<'a> {
+    config: &'a ExploreConfig,
+    report: ExploreReport,
+}
+
+impl<'a> Driver<'a> {
+    fn new(config: &'a ExploreConfig) -> Self {
+        Driver {
+            config,
+            report: ExploreReport {
+                executions: 0,
+                points_resolved: 0,
+                max_depth: 0,
+                crash_free_digests: BTreeSet::new(),
+                crashed_digests: BTreeSet::new(),
+                truncated: false,
+                counterexample: None,
+            },
+        }
+    }
+
+    /// Runs one execution, folds the result into the report, and
+    /// returns it — or `None` once a counterexample is locked in (the
+    /// exploration stops at the first violation).
+    fn run(&mut self, pick: Pick) -> Option<ExecutionResult> {
+        let exec = run_with(&self.config.scenario, pick);
+        self.report.executions += 1;
+        self.report.points_resolved += exec.points.len() as u64;
+        self.report.max_depth = self.report.max_depth.max(exec.points.len());
+        let mut violations = exec.violations.clone();
+        // Replay-determinism audit, sampled (always on the first
+        // execution, so even single-run explorations get one).
+        let audited = self.report.executions == 1
+            || (self.config.replay_every != 0
+                && self.report.executions % self.config.replay_every == 1);
+        if violations.is_empty() && audited {
+            violations.extend(audit_replay(&self.config.scenario, &exec.script()));
+        }
+        if violations.is_empty() {
+            if exec.crashed {
+                self.report.crashed_digests.insert(exec.digest);
+            } else {
+                // State convergence: every crash-free interleaving must
+                // reach the same terminal state.
+                self.report.crash_free_digests.insert(exec.digest);
+                if self.report.crash_free_digests.len() > 1 {
+                    violations.push(format!(
+                        "crash-free interleavings diverged: {} distinct terminal digests",
+                        self.report.crash_free_digests.len()
+                    ));
+                }
+            }
+        }
+        if !violations.is_empty() {
+            self.fail(exec.script(), violations);
+            return None;
+        }
+        Some(exec)
+    }
+
+    /// Minimizes and records the counterexample.
+    fn fail(&mut self, script: Vec<usize>, violations: Vec<String>) {
+        let scenario = self.config.scenario.clone();
+        let known_digests = self.report.crash_free_digests.clone();
+        let still_fails = |s: &[usize]| -> bool {
+            let e = replay(&scenario, s);
+            if !e.violations.is_empty() {
+                return true;
+            }
+            // Divergence violations only show under the audit; digest
+            // splits only against the already-seen crash-free digests.
+            !audit_replay(&scenario, s).is_empty()
+                || (!e.crashed && !known_digests.is_empty() && !known_digests.contains(&e.digest))
+        };
+        let mut min = script;
+        if still_fails(&min) {
+            // Greedily reset choices to the default from the end; keep
+            // each reset only if the violation survives.
+            for i in (0..min.len()).rev() {
+                if min[i] == 0 {
+                    continue;
+                }
+                let mut probe = min.clone();
+                probe[i] = 0;
+                if still_fails(&probe) {
+                    min = probe;
+                }
+            }
+            while min.last() == Some(&0) {
+                min.pop();
+            }
+        }
+        let exec = replay(&scenario, &min);
+        let final_violations = if exec.violations.is_empty() {
+            violations
+        } else {
+            exec.violations.clone()
+        };
+        self.report.counterexample = Some(Counterexample {
+            choices: min,
+            violations: final_violations,
+            digest: exec.digest,
+            trace_jsonl: exec.trace_jsonl,
+        });
+    }
+}
+
+/// Runs an exploration.
+pub fn explore_executions(config: &ExploreConfig) -> ExploreReport {
+    let mut driver = Driver::new(config);
+    match config.strategy {
+        Strategy::Exhaustive => exhaustive(&mut driver),
+        Strategy::Dpor => dpor(&mut driver),
+        Strategy::Random { seed, executions } => random_walk(&mut driver, seed, executions),
+    }
+    driver.report
+}
+
+/// Depth-first enumeration of every choice combination.
+fn exhaustive(driver: &mut Driver<'_>) {
+    let mut script: Vec<usize> = Vec::new();
+    loop {
+        if driver.report.executions >= driver.config.max_executions {
+            driver.report.truncated = true;
+            return;
+        }
+        let Some(exec) = driver.run(Pick::Script(script.clone())) else {
+            return; // counterexample found
+        };
+        // Advance: take the deepest point with an untried alternative,
+        // increment it, and drop everything beyond (defaults re-fill).
+        let mut choices: Vec<(usize, usize)> = exec
+            .points
+            .iter()
+            .map(|p| (p.chosen, p.candidates.len()))
+            .collect();
+        loop {
+            match choices.pop() {
+                None => return, // space exhausted
+                Some((c, n)) if c + 1 < n => {
+                    choices.push((c + 1, n));
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        script = choices.iter().map(|&(c, _)| c).collect();
+    }
+}
+
+/// One frame of the DPOR search stack: a choice point on the current
+/// execution path with its accumulated backtrack and done sets.
+struct Frame {
+    candidates: Vec<Candidate>,
+    kind: PointKind,
+    /// The choice taken on the path currently below this frame.
+    path: usize,
+    /// Choices that must be explored from this point.
+    backtrack: BTreeSet<usize>,
+    /// Choices already explored (or being explored) from this point.
+    done: BTreeSet<usize>,
+}
+
+impl Frame {
+    fn fresh(p: &PointRecord) -> Self {
+        Frame {
+            candidates: p.candidates.clone(),
+            kind: p.kind,
+            path: p.chosen,
+            backtrack: BTreeSet::from([p.chosen]),
+            done: BTreeSet::from([p.chosen]),
+        }
+    }
+
+    fn pending(&self) -> Option<usize> {
+        self.backtrack.difference(&self.done).next().copied()
+    }
+}
+
+/// Dynamic partial-order reduction: like [`exhaustive`], but a choice is
+/// explored at a point only if some executed event *dependent* on it ran
+/// later from that point — interleavings that merely permute independent
+/// events collapse into one representative.
+fn dpor(driver: &mut Driver<'_>) {
+    let Some(exec) = driver.run(Pick::Script(Vec::new())) else {
+        return;
+    };
+    let mut frames: Vec<Frame> = exec.points.iter().map(Frame::fresh).collect();
+    add_backtracks(&mut frames, &exec.points);
+    loop {
+        if driver.report.executions >= driver.config.max_executions {
+            driver.report.truncated = true;
+            return;
+        }
+        // Deepest frame with an untried backtrack choice.
+        let Some(depth) = (0..frames.len())
+            .rev()
+            .find(|&i| frames[i].pending().is_some())
+        else {
+            return; // reduced space exhausted
+        };
+        frames.truncate(depth + 1);
+        let next = frames[depth].pending().expect("found above");
+        frames[depth].done.insert(next);
+        let mut script: Vec<usize> = frames[..depth].iter().map(|f| f.path).collect();
+        script.push(next);
+        let Some(exec) = driver.run(Pick::Script(script)) else {
+            return;
+        };
+        // Refresh frames beyond the branch point from the new run;
+        // shallower frames keep their accumulated sets.
+        for (i, p) in exec.points.iter().enumerate() {
+            if i < depth {
+                debug_assert_eq!(frames[i].candidates, p.candidates, "prefix must replay");
+                frames[i].path = p.chosen;
+            } else if i == depth {
+                frames[i].path = p.chosen;
+                frames[i].done.insert(p.chosen);
+                frames[i].backtrack.insert(p.chosen);
+            } else if i < frames.len() {
+                frames[i] = Frame::fresh(p);
+            } else {
+                frames.push(Frame::fresh(p));
+            }
+        }
+        frames.truncate(exec.points.len());
+        add_backtracks(&mut frames, &exec.points);
+    }
+}
+
+/// Adds backtrack points implied by one execution: for every executed
+/// event, every earlier choice point whose executed event is dependent
+/// must also try this event (if it was enabled there; all alternatives
+/// if it was not — the sound over-approximation). Non-delivery points
+/// (pacer ties, fault sites) are explored fully: their candidates all
+/// touch shared admission or membership state.
+fn add_backtracks(frames: &mut [Frame], points: &[PointRecord]) {
+    for i in 0..points.len() {
+        if frames[i].kind != PointKind::Delivery {
+            let all: BTreeSet<usize> = (0..frames[i].candidates.len()).collect();
+            frames[i].backtrack.extend(all);
+            continue;
+        }
+        let ei = points[i].candidates[points[i].chosen];
+        for j in (0..i).rev() {
+            if points[j].kind != PointKind::Delivery {
+                continue;
+            }
+            let ej = points[j].candidates[points[j].chosen];
+            if !dependent(&ej, &ei) {
+                continue;
+            }
+            match points[j].candidates.iter().position(|c| c.seq == ei.seq) {
+                Some(idx) => {
+                    frames[j].backtrack.insert(idx);
+                }
+                None => {
+                    let all: BTreeSet<usize> = (0..frames[j].candidates.len()).collect();
+                    frames[j].backtrack.extend(all);
+                }
+            }
+        }
+    }
+}
+
+/// A seeded random walk: uniform choices at every point, `executions`
+/// runs. Each run's script is recovered from its log, so any violating
+/// walk replays exactly.
+fn random_walk(driver: &mut Driver<'_>, seed: u64, executions: u64) {
+    let mut master = SplitMix64(seed ^ 0x6a09_e667_f3bc_c908);
+    for _ in 0..executions {
+        let run_seed = master.next();
+        if driver.run(Pick::Random(SplitMix64(run_seed))).is_none() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_scheduler_defaults_to_zero_beyond_script() {
+        let mut s = LoggingScheduler {
+            pick: Pick::Script(vec![1]),
+            log: Vec::new(),
+        };
+        let cands = [
+            Candidate {
+                seq: 0,
+                node: 0,
+                conn: None,
+                kind: CandidateKind::Recv,
+            },
+            Candidate {
+                seq: 1,
+                node: 1,
+                conn: None,
+                kind: CandidateKind::Recv,
+            },
+        ];
+        let point = ChoicePoint {
+            time_ns: 0,
+            kind: PointKind::Delivery,
+            candidates: &cands,
+        };
+        assert_eq!(s.choose(&point), 1);
+        assert_eq!(s.choose(&point), 0);
+        assert_eq!(s.log.len(), 2);
+    }
+
+    #[test]
+    fn dependence_is_footprint_based() {
+        let c = |node, conn| Candidate {
+            seq: 0,
+            node,
+            conn,
+            kind: CandidateKind::Recv,
+        };
+        assert!(dependent(&c(1, None), &c(1, None)));
+        assert!(dependent(&c(1, Some(7)), &c(2, Some(7))));
+        assert!(!dependent(&c(1, Some(7)), &c(2, Some(8))));
+        let timer = Candidate {
+            seq: 0,
+            node: 3,
+            conn: None,
+            kind: CandidateKind::Timer { token: 0 },
+        };
+        assert!(dependent(&timer, &c(9, None)));
+    }
+}

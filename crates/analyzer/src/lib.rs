@@ -25,6 +25,16 @@
 //!   over in-order connections) for small `n, k` and proves there are no
 //!   stuck states and that every terminal state has delivered all `k`
 //!   blocks at every rank.
+//! - [`mod@explore`] — a stateless **model checker of executions**: drives
+//!   the deterministic simulator through alternative interleavings via a
+//!   controlled scheduler (same-instant delivery races, pacer admission
+//!   ties, crash-injection sites), exhaustively, with dynamic
+//!   partial-order reduction, or as a seeded random walk. Every explored
+//!   execution is vetted for survivor view agreement, §4.6
+//!   stable-delivery gaplessness and monotonicity, zero RNR arms, trace
+//!   validity, and replay determinism (bit-for-bit digest equality —
+//!   the audit that mechanically catches unordered-map iteration).
+//!   Violations come back as minimal replayable counterexamples.
 //! - [`resume`] — a model checker for **recovery resume schedules**
 //!   (the `recovery` crate's planner output): exact missing-block
 //!   coverage, causality rooted at wedge-time holdings, strict port
@@ -40,12 +50,17 @@
 #![warn(missing_docs)]
 
 pub mod deadlock;
+pub mod explore;
 pub mod model;
 pub mod reach;
 pub mod resume;
 pub mod sweep;
 
 pub use deadlock::{lint_schedule, DeadlockReport};
+pub use explore::{
+    audit_replay, explore_executions, replay, Counterexample, ExecutionResult, ExploreConfig,
+    ExploreReport, ExploreScenario, PointRecord, Strategy,
+};
 pub use model::{check_schedule, ModelReport, PortBudget, StepBound, TraceEntry, Violation};
 pub use reach::{explore, ReachConfig, ReachReport};
 pub use resume::{check_resume_schedule, check_resume_schedule_with};

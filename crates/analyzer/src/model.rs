@@ -328,6 +328,7 @@ impl StepBound {
 
 /// The model checker's verdict on one schedule.
 #[derive(Clone, Debug)]
+#[must_use = "check `is_clean()`; an unread report hides violations"]
 pub struct ModelReport {
     /// Human-readable algorithm label.
     pub algorithm: String,

@@ -16,6 +16,10 @@
 //! structure (first relay, shadow vertices, rack leaders) already shows
 //! up.
 
+// `visited` below is a membership-only digest set on the hot path of a
+// multi-million-state search — hashing beats ordered comparison and its
+// order is never observed.
+#[allow(clippy::disallowed_types)]
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -108,6 +112,7 @@ pub struct ReachConfig {
 
 /// The outcome of exploring one configuration's state space.
 #[derive(Clone, Debug)]
+#[must_use = "check `is_clean()`; an unread report hides stuck states"]
 pub struct ReachReport {
     /// Human-readable algorithm label.
     pub algorithm: String,
@@ -235,6 +240,7 @@ pub fn explore(config: &ReachConfig) -> ReachReport {
         }
     }
 
+    #[allow(clippy::disallowed_types)]
     let mut visited: HashSet<Vec<u64>> = HashSet::new();
     let mut stack: Vec<State> = Vec::new();
     if visited.insert(init.digest()) {

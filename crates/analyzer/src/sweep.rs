@@ -11,6 +11,7 @@ use rdmc::Algorithm;
 use recovery::{plan_message_resume, survivor_map, MessagePlan};
 
 use crate::deadlock::{lint_schedule, DeadlockReport};
+use crate::explore::{explore_executions, ExploreConfig, ExploreReport, ExploreScenario};
 use crate::model::{check_schedule, ModelReport, Violation};
 use crate::reach::{explore, ReachConfig, ReachReport};
 use crate::resume::check_resume_schedule;
@@ -33,6 +34,10 @@ pub struct SweepConfig {
     /// Whether to model-check recovery resume schedules (binomial
     /// pipelines cut at every step, every failure pattern).
     pub resume: bool,
+    /// Whether to run the execution-exploration tier: exhaustive
+    /// interleaving enumeration of the simulator on the small corner
+    /// (see [`mod@crate::explore`]).
+    pub explore: bool,
 }
 
 impl Default for SweepConfig {
@@ -44,6 +49,7 @@ impl Default for SweepConfig {
             ready_windows: vec![1, 2],
             reachability: true,
             resume: true,
+            explore: true,
         }
     }
 }
@@ -58,12 +64,14 @@ impl SweepConfig {
             ready_windows: vec![1],
             reachability: true,
             resume: true,
+            explore: true,
         }
     }
 }
 
 /// Everything a sweep found.
 #[derive(Clone, Debug, Default)]
+#[must_use = "check `is_clean()`; an unread report hides violations"]
 pub struct SweepReport {
     /// Schedules model-checked.
     pub schedules_checked: usize,
@@ -75,6 +83,10 @@ pub struct SweepReport {
     pub reach_states: usize,
     /// Resume plans model-checked (wedge point x failure pattern).
     pub resumes_checked: usize,
+    /// Execution explorations run (scenario count).
+    pub explore_runs: usize,
+    /// Simulator executions enumerated across explorations.
+    pub explore_executions: u64,
     /// Model-checker reports with violations.
     pub model_failures: Vec<ModelReport>,
     /// Deadlock reports with cycles or premature sends.
@@ -85,6 +97,8 @@ pub struct SweepReport {
     /// Resume-schedule reports with violations (including planner
     /// verdicts that disagree with ground-truth block coverage).
     pub resume_failures: Vec<ModelReport>,
+    /// Execution explorations with a counterexample or truncation.
+    pub explore_failures: Vec<ExploreReport>,
 }
 
 impl SweepReport {
@@ -94,6 +108,7 @@ impl SweepReport {
             && self.deadlock_failures.is_empty()
             && self.reach_failures.is_empty()
             && self.resume_failures.is_empty()
+            && self.explore_failures.is_empty()
     }
 }
 
@@ -101,12 +116,15 @@ impl std::fmt::Display for SweepReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "swept {} schedules, {} deadlock lints, {} reachability runs ({} states), {} resume plans",
+            "swept {} schedules, {} deadlock lints, {} reachability runs ({} states), \
+             {} resume plans, {} explorations ({} executions)",
             self.schedules_checked,
             self.lints_run,
             self.reach_runs,
             self.reach_states,
-            self.resumes_checked
+            self.resumes_checked,
+            self.explore_runs,
+            self.explore_executions
         )?;
         if self.is_clean() {
             write!(f, "all invariants hold")
@@ -123,13 +141,17 @@ impl std::fmt::Display for SweepReport {
             for r in &self.resume_failures {
                 writeln!(f, "RESUME: {r}")?;
             }
+            for r in &self.explore_failures {
+                writeln!(f, "EXPLORE: {r}")?;
+            }
             write!(
                 f,
-                "{} model / {} deadlock / {} reachability / {} resume failure(s)",
+                "{} model / {} deadlock / {} reachability / {} resume / {} explore failure(s)",
                 self.model_failures.len(),
                 self.deadlock_failures.len(),
                 self.reach_failures.len(),
-                self.resume_failures.len()
+                self.resume_failures.len(),
+                self.explore_failures.len()
             )
         }
     }
@@ -235,7 +257,31 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     if config.resume {
         sweep_resume(&mut report, config.max_n);
     }
+
+    if config.explore {
+        sweep_explore(&mut report, config.max_n);
+    }
     report
+}
+
+/// The execution-exploration tier: exhaustive interleaving enumeration
+/// of the simulator on the small corner — atomic delivery at `n = 3`,
+/// non-atomic at `n = 4` (status-write traffic makes atomic `n = 4`
+/// enumeration intractable; randomized CI walks cover it instead).
+fn sweep_explore(report: &mut SweepReport, max_n: u32) {
+    for (n, k, atomic) in [(3, 1, true), (3, 2, true), (4, 1, false), (4, 2, false)] {
+        if n > max_n {
+            continue;
+        }
+        let mut scenario = ExploreScenario::small(Algorithm::BinomialPipeline, n, k);
+        scenario.atomic = atomic;
+        let r = explore_executions(&ExploreConfig::exhaustive(scenario));
+        report.explore_runs += 1;
+        report.explore_executions += r.executions;
+        if !r.is_clean() || r.truncated {
+            report.explore_failures.push(r);
+        }
+    }
 }
 
 /// Model-checks the recovery planner over every wedge point of the

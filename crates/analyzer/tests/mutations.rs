@@ -262,6 +262,7 @@ fn sweep_over_a_small_grid_is_clean() {
         ready_windows: vec![1],
         reachability: false,
         resume: true,
+        explore: false, // covered by tests/explore.rs
     });
     assert!(report.is_clean(), "{report}");
     assert!(report.schedules_checked > 0);

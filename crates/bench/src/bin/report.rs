@@ -27,6 +27,9 @@ struct SectionPerf {
     work: KernelPerf,
 }
 
+// One parameter per optional JSON record; a struct would just move the
+// same seven names one level down.
+#[allow(clippy::too_many_arguments)]
 fn json_summary(
     quick: bool,
     threads: usize,
@@ -35,6 +38,7 @@ fn json_summary(
     trace_overhead: Option<&e::TraceOverhead>,
     multigroup: Option<&e::MultigroupReport>,
     scale: Option<&e::ScaleReport>,
+    explore: Option<&e::ExploreBench>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -52,6 +56,9 @@ fn json_summary(
     }
     if let Some(s) = scale {
         out.push_str(&format!("  \"scale\": {},\n", s.to_json()));
+    }
+    if let Some(x) = explore {
+        out.push_str(&format!("  \"explore\": {},\n", x.to_json()));
     }
     out.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
@@ -104,6 +111,7 @@ fn main() {
         ("sst", e::sst_small_messages),
         ("kernel", e::kernel_throughput),
         ("analyzer", e::analyzer_sweep),
+        ("explore", e::explore_throughput),
         ("trace", e::trace_observability),
     ];
     let chrome_path = std::env::args()
@@ -158,6 +166,19 @@ fn main() {
     } else {
         None
     };
+    // The explorer-throughput probe rides along whenever the explore
+    // section is in scope; its record (executions, explored states per
+    // second) lands in the JSON summary.
+    let explore_bench = if only.is_empty() || only.iter().any(|o| o == "explore") {
+        let x = e::explore_bench_probe(quick);
+        eprintln!(
+            "[explore bench: {} exhaustive vs {} dpor executions, {:.0} states/s]",
+            x.exhaustive_executions, x.dpor_executions, x.states_per_sec
+        );
+        Some(x)
+    } else {
+        None
+    };
     // The disabled-recorder overhead probe rides along whenever the
     // trace section is in scope; its record lands in the JSON summary.
     let trace_overhead = if only.is_empty() || only.iter().any(|o| o == "trace") {
@@ -189,6 +210,7 @@ fn main() {
         trace_overhead.as_ref(),
         multigroup.as_ref(),
         scale.as_ref(),
+        explore_bench.as_ref(),
     );
     let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());
     match std::fs::write(&path, &json) {

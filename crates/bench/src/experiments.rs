@@ -403,8 +403,8 @@ pub fn fig9_cosmos(quick: bool) -> String {
         let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(16)).build();
         // Pre-create one group per distinct target set used by the sample
         // (the paper pre-creates all 455).
-        let mut group_of: std::collections::HashMap<Vec<usize>, rdmc_sim::GroupId> =
-            std::collections::HashMap::new();
+        let mut group_of: std::collections::BTreeMap<Vec<usize>, rdmc_sim::GroupId> =
+            std::collections::BTreeMap::new();
         // Fully backlogged injection (the replication layer always has
         // work): every write queued at t=0, groups re-used as in the
         // paper's pre-created 455.
@@ -987,6 +987,130 @@ pub fn analyzer_sweep(quick: bool) -> String {
             &rows
         )
     )
+}
+
+/// Execution-explorer throughput: enumerates the CI-tier interleaving
+/// corner (exhaustive and DPOR) plus a seeded random walk, and reports
+/// executions, resolved choice points, and explored states per second —
+/// the cost of the dynamic verification layer, recorded next to the
+/// static sweep it complements.
+pub fn explore_throughput(quick: bool) -> String {
+    use analyzer::{explore_executions, ExploreConfig, ExploreScenario};
+
+    let mut rows = Vec::new();
+    let mut cases: Vec<(&str, ExploreConfig)> = Vec::new();
+    let mut atomic3 = ExploreScenario::small(Algorithm::BinomialPipeline, 3, 2);
+    atomic3.atomic = true;
+    cases.push((
+        "exhaustive n=3 k=2 atomic",
+        ExploreConfig::exhaustive(atomic3),
+    ));
+    let mut plain4 = ExploreScenario::small(Algorithm::BinomialPipeline, 4, 2);
+    plain4.atomic = false;
+    cases.push((
+        "exhaustive n=4 k=2",
+        ExploreConfig::exhaustive(plain4.clone()),
+    ));
+    cases.push(("dpor n=4 k=2", ExploreConfig::dpor(plain4.clone())));
+    if !quick {
+        let mut plain5 = ExploreScenario::small(Algorithm::BinomialPipeline, 5, 2);
+        plain5.atomic = false;
+        cases.push(("dpor n=5 k=2", ExploreConfig::dpor(plain5)));
+        cases.push((
+            "random n=4 k=2 x500",
+            ExploreConfig::random(plain4, 0xbe11, 500),
+        ));
+    }
+
+    for (name, config) in cases {
+        let t0 = std::time::Instant::now();
+        let report = explore_executions(&config);
+        let wall = t0.elapsed().as_secs_f64();
+        rows.push(row![
+            name,
+            report.executions,
+            report.points_resolved,
+            report.max_depth,
+            format!("{:.0}", report.executions as f64 / wall.max(1e-9)),
+            format!("{:.0}", report.points_resolved as f64 / wall.max(1e-9)),
+            if report.is_clean() && !report.truncated {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            },
+            format!("{wall:.2}s")
+        ]);
+    }
+    format!(
+        "Execution explorer (stateless model checking of interleavings)\n{}\n",
+        render(
+            &row![
+                "scenario",
+                "executions",
+                "points",
+                "depth",
+                "exec/s",
+                "points/s",
+                "verdict",
+                "wall"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Machine-readable explorer-throughput record for the JSON summary:
+/// executions, resolved choice points (explored states), and states per
+/// second over the CI-tier exhaustive corner plus its DPOR reduction.
+pub struct ExploreBench {
+    /// Executions enumerated by the exhaustive pass (n=4, k=2).
+    pub exhaustive_executions: u64,
+    /// Executions the DPOR pass needed for the same scenario.
+    pub dpor_executions: u64,
+    /// Total choice points resolved across both passes.
+    pub points: u64,
+    /// Wall time of both passes combined, seconds.
+    pub wall_s: f64,
+    /// Explored states (resolved choice points) per second.
+    pub states_per_sec: f64,
+}
+
+impl ExploreBench {
+    /// Renders the record as a JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"exhaustive_executions\": {}, \"dpor_executions\": {}, \
+             \"points\": {}, \"wall_s\": {:.3}, \"states_per_sec\": {:.0}}}",
+            self.exhaustive_executions,
+            self.dpor_executions,
+            self.points,
+            self.wall_s,
+            self.states_per_sec,
+        )
+    }
+}
+
+/// Times the CI-tier exhaustive enumeration (n=4, k=2, non-atomic) and
+/// its DPOR counterpart for the JSON summary. Small enough to ride
+/// along on every report run.
+pub fn explore_bench_probe(_quick: bool) -> ExploreBench {
+    use analyzer::{explore_executions, ExploreConfig, ExploreScenario};
+
+    let mut scenario = ExploreScenario::small(Algorithm::BinomialPipeline, 4, 2);
+    scenario.atomic = false;
+    let t0 = std::time::Instant::now();
+    let full = explore_executions(&ExploreConfig::exhaustive(scenario.clone()));
+    let dpor = explore_executions(&ExploreConfig::dpor(scenario));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let points = full.points_resolved + dpor.points_resolved;
+    ExploreBench {
+        exhaustive_executions: full.executions,
+        dpor_executions: dpor.executions,
+        points,
+        wall_s,
+        states_per_sec: points as f64 / wall_s.max(1e-9),
+    }
 }
 
 /// Observability: stall attribution over the Fig. 4 binomial-pipeline

@@ -261,8 +261,8 @@ mod tests {
         for (n, k) in [(8u32, 4u32), (16, 6), (32, 3)] {
             let g = build(n, k);
             for j in 0..g.num_steps() {
-                let mut senders = std::collections::HashSet::new();
-                let mut receivers = std::collections::HashSet::new();
+                let mut senders = std::collections::BTreeSet::new();
+                let mut receivers = std::collections::BTreeSet::new();
                 for t in g.step(j) {
                     assert!(senders.insert(t.from), "n={n} k={k} step {j}: double send");
                     assert!(
@@ -290,7 +290,7 @@ mod tests {
         for n in [5u32, 11, 23] {
             let g = build(n, 6);
             for j in 0..g.num_steps() {
-                let mut per_node = std::collections::HashMap::new();
+                let mut per_node = std::collections::BTreeMap::new();
                 for t in g.step(j) {
                     *per_node.entry(t.to).or_insert(0u32) += 1;
                 }

@@ -10,7 +10,7 @@
 //! clusters.
 
 use simnet::JitterModel;
-use verbs::{CompletionMode, Fabric, NodeId};
+use verbs::{CompletionMode, Fabric, NodeId, SharedScheduler};
 
 use crate::cluster::{RecoveryConfig, SimCluster};
 use crate::pacer::PacerConfig;
@@ -45,6 +45,7 @@ pub struct ClusterBuilder {
     completion_modes: Vec<(usize, CompletionMode)>,
     jitter: Vec<(usize, JitterModel)>,
     intern_paths: bool,
+    scheduler: Option<SharedScheduler>,
 }
 
 impl ClusterBuilder {
@@ -64,7 +65,19 @@ impl ClusterBuilder {
             completion_modes: Vec::new(),
             jitter: Vec::new(),
             intern_paths: false,
+            scheduler: None,
         }
+    }
+
+    /// Attaches a controlled scheduler: same-instant delivery races in
+    /// the fabric and admission ties in the pacer become explicit choice
+    /// points resolved by `scheduler` instead of the queue's default
+    /// tie-break. This is how the `analyzer` crate's interleaving
+    /// explorer drives the cluster through alternative executions; a
+    /// scheduler that always answers 0 reproduces the default run.
+    pub fn scheduler(mut self, scheduler: SharedScheduler) -> Self {
+        self.scheduler = Some(scheduler);
+        self
     }
 
     /// Turns on flow-set interning in the kernel: flows sharing an
@@ -141,6 +154,9 @@ impl ClusterBuilder {
         }
         if let Some(config) = self.pacing {
             cluster.set_pacing(config);
+        }
+        if let Some(scheduler) = self.scheduler {
+            cluster.set_scheduler(scheduler);
         }
         cluster
     }

@@ -28,7 +28,7 @@
 //! rather than waiting for the epidemic — the simulation's stand-in for
 //! a heavyweight external failure detector.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use crate::pacer::{PacerConfig, PacerState, PacingStats, QueuedSend};
@@ -290,7 +290,9 @@ struct GroupRuntime {
     spec: GroupSpec,
     engines: Vec<GroupEngine>,
     /// (my rank, peer rank) -> my queue pair endpoint (current epoch).
-    qps: HashMap<(Rank, Rank), QpHandle>,
+    /// Ordered: epoch teardown iterates it, and iteration order must be
+    /// run-to-run stable (the determinism audit; the PR 5 regression).
+    qps: BTreeMap<(Rank, Rank), QpHandle>,
     /// Completion record of every message, in submission order (the
     /// `delivered_at` rows are indexed by *original* rank).
     results: Vec<MessageResult>,
@@ -341,12 +343,12 @@ struct AtomicState {
 pub struct SimCluster {
     fabric: Fabric,
     groups: Vec<GroupRuntime>,
-    qp_owner: HashMap<QpHandle, (GroupId, Rank, Rank)>,
-    timers: HashMap<u64, TimerAction>,
+    qp_owner: BTreeMap<QpHandle, (GroupId, Rank, Rank)>,
+    timers: BTreeMap<u64, TimerAction>,
     next_timer: u64,
     /// Message handle -> (group, per-group message index). A scheduled
     /// send's slot is bound when its timer fires.
-    message_slots: HashMap<u64, (GroupId, usize)>,
+    message_slots: BTreeMap<u64, (GroupId, usize)>,
     next_message: u64,
     /// Flight recorder shared by the fabric, the net, and every engine
     /// (disabled — one branch per instrumentation point — by default).
@@ -354,12 +356,12 @@ pub struct SimCluster {
     recovery_config: Option<RecoveryConfig>,
     recovery_stats: RecoveryStats,
     /// When each crashed node went down (detection-latency baseline).
-    crash_times: HashMap<usize, SimTime>,
+    crash_times: BTreeMap<usize, SimTime>,
     /// Engine events fed so far (the chaos harness's notion of a
     /// deterministic protocol step).
     fed_events: u64,
     /// Step -> nodes to crash just before feeding that step's event.
-    event_crashes: HashMap<u64, Vec<usize>>,
+    event_crashes: BTreeMap<u64, Vec<usize>>,
     /// Per-NIC send admission (None = unpaced, the default; see
     /// [`crate::PacerConfig`]).
     pacer: Option<PacerState>,
@@ -368,6 +370,37 @@ pub struct SimCluster {
     /// per-event `Vec` allocation. A pool (not a single buffer) because
     /// executing actions can feed further events reentrantly.
     action_pool: Vec<Vec<Action>>,
+    /// Controlled scheduler shared with the fabric when exploration is
+    /// driving the run; the cluster consults it for pacer admission
+    /// ties so every layer's choices form one global sequence.
+    scheduler: Option<verbs::SharedScheduler>,
+    /// Deliberately seeded ordering bugs (mutation testing of the
+    /// exploration harness); empty in normal operation.
+    mutations: Vec<Mutation>,
+    /// [`Mutation::LazyRecvPost`] state: receives whose posting was
+    /// (buggily) deferred, flushed at the owning node's next delivery.
+    lazy_recvs: BTreeMap<usize, Vec<(QpHandle, u64)>>,
+}
+
+/// A deliberately seeded ordering bug, for mutation-testing the
+/// `analyzer::explore` harness: each variant re-introduces a class of
+/// bug the invariant suite must catch mechanically. Hidden from docs —
+/// this is test scaffolding, not API.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Resurrects the PR 5 determinism bug: epoch teardown iterates the
+    /// queue-pair map in hash order, so two runs of the *same* choice
+    /// sequence diverge. Caught by the replay-determinism audit.
+    UnsortedQpTeardown,
+    /// Reorders the §4.2 same-instant receive/send pair: a readiness
+    /// grant posts its one-sided write first and defers the receive
+    /// post until the node's next delivery (a plausible "batch the recv
+    /// posts off the critical path" optimisation). Under orderings
+    /// where the peer's block send beats that next delivery, the send
+    /// finds no posted receive and the RNR machinery arms. Caught by
+    /// the zero-RNR invariant.
+    LazyRecvPost,
 }
 
 impl SimCluster {
@@ -384,20 +417,45 @@ impl SimCluster {
         SimCluster {
             fabric,
             groups: Vec::new(),
-            qp_owner: HashMap::new(),
-            timers: HashMap::new(),
+            qp_owner: BTreeMap::new(),
+            timers: BTreeMap::new(),
             next_timer: 0,
-            message_slots: HashMap::new(),
+            message_slots: BTreeMap::new(),
             next_message: 0,
             recorder: trace::Recorder::disabled(),
             recovery_config: None,
             recovery_stats: RecoveryStats::default(),
-            crash_times: HashMap::new(),
+            crash_times: BTreeMap::new(),
             fed_events: 0,
-            event_crashes: HashMap::new(),
+            event_crashes: BTreeMap::new(),
             pacer: None,
             action_pool: Vec::new(),
+            scheduler: None,
+            mutations: Vec::new(),
+            lazy_recvs: BTreeMap::new(),
         }
+    }
+
+    /// Attaches a controlled scheduler ([`crate::ClusterBuilder::scheduler`]
+    /// is the public path): the fabric's same-instant delivery races and
+    /// the pacer's admission ties become explicit choice points resolved
+    /// by `scheduler`. Call before running any traffic.
+    pub(crate) fn set_scheduler(&mut self, scheduler: verbs::SharedScheduler) {
+        self.fabric.set_scheduler(scheduler.clone());
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Seeds a deliberate ordering bug (mutation testing of the
+    /// exploration harness — see [`Mutation`]). Not for normal use.
+    #[doc(hidden)]
+    pub fn seed_mutation(&mut self, mutation: Mutation) {
+        if !self.mutations.contains(&mutation) {
+            self.mutations.push(mutation);
+        }
+    }
+
+    fn has_mutation(&self, mutation: Mutation) -> bool {
+        self.mutations.contains(&mutation)
     }
 
     /// Turns on per-NIC send admission ([`crate::ClusterBuilder::pacing`]
@@ -554,7 +612,7 @@ impl SimCluster {
         assert!(!spec.members.is_empty(), "group needs members");
         let n = spec.members.len() as u32;
         let total_nodes = self.fabric.topology().num_nodes();
-        let mut rank_of_node = HashMap::new();
+        let mut rank_of_node = BTreeMap::new();
         for (rank, &node) in spec.members.iter().enumerate() {
             assert!(node < total_nodes, "member node {node} outside topology");
             let prev = rank_of_node.insert(node, rank as Rank);
@@ -596,7 +654,7 @@ impl SimCluster {
         self.groups.push(GroupRuntime {
             spec,
             engines,
-            qps: HashMap::new(),
+            qps: BTreeMap::new(),
             results: Vec::new(),
             pending: vec![VecDeque::new(); n as usize],
             senders: Vec::new(),
@@ -752,11 +810,25 @@ impl SimCluster {
         }
     }
 
+    /// Advances the simulation by one software-visible delivery (and
+    /// everything it triggers). Returns `false` once no events remain.
+    /// [`SimCluster::run`] is `while self.step() {}` plus the end-of-run
+    /// asserts; model checkers call `step` directly so they can sample
+    /// state digests and stop on invariant violations without tripping
+    /// the terminal asserts first.
+    pub fn step(&mut self) -> bool {
+        match self.fabric.advance() {
+            Some((time, node, delivery)) => {
+                self.dispatch(time, node, delivery);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs the simulation until no events remain.
     pub fn run(&mut self) {
-        while let Some((time, node, delivery)) = self.fabric.advance() {
-            self.dispatch(time, node, delivery);
-        }
+        while self.step() {}
         // Runtime mirror of the analyzer's static posting-order lint: the
         // ready-for-block discipline means no send ever finds its receiver
         // without a posted receive, so the RNR machinery must never arm
@@ -841,6 +913,79 @@ impl SimCluster {
         })
     }
 
+    /// A canonical digest of all protocol-visible cluster state,
+    /// deliberately *time-free*: two executions that moved the same
+    /// messages to the same members through the same epochs digest
+    /// equally even if virtual timestamps differ. The explorer's
+    /// determinism audit compares digests across replays of one choice
+    /// sequence (must match bit-for-bit) and across DPOR-equivalent
+    /// interleavings (must converge to the same terminal state).
+    pub fn state_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, w: u64) {
+            *h ^= w;
+            *h = h.wrapping_mul(PRIME);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (gid, g) in self.groups.iter().enumerate() {
+            mix(&mut h, gid as u64);
+            mix(&mut h, g.orig_rank.len() as u64);
+            for &o in &g.orig_rank {
+                mix(&mut h, o as u64);
+            }
+            for e in &g.engines {
+                for w in e.state_digest() {
+                    mix(&mut h, w);
+                }
+            }
+            mix(&mut h, g.results.len() as u64);
+            for m in &g.results {
+                mix(&mut h, m.size);
+                for d in &m.delivered_at {
+                    mix(&mut h, u64::from(d.is_some()));
+                }
+            }
+            for q in &g.pending {
+                mix(&mut h, q.len() as u64);
+                for &idx in q {
+                    mix(&mut h, idx as u64);
+                }
+            }
+            for &s in &g.senders {
+                mix(&mut h, s as u64);
+            }
+            if let Some(a) = &g.atomic {
+                for row in &a.status {
+                    for &c in row {
+                        mix(&mut h, c);
+                    }
+                }
+                for &c in &a.stable_count {
+                    mix(&mut h, c);
+                }
+            }
+        }
+        for &node in self.crash_times.keys() {
+            mix(&mut h, node as u64);
+        }
+        h
+    }
+
+    /// The configuration epoch each *live* member of `group` currently
+    /// runs (one entry per surviving engine on an uncrashed node). The
+    /// explorer's view-agreement invariant requires these to be equal at
+    /// quiescence: survivors that disagree about the epoch diverged
+    /// during reconfiguration.
+    pub fn live_member_epochs(&self, group: GroupId) -> Vec<u64> {
+        let g = &self.groups[group];
+        g.engines
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| !self.fabric.is_crashed(NodeId(g.spec.members[r] as u32)))
+            .map(|(_, e)| e.epoch())
+            .collect()
+    }
+
     /// Ranks that consider the group wedged (learned of a failure).
     pub fn wedged_members(&self, group: GroupId) -> Vec<Rank> {
         self.groups[group]
@@ -852,6 +997,18 @@ impl SimCluster {
     }
 
     fn dispatch(&mut self, _time: SimTime, node: NodeId, delivery: Delivery) {
+        // LazyRecvPost mutation: flush this node's deferred receive posts
+        // now — "the next delivery" is exactly the too-late point the bug
+        // defers them to.
+        if !self.lazy_recvs.is_empty() {
+            if let Some(deferred) = self.lazy_recvs.remove(&(node.index())) {
+                for (qp, size) in deferred {
+                    // The QP may have been torn down by a reconfiguration
+                    // while the post sat deferred.
+                    let _ = self.fabric.post_recv(qp, WrId(0), size);
+                }
+            }
+        }
         match delivery {
             Delivery::RecvDone { qp, imm, .. } => {
                 // Completions for torn-down (old-epoch) queue pairs are
@@ -1005,9 +1162,29 @@ impl SimCluster {
             match action {
                 Action::SendReady { to } => {
                     let qp = self.ensure_qp(group, rank, to);
+                    let block_size = self.groups[group].spec.block_size;
+                    if self.has_mutation(Mutation::LazyRecvPost) {
+                        // Seeded §4.2 inversion: announce readiness first
+                        // and batch the receive post to "the next time this
+                        // node's software runs". Under most interleavings
+                        // the deferred post still wins the race; under some
+                        // the peer's block send arrives first and finds no
+                        // receive — the RNR bug the explorer must find.
+                        let _ = self.fabric.post_write(
+                            qp,
+                            WrId(0),
+                            TAG_READY,
+                            Bytes::from_static(b"RDY"),
+                            None,
+                        );
+                        self.lazy_recvs
+                            .entry(node.index())
+                            .or_default()
+                            .push((qp, block_size));
+                        continue;
+                    }
                     // Readiness implies the receive is pre-posted (§4.2):
                     // post it first so the peer's send always lands.
-                    let block_size = self.groups[group].spec.block_size;
                     // Ignore failures: the group is wedging if the QP broke.
                     let _ = self.fabric.post_recv(qp, WrId(0), block_size);
                     let _ = self.fabric.post_write(
@@ -1152,22 +1329,62 @@ impl SimCluster {
     }
 
     /// Admits queued sends on `node` while it has free admission slots,
-    /// in policy order.
+    /// in policy order. With a controlled scheduler attached, genuine
+    /// admission ties (more than one equally-preferred send) become
+    /// explicit choice points the scheduler resolves.
     fn pump(&mut self, node: usize) {
         loop {
-            let Some(p) = self.pacer.as_mut() else {
-                return;
+            // Borrow scope: compute the policy's tied candidates, then
+            // release the pacer borrow before consulting the scheduler.
+            let (first, candidates) = {
+                let Some(p) = self.pacer.as_mut() else {
+                    return;
+                };
+                let config = p.config;
+                let Some(np) = p.nodes.get_mut(&node) else {
+                    return;
+                };
+                if np.inflight >= config.max_inflight {
+                    return;
+                }
+                let tied = PacerState::pick_tied(&config, np);
+                let Some(&first) = tied.first() else {
+                    return;
+                };
+                let candidates: Vec<verbs::Candidate> = if tied.len() > 1 {
+                    tied.iter()
+                        .map(|&slot| verbs::Candidate {
+                            seq: slot as u64,
+                            node: node as u32,
+                            conn: None,
+                            kind: verbs::CandidateKind::PacerSend {
+                                group: np.queue[slot].group as u64,
+                                slot: slot as u64,
+                            },
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (first, candidates)
             };
-            let config = p.config;
-            let Some(np) = p.nodes.get_mut(&node) else {
-                return;
+            let i = match (&self.scheduler, candidates.len()) {
+                (Some(sched), 2..) => {
+                    let point = verbs::ChoicePoint {
+                        time_ns: self.fabric.now().as_nanos(),
+                        kind: verbs::PointKind::PacerTie,
+                        candidates: &candidates,
+                    };
+                    let chosen = verbs::sched::pick(sched, &point);
+                    match candidates[chosen].kind {
+                        verbs::CandidateKind::PacerSend { slot, .. } => slot as usize,
+                        _ => first,
+                    }
+                }
+                _ => first,
             };
-            if np.inflight >= config.max_inflight {
-                return;
-            }
-            let Some(i) = PacerState::pick(&config, np) else {
-                return;
-            };
+            let p = self.pacer.as_mut().expect("pacing on");
+            let np = p.nodes.get_mut(&node).expect("node has a pacer entry");
             let qs = np.queue.remove(i).expect("picked index in range");
             np.rr_last = Some(qs.group);
             // A rejected post (the connection broke while the send sat in
@@ -1714,7 +1931,7 @@ impl SimCluster {
         // message index. An engine's undelivered transfers line up with
         // the front of that member's pending queue (both are in message
         // order, and the engine only knows about messages it has begun).
-        let mut status_of: HashMap<(usize, usize), TransferStatus> = HashMap::new();
+        let mut status_of: BTreeMap<(usize, usize), TransferStatus> = BTreeMap::new();
         let mut queued_at_root: BTreeSet<usize> = BTreeSet::new();
         {
             let g = &self.groups[group];
@@ -1800,17 +2017,26 @@ impl SimCluster {
                 q.retain(|i| !aset.contains(i));
             }
         }
-        // Tear down every old-epoch queue pair in rank order (the map's
-        // own iteration order is unseeded and would make teardown — and
-        // the flight recording — vary run to run); completions still in
-        // flight for them become ownerless and are ignored.
-        let mut old_qps: Vec<((Rank, Rank), QpHandle)> = self.groups[group]
-            .qps
-            .iter()
-            .map(|(&pair, &qp)| (pair, qp))
-            .collect();
-        old_qps.sort_unstable_by_key(|&(pair, _)| pair);
-        for (_, qp) in old_qps {
+        // Tear down every old-epoch queue pair in rank order; completions
+        // still in flight for them become ownerless and are ignored. The
+        // map is ordered, so plain iteration is already run-to-run stable
+        // (hash-order teardown was the PR 5 determinism regression).
+        let old_qps: Vec<QpHandle> = if self.has_mutation(Mutation::UnsortedQpTeardown) {
+            // Seeded PR 5 regression: copy through a hash map (fresh
+            // `RandomState` per map) so teardown order varies even across
+            // two runs of the identical choice sequence — exactly what
+            // the replay-determinism audit exists to catch.
+            #[allow(clippy::disallowed_types)]
+            let scrambled: std::collections::HashMap<(Rank, Rank), QpHandle> = self.groups[group]
+                .qps
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            scrambled.into_values().collect()
+        } else {
+            self.groups[group].qps.values().copied().collect()
+        };
+        for qp in old_qps {
             self.qp_owner.remove(&qp);
             self.fabric.break_qp(qp);
         }

@@ -56,8 +56,8 @@ mod profiles;
 
 pub use builder::ClusterBuilder;
 pub use cluster::{
-    DetectionRecord, GroupId, GroupSpec, MessageId, MessageResult, ReconfigRecord, RecoveryConfig,
-    RecoveryStats, SimCluster, TraceKind, TraceRecord,
+    DetectionRecord, GroupId, GroupSpec, MessageId, MessageResult, Mutation, ReconfigRecord,
+    RecoveryConfig, RecoveryStats, SimCluster, TraceKind, TraceRecord,
 };
 pub use experiment::{
     run_concurrent_overlapping, run_open_loop, run_open_loop_with, run_single_multicast,

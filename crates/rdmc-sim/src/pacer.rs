@@ -15,7 +15,7 @@
 //! (readiness grants, failure relays, status and view writes) is never
 //! paced: it is latency-critical and tiny.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rdmc::Rank;
 use verbs::{QpHandle, WrId};
@@ -49,6 +49,7 @@ impl PacingPolicy {
 /// Configuration of the per-node send admission layer
 /// ([`crate::ClusterBuilder::pacing`]).
 #[derive(Clone, Copy, Debug)]
+#[must_use = "pass the config to `ClusterBuilder::pacing`"]
 pub struct PacerConfig {
     /// Outbound block sends one node may have posted at once (≥ 1;
     /// admission keeps at least one send moving so progress never
@@ -107,11 +108,13 @@ pub(crate) struct NodePacer {
 /// ledger that maps completions back to their node.
 pub(crate) struct PacerState {
     pub config: PacerConfig,
-    pub nodes: HashMap<usize, NodePacer>,
+    /// Ordered map: reconfiguration iterates it, and iteration order
+    /// must not depend on hashing (the determinism audit).
+    pub nodes: BTreeMap<usize, NodePacer>,
     /// (queue pair, work request) -> posting node, for every block send
     /// the pacer admitted and the fabric accepted. Entries leave on
     /// `SendDone` or `WrFlushed`; control writes never enter.
-    pub admitted: HashMap<(QpHandle, WrId), usize>,
+    pub admitted: BTreeMap<(QpHandle, WrId), usize>,
     pub stats: PacingStats,
 }
 
@@ -119,26 +122,38 @@ impl PacerState {
     pub fn new(config: PacerConfig) -> Self {
         PacerState {
             config,
-            nodes: HashMap::new(),
-            admitted: HashMap::new(),
+            nodes: BTreeMap::new(),
+            admitted: BTreeMap::new(),
             stats: PacingStats::default(),
         }
     }
 
-    /// Index into `queue` of the send the policy admits next. `None`
-    /// when the queue is empty.
-    pub fn pick(config: &PacerConfig, np: &NodePacer) -> Option<usize> {
+    /// All equally-preferred queue indices under the policy, in arrival
+    /// order; the first entry is the default (uncontrolled)
+    /// choice. More than one entry means the policy is indifferent — a
+    /// genuine admission tie that a controlled scheduler may resolve
+    /// either way. Only smallest-first produces real ties (equal
+    /// message sizes); FIFO and round-robin orders are total.
+    pub fn pick_tied(config: &PacerConfig, np: &NodePacer) -> Vec<usize> {
         if np.queue.is_empty() {
-            return None;
+            return Vec::new();
         }
         match config.policy {
-            PacingPolicy::Fifo => Some(0),
-            PacingPolicy::SmallestFirst => np
-                .queue
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, q)| (q.total_size, *i))
-                .map(|(i, _)| i),
+            PacingPolicy::Fifo => vec![0],
+            PacingPolicy::SmallestFirst => {
+                let min = np
+                    .queue
+                    .iter()
+                    .map(|q| q.total_size)
+                    .min()
+                    .expect("non-empty queue");
+                np.queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.total_size == min)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
             PacingPolicy::RoundRobin => {
                 // The next distinct group after the cursor (cycling);
                 // within a group, arrival order.
@@ -153,7 +168,11 @@ impl PacerState {
                         .unwrap_or(groups[0]),
                     None => groups[0],
                 };
-                np.queue.iter().position(|q| q.group == next)
+                np.queue
+                    .iter()
+                    .position(|q| q.group == next)
+                    .into_iter()
+                    .collect()
             }
         }
     }

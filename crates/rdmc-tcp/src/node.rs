@@ -3,7 +3,7 @@
 //! group's protocol engine — mirroring RDMC's single completion thread
 //! (§4.2).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -293,10 +293,10 @@ struct EventLoop {
     my_id: NodeId,
     writers: BTreeMap<NodeId, SharedWriter>,
     cmd_tx: Sender<Command>,
-    groups: HashMap<u64, Group>,
+    groups: BTreeMap<u64, Group>,
     /// Frames for groups this node has not created yet (peers may race
     /// ahead of our `create_group`).
-    stashed: HashMap<u64, Vec<(NodeId, Frame)>>,
+    stashed: BTreeMap<u64, Vec<(NodeId, Frame)>>,
 }
 
 impl EventLoop {
@@ -309,8 +309,8 @@ impl EventLoop {
             my_id,
             writers,
             cmd_tx,
-            groups: HashMap::new(),
-            stashed: HashMap::new(),
+            groups: BTreeMap::new(),
+            stashed: BTreeMap::new(),
         }
     }
 

@@ -94,8 +94,8 @@ fn several_messages_arrive_in_order() {
         block_size: 512,
         ..GroupConfig::new(vec![0, 1, 2])
     };
-    let per_node: Arc<Mutex<std::collections::HashMap<u32, Vec<Vec<u8>>>>> =
-        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let per_node: Arc<Mutex<std::collections::BTreeMap<u32, Vec<Vec<u8>>>>> =
+        Arc::new(Mutex::new(std::collections::BTreeMap::new()));
     let (done_tx, done_rx) = mpsc::channel();
     for node in cluster.nodes() {
         let per_node = Arc::clone(&per_node);
@@ -278,8 +278,8 @@ fn filecast_delivers_verified_files_everywhere() {
         assert!(session.finish());
     }
     // Every receiver got every file, in order, byte-exact.
-    let mut per_node: std::collections::HashMap<u32, Vec<CastFile>> =
-        std::collections::HashMap::new();
+    let mut per_node: std::collections::BTreeMap<u32, Vec<CastFile>> =
+        std::collections::BTreeMap::new();
     while let Ok((id, file)) = rx.try_recv() {
         per_node.entry(id).or_default().push(file);
     }

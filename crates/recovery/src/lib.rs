@@ -56,6 +56,7 @@ pub enum ResumeStrategy {
 
 /// The planner's verdict for one interrupted message.
 #[derive(Clone, Debug)]
+#[must_use = "the verdict decides whether survivors resume or discard; ignoring it loses the message"]
 pub enum MessagePlan {
     /// The message can finish; run this schedule in the new epoch.
     Resume {

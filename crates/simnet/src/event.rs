@@ -64,6 +64,10 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
+    /// Tokens of cancelled-but-unfired events. Membership-only (insert,
+    /// contains, remove; never iterated), so hash order cannot reach
+    /// behavior.
+    #[allow(clippy::disallowed_types)]
     cancelled: std::collections::HashSet<u64>,
 }
 
@@ -80,6 +84,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            #[allow(clippy::disallowed_types)]
             cancelled: std::collections::HashSet::new(),
         }
     }
@@ -144,6 +149,65 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.drop_cancelled();
         let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// All pending events due at the earliest timestamp, as `(seq,
+    /// payload)` pairs sorted by sequence number (the default pop
+    /// order). The sequence numbers are stable identifiers: an entry
+    /// keeps its seq until popped, so callers can enumerate a
+    /// same-instant burst, decide an order, and retrieve specific
+    /// events with [`EventQueue::pop_seq`].
+    ///
+    /// Returns an empty vector when the queue is empty.
+    pub fn peek_due(&mut self) -> Vec<(u64, &E)> {
+        self.drop_cancelled();
+        let Some(head) = self.heap.peek().map(|e| e.time) else {
+            return Vec::new();
+        };
+        let mut due: Vec<(u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| e.time == head && !self.cancelled.contains(&e.seq))
+            .map(|e| (e.seq, &e.payload))
+            .collect();
+        due.sort_by_key(|&(seq, _)| seq);
+        due
+    }
+
+    /// Pops the event with the given sequence number, which must be due
+    /// at the earliest pending timestamp (i.e. one of the entries
+    /// reported by [`EventQueue::peek_due`]). Advances the clock to its
+    /// timestamp. Other same-instant entries keep their original
+    /// sequence numbers, so the residual pop order is unchanged.
+    ///
+    /// Returns `None` if no due event carries `seq`.
+    pub fn pop_seq(&mut self, seq: u64) -> Option<(SimTime, E)> {
+        self.drop_cancelled();
+        let head = self.heap.peek().map(|e| e.time)?;
+        let mut displaced = Vec::new();
+        let mut found = None;
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            if entry.time != head {
+                // Ran past the due instant without finding `seq`.
+                displaced.push(entry);
+                break;
+            }
+            if entry.seq == seq {
+                found = Some(entry);
+                break;
+            }
+            displaced.push(entry);
+        }
+        for entry in displaced {
+            self.heap.push(entry);
+        }
+        let entry = found?;
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         Some((entry.time, entry.payload))
@@ -231,6 +295,54 @@ mod tests {
         q.pop().unwrap();
         q.cancel(tok);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_due_reports_same_instant_burst() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        q.schedule_at(SimTime::from_nanos(9), "later");
+        let due: Vec<(u64, &&str)> = q.peek_due();
+        assert_eq!(due.len(), 2);
+        assert_eq!(*due[0].1, "a");
+        assert_eq!(*due[1].1, "b");
+        assert!(due[0].0 < due[1].0);
+    }
+
+    #[test]
+    fn pop_seq_reorders_without_disturbing_rest() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        q.schedule_at(t, "c");
+        let due = q.peek_due();
+        let b_seq = due[1].0;
+        assert_eq!(q.pop_seq(b_seq).unwrap().1, "b");
+        // Remaining events keep their original relative order.
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn pop_seq_skips_cancelled_and_misses_later_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        let tok = q.schedule_at(t, "cancelled");
+        q.schedule_at(t, "live");
+        let late = q.schedule_at(SimTime::from_nanos(9), "late");
+        q.cancel(tok);
+        // Seqs of events beyond the due instant are not poppable.
+        assert!(q.pop_seq(late.0).is_none());
+        let live_seq = {
+            let due = q.peek_due();
+            assert_eq!(due.len(), 1);
+            due[0].0
+        };
+        assert_eq!(q.pop_seq(live_seq).unwrap().1, "live");
+        assert_eq!(q.pop().unwrap().1, "late");
     }
 
     #[test]

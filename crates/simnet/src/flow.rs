@@ -44,6 +44,9 @@
 //! event loop (see the `verbs` crate).
 
 use std::cmp::Reverse;
+// `InternState::classes` is a pure interning table (get-or-insert by
+// path, never iterated), so hash order cannot reach behavior.
+#[allow(clippy::disallowed_types)]
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
@@ -219,7 +222,9 @@ pub struct FlowNet {
 /// seen); a class with no live flows contributes nothing and is skipped.
 #[derive(Default)]
 struct InternState {
-    /// Path → class id.
+    /// Path → class id. Lookup-only (never iterated); see the import
+    /// note.
+    #[allow(clippy::disallowed_types)]
     classes: HashMap<Vec<LinkId>, u32>,
     /// Per-class path (the interned key, shared by every member).
     class_path: Vec<Vec<LinkId>>,

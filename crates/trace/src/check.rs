@@ -34,6 +34,10 @@
 //! capture before checking it.
 
 use crate::{EventKind, TraceEvent};
+// The oracle's hash maps are pure lookup tables — entry/get/retain
+// keyed by trace-supplied ids, never iterated — so their randomized
+// order cannot leak into the verdict or the violation list.
+#[allow(clippy::disallowed_types)]
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Model parameters the oracle checks against; compute these from the
@@ -92,6 +96,7 @@ type Member = (u32, u32); // (group, rank)
 /// Checks every invariant over a complete event stream. Returns summary
 /// counters on success, or every violation found (never just the
 /// first — a broken run should be diagnosable in one pass).
+#[allow(clippy::disallowed_types)] // lookup-only maps; see the import note
 pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckStats, Vec<String>> {
     let mut violations: Vec<String> = Vec::new();
     let mut stats = CheckStats::default();

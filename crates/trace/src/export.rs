@@ -13,7 +13,7 @@
 //!   block sends as duration spans.
 
 use crate::{EventKind, TraceEvent};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
 /// A JSON-serializable field value.
@@ -344,7 +344,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     // FIFO per (group, rank, receiver) — the engine completes sends to
     // one peer in issue order.
     type SendKey = (u32, u32, u32);
-    let mut pending: HashMap<SendKey, VecDeque<(u64, u32, u32, u64)>> = HashMap::new();
+    let mut pending: BTreeMap<SendKey, VecDeque<(u64, u32, u32, u64)>> = BTreeMap::new();
 
     for ev in events {
         let (pid, tid) = match ev.scope.group {

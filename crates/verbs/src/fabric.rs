@@ -9,6 +9,10 @@
 //! time; the fabric serialises each node's software on a single virtual
 //! core, exactly like RDMC's single completion thread (§4.2).
 
+// The two hashed collections below (`hw_completed`, `inflight_index`)
+// are pure membership/lookup tables — insert, contains, remove, get;
+// never iterated — so their randomized order cannot reach behavior.
+#[allow(clippy::disallowed_types)]
 use std::collections::{HashSet, VecDeque};
 
 use bytes::Bytes;
@@ -85,6 +89,8 @@ struct Node {
     crashed: bool,
     conns: Vec<u32>,
     /// Hardware-level completed WRs, for cross-channel dependencies.
+    /// Membership-only (never iterated); see the import note.
+    #[allow(clippy::disallowed_types)]
     hw_completed: HashSet<(u32, u8, u64)>,
 }
 
@@ -182,7 +188,9 @@ pub struct Fabric {
     /// to the event loop so a burst of same-instant flow changes costs
     /// one re-aim — and one rate recomputation — instead of one each.
     net_stale: bool,
-    /// flow -> (conn, dir) index for completions.
+    /// flow -> (conn, dir) index for completions. Lookup-only (never
+    /// iterated); see the import note.
+    #[allow(clippy::disallowed_types)]
     inflight_index: std::collections::HashMap<FlowId, (u32, u8)>,
     /// Reusable buffer for a node's connection list while dependent sends
     /// are re-kicked (avoids one Vec allocation per hardware completion).
@@ -191,6 +199,10 @@ pub struct Fabric {
     /// Flight recorder for verb-level events (posts, completions, RNR
     /// arms, flushes); disabled — one branch per event — by default.
     recorder: trace::Recorder,
+    /// Controlled scheduler for same-instant delivery races; when
+    /// attached, [`Fabric::advance`] routes tie-breaks through it
+    /// instead of the queue's schedule-order default.
+    scheduler: Option<crate::sched::SharedScheduler>,
 }
 
 impl Fabric {
@@ -209,6 +221,7 @@ impl Fabric {
                 poll_busy: SimDuration::ZERO,
                 crashed: false,
                 conns: Vec::new(),
+                #[allow(clippy::disallowed_types)]
                 hw_completed: HashSet::new(),
             })
             .collect();
@@ -221,11 +234,27 @@ impl Fabric {
             nodes,
             net_wake: None,
             net_stale: false,
+            #[allow(clippy::disallowed_types)]
             inflight_index: std::collections::HashMap::new(),
             conn_scratch: Vec::new(),
             stats: FabricStats::default(),
             recorder: trace::Recorder::disabled(),
+            scheduler: None,
         }
+    }
+
+    /// Attaches a controlled scheduler: same-instant delivery races
+    /// become explicit choice points answered by `scheduler` (see
+    /// [`crate::sched`]). Without one, ties break by schedule order and
+    /// runs are bit-for-bit reproducible; with one, reproducibility
+    /// additionally requires replaying the same choice answers.
+    pub fn set_scheduler(&mut self, scheduler: crate::sched::SharedScheduler) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Whether a controlled scheduler is attached.
+    pub fn has_scheduler(&self) -> bool {
+        self.scheduler.is_some()
     }
 
     /// Attaches a flight recorder to the fabric and its flow network.
@@ -595,6 +624,9 @@ impl Fabric {
     /// Runs the fabric forward and returns the next software-visible
     /// delivery, or `None` when the simulation has quiesced.
     pub fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
+        if self.scheduler.is_some() {
+            return self.advance_scheduled();
+        }
         loop {
             if self.net_stale {
                 // Same-instant coalescing: while further events share the
@@ -621,33 +653,184 @@ impl Fabric {
             // (including by protocol engines fed from it) stamps `t`.
             self.recorder.set_now(t.as_nanos());
             match ev {
-                Ev::NetWake => {
-                    self.net_wake = None;
-                    self.process_due_flows(t);
-                    self.net_stale = true;
-                }
-                Ev::Kick { conn, dir } => self.kick(conn, dir),
-                Ev::RnrRetry { conn, dir, epoch } => self.rnr_retry(conn, dir, epoch),
-                Ev::HwComplete {
-                    conn,
-                    dir,
-                    side,
-                    wr,
-                } => self.hw_complete(t, conn, dir, side, wr),
-                Ev::BreakConn { conn } => self.break_conn(conn),
                 Ev::Deliver { node, delivery } => {
-                    let n = &mut self.nodes[node.index()];
-                    if n.crashed {
-                        continue;
+                    if let Some(out) = self.deliver_or_defer(t, node, delivery) {
+                        return Some(out);
                     }
-                    if n.cpu_free_at > t {
-                        // Software is busy; the completion waits.
-                        let at = n.cpu_free_at;
-                        self.stats.cpu_requeues += 1;
-                        self.queue.schedule_at(at, Ev::Deliver { node, delivery });
-                        continue;
+                }
+                internal => self.handle_internal(t, internal),
+            }
+        }
+    }
+
+    /// Handles one internal (hardware-level) event.
+    fn handle_internal(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::NetWake => {
+                self.net_wake = None;
+                self.process_due_flows(t);
+                self.net_stale = true;
+            }
+            Ev::Kick { conn, dir } => self.kick(conn, dir),
+            Ev::RnrRetry { conn, dir, epoch } => self.rnr_retry(conn, dir, epoch),
+            Ev::HwComplete {
+                conn,
+                dir,
+                side,
+                wr,
+            } => self.hw_complete(t, conn, dir, side, wr),
+            Ev::BreakConn { conn } => self.break_conn(conn),
+            Ev::Deliver { .. } => unreachable!("deliveries are not internal events"),
+        }
+    }
+
+    /// Crash/busy filtering plus the CPU charge for a popped delivery;
+    /// returns the delivery if the node's software observes it now.
+    fn deliver_or_defer(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        delivery: Delivery,
+    ) -> Option<(SimTime, NodeId, Delivery)> {
+        let n = &mut self.nodes[node.index()];
+        if n.crashed {
+            return None;
+        }
+        if n.cpu_free_at > t {
+            // Software is busy; the completion waits.
+            let at = n.cpu_free_at;
+            self.stats.cpu_requeues += 1;
+            self.queue.schedule_at(at, Ev::Deliver { node, delivery });
+            return None;
+        }
+        let overhead = n.profile.completion_overhead;
+        self.charge_cpu(node, overhead);
+        Some((t, node, delivery))
+    }
+
+    /// Summarises a pending delivery for the scheduler.
+    fn candidate(seq: u64, node: NodeId, delivery: &Delivery) -> crate::sched::Candidate {
+        use crate::sched::CandidateKind as K;
+        let (conn, kind) = match delivery {
+            Delivery::RecvDone { qp, .. } => (Some(qp.conn), K::Recv),
+            Delivery::SendDone { qp, .. } => (Some(qp.conn), K::Send),
+            Delivery::WriteDone { qp, .. } => (Some(qp.conn), K::WriteDone),
+            Delivery::WriteArrived { qp, tag, .. } => {
+                (Some(qp.conn), K::WriteArrived { tag: *tag })
+            }
+            Delivery::WrFlushed { qp, .. } => (Some(qp.conn), K::Flushed),
+            Delivery::QpBroken { qp } => (Some(qp.conn), K::Broken),
+            Delivery::Timer { token } => (None, K::Timer { token: *token }),
+        };
+        crate::sched::Candidate {
+            seq,
+            node: node.index() as u32,
+            conn,
+            kind,
+        }
+    }
+
+    /// [`Fabric::advance`] under a controlled scheduler: internal
+    /// hardware events at the due instant are drained eagerly, crashed
+    /// and CPU-busy deliveries are filtered deterministically, and any
+    /// remaining same-instant race between two or more enabled
+    /// deliveries becomes a choice point answered by the scheduler.
+    fn advance_scheduled(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
+        enum Step {
+            /// Run an internal hardware event.
+            Run(u64),
+            /// Discard a delivery to a crashed node.
+            Discard(u64),
+            /// Requeue a delivery whose node's CPU is busy.
+            Requeue(u64),
+            /// Offer the enabled deliveries (possibly just one).
+            Offer(Vec<crate::sched::Candidate>),
+        }
+        loop {
+            if self.net_stale {
+                // Re-aim eagerly (as with a recorder attached): deferred
+                // re-aims would make the due set visible to the scheduler
+                // depend on coalescing internals rather than on protocol
+                // state.
+                self.net_stale = false;
+                self.resync_net();
+            }
+            let t = self.queue.peek_time()?;
+            let step = {
+                let due = self.queue.peek_due();
+                let mut cands = Vec::new();
+                let mut step = None;
+                for (seq, ev) in due {
+                    match ev {
+                        Ev::Deliver { node, delivery } => {
+                            let n = &self.nodes[node.index()];
+                            if n.crashed {
+                                step = Some(Step::Discard(seq));
+                                break;
+                            }
+                            if n.cpu_free_at > t {
+                                step = Some(Step::Requeue(seq));
+                                break;
+                            }
+                            cands.push(Self::candidate(seq, *node, delivery));
+                        }
+                        _ => {
+                            // Hardware progress at an instant commutes
+                            // with software observation order; drain it
+                            // before offering any choice.
+                            step = Some(Step::Run(seq));
+                            break;
+                        }
                     }
-                    let overhead = n.profile.completion_overhead;
+                }
+                step.unwrap_or(Step::Offer(cands))
+            };
+            match step {
+                Step::Run(seq) => {
+                    let (t, ev) = self.queue.pop_seq(seq).expect("due event vanished");
+                    self.stats.events += 1;
+                    self.recorder.set_now(t.as_nanos());
+                    self.handle_internal(t, ev);
+                }
+                Step::Discard(seq) => {
+                    let _ = self.queue.pop_seq(seq).expect("due event vanished");
+                    self.stats.events += 1;
+                }
+                Step::Requeue(seq) => {
+                    let (_, ev) = self.queue.pop_seq(seq).expect("due event vanished");
+                    self.stats.events += 1;
+                    let Ev::Deliver { node, delivery } = ev else {
+                        unreachable!("requeue step only selects deliveries");
+                    };
+                    let at = self.nodes[node.index()].cpu_free_at;
+                    self.stats.cpu_requeues += 1;
+                    self.queue.schedule_at(at, Ev::Deliver { node, delivery });
+                }
+                Step::Offer(cands) => {
+                    debug_assert!(!cands.is_empty(), "due instant with no events");
+                    let idx = if cands.len() == 1 {
+                        0
+                    } else {
+                        let sched = self.scheduler.clone().expect("scheduled mode");
+                        crate::sched::pick(
+                            &sched,
+                            &crate::sched::ChoicePoint {
+                                time_ns: t.as_nanos(),
+                                kind: crate::sched::PointKind::Delivery,
+                                candidates: &cands,
+                            },
+                        )
+                    };
+                    let (t, ev) = self
+                        .queue
+                        .pop_seq(cands[idx].seq)
+                        .expect("chosen event vanished");
+                    self.stats.events += 1;
+                    self.recorder.set_now(t.as_nanos());
+                    let Ev::Deliver { node, delivery } = ev else {
+                        unreachable!("candidates are deliveries");
+                    };
+                    let overhead = self.nodes[node.index()].profile.completion_overhead;
                     self.charge_cpu(node, overhead);
                     return Some((t, node, delivery));
                 }

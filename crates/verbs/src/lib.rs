@@ -57,9 +57,11 @@
 
 mod fabric;
 pub mod perf;
+pub mod sched;
 mod types;
 
 pub use fabric::{Fabric, FabricStats, PostingSnapshot};
+pub use sched::{Candidate, CandidateKind, ChoicePoint, PointKind, Scheduler, SharedScheduler};
 pub use types::{
     CompletionMode, CpuReport, Delivery, FabricParams, NodeId, QpHandle, VerbsError, WaitSpec, WrId,
 };

@@ -62,7 +62,7 @@ proptest! {
         ops in prop::collection::vec((0usize..4, 0usize..4, 1u64..200_000), 1..40)
     ) {
         let mut f = fabric(4);
-        let mut qps = std::collections::HashMap::new();
+        let mut qps = std::collections::BTreeMap::new();
         let mut posted = 0usize;
         for (i, &(a, b, size)) in ops.iter().enumerate() {
             if a == b {

@@ -8,7 +8,7 @@
 //! cargo run --release --example cosmos_replay
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdmc::Algorithm;
 use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
@@ -18,7 +18,7 @@ const MB: u64 = 1 << 20;
 
 fn replay(alg: Algorithm, writes: &[workloads::CosmosWrite]) -> (Vec<f64>, f64) {
     let mut cluster = ClusterBuilder::new(ClusterSpec::fractus(16)).build();
-    let mut groups: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut groups: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
     for w in writes {
         let mut members = vec![0usize]; // node 0 generates all traffic
         members.extend(w.targets.iter().map(|&t| t + 1));
