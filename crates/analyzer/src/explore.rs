@@ -9,9 +9,10 @@
 //! legal ones is the only one ever tested. The explorer externalises the
 //! tie-breaks through the [`verbs::Scheduler`] trait: every burst of
 //! same-instant software-visible deliveries, every pacer admission tie,
-//! and every configured crash-injection site becomes an explicit *choice
-//! point*, and a recorded choice sequence replays the execution
-//! bit-for-bit.
+//! every configured crash-injection site, and — within the scenario's
+//! [`ExploreScenario::loss_choices`] budget — every wire loss site
+//! (deliver or drop) becomes an explicit *choice point*, and a recorded
+//! choice sequence replays the execution bit-for-bit.
 //!
 //! Three strategies:
 //!
@@ -46,7 +47,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
 
 use rdmc::Algorithm;
-use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, Mutation, RecoveryConfig, SimCluster};
+use rdmc_sim::{
+    ClusterBuilder, ClusterSpec, GroupSpec, Mutation, RecoveryConfig, ReliabilityPolicy, SimCluster,
+};
 use verbs::{Candidate, CandidateKind, ChoicePoint, PointKind, Scheduler, SharedScheduler};
 
 /// One resolved choice point, as recorded during an execution. The
@@ -146,6 +149,15 @@ pub struct ExploreScenario {
     /// non-empty, the execution's *first* choice point picks one site —
     /// or none — and recovery is enabled so the run can finish.
     pub fault_sites: Vec<(u64, usize)>,
+    /// Wire loss-site budget: the first `loss_choices` data transfers
+    /// each become a deliver-or-drop choice point
+    /// ([`verbs::PointKind::LossSite`]), so the explorer enumerates
+    /// which transfers the fabric loses instead of sampling them.
+    pub loss_choices: u64,
+    /// Reliability policy protecting the group when loss sites are
+    /// explored; recovery is enabled alongside so escalations can
+    /// finish.
+    pub reliability: Option<ReliabilityPolicy>,
     /// Deliberately seeded ordering bugs (mutation testing).
     pub mutations: Vec<Mutation>,
 }
@@ -165,6 +177,8 @@ impl ExploreScenario {
             max_outstanding_sends: 1,
             atomic: true,
             fault_sites: Vec::new(),
+            loss_choices: 0,
+            reliability: None,
             mutations: Vec::new(),
         }
     }
@@ -175,6 +189,17 @@ impl ExploreScenario {
     pub fn with_faults(mut self, sites: Vec<(u64, usize)>) -> Self {
         self.atomic = false;
         self.fault_sites = sites;
+        self
+    }
+
+    /// A loss-exploring variant: the first `budget` wire transfers
+    /// become deliver-or-drop choice points, the group is protected by
+    /// `policy`, and recovery is on (atomic delivery off) so drop
+    /// branches that escalate can still converge.
+    pub fn with_loss(mut self, budget: u64, policy: ReliabilityPolicy) -> Self {
+        self.atomic = false;
+        self.loss_choices = budget;
+        self.reliability = Some(policy);
         self
     }
 
@@ -372,10 +397,11 @@ fn run_with(scenario: &ExploreScenario, pick: Pick) -> ExecutionResult {
         let mut builder = ClusterBuilder::new(ClusterSpec::fractus(scenario.n as usize))
             .flight_recorder(trace::Mode::Full)
             .scheduler(shared.clone());
-        if !scenario.fault_sites.is_empty() {
+        if !scenario.fault_sites.is_empty() || scenario.reliability.is_some() {
             builder = builder.recovery(RecoveryConfig::default());
         }
         let mut cluster = builder.build();
+        cluster.set_loss_choice_budget(scenario.loss_choices);
         for &m in &scenario.mutations {
             cluster.seed_mutation(m);
         }
@@ -388,6 +414,9 @@ fn run_with(scenario: &ExploreScenario, pick: Pick) -> ExecutionResult {
         });
         if scenario.atomic {
             cluster.enable_atomic_delivery(group);
+        }
+        if let Some(policy) = scenario.reliability {
+            cluster.set_reliability(group, policy);
         }
         let injected = offer_fault_choice(scenario, &shared, &mut cluster);
         for _ in 0..scenario.messages {

@@ -37,6 +37,7 @@ fn json_summary(
     sections: &[SectionPerf],
     trace_overhead: Option<&e::TraceOverhead>,
     multigroup: Option<&e::MultigroupReport>,
+    reliability: Option<&e::ReliabilityReport>,
     scale: Option<&e::ScaleReport>,
     explore: Option<&e::ExploreBench>,
 ) -> String {
@@ -53,6 +54,9 @@ fn json_summary(
     }
     if let Some(m) = multigroup {
         out.push_str(&format!("  \"multigroup\": {},\n", m.to_json()));
+    }
+    if let Some(r) = reliability {
+        out.push_str(&format!("  \"reliability\": {},\n", r.to_json()));
     }
     if let Some(s) = scale {
         out.push_str(&format!("  \"scale\": {},\n", s.to_json()));
@@ -154,6 +158,18 @@ fn main() {
     } else {
         None
     };
+    // The lossy-WAN reliability sweep reports through the JSON summary
+    // as well as text, so it runs outside the plain-text section list.
+    let reliability = if only.is_empty() || only.iter().any(|o| o == "reliability") {
+        let t = std::time::Instant::now();
+        let r = e::reliability_sweep(quick);
+        println!("==================== reliability ====================");
+        println!("{}", r.text());
+        eprintln!("[reliability took {:.1}s]", t.elapsed().as_secs_f64());
+        Some(r)
+    } else {
+        None
+    };
     // The datacenter-scale benchmark also reports through the JSON
     // summary, so it runs outside the plain-text section list.
     let scale = if only.is_empty() || only.iter().any(|o| o == "scale") {
@@ -209,6 +225,7 @@ fn main() {
         &perf,
         trace_overhead.as_ref(),
         multigroup.as_ref(),
+        reliability.as_ref(),
         scale.as_ref(),
         explore_bench.as_ref(),
     );

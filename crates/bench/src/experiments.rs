@@ -1436,6 +1436,206 @@ pub fn multigroup_sweep(quick: bool) -> MultigroupReport {
     MultigroupReport { cells }
 }
 
+/// One cell of the lossy-WAN reliability sweep: one policy at one
+/// per-WAN-link loss rate, aggregated over independent seeded runs.
+pub struct ReliabilityCell {
+    /// Reliability policy label.
+    pub policy: &'static str,
+    /// Per-WAN-link loss probability, percent.
+    pub loss_pct: f64,
+    /// Independent single-message runs at this point.
+    pub messages: usize,
+    /// Runs whose message reached every surviving rank.
+    pub completed: usize,
+    /// Median delivery latency (submit to last survivor), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile delivery latency, milliseconds.
+    pub p99_ms: f64,
+    /// NACK control writes sent across all runs.
+    pub nacks: u64,
+    /// Retransmitted blocks delivered across all runs.
+    pub retransmissions: u64,
+    /// Blocks reconstructed from erasure parity across all runs.
+    pub parity_repairs: u64,
+    /// Connections escalated to epoch recovery across all runs.
+    pub escalations: u64,
+}
+
+/// The reliability sweep's results, renderable as text and as the
+/// `reliability` section of `BENCH_simnet.json`.
+pub struct ReliabilityReport {
+    /// One cell per (policy, loss rate) point.
+    pub cells: Vec<ReliabilityCell>,
+}
+
+impl ReliabilityReport {
+    /// Text table for the report output.
+    pub fn text(&self) -> String {
+        let mut out = String::from(
+            "Reliability under WAN loss: geo 2-site cluster (50 ms WAN), 8 MB messages,\n\
+             per-group reliability policy vs per-WAN-link loss rate\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                row![
+                    c.policy,
+                    format!("{:.1}%", c.loss_pct),
+                    format!("{}/{}", c.completed, c.messages),
+                    format!("{:.1}", c.p50_ms),
+                    format!("{:.1}", c.p99_ms),
+                    c.nacks,
+                    c.retransmissions,
+                    c.parity_repairs,
+                    c.escalations
+                ]
+            })
+            .collect();
+        out.push_str(&render(
+            &row![
+                "policy",
+                "loss",
+                "completed",
+                "p50 ms",
+                "p99 ms",
+                "nacks",
+                "retrans",
+                "parity fix",
+                "escalations"
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        out
+    }
+
+    /// The `reliability` JSON array (keys in fixed order, byte-stable
+    /// for a given cell list).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"loss_pct\": {:.1}, \"messages\": {}, \
+                 \"completed\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"nacks\": {}, \"retransmissions\": {}, \"parity_repairs\": {}, \
+                 \"escalations\": {}}}{}\n",
+                c.policy,
+                c.loss_pct,
+                c.messages,
+                c.completed,
+                c.p50_ms,
+                c.p99_ms,
+                c.nacks,
+                c.retransmissions,
+                c.parity_repairs,
+                c.escalations,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+/// One point of the reliability sweep: `messages` independent seeded
+/// runs of an 8 MB multicast on the geo 2-site cluster, with `loss_pct`
+/// per-WAN-link loss and the group protected by `policy`.
+fn reliability_point(
+    policy_label: &'static str,
+    policy: rdmc_sim::ReliabilityPolicy,
+    loss_pct: f64,
+    messages: usize,
+) -> ReliabilityCell {
+    use simnet::{FaultProfile, LinkFault};
+    let mut latencies = Vec::new();
+    let mut completed = 0usize;
+    let mut nacks = 0u64;
+    let mut retransmissions = 0u64;
+    let mut parity_repairs = 0u64;
+    let mut escalations = 0u64;
+    for run in 0..messages {
+        let mut cluster = ClusterBuilder::new(ClusterSpec::geo(4))
+            .recovery(RecoveryConfig::default())
+            .reliability(policy)
+            .build();
+        if loss_pct > 0.0 {
+            let mut profile = FaultProfile::new(0xC0F_FEE ^ run as u64);
+            for link in cluster.fabric().topology().wan_links() {
+                profile.set_link(link, LinkFault::lossy(loss_pct / 100.0));
+            }
+            cluster.set_fault_profile(profile);
+        }
+        let group = cluster.create_group(GroupSpec {
+            members: (0..4).collect(),
+            algorithm: Algorithm::BinomialPipeline,
+            block_size: MB,
+            ready_window: 4,
+            max_outstanding_sends: 2,
+        });
+        cluster.submit_send(group, 8 * MB);
+        cluster.run();
+        let survivors = cluster.surviving_ranks(group);
+        let r = &cluster.message_results()[0];
+        let done_at = survivors
+            .iter()
+            .map(|&o| r.delivered_at[o as usize])
+            .collect::<Option<Vec<_>>>()
+            .and_then(|ts| ts.into_iter().max());
+        if let Some(last) = done_at {
+            completed += 1;
+            latencies.push(last.since(r.submitted).as_secs_f64() * 1e3);
+        }
+        let s = cluster.reliability_stats();
+        nacks += s.nacks_sent;
+        retransmissions += s.repairs_received;
+        parity_repairs += s.parity_repairs;
+        escalations += s.escalations;
+    }
+    ReliabilityCell {
+        policy: policy_label,
+        loss_pct,
+        messages,
+        completed,
+        p50_ms: stats::percentile(&latencies, 50.0),
+        p99_ms: stats::percentile(&latencies, 99.0),
+        nacks,
+        retransmissions,
+        parity_repairs,
+        escalations,
+    }
+}
+
+/// The lossy-WAN reliability sweep: every policy at every loss rate on
+/// the geo 2-site cluster. The headline is the SDR-RDMA story —
+/// selective-ack pays a 100 ms WAN round trip per lost block, so its
+/// tail latency climbs with the loss rate, while erasure parity repairs
+/// losses from data already on the wire and holds p99 nearly flat
+/// through 1% loss; wedge/resume escalates every loss to epoch
+/// recovery, the right trade only when losses mean a failing peer.
+pub fn reliability_sweep(quick: bool) -> ReliabilityReport {
+    let messages = if quick { 6 } else { 16 };
+    let policies: [(&'static str, rdmc_sim::ReliabilityPolicy); 3] = [
+        (
+            "selective-ack",
+            rdmc_sim::ReliabilityPolicy::selective_ack(),
+        ),
+        ("erasure-2+1", rdmc_sim::ReliabilityPolicy::erasure(2, 1)),
+        ("wedge-resume", rdmc_sim::ReliabilityPolicy::wedge_resume()),
+    ];
+    let rates = [0.0, 0.1, 1.0, 5.0];
+    let mut configs = Vec::new();
+    for (label, policy) in &policies {
+        for &pct in &rates {
+            configs.push((*label, *policy, pct));
+        }
+    }
+    let cells = par_map(&configs, |(label, policy, pct)| {
+        reliability_point(label, *policy, *pct, messages)
+    });
+    ReliabilityReport { cells }
+}
+
 /// The disabled-recorder overhead record written to `BENCH_simnet.json`.
 pub struct TraceOverhead {
     /// Events a fully traced Fig. 4 run (group of 16, 8 MB) records.

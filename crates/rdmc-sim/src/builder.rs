@@ -9,12 +9,13 @@
 //! mutators remain as deprecated shims and produce bit-for-bit the same
 //! clusters.
 
-use simnet::JitterModel;
+use simnet::{FaultProfile, JitterModel};
 use verbs::{CompletionMode, Fabric, NodeId, SharedScheduler};
 
 use crate::cluster::{RecoveryConfig, SimCluster};
 use crate::pacer::PacerConfig;
 use crate::profiles::ClusterSpec;
+use crate::reliability::ReliabilityPolicy;
 
 /// Declarative configuration of a [`SimCluster`].
 ///
@@ -46,6 +47,8 @@ pub struct ClusterBuilder {
     jitter: Vec<(usize, JitterModel)>,
     intern_paths: bool,
     scheduler: Option<SharedScheduler>,
+    fault_profile: Option<FaultProfile>,
+    reliability: Option<ReliabilityPolicy>,
 }
 
 impl ClusterBuilder {
@@ -66,6 +69,8 @@ impl ClusterBuilder {
             jitter: Vec::new(),
             intern_paths: false,
             scheduler: None,
+            fault_profile: None,
+            reliability: None,
         }
     }
 
@@ -134,6 +139,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a seeded fault model to the fabric (see
+    /// [`simnet::FaultProfile`]): data-plane transfers become subject to
+    /// per-link loss, burst loss, and corruption. Control writes under
+    /// the tiny-write bypass stay reliable. A clean profile leaves the
+    /// fabric bit-for-bit lossless. Pair with
+    /// [`ClusterBuilder::reliability`] — an unprotected group on a lossy
+    /// fabric stalls or wedges, exactly as the paper's §2.2 lossless
+    /// assumption predicts.
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.fault_profile = Some(profile);
+        self
+    }
+
+    /// Default [`ReliabilityPolicy`] for every group created on the
+    /// cluster: block sends carry per-connection sequence numbers, and
+    /// fabric losses are repaired by selective retransmission, erasure
+    /// parity, or escalation to epoch recovery instead of stalling the
+    /// transfer. Override per group with [`SimCluster::set_reliability`].
+    pub fn reliability(mut self, policy: ReliabilityPolicy) -> Self {
+        self.reliability = Some(policy);
+        self
+    }
+
     /// Builds the configured cluster.
     pub fn build(mut self) -> SimCluster {
         if self.intern_paths {
@@ -145,7 +173,13 @@ impl ClusterBuilder {
         for (node, jitter) in self.jitter.drain(..) {
             self.fabric.set_jitter(NodeId(node as u32), jitter);
         }
+        if let Some(profile) = self.fault_profile {
+            self.fabric.set_fault_profile(profile);
+        }
         let mut cluster = SimCluster::from_fabric(self.fabric);
+        if let Some(policy) = self.reliability {
+            cluster.set_default_reliability(policy);
+        }
         if let Some(mode) = self.recorder_mode {
             let _ = cluster.attach_recorder(mode);
         }

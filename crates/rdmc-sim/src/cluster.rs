@@ -32,6 +32,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use crate::pacer::{PacerConfig, PacerState, PacingStats, QueuedSend};
+use crate::reliability::{
+    self, ParityGen, RelRecvState, RelSendState, ReliabilityPolicy, ReliabilityStats,
+};
 use bytes::Bytes;
 use rdmc::engine::{
     Action, EngineConfig, EpochInstall, Event, GroupEngine, ResumeTransfer, TransferStatus,
@@ -41,6 +44,7 @@ use rdmc::{Algorithm, Rank};
 use recovery::{plan_message_resume, resume_transfers, MessagePlan, ResumeStrategy};
 use simnet::{JitterModel, SimDuration, SimTime};
 use sst::{View, ViewTracker};
+use trace::check::wire;
 use verbs::{CompletionMode, CpuReport, Delivery, Fabric, NodeId, QpHandle, WrId};
 
 /// One-sided-write tag for ready-for-block notices.
@@ -51,6 +55,15 @@ const TAG_FAILURE: u64 = 1;
 const TAG_STATUS: u64 = 2;
 /// One-sided-write tag for membership-view (suspicion/epoch) updates.
 const TAG_VIEW: u64 = 3;
+/// One-sided-write tag for gap-repair requests (reliability layer).
+const TAG_NACK: u64 = 4;
+/// One-sided-write tag for retransmitted blocks (reliability layer).
+const TAG_RETRANS: u64 = 5;
+/// One-sided-write tag for erasure-coded parity writes.
+const TAG_PARITY: u64 = 6;
+/// One-sided-write tag for sender send-frontier probes (trailing-loss
+/// detection after a quiet period).
+const TAG_PROBE: u64 = 7;
 
 /// Identifies a group within a [`SimCluster`].
 pub type GroupId = usize;
@@ -284,6 +297,16 @@ enum TimerAction {
         version: u64,
         attempt: u32,
     },
+    /// Receiver retry timeout: re-NACK still-missing blocks on `qp` (or
+    /// escalate once the budget is spent).
+    RelRto {
+        qp: QpHandle,
+    },
+    /// Sender quiet-period check: probe the send frontier on `qp` if no
+    /// block has been posted for the policy's probe delay.
+    RelProbe {
+        qp: QpHandle,
+    },
 }
 
 struct GroupRuntime {
@@ -314,6 +337,10 @@ struct GroupRuntime {
     atomic: Option<AtomicState>,
     /// Membership/recovery state (None = wedge-only semantics).
     recovery: Option<GroupRecovery>,
+    /// How this group recovers blocks the fabric loses (None = the
+    /// paper's lossless assumption: block immediates carry the raw
+    /// message size and a loss stalls or wedges the transfer).
+    reliability: Option<ReliabilityPolicy>,
 }
 
 impl GroupRuntime {
@@ -380,6 +407,17 @@ pub struct SimCluster {
     /// [`Mutation::LazyRecvPost`] state: receives whose posting was
     /// (buggily) deferred, flushed at the owning node's next delivery.
     lazy_recvs: BTreeMap<usize, Vec<(QpHandle, u64)>>,
+    /// Reliability policy newly created groups inherit
+    /// ([`crate::ClusterBuilder::reliability`]).
+    default_reliability: Option<ReliabilityPolicy>,
+    /// Sender-side reliability state, keyed by the sender's local
+    /// endpoint; entries die with the queue pair at epoch teardown.
+    rel_send: BTreeMap<QpHandle, RelSendState>,
+    /// Receiver-side reliability state, keyed by the receiver's local
+    /// endpoint.
+    rel_recv: BTreeMap<QpHandle, RelRecvState>,
+    /// Cluster-wide counters of everything the reliability layer did.
+    rel_stats: ReliabilityStats,
 }
 
 /// A deliberately seeded ordering bug, for mutation-testing the
@@ -401,6 +439,14 @@ pub enum Mutation {
     /// finds no posted receive and the RNR machinery arms. Caught by
     /// the zero-RNR invariant.
     LazyRecvPost,
+    /// Classic off-by-one in gap repair: every NACK requests the range
+    /// starting one past its first missing block, so the first loss of
+    /// each gap is never retransmitted. The receiver's retry budget
+    /// drains re-requesting the same wrong range and it escalates,
+    /// evicting a healthy sender — caught by the crash-free
+    /// completeness invariant (messages the evicted sender alone held
+    /// go undelivered on a run with no injected crash).
+    NackOffByOne,
 }
 
 impl SimCluster {
@@ -433,6 +479,10 @@ impl SimCluster {
             scheduler: None,
             mutations: Vec::new(),
             lazy_recvs: BTreeMap::new(),
+            default_reliability: None,
+            rel_send: BTreeMap::new(),
+            rel_recv: BTreeMap::new(),
+            rel_stats: ReliabilityStats::default(),
         }
     }
 
@@ -467,6 +517,53 @@ impl SimCluster {
     /// Counters of the send admission layer, if pacing is enabled.
     pub fn pacing_stats(&self) -> Option<PacingStats> {
         self.pacer.as_ref().map(|p| p.stats)
+    }
+
+    /// Default reliability policy for groups created from now on
+    /// ([`crate::ClusterBuilder::reliability`] is the public path).
+    pub(crate) fn set_default_reliability(&mut self, policy: ReliabilityPolicy) {
+        self.default_reliability = Some(policy);
+    }
+
+    /// Sets one group's reliability policy (see [`ReliabilityPolicy`]):
+    /// block sends start carrying per-connection sequence numbers and
+    /// losses are repaired per the policy instead of stalling the
+    /// transfer. Call right after [`SimCluster::create_group`], before
+    /// any sends — mixing tagged and untagged blocks on one connection
+    /// is not supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages were already submitted on the group.
+    pub fn set_reliability(&mut self, group: GroupId, policy: ReliabilityPolicy) {
+        let g = &mut self.groups[group];
+        assert!(
+            g.results.is_empty(),
+            "set the reliability policy before sending"
+        );
+        g.reliability = Some(policy);
+    }
+
+    /// Everything the reliability layer did so far, cluster-wide.
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.rel_stats
+    }
+
+    /// Attaches a fault model to the fabric: allocator-visible transfers
+    /// (block sends, retransmissions, parity — anything above the tiny
+    /// control-write bypass) become subject to seeded loss and
+    /// corruption per [`simnet::FaultProfile`]. A clean profile leaves
+    /// the fabric lossless and runs bit-for-bit identical to one that
+    /// never called this.
+    pub fn set_fault_profile(&mut self, profile: simnet::FaultProfile) {
+        self.fabric.set_fault_profile(profile);
+    }
+
+    /// Offers up to `budget` deliver-or-drop choice points to the
+    /// attached controlled scheduler (model-checking loss sites instead
+    /// of sampling them; requires a scheduler).
+    pub fn set_loss_choice_budget(&mut self, budget: u64) {
+        self.fabric.set_loss_choice_budget(budget);
     }
 
     /// Turns on epoch-based failure recovery (see the module docs):
@@ -666,6 +763,7 @@ impl SimCluster {
                 .recovery_config
                 .is_some()
                 .then(|| GroupRecovery::new(n as usize)),
+            reliability: self.default_reliability,
         });
         for (rank, mut actions) in initial {
             self.execute(gid, rank, &mut actions);
@@ -1016,6 +1114,15 @@ impl SimCluster {
                 let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
                     return;
                 };
+                if self.groups[group].reliability.is_some() {
+                    // Policy groups tag every block with its connection
+                    // sequence number; route through the reorder/repair
+                    // shim so the engine sees a gap-free FIFO.
+                    if let (Some(seq), total) = wire::unpack_imm(imm) {
+                        self.rel_data_arrival(qp, seq, total);
+                        return;
+                    }
+                }
                 self.feed(
                     group,
                     me,
@@ -1024,6 +1131,42 @@ impl SimCluster {
                         total_size: imm,
                     },
                 );
+            }
+            Delivery::RecvCorrupted { qp, imm, .. } => {
+                let Some(&(group, me, _peer)) = self.qp_owner.get(&qp) else {
+                    return;
+                };
+                let Some(policy) = self.groups[group].reliability else {
+                    // An unprotected group has no redelivery path: the
+                    // payload is garbage, the block is gone, and the
+                    // transfer stalls — exactly what a lossless-assuming
+                    // deployment does on a corrupting fabric. The trace
+                    // oracle flags the unrepaired loss.
+                    return;
+                };
+                // The immediate survives (headers and payload carry
+                // separate CRCs), so the receiver knows exactly which
+                // block to re-request — no need to wait for the gap to
+                // show up in the sequence stream.
+                let (Some(seq), _total) = wire::unpack_imm(imm) else {
+                    return;
+                };
+                let fresh = {
+                    let st = self.rel_recv.entry(qp).or_default();
+                    !st.escalated
+                        && seq >= st.next_expected
+                        && !st.buffered.contains_key(&seq)
+                        && st.missing.insert(seq)
+                };
+                if !fresh {
+                    return;
+                }
+                if matches!(policy, ReliabilityPolicy::WedgeResume { .. }) {
+                    self.rel_escalate(qp);
+                } else {
+                    self.rel_request(qp, group, me, &[seq]);
+                    self.rel_arm_rto(qp, group, me);
+                }
             }
             Delivery::SendDone { qp, wr_id } => {
                 let freed = self.release_send_slot(qp, wr_id);
@@ -1063,6 +1206,31 @@ impl SimCluster {
                     }
                     TAG_VIEW => {
                         self.view_update(group, me, peer, &payload);
+                    }
+                    TAG_NACK => {
+                        let (base, span) =
+                            reliability::decode_nack(&payload).expect("nack payload");
+                        self.rel_retransmit(qp, group, me, base, span);
+                    }
+                    TAG_RETRANS => {
+                        let (seq, total) =
+                            reliability::decode_repair(&payload).expect("repair payload");
+                        self.rel_stats.repairs_received += 1;
+                        self.record_rel(group, me, || trace::EventKind::RepairDelivered {
+                            conn: qp.conn_id(),
+                            seq,
+                            coded: false,
+                        });
+                        self.rel_data_arrival(qp, seq, total);
+                    }
+                    TAG_PARITY => {
+                        let (generation, slots) =
+                            reliability::decode_parity(&payload).expect("parity payload");
+                        self.rel_parity_arrival(qp, group, me, generation, slots);
+                    }
+                    TAG_PROBE => {
+                        let frontier = reliability::decode_probe(&payload).expect("probe payload");
+                        self.rel_probe_arrival(qp, group, me, frontier);
                     }
                     other => panic!("unknown control tag {other}"),
                 }
@@ -1105,6 +1273,12 @@ impl SimCluster {
                     attempt,
                 }) => {
                     self.try_reconfigure(group, version, attempt);
+                }
+                Some(TimerAction::RelRto { qp }) => {
+                    self.rel_rto_fired(qp);
+                }
+                Some(TimerAction::RelProbe { qp }) => {
+                    self.rel_probe_fired(qp);
                 }
                 None => {
                     let _ = node; // stale or foreign timer: ignore
@@ -1416,9 +1590,29 @@ impl SimCluster {
         total_size: u64,
     ) -> bool {
         let qp = self.ensure_qp(group, rank, to);
+        // Policy groups tag each block with its connection sequence
+        // number (packed alongside the message size) and ledger it for
+        // retransmission; plain groups keep the raw size immediate, so
+        // lossless runs stay bit-for-bit unchanged.
+        let policy = self.groups[group].reliability;
+        let now_ns = self.fabric.now().as_nanos();
+        let imm = match policy {
+            Some(p) => {
+                let st = self.rel_send.entry(qp).or_default();
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.ledger.insert(seq, (bytes, total_size));
+                st.last_post_ns = now_ns;
+                if matches!(p, ReliabilityPolicy::ErasureCode { .. }) {
+                    st.gen_slots.push((seq, bytes, total_size));
+                }
+                wire::pack_imm(seq, total_size)
+            }
+            None => total_size,
+        };
         let posted = self
             .fabric
-            .post_send(qp, WrId(u64::from(block)), bytes, total_size, None)
+            .post_send(qp, WrId(u64::from(block)), bytes, imm, None)
             .is_ok();
         // Debug-build mirror of the static invariant: a block send is
         // emitted only against a ready credit, and each credit was granted
@@ -1439,6 +1633,12 @@ impl SimCluster {
             if let Some(p) = self.pacer.as_mut() {
                 p.admitted.insert((qp, WrId(u64::from(block))), node);
                 p.nodes.entry(node).or_default().inflight += 1;
+            }
+            if policy.is_some() {
+                // Closes the erasure generation if this block filled it,
+                // and (re)arms the quiet-period frontier probe.
+                self.rel_flush_parity(group, rank, qp, false);
+                self.rel_arm_probe(qp, group, rank);
             }
         }
         posted
@@ -2039,6 +2239,12 @@ impl SimCluster {
         for qp in old_qps {
             self.qp_owner.remove(&qp);
             self.fabric.break_qp(qp);
+            // Reliability state dies with the queue pair: buffered
+            // not-yet-fed blocks are re-fetched by the resume plans
+            // (slightly wasteful, never wrong), and outstanding
+            // RelRto/RelProbe timers go stale via the owner lookup.
+            self.rel_send.remove(&qp);
+            self.rel_recv.remove(&qp);
         }
         self.groups[group].qps.clear();
         // Queued (never-posted) sends of this group carry old-epoch ranks;
@@ -2117,6 +2323,478 @@ impl SimCluster {
             abandoned,
             forced,
         });
+    }
+}
+
+/// The lossy-fabric reliability layer (see [`ReliabilityPolicy`] and
+/// the `reliability` module docs). Everything here runs *between* the
+/// fabric and the protocol engines: engines still see a gap-free FIFO
+/// of `BlockReceived` events per peer, exactly as on a lossless fabric
+/// — the shim reorders, repairs, reconstructs, or escalates underneath.
+impl SimCluster {
+    /// Records a reliability-layer event under `rank`'s full scope.
+    fn record_rel<F: FnOnce() -> trace::EventKind>(&self, group: GroupId, rank: Rank, f: F) {
+        let node = self.groups[group].spec.members[rank as usize] as u32;
+        self.recorder.record(
+            trace::Scope {
+                node: Some(node),
+                group: Some(group as u32),
+                rank: Some(rank),
+            },
+            f,
+        );
+    }
+
+    /// A sequence-tagged data block reached the receiver (original
+    /// send, retransmission, or parity reconstruction — all converge
+    /// here). Feeds the engine every block that became contiguous, and
+    /// starts repair for any gap this arrival revealed.
+    fn rel_data_arrival(&mut self, qp: QpHandle, seq: u64, total: u64) {
+        let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
+            return; // stale completion for a torn-down queue pair
+        };
+        let policy = self.groups[group].reliability;
+        let (feeds, newly_missing) = {
+            let st = self.rel_recv.entry(qp).or_default();
+            if st.escalated {
+                return; // the epoch recovery path owns this hole now
+            }
+            if seq < st.next_expected || st.buffered.contains_key(&seq) {
+                // A late repair racing a re-NACK, or double reconstruction.
+                self.rel_stats.duplicates += 1;
+                return;
+            }
+            st.missing.remove(&seq);
+            let mut feeds: Vec<u64> = Vec::new();
+            let mut newly: Vec<u64> = Vec::new();
+            if seq == st.next_expected {
+                // The hole frontier advanced: feed this block and drain
+                // the contiguous run of buffered successors behind it.
+                feeds.push(total);
+                st.next_expected += 1;
+                while let Some(t) = st.buffered.remove(&st.next_expected) {
+                    feeds.push(t);
+                    st.next_expected += 1;
+                }
+                if st.missing.is_empty() {
+                    st.rto_attempt = 0; // gap closed: fresh budget next time
+                }
+            } else {
+                // Arrived past the frontier: every sequence in between
+                // that is neither buffered nor already being chased is a
+                // newly detected loss.
+                st.buffered.insert(seq, total);
+                for s in st.next_expected..seq {
+                    if !st.buffered.contains_key(&s) && !st.missing.contains(&s) {
+                        newly.push(s);
+                    }
+                }
+                for &s in &newly {
+                    st.missing.insert(s);
+                }
+            }
+            (feeds, newly)
+        };
+        for t in feeds {
+            self.feed(
+                group,
+                me,
+                Event::BlockReceived {
+                    from: peer,
+                    total_size: t,
+                },
+            );
+        }
+        if newly_missing.is_empty() {
+            return;
+        }
+        match policy {
+            Some(ReliabilityPolicy::WedgeResume { .. }) => self.rel_escalate(qp),
+            Some(_) => {
+                self.rel_request(qp, group, me, &newly_missing);
+                self.rel_arm_rto(qp, group, me);
+            }
+            None => {}
+        }
+    }
+
+    /// Sends one NACK per contiguous missing range (tiny control writes
+    /// on the reliable bypass).
+    fn rel_request(&mut self, qp: QpHandle, group: GroupId, me: Rank, seqs: &[u64]) {
+        let mut ranges = reliability::contiguous_ranges(seqs);
+        if self.has_mutation(Mutation::NackOffByOne) {
+            // Seeded bug: the first missing block of the first range is
+            // never requested.
+            if let Some(first) = ranges.first_mut() {
+                first.0 += 1;
+                first.1 -= 1;
+            }
+            ranges.retain(|&(_, span)| span > 0);
+        }
+        for (base, span) in ranges {
+            self.rel_stats.nacks_sent += 1;
+            self.record_rel(group, me, || trace::EventKind::NackSent {
+                conn: qp.conn_id(),
+                end: qp.endpoint(),
+                seq: base,
+                span: u64::from(span),
+            });
+            let _ = self.fabric.post_write(
+                qp,
+                WrId(3),
+                TAG_NACK,
+                reliability::encode_nack(base, span),
+                None,
+            );
+        }
+    }
+
+    /// Arms the receiver's retry timer (idempotent): when it fires with
+    /// blocks still missing, they are re-NACKed with exponential backoff
+    /// until the budget is spent, then the connection escalates.
+    fn rel_arm_rto(&mut self, qp: QpHandle, group: GroupId, me: Rank) {
+        let Some(policy) = self.groups[group].reliability else {
+            return;
+        };
+        let retry = policy.retry();
+        let delay = {
+            let st = self.rel_recv.entry(qp).or_default();
+            if st.rto_armed || st.escalated {
+                return;
+            }
+            st.rto_armed = true;
+            SimDuration::from_nanos(
+                retry
+                    .rto
+                    .as_nanos()
+                    .saturating_mul(1u64 << st.rto_attempt.min(6)),
+            )
+        };
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, TimerAction::RelRto { qp });
+        let node = self.groups[group].spec.members[me as usize];
+        self.fabric
+            .schedule_timer(NodeId(node as u32), delay, token);
+    }
+
+    /// The receiver retry timer fired.
+    fn rel_rto_fired(&mut self, qp: QpHandle) {
+        let Some(&(group, me, _peer)) = self.qp_owner.get(&qp) else {
+            return; // old-epoch timer: the queue pair is gone
+        };
+        let Some(policy) = self.groups[group].reliability else {
+            return;
+        };
+        let budget = policy.retry().budget;
+        let missing: Vec<u64> = {
+            let Some(st) = self.rel_recv.get_mut(&qp) else {
+                return;
+            };
+            st.rto_armed = false;
+            if st.escalated {
+                return;
+            }
+            if st.missing.is_empty() {
+                st.rto_attempt = 0;
+                return; // everything healed before the timer fired
+            }
+            st.rto_attempt += 1;
+            if st.rto_attempt > budget {
+                Vec::new() // budget spent: escalate below
+            } else {
+                st.missing.iter().copied().collect()
+            }
+        };
+        if missing.is_empty() {
+            self.rel_escalate(qp);
+            return;
+        }
+        self.rel_request(qp, group, me, &missing);
+        self.rel_arm_rto(qp, group, me);
+    }
+
+    /// Loss beyond the policy's repair means: hand the connection to the
+    /// §2.4 membership service (recovery on) or break it so both sides
+    /// wedge (recovery off). Either way, no silent hang.
+    fn rel_escalate(&mut self, qp: QpHandle) {
+        let Some(&(group, me, peer)) = self.qp_owner.get(&qp) else {
+            return;
+        };
+        {
+            let st = self.rel_recv.entry(qp).or_default();
+            if st.escalated {
+                return;
+            }
+            st.escalated = true;
+        }
+        self.rel_stats.escalations += 1;
+        self.record_rel(group, me, || trace::EventKind::LossEscalated {
+            conn: qp.conn_id(),
+        });
+        if self.recovery_config.is_some() {
+            // The persistently lossy sender is treated as failed: the
+            // group reconfigures and interrupted messages resume from
+            // the survivors' wedge-time bitmaps (or are consistently
+            // abandoned when the evicted sender held the only copy).
+            self.feed(group, me, Event::PeerFailed { rank: peer });
+            self.note_suspicion(group, me, peer);
+        } else {
+            self.fabric.break_qp(qp);
+        }
+    }
+
+    /// An incoming NACK at the data sender: retransmit every ledgered
+    /// block of the requested range as a one-sided write (no posted
+    /// receive consumed — repairs sit outside the credit flow).
+    fn rel_retransmit(&mut self, qp: QpHandle, group: GroupId, me: Rank, base: u64, span: u32) {
+        let repairs: Vec<(u64, u64, u64)> = {
+            let Some(st) = self.rel_send.get(&qp) else {
+                return;
+            };
+            (base..base.saturating_add(u64::from(span)))
+                .filter_map(|s| st.ledger.get(&s).map(|&(len, total)| (s, len, total)))
+                .collect()
+        };
+        for (seq, len, total) in repairs {
+            self.rel_stats.repairs_sent += 1;
+            self.record_rel(group, me, || trace::EventKind::RepairSent {
+                conn: qp.conn_id(),
+                seq,
+            });
+            let _ = self.fabric.post_write(
+                qp,
+                WrId(wire::REPAIR_WR_BASE + seq),
+                TAG_RETRANS,
+                reliability::encode_repair(seq, total, len),
+                None,
+            );
+        }
+    }
+
+    /// An erasure parity write landed: if the generation's missing
+    /// blocks number at most the parity received for it, reconstruct
+    /// them locally (the no-round-trip repair); otherwise register the
+    /// gaps so the retry timer can fall back to NACK retransmission.
+    fn rel_parity_arrival(
+        &mut self,
+        qp: QpHandle,
+        group: GroupId,
+        me: Rank,
+        generation: u64,
+        slots: Vec<(u64, u64)>,
+    ) {
+        enum Outcome {
+            Done,
+            Repair(Vec<(u64, u64)>),
+            Register(Vec<u64>),
+        }
+        let outcome = {
+            let st = self.rel_recv.entry(qp).or_default();
+            if st.escalated {
+                return;
+            }
+            let (received, covered) = {
+                let pg = st
+                    .parity
+                    .entry(generation)
+                    .or_insert_with(|| ParityGen { received: 0, slots });
+                pg.received += 1;
+                (pg.received as usize, pg.slots.clone())
+            };
+            let missing: Vec<(u64, u64)> = covered
+                .into_iter()
+                .filter(|&(s, _)| s >= st.next_expected && !st.buffered.contains_key(&s))
+                .collect();
+            if missing.is_empty() {
+                st.parity.remove(&generation);
+                Outcome::Done
+            } else if missing.len() <= received {
+                st.parity.remove(&generation);
+                Outcome::Repair(missing)
+            } else {
+                Outcome::Register(missing.iter().map(|&(s, _)| s).collect())
+            }
+        };
+        match outcome {
+            Outcome::Done => {}
+            Outcome::Repair(missing) => {
+                for (seq, total) in missing {
+                    self.rel_stats.parity_repairs += 1;
+                    self.record_rel(group, me, || trace::EventKind::RepairDelivered {
+                        conn: qp.conn_id(),
+                        seq,
+                        coded: true,
+                    });
+                    self.rel_data_arrival(qp, seq, total);
+                }
+            }
+            Outcome::Register(seqs) => {
+                {
+                    let st = self.rel_recv.entry(qp).or_default();
+                    for &s in &seqs {
+                        st.missing.insert(s);
+                    }
+                }
+                self.rel_arm_rto(qp, group, me);
+            }
+        }
+    }
+
+    /// A sender frontier probe landed: anything below the announced
+    /// frontier that never arrived is a trailing loss — the kind no
+    /// later arrival would ever reveal.
+    fn rel_probe_arrival(&mut self, qp: QpHandle, group: GroupId, me: Rank, frontier: u64) {
+        let Some(policy) = self.groups[group].reliability else {
+            return;
+        };
+        let newly: Vec<u64> = {
+            let st = self.rel_recv.entry(qp).or_default();
+            if st.escalated {
+                return;
+            }
+            let newly: Vec<u64> = (st.next_expected..frontier)
+                .filter(|s| !st.buffered.contains_key(s) && !st.missing.contains(s))
+                .collect();
+            for &s in &newly {
+                st.missing.insert(s);
+            }
+            newly
+        };
+        if newly.is_empty() {
+            return;
+        }
+        if matches!(policy, ReliabilityPolicy::WedgeResume { .. }) {
+            self.rel_escalate(qp);
+        } else {
+            self.rel_request(qp, group, me, &newly);
+            self.rel_arm_rto(qp, group, me);
+        }
+    }
+
+    /// Emits the open erasure generation's parity writes if it is full
+    /// (or `force`, for the trailing partial generation at a quiet
+    /// period). Parity is block-sized — it costs honest bandwidth and
+    /// is itself subject to the fault model.
+    fn rel_flush_parity(&mut self, group: GroupId, rank: Rank, qp: QpHandle, force: bool) {
+        let Some(ReliabilityPolicy::ErasureCode { data, parity, .. }) =
+            self.groups[group].reliability
+        else {
+            return;
+        };
+        let (generation, slots) = {
+            let Some(st) = self.rel_send.get_mut(&qp) else {
+                return;
+            };
+            if st.gen_slots.is_empty() || (!force && (st.gen_slots.len() as u32) < data) {
+                return;
+            }
+            let generation = st.next_gen;
+            st.next_gen += 1;
+            (generation, std::mem::take(&mut st.gen_slots))
+        };
+        let pad = slots.iter().map(|&(_, len, _)| len).max().unwrap_or(0);
+        let covered: Vec<(u64, u64)> = slots.iter().map(|&(s, _, t)| (s, t)).collect();
+        let payload = reliability::encode_parity(generation, &covered, pad);
+        self.record_rel(group, rank, || trace::EventKind::ParitySent {
+            conn: qp.conn_id(),
+            seq: covered[0].0,
+            data: covered.len() as u64,
+        });
+        for j in 0..u64::from(parity) {
+            self.rel_stats.parity_writes_sent += 1;
+            let wr = wire::PARITY_WR_BASE + generation * u64::from(parity) + j;
+            let _ = self
+                .fabric
+                .post_write(qp, WrId(wr), TAG_PARITY, payload.clone(), None);
+        }
+    }
+
+    /// Arms the sender's quiet-period probe timer (idempotent; one per
+    /// connection).
+    fn rel_arm_probe(&mut self, qp: QpHandle, group: GroupId, rank: Rank) {
+        let Some(policy) = self.groups[group].reliability else {
+            return;
+        };
+        {
+            let st = self.rel_send.entry(qp).or_default();
+            if st.probe_armed {
+                return;
+            }
+            st.probe_armed = true;
+        }
+        let node = self.groups[group].spec.members[rank as usize];
+        self.rel_schedule_probe(qp, node, policy.probe_delay());
+    }
+
+    fn rel_schedule_probe(&mut self, qp: QpHandle, node: usize, delay: SimDuration) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, TimerAction::RelProbe { qp });
+        self.fabric
+            .schedule_timer(NodeId(node as u32), delay, token);
+    }
+
+    /// The sender quiet-period timer fired: if sends are still flowing,
+    /// push the timer out; if the frontier was already announced and
+    /// nothing is pending, stop (termination); otherwise flush any
+    /// partial parity generation and announce the frontier so the
+    /// receiver can detect trailing losses.
+    fn rel_probe_fired(&mut self, qp: QpHandle) {
+        let Some(&(group, rank, _peer)) = self.qp_owner.get(&qp) else {
+            return; // old-epoch timer
+        };
+        let Some(policy) = self.groups[group].reliability else {
+            return;
+        };
+        let delay = policy.probe_delay();
+        let now_ns = self.fabric.now().as_nanos();
+        enum Next {
+            Done,
+            Rearm(SimDuration),
+            Probe(u64),
+        }
+        let next = {
+            let Some(st) = self.rel_send.get_mut(&qp) else {
+                return;
+            };
+            st.probe_armed = false;
+            let quiet_at = st.last_post_ns.saturating_add(delay.as_nanos());
+            if now_ns < quiet_at {
+                st.probe_armed = true;
+                Next::Rearm(SimDuration::from_nanos(quiet_at - now_ns))
+            } else if st.probed_upto == st.next_seq && st.gen_slots.is_empty() {
+                Next::Done
+            } else {
+                st.probe_armed = true;
+                Next::Probe(st.next_seq)
+            }
+        };
+        let node = self.groups[group].spec.members[rank as usize];
+        match next {
+            Next::Done => {}
+            Next::Rearm(d) => self.rel_schedule_probe(qp, node, d),
+            Next::Probe(frontier) => {
+                // The trailing partial erasure generation flushes now —
+                // its parity would otherwise wait for blocks that are
+                // never coming.
+                self.rel_flush_parity(group, rank, qp, true);
+                if let Some(st) = self.rel_send.get_mut(&qp) {
+                    st.probed_upto = frontier;
+                }
+                self.rel_stats.probes_sent += 1;
+                let _ = self.fabric.post_write(
+                    qp,
+                    WrId(4),
+                    TAG_PROBE,
+                    reliability::encode_probe(frontier),
+                    None,
+                );
+                // One more firing confirms quiescence (or probes again
+                // if new sends moved the frontier meanwhile).
+                self.rel_schedule_probe(qp, node, delay);
+            }
+        }
     }
 }
 

@@ -74,6 +74,14 @@ pub fn wire_model_for(spec: &ClusterSpec) -> trace::stall::WireModel {
         TopoSpec::FatTree {
             host_gbps, latency, ..
         } => (*host_gbps, *latency),
+        // Intra-site numbers: the stall model reasons about the fast
+        // local hops; WAN crossings dwarf it and show up as genuine
+        // stalls, which is the point.
+        TopoSpec::MultiDatacenter {
+            host_gbps,
+            lan_latency,
+            ..
+        } => (*host_gbps, *lan_latency),
     };
     trace::stall::WireModel {
         gbps,

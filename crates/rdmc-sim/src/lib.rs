@@ -53,6 +53,7 @@ mod experiment;
 mod offload;
 mod pacer;
 mod profiles;
+mod reliability;
 
 pub use builder::ClusterBuilder;
 pub use cluster::{
@@ -67,3 +68,4 @@ pub use experiment::{
 pub use offload::run_offloaded_chain;
 pub use pacer::{PacerConfig, PacingPolicy, PacingStats};
 pub use profiles::{ClusterSpec, TopoSpec};
+pub use reliability::{ReliabilityPolicy, ReliabilityStats, RetryConfig};

@@ -55,6 +55,24 @@ pub enum TopoSpec {
         /// One-hop latency.
         latency: SimDuration,
     },
+    /// Geo-replication: datacenter sites with fast local fabrics joined
+    /// by slow, high-latency WAN uplinks (the real bottleneck links —
+    /// retrievable via [`simnet::Topology::wan_links`] for targeted
+    /// fault injection).
+    MultiDatacenter {
+        /// Site count.
+        sites: usize,
+        /// Hosts per site.
+        per_site: usize,
+        /// Host NIC speed within a site, Gb/s.
+        host_gbps: f64,
+        /// Per-site WAN uplink speed, Gb/s (each direction).
+        wan_gbps: f64,
+        /// Intra-site one-hop latency.
+        lan_latency: SimDuration,
+        /// Cross-site one-way latency.
+        wan_latency: SimDuration,
+    },
 }
 
 impl TopoSpec {
@@ -67,6 +85,9 @@ impl TopoSpec {
                 racks, per_rack, ..
             } => racks * per_rack,
             TopoSpec::FatTree { pods, per_pod, .. } => pods * per_pod,
+            TopoSpec::MultiDatacenter {
+                sites, per_site, ..
+            } => sites * per_site,
         }
     }
 }
@@ -185,6 +206,49 @@ impl ClusterSpec {
         }
     }
 
+    /// Geo-replication: `nodes` hosts split across two datacenter sites
+    /// — 100 Gb/s within a site, 10 Gb/s WAN uplinks at 50 ms one-way
+    /// between them (the SDR-RDMA wide-area setting). Cross-site
+    /// transfers ride lossy, high-latency WAN links, so pair this with
+    /// [`crate::ClusterBuilder::reliability`] when injecting faults.
+    ///
+    /// ```
+    /// use rdmc::Algorithm;
+    /// use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, ReliabilityPolicy};
+    ///
+    /// // 4 nodes in 2 sites; erasure coding rides out WAN loss without
+    /// // paying the 100 ms retransmission round trip.
+    /// let mut cluster = ClusterBuilder::new(ClusterSpec::geo(4))
+    ///     .reliability(ReliabilityPolicy::erasure(2, 1))
+    ///     .build();
+    /// let group = cluster.create_group(GroupSpec {
+    ///     members: vec![0, 1, 2, 3],
+    ///     algorithm: Algorithm::BinomialPipeline,
+    ///     block_size: 1 << 20,
+    ///     ready_window: 4,
+    ///     max_outstanding_sends: 2,
+    /// });
+    /// let id = cluster.submit_send(group, 8 << 20);
+    /// cluster.run();
+    /// assert!(cluster.result(id).expect("submitted").latency().is_some());
+    /// ```
+    pub fn geo(nodes: usize) -> Self {
+        let nodes = nodes.max(2);
+        ClusterSpec {
+            topology: TopoSpec::MultiDatacenter {
+                sites: 2,
+                per_site: nodes.div_ceil(2),
+                host_gbps: 100.0,
+                wan_gbps: 10.0,
+                lan_latency: SimDuration::from_micros(2),
+                wan_latency: SimDuration::from_millis(50),
+            },
+            profile: HostProfile::default(),
+            fabric: FabricParams::default(),
+            completion_mode: CompletionMode::Hybrid,
+        }
+    }
+
     /// Builds the fabric: flow network, topology, node profiles.
     pub fn build(&self) -> Fabric {
         let mut net = FlowNet::new();
@@ -217,6 +281,22 @@ impl ClusterSpec {
                 host_gbps,
                 latency,
             } => Topology::fat_tree(&mut net, *pods, *per_pod, *host_gbps, *latency),
+            TopoSpec::MultiDatacenter {
+                sites,
+                per_site,
+                host_gbps,
+                wan_gbps,
+                lan_latency,
+                wan_latency,
+            } => Topology::multi_datacenter(
+                &mut net,
+                *sites,
+                *per_site,
+                *host_gbps,
+                *wan_gbps,
+                *lan_latency,
+                *wan_latency,
+            ),
         };
         let nodes = topo.num_nodes();
         let mut fabric = Fabric::new(net, topo, self.fabric.clone());
@@ -246,6 +326,18 @@ mod tests {
         assert_eq!(ClusterSpec::datacenter(1024).topology.nodes(), 1024);
         assert_eq!(ClusterSpec::datacenter(4).topology.nodes(), 4);
         assert_eq!(ClusterSpec::datacenter(37).topology.nodes(), 64); // no divisor
+    }
+
+    #[test]
+    fn geo_preset_builds_two_sites_with_wan_links() {
+        let spec = ClusterSpec::geo(6);
+        assert_eq!(spec.topology.nodes(), 6);
+        let fabric = spec.build();
+        assert_eq!(fabric.topology().num_nodes(), 6);
+        // Two sites, each with an up and a down WAN uplink.
+        assert_eq!(fabric.topology().wan_links().len(), 4);
+        // Odd requests round up to whole sites.
+        assert_eq!(ClusterSpec::geo(5).topology.nodes(), 6);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Per-group reliability policies for lossy fabrics.
+//!
+//! RDMC proper assumes a lossless network (§2.2): a dropped block either
+//! hangs the transfer or breaks the connection. This module supplies the
+//! *software-defined reliability* layer that SDR-RDMA argues belongs
+//! above the transport: when a group is configured with a
+//! [`ReliabilityPolicy`], every block send carries a per-connection
+//! sequence number in its immediate (packed by
+//! [`trace::check::wire::pack_imm`]), receivers reorder and gap-detect,
+//! and missing blocks are recovered by the policy:
+//!
+//! - [`ReliabilityPolicy::SelectiveAck`] — receivers NACK detected gaps
+//!   (tiny control writes on the reliable side channel); senders
+//!   retransmit exactly the missing blocks as one-sided writes. Each
+//!   interior loss costs about one round trip; a retry timer with
+//!   exponential backoff re-NACKs when repairs are themselves lost.
+//! - [`ReliabilityPolicy::ErasureCode`] — senders close every `data`
+//!   consecutive blocks on a connection into a *generation* and follow
+//!   it with `parity` parity writes; a receiver missing at most as many
+//!   blocks as it has parity for reconstructs locally, without paying
+//!   the retransmission round trip (the WAN story). NACK retransmission
+//!   remains as the fallback for losses beyond the code's budget.
+//! - [`ReliabilityPolicy::WedgeResume`] — no repair at all: the first
+//!   detected loss escalates straight to the epoch-recovery path.
+//!
+//! Whatever the policy, a receiver whose retry budget is exhausted
+//! *escalates*: it records [`trace::EventKind::LossEscalated`], feeds
+//! `PeerFailed` into its engine, and lets the membership service resume
+//! the transfer in a new epoch — no configuration hangs.
+//!
+//! Trailing losses (the last blocks of a burst, with no later arrival to
+//! reveal the gap) are covered by a sender-side *probe*: after a quiet
+//! period the sender announces its send frontier on the reliable side
+//! channel, and the receiver NACKs (or escalates on) anything missing
+//! below it. Control traffic — NACKs, probes — rides the fabric's
+//! tiny-write bypass and is never subject to the fault model; block
+//! retransmissions and parity are full-size writes and remain lossy.
+//!
+//! Groups without a policy are untouched: block immediates stay the raw
+//! total size and no per-connection state exists, so lossless runs are
+//! bit-for-bit identical to a build without this module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use simnet::SimDuration;
+
+/// Retry knobs shared by the repairing policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Base receiver retry timeout: when known-missing blocks stay
+    /// missing this long, the receiver re-NACKs. Doubled per attempt
+    /// (capped). Must comfortably exceed the path round trip.
+    pub rto: SimDuration,
+    /// Re-NACK rounds before the receiver gives up and escalates to
+    /// epoch recovery.
+    pub budget: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        // WAN-safe: geo links in the bench run at 50 ms one-way, so the
+        // repair round trip is ~100 ms plus transfer time. Virtual time
+        // is free, so a generous default costs LAN runs nothing.
+        RetryConfig {
+            rto: SimDuration::from_millis(250),
+            budget: 6,
+        }
+    }
+}
+
+/// How a group recovers blocks the fabric loses (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReliabilityPolicy {
+    /// NACK-driven selective retransmission.
+    SelectiveAck {
+        /// Retry timing and budget.
+        retry: RetryConfig,
+    },
+    /// `data`-blocks-per-generation erasure coding with `parity` parity
+    /// writes per generation, NACK retransmission as the fallback.
+    ///
+    /// Keep `data < ready_window`: the sender's credit window must span
+    /// a whole generation, or a mid-generation loss stalls the sender
+    /// before the generation closes and recovery waits for the
+    /// quiet-period parity flush instead of completing inline.
+    ErasureCode {
+        /// Data blocks per generation (k).
+        data: u32,
+        /// Parity writes per generation (r): up to `r` losses per
+        /// generation reconstruct without a retransmission round trip.
+        parity: u32,
+        /// Retry timing and budget for the NACK fallback.
+        retry: RetryConfig,
+    },
+    /// No repair: the first detected loss escalates to epoch recovery
+    /// (or wedges the group when recovery is off).
+    WedgeResume {
+        /// Quiet period before the sender probes its send frontier (the
+        /// trailing-loss detector).
+        probe: SimDuration,
+    },
+}
+
+impl ReliabilityPolicy {
+    /// Selective-ack retransmission with default retry knobs.
+    pub fn selective_ack() -> Self {
+        ReliabilityPolicy::SelectiveAck {
+            retry: RetryConfig::default(),
+        }
+    }
+
+    /// Erasure coding: `data` blocks per generation, `parity` parity
+    /// writes, default retry knobs for the NACK fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` or `parity` is zero.
+    pub fn erasure(data: u32, parity: u32) -> Self {
+        assert!(data >= 1, "erasure generation needs at least one block");
+        assert!(parity >= 1, "erasure coding needs at least one parity");
+        ReliabilityPolicy::ErasureCode {
+            data,
+            parity,
+            retry: RetryConfig::default(),
+        }
+    }
+
+    /// Escalate-on-first-loss with the default probe period.
+    pub fn wedge_resume() -> Self {
+        ReliabilityPolicy::WedgeResume {
+            probe: SimDuration::from_millis(250),
+        }
+    }
+
+    /// Short label for reports and bench tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReliabilityPolicy::SelectiveAck { .. } => "selective-ack",
+            ReliabilityPolicy::ErasureCode { .. } => "erasure",
+            ReliabilityPolicy::WedgeResume { .. } => "wedge-resume",
+        }
+    }
+
+    /// The retry knobs (wedge-resume: zero budget, so any retry attempt
+    /// escalates).
+    pub(crate) fn retry(&self) -> RetryConfig {
+        match *self {
+            ReliabilityPolicy::SelectiveAck { retry }
+            | ReliabilityPolicy::ErasureCode { retry, .. } => retry,
+            ReliabilityPolicy::WedgeResume { probe } => RetryConfig {
+                rto: probe,
+                budget: 0,
+            },
+        }
+    }
+
+    /// Sender quiet period before the trailing-loss frontier probe.
+    pub(crate) fn probe_delay(&self) -> SimDuration {
+        match *self {
+            ReliabilityPolicy::WedgeResume { probe } => probe,
+            _ => {
+                let rto = self.retry().rto;
+                SimDuration::from_nanos(rto.as_nanos().saturating_mul(2))
+            }
+        }
+    }
+}
+
+/// Counters of everything the reliability layer did (cluster-wide).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Gap-repair requests sent (one per contiguous missing range).
+    pub nacks_sent: u64,
+    /// Blocks retransmitted by senders (NACK responses).
+    pub repairs_sent: u64,
+    /// Retransmitted blocks that arrived at receivers.
+    pub repairs_received: u64,
+    /// Parity writes emitted by erasure-coding senders.
+    pub parity_writes_sent: u64,
+    /// Missing blocks reconstructed from parity, no retransmission.
+    pub parity_repairs: u64,
+    /// Frontier probes sent after sender quiet periods.
+    pub probes_sent: u64,
+    /// Duplicate arrivals discarded (late repairs racing re-NACKs).
+    pub duplicates: u64,
+    /// Receivers that exhausted their retry budget and escalated.
+    pub escalations: u64,
+}
+
+/// Sender-side per-connection state (keyed by the sender's local
+/// [`verbs::QpHandle`]; dies with the queue pair at epoch teardown).
+#[derive(Default)]
+pub(crate) struct RelSendState {
+    /// Next block sequence number on this connection.
+    pub(crate) next_seq: u64,
+    /// Everything sent, for retransmission: seq -> (length, imm total).
+    /// Never pruned — the protocol is NACK-only, so no acknowledgement
+    /// ever licenses forgetting (a real implementation would piggyback
+    /// cumulative acks on the credit channel; entries are 24 bytes and
+    /// simulated runs are finite).
+    pub(crate) ledger: BTreeMap<u64, (u64, u64)>,
+    /// Open erasure generation: (seq, length, imm total) per data block.
+    pub(crate) gen_slots: Vec<(u64, u64, u64)>,
+    /// Next erasure generation id.
+    pub(crate) next_gen: u64,
+    /// When the last block was posted (virtual ns), for the quiet-period
+    /// probe.
+    pub(crate) last_post_ns: u64,
+    /// A probe timer is outstanding.
+    pub(crate) probe_armed: bool,
+    /// Send frontier already announced by a probe.
+    pub(crate) probed_upto: u64,
+}
+
+/// One erasure generation as seen by the receiver.
+pub(crate) struct ParityGen {
+    /// Parity writes that arrived for this generation.
+    pub(crate) received: u32,
+    /// The data blocks the generation covers: (seq, imm total).
+    pub(crate) slots: Vec<(u64, u64)>,
+}
+
+/// Receiver-side per-connection state (keyed by the receiver's local
+/// [`verbs::QpHandle`]).
+#[derive(Default)]
+pub(crate) struct RelRecvState {
+    /// Next sequence the engine will be fed (FIFO hole frontier).
+    pub(crate) next_expected: u64,
+    /// Arrived out of order, waiting for the hole to fill: seq -> total.
+    pub(crate) buffered: BTreeMap<u64, u64>,
+    /// Known-missing sequences awaiting repair.
+    pub(crate) missing: BTreeSet<u64>,
+    /// A retry (re-NACK) timer is outstanding.
+    pub(crate) rto_armed: bool,
+    /// Re-NACK rounds spent on the current hole set.
+    pub(crate) rto_attempt: u32,
+    /// Erasure generations with outstanding parity bookkeeping.
+    pub(crate) parity: BTreeMap<u64, ParityGen>,
+    /// This connection already escalated; suppress further repair.
+    pub(crate) escalated: bool,
+}
+
+// ---- control-channel payload codecs -----------------------------------
+//
+// All control payloads ride one-sided writes. NACKs and probes must stay
+// under the fabric's tiny-write bypass threshold (256 bytes) so they are
+// never themselves lost; repairs and parity are padded to block size so
+// they cost honest bandwidth and remain subject to the fault model.
+
+/// Encodes a NACK for the contiguous missing range `[base, base+span)`.
+pub(crate) fn encode_nack(base: u64, span: u32) -> Bytes {
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&base.to_le_bytes());
+    buf.extend_from_slice(&span.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a NACK payload; `None` on a malformed length.
+pub(crate) fn decode_nack(payload: &[u8]) -> Option<(u64, u32)> {
+    let base = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    let span = u32::from_le_bytes(payload.get(8..12)?.try_into().ok()?);
+    Some((base, span))
+}
+
+/// Encodes a block retransmission: 24-byte header (seq, imm total,
+/// block length) padded to the block's full length so the repair costs
+/// the bandwidth the original did.
+pub(crate) fn encode_repair(seq: u64, total: u64, len: u64) -> Bytes {
+    let wire_len = (len as usize).max(24);
+    let mut buf = vec![0u8; wire_len];
+    buf[..8].copy_from_slice(&seq.to_le_bytes());
+    buf[8..16].copy_from_slice(&total.to_le_bytes());
+    buf[16..24].copy_from_slice(&len.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a retransmission header; `None` on a malformed length.
+pub(crate) fn decode_repair(payload: &[u8]) -> Option<(u64, u64)> {
+    let seq = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    let total = u64::from_le_bytes(payload.get(8..16)?.try_into().ok()?);
+    Some((seq, total))
+}
+
+/// Encodes one parity write: generation id, the covered slots, padded
+/// to the generation's largest block (a real Reed–Solomon parity block
+/// is block-sized).
+pub(crate) fn encode_parity(gen: u64, slots: &[(u64, u64)], pad: u64) -> Bytes {
+    let header = 16 + 16 * slots.len();
+    let wire_len = header.max(pad as usize);
+    let mut buf = vec![0u8; wire_len];
+    buf[..8].copy_from_slice(&gen.to_le_bytes());
+    buf[8..16].copy_from_slice(&(slots.len() as u64).to_le_bytes());
+    for (i, &(seq, total)) in slots.iter().enumerate() {
+        let at = 16 + 16 * i;
+        buf[at..at + 8].copy_from_slice(&seq.to_le_bytes());
+        buf[at + 8..at + 16].copy_from_slice(&total.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Decodes a parity header; `None` on a malformed length.
+pub(crate) fn decode_parity(payload: &[u8]) -> Option<(u64, Vec<(u64, u64)>)> {
+    let gen = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    let count = u64::from_le_bytes(payload.get(8..16)?.try_into().ok()?) as usize;
+    let mut slots = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 16 + 16 * i;
+        let seq = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+        let total = u64::from_le_bytes(payload.get(at + 8..at + 16)?.try_into().ok()?);
+        slots.push((seq, total));
+    }
+    Some((gen, slots))
+}
+
+/// Encodes a frontier probe (the sender's `next_seq`).
+pub(crate) fn encode_probe(frontier: u64) -> Bytes {
+    Bytes::copy_from_slice(&frontier.to_le_bytes())
+}
+
+/// Decodes a frontier probe; `None` on a malformed length.
+pub(crate) fn decode_probe(payload: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(payload.get(..8)?.try_into().ok()?))
+}
+
+/// Collapses a sorted sequence list into contiguous `(base, span)`
+/// ranges, one NACK each.
+pub(crate) fn contiguous_ranges(seqs: &[u64]) -> Vec<(u64, u32)> {
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for &s in seqs {
+        match out.last_mut() {
+            Some((base, span)) if *base + u64::from(*span) == s => *span += 1,
+            _ => out.push((s, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nack_codec_roundtrip_and_is_tiny() {
+        let b = encode_nack(42, 7);
+        assert!(b.len() <= 256, "NACKs must ride the reliable bypass");
+        assert_eq!(decode_nack(&b), Some((42, 7)));
+        assert_eq!(decode_nack(&b[..5]), None);
+    }
+
+    #[test]
+    fn repair_codec_pads_to_block_length() {
+        let b = encode_repair(9, 1 << 20, 65536);
+        assert_eq!(b.len(), 65536);
+        assert_eq!(decode_repair(&b), Some((9, 1 << 20)));
+        // Tiny blocks still carry the full header.
+        assert_eq!(encode_repair(0, 10, 10).len(), 24);
+    }
+
+    #[test]
+    fn parity_codec_roundtrip() {
+        let slots = vec![(4, 1000), (5, 1000), (6, 1000)];
+        let b = encode_parity(2, &slots, 65536);
+        assert_eq!(b.len(), 65536);
+        assert_eq!(decode_parity(&b), Some((2, slots)));
+        assert_eq!(decode_parity(&b[..20]), None);
+    }
+
+    #[test]
+    fn probe_codec_roundtrip() {
+        let b = encode_probe(123);
+        assert!(b.len() <= 256);
+        assert_eq!(decode_probe(&b), Some(123));
+    }
+
+    #[test]
+    fn ranges_collapse_contiguous_runs() {
+        assert_eq!(
+            contiguous_ranges(&[1, 2, 3, 7, 9, 10]),
+            vec![(1, 3), (7, 1), (9, 2)]
+        );
+        assert!(contiguous_ranges(&[]).is_empty());
+    }
+
+    #[test]
+    fn policy_presets() {
+        assert_eq!(ReliabilityPolicy::selective_ack().name(), "selective-ack");
+        let ec = ReliabilityPolicy::erasure(4, 2);
+        assert_eq!(ec.name(), "erasure");
+        assert_eq!(ec.retry(), RetryConfig::default());
+        let wr = ReliabilityPolicy::wedge_resume();
+        assert_eq!(wr.retry().budget, 0);
+        // Probe waits two RTOs for the repairing policies.
+        assert_eq!(
+            ReliabilityPolicy::selective_ack().probe_delay().as_nanos(),
+            RetryConfig::default().rto.as_nanos() * 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parity")]
+    fn erasure_rejects_zero_parity() {
+        let _ = ReliabilityPolicy::erasure(4, 0);
+    }
+}

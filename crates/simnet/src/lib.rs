@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod flow;
 mod host;
 mod time;
 mod topology;
 
 pub use event::{EventQueue, EventToken};
+pub use fault::{FaultOutcome, FaultProfile, GilbertElliott, LinkFault};
 pub use flow::{FlowId, FlowNet, LinkId, ReallocStats};
 pub use host::{CpuMeter, HostProfile, JitterModel};
 pub use time::{SimDuration, SimTime};

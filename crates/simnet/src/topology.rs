@@ -166,6 +166,74 @@ impl Topology {
         topo
     }
 
+    /// A geo-replicated deployment: `sites` datacenters of `per_site`
+    /// hosts each, every site behind a pair of WAN links (one per
+    /// direction) of `wan_gbps`. Intra-site paths see `lan_latency`
+    /// end to end; cross-site paths see `wan_latency` — the honest
+    /// multi-millisecond RTTs that make geo-replication a different
+    /// regime from the paper's single-cluster fabrics (§2.2 assumes a
+    /// lossless local fabric; SDR-RDMA's planetary-scale argument does
+    /// not). WAN links are deliberately *not* transparent: they are
+    /// real, oversubscribable bottlenecks, and [`Topology::wan_links`]
+    /// exposes them so a fault profile can target exactly the lossy
+    /// wide-area segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wan_latency < lan_latency` — the WAN hop cannot make
+    /// a path faster than its LAN segments.
+    pub fn multi_datacenter(
+        net: &mut FlowNet,
+        sites: usize,
+        per_site: usize,
+        host_gbps: f64,
+        wan_gbps: f64,
+        lan_latency: SimDuration,
+        wan_latency: SimDuration,
+    ) -> Self {
+        assert!(
+            sites >= 1 && per_site >= 1,
+            "need at least one site and host"
+        );
+        assert!(
+            wan_latency.as_nanos() >= lan_latency.as_nanos(),
+            "WAN latency below LAN latency"
+        );
+        let lan_half = SimDuration::from_nanos(lan_latency.as_nanos() / 2);
+        // Cross-site paths traverse tx + up + down + rx; the two host
+        // links already contribute a full LAN latency, so the WAN pair
+        // carries the remainder.
+        let wan_half =
+            SimDuration::from_nanos((wan_latency.as_nanos() - lan_latency.as_nanos()) / 2);
+        let mut nodes = Vec::with_capacity(sites * per_site);
+        let mut site_ports = Vec::with_capacity(sites);
+        for s in 0..sites {
+            site_ports.push(RackPorts {
+                up: net.add_link(wan_gbps, wan_half),
+                down: net.add_link(wan_gbps, wan_half),
+            });
+            for _ in 0..per_site {
+                nodes.push(NodePorts {
+                    tx: net.add_link(host_gbps, lan_half),
+                    rx: net.add_link(host_gbps, lan_half),
+                    rack: s as u32,
+                });
+            }
+        }
+        Topology {
+            nodes,
+            racks: site_ports,
+        }
+    }
+
+    /// Every inter-site (WAN) link of a [`Topology::multi_datacenter`]
+    /// fabric, in site order (up then down per site) — the links a
+    /// lossy-WAN fault profile should target. Empty for single-site
+    /// topologies; for rack/pod fabrics these are the aggregation links.
+    pub fn wan_links(&self) -> Vec<LinkId> {
+        self.racks.iter().flat_map(|r| [r.up, r.down]).collect()
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -312,6 +380,58 @@ mod tests {
             .collect();
         for f in flows {
             assert_eq!(net.flow_rate_bps(f), Some(25e9));
+        }
+    }
+
+    #[test]
+    fn multi_datacenter_latencies_split_lan_and_wan() {
+        let mut net = FlowNet::new();
+        let t = Topology::multi_datacenter(
+            &mut net,
+            2,
+            4,
+            100.0,
+            10.0,
+            SimDuration::from_micros(2),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(t.num_nodes(), 8);
+        // Intra-site: plain LAN latency, two hops.
+        let lan = t.path(0, 1);
+        assert_eq!(lan.len(), 2);
+        assert_eq!(net.path_latency(&lan), SimDuration::from_micros(2));
+        // Cross-site: the full WAN latency, through the site uplinks.
+        let wan = t.path(0, 4);
+        assert_eq!(wan.len(), 4);
+        assert_eq!(net.path_latency(&wan), SimDuration::from_millis(50));
+        // Every WAN link is exposed for fault targeting and really is
+        // on the cross-site path but not the intra-site one.
+        let wan_links = t.wan_links();
+        assert_eq!(wan_links.len(), 4);
+        assert!(wan.iter().filter(|l| wan_links.contains(l)).count() == 2);
+        assert!(lan.iter().all(|l| !wan_links.contains(l)));
+    }
+
+    #[test]
+    fn multi_datacenter_wan_is_the_bottleneck() {
+        // Four hosts per site at 100 Gb/s behind a 10 Gb/s WAN pair:
+        // four concurrent cross-site flows share the uplink at 2.5 Gb/s.
+        let mut net = FlowNet::new();
+        let t = Topology::multi_datacenter(
+            &mut net,
+            2,
+            4,
+            100.0,
+            10.0,
+            SimDuration::from_micros(2),
+            SimDuration::from_millis(50),
+        );
+        let flows: Vec<_> = (0..4)
+            .map(|i| net.start_flow(SimTime::ZERO, t.path(i, 4 + i), 1e9))
+            .collect();
+        for f in flows {
+            let r = net.flow_rate_bps(f).unwrap();
+            assert!((r - 2.5e9).abs() < 1e3, "expected 2.5 Gb/s, got {r}");
         }
     }
 

@@ -27,6 +27,13 @@
 //! 6. **No RNR arms** — under the paper's ready-for-block credit
 //!    discipline (§4.2) a healthy or recovering run must never arm the
 //!    receiver-not-ready retry path.
+//! 7. **Redelivery** — every payload the fault model dropped or
+//!    corrupted must eventually be repaired (a later
+//!    `RepairDelivered` for the same `(conn, seq)`) or escalated (a
+//!    later `LossEscalated`/`QpBroken` on that connection, or a
+//!    trace-wide `ReconfigInstalled`/`NodeCrashed`). A lost block
+//!    that is neither is a hang in the making — exactly what the
+//!    reliability policies exist to rule out.
 //!
 //! The oracle requires a *complete* trace: run the recorder in
 //! [`Mode::Full`](crate::Mode::Full), or confirm
@@ -78,6 +85,60 @@ pub struct CheckStats {
     pub deliveries: u64,
     /// Highest schedule step seen on any initial-epoch transfer.
     pub max_step: Option<u32>,
+    /// Payloads the fault model dropped or corrupted, each proven
+    /// repaired or escalated by the redelivery rule.
+    pub losses: u64,
+    /// Repair deliveries (retransmissions and reconstructions).
+    pub repairs: u64,
+}
+
+/// Wire conventions shared between the reliability layer (`rdmc-sim`)
+/// and the oracle's redelivery rule, kept here — the one crate both
+/// sides depend on — so they cannot drift apart.
+///
+/// When a reliability policy is active, data sends carry their block
+/// sequence number in the high bits of the immediate value
+/// ([`wire::pack_imm`]), and repair/parity one-sided writes use
+/// work-request ids offset by [`wire::REPAIR_WR_BASE`] /
+/// [`wire::PARITY_WR_BASE`]. That is what lets a fabric-level
+/// `PayloadDropped` event name the block it lost without the fabric
+/// knowing anything about the protocol above it.
+pub mod wire {
+    /// Bit position of the (seq + 1) tag inside an immediate value.
+    /// Total message sizes stay below 2^40 (a terabyte), so the tag and
+    /// the size never collide; untagged immediates (policy `None`) are
+    /// always below `1 << SEQ_SHIFT`.
+    pub const SEQ_SHIFT: u32 = 40;
+
+    /// Repair (retransmission) writes use `REPAIR_WR_BASE + seq` as
+    /// their work-request id.
+    pub const REPAIR_WR_BASE: u64 = 1 << 32;
+
+    /// Parity writes use `PARITY_WR_BASE + generation` as their
+    /// work-request id. Parity loss alone is harmless (it is pure
+    /// redundancy), so the redelivery rule exempts this range.
+    pub const PARITY_WR_BASE: u64 = 1 << 33;
+
+    /// Packs a block sequence number and the total message size into
+    /// one immediate value. `seq + 1` so sequence 0 is distinguishable
+    /// from an untagged immediate.
+    #[must_use]
+    pub fn pack_imm(seq: u64, total_size: u64) -> u64 {
+        debug_assert!(total_size < 1 << SEQ_SHIFT, "message size overflows tag");
+        ((seq + 1) << SEQ_SHIFT) | total_size
+    }
+
+    /// Splits an immediate value into `(block sequence, total size)`;
+    /// the sequence is `None` for untagged immediates.
+    #[must_use]
+    pub fn unpack_imm(imm: u64) -> (Option<u64>, u64) {
+        let tag = imm >> SEQ_SHIFT;
+        if tag == 0 {
+            (None, imm)
+        } else {
+            (Some(tag - 1), imm & ((1 << SEQ_SHIFT) - 1))
+        }
+    }
 }
 
 /// Per-member holding state for the causality and delivery checks.
@@ -107,8 +168,67 @@ pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckSta
     // Step-budget counters, reset per message via the generation tag.
     let mut sends_at: HashMap<(Member, u64, u32), u32> = HashMap::new();
     let mut recvs_at: HashMap<(Member, u64, u32), u32> = HashMap::new();
+    // Redelivery rule: every drop/corruption, and the latest trace seq
+    // at which each (conn, block-seq) repair / per-conn escalation /
+    // trace-wide recovery landed.
+    struct Loss {
+        at_seq: u64,
+        conn: u32,
+        block: Option<u64>,
+        what: &'static str,
+    }
+    let mut losses: Vec<Loss> = Vec::new();
+    let mut last_repair: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut last_escalation: HashMap<u32, u64> = HashMap::new();
+    let mut last_recovery: Option<u64> = None;
 
     for ev in events {
+        match &ev.kind {
+            EventKind::PayloadDropped { conn, wr, imm, .. }
+            | EventKind::PayloadCorrupted { conn, wr, imm, .. } => {
+                // Parity payloads are pure redundancy; their loss alone
+                // can never strand a block.
+                if (wire::PARITY_WR_BASE..wire::PARITY_WR_BASE * 2).contains(wr) {
+                    continue;
+                }
+                let block = match wire::unpack_imm(*imm).0 {
+                    Some(seq) => Some(seq),
+                    // A dropped repair write names its block in the wr id.
+                    None if (wire::REPAIR_WR_BASE..wire::PARITY_WR_BASE).contains(wr) => {
+                        Some(wr - wire::REPAIR_WR_BASE)
+                    }
+                    None => None,
+                };
+                stats.losses += 1;
+                losses.push(Loss {
+                    at_seq: ev.seq,
+                    conn: *conn,
+                    block,
+                    what: if matches!(ev.kind, EventKind::PayloadDropped { .. }) {
+                        "dropped"
+                    } else {
+                        "corrupted"
+                    },
+                });
+                continue;
+            }
+            EventKind::RepairDelivered { conn, seq, .. } => {
+                stats.repairs += 1;
+                last_repair.insert((*conn, *seq), ev.seq);
+                continue;
+            }
+            EventKind::LossEscalated { conn } | EventKind::QpBroken { conn } => {
+                last_escalation.insert(*conn, ev.seq);
+                continue;
+            }
+            EventKind::ReconfigInstalled { .. } | EventKind::NodeCrashed => {
+                last_recovery = Some(ev.seq);
+                // Fall through: ReconfigInstalled also matters to no
+                // other rule, NodeCrashed neither; both lack a rank
+                // scope and exit at the destructure below.
+            }
+            _ => {}
+        }
         let place = |what: &str| -> String {
             format!(
                 "seq {} t_ns {} [group {:?} rank {:?} node {:?}]: {what}",
@@ -262,6 +382,24 @@ pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckSta
                 recvs_at.retain(|&(m, _, _), _| m != member);
             }
             _ => {}
+        }
+    }
+
+    for loss in &losses {
+        let repaired = loss
+            .block
+            .and_then(|b| last_repair.get(&(loss.conn, b)))
+            .is_some_and(|&at| at > loss.at_seq);
+        let escalated = last_escalation
+            .get(&loss.conn)
+            .is_some_and(|&at| at > loss.at_seq)
+            || last_recovery.is_some_and(|at| at > loss.at_seq);
+        if !repaired && !escalated {
+            violations.push(format!(
+                "seq {}: payload {} on conn {} (block {:?}) was never repaired \
+                 or escalated — a silent hole in the received-block bitmap",
+                loss.at_seq, loss.what, loss.conn, loss.block
+            ));
         }
     }
 
@@ -431,6 +569,116 @@ mod tests {
         assert!(err
             .iter()
             .any(|v| v.contains("delivered holding 1 of Some(2)")));
+    }
+
+    #[test]
+    fn pack_unpack_imm_roundtrips() {
+        assert_eq!(wire::unpack_imm(wire::pack_imm(0, 4096)), (Some(0), 4096));
+        assert_eq!(
+            wire::unpack_imm(wire::pack_imm(17, 1 << 30)),
+            (Some(17), 1 << 30)
+        );
+        assert_eq!(wire::unpack_imm(4096), (None, 4096));
+    }
+
+    #[test]
+    fn unrepaired_drop_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::node(1), || EventKind::PayloadDropped {
+            conn: 0,
+            end: 1,
+            wr: 2,
+            imm: wire::pack_imm(2, 100),
+        });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("never repaired")));
+    }
+
+    #[test]
+    fn repaired_drop_passes() {
+        let r = Recorder::full();
+        r.record(Scope::node(1), || EventKind::PayloadDropped {
+            conn: 0,
+            end: 1,
+            wr: 2,
+            imm: wire::pack_imm(2, 100),
+        });
+        r.record(Scope::node(1), || EventKind::RepairDelivered {
+            conn: 0,
+            seq: 2,
+            coded: false,
+        });
+        let stats = check_events(&r.events(), &CheckConfig::default()).expect("repaired");
+        assert_eq!(stats.losses, 1);
+        assert_eq!(stats.repairs, 1);
+    }
+
+    #[test]
+    fn dropped_repair_write_is_tracked_by_wr_id() {
+        let r = Recorder::full();
+        // The retransmission of block 5 was itself dropped...
+        r.record(Scope::node(1), || EventKind::PayloadDropped {
+            conn: 3,
+            end: 1,
+            wr: wire::REPAIR_WR_BASE + 5,
+            imm: 0,
+        });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("block Some(5)")));
+        // ...but a second repair round landed it.
+        r.record(Scope::node(1), || EventKind::RepairDelivered {
+            conn: 3,
+            seq: 5,
+            coded: false,
+        });
+        assert!(check_events(&r.events(), &CheckConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn escalation_excuses_a_drop() {
+        for escalate in [true, false] {
+            let r = Recorder::full();
+            r.record(Scope::node(1), || EventKind::PayloadDropped {
+                conn: 7,
+                end: 0,
+                wr: 0,
+                imm: 0, // untagged: only escalation can excuse it
+            });
+            if escalate {
+                r.record(Scope::node(1), || EventKind::LossEscalated { conn: 7 });
+            }
+            let res = check_events(&r.events(), &CheckConfig::default());
+            assert_eq!(res.is_ok(), escalate);
+        }
+    }
+
+    #[test]
+    fn dropped_parity_is_exempt() {
+        let r = Recorder::full();
+        r.record(Scope::node(1), || EventKind::PayloadDropped {
+            conn: 0,
+            end: 1,
+            wr: wire::PARITY_WR_BASE + 1,
+            imm: 0,
+        });
+        assert!(check_events(&r.events(), &CheckConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn repair_before_the_drop_does_not_count() {
+        let r = Recorder::full();
+        r.record(Scope::node(1), || EventKind::RepairDelivered {
+            conn: 0,
+            seq: 1,
+            coded: true,
+        });
+        r.record(Scope::node(1), || EventKind::PayloadDropped {
+            conn: 0,
+            end: 1,
+            wr: 1,
+            imm: wire::pack_imm(1, 64),
+        });
+        assert!(check_events(&r.events(), &CheckConfig::default()).is_err());
     }
 
     #[test]

@@ -124,6 +124,24 @@ fn fields(kind: &EventKind) -> (&'static str, Vec<(&'static str, Val)>) {
         ),
         QpBroken { conn } => ("qp_broken", vec![("conn", U(u64::from(*conn)))]),
         NodeCrashed => ("node_crashed", vec![]),
+        PayloadDropped { conn, end, wr, imm } => (
+            "payload_dropped",
+            vec![
+                ("conn", U(u64::from(*conn))),
+                ("end", U(u64::from(*end))),
+                ("wr", U(*wr)),
+                ("imm", U(*imm)),
+            ],
+        ),
+        PayloadCorrupted { conn, end, wr, imm } => (
+            "payload_corrupted",
+            vec![
+                ("conn", U(u64::from(*conn))),
+                ("end", U(u64::from(*end))),
+                ("wr", U(*wr)),
+                ("imm", U(*imm)),
+            ],
+        ),
         SendAdmitted {
             to,
             block,
@@ -239,6 +257,41 @@ fn fields(kind: &EventKind) -> (&'static str, Vec<(&'static str, Val)>) {
                 ("forced", B(*forced)),
             ],
         ),
+        NackSent {
+            conn,
+            end,
+            seq,
+            span,
+        } => (
+            "nack_sent",
+            vec![
+                ("conn", U(u64::from(*conn))),
+                ("end", U(u64::from(*end))),
+                ("seq", U(*seq)),
+                ("span", U(*span)),
+            ],
+        ),
+        RepairSent { conn, seq } => (
+            "repair_sent",
+            vec![("conn", U(u64::from(*conn))), ("seq", U(*seq))],
+        ),
+        RepairDelivered { conn, seq, coded } => (
+            "repair_delivered",
+            vec![
+                ("conn", U(u64::from(*conn))),
+                ("seq", U(*seq)),
+                ("coded", B(*coded)),
+            ],
+        ),
+        ParitySent { conn, seq, data } => (
+            "parity_sent",
+            vec![
+                ("conn", U(u64::from(*conn))),
+                ("seq", U(*seq)),
+                ("data", U(*data)),
+            ],
+        ),
+        LossEscalated { conn } => ("loss_escalated", vec![("conn", U(u64::from(*conn)))]),
     }
 }
 

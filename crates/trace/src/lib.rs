@@ -184,6 +184,29 @@ pub enum EventKind {
     QpBroken { conn: u32 },
     /// A node crashed.
     NodeCrashed,
+    /// The fault model dropped a payload on the wire: the receiver-side
+    /// completion never fires (the sender still completes, SDR-RDMA's
+    /// sender-local semantics). `end` is the receiver endpoint; `imm`
+    /// is the send's immediate value (0 for one-sided writes) —
+    /// reliability layers pack the block sequence number into it, which
+    /// is what lets the trace oracle pair a drop with its eventual
+    /// repair or escalation.
+    PayloadDropped {
+        conn: u32,
+        end: u8,
+        wr: u64,
+        imm: u64,
+    },
+    /// The fault model corrupted a payload: it arrives and consumes its
+    /// posted receive, but fails the receiver's integrity check and
+    /// must be discarded by software. Same pairing fields as
+    /// [`EventKind::PayloadDropped`].
+    PayloadCorrupted {
+        conn: u32,
+        end: u8,
+        wr: u64,
+        imm: u64,
+    },
 
     // ---- rdmc: protocol engine ------------------------------------
     /// The application submitted a multicast at the root.
@@ -258,6 +281,29 @@ pub enum EventKind {
         resumed_blocks: u64,
         forced: bool,
     },
+
+    // ---- rdmc-sim: reliability policies ---------------------------
+    /// A receiver noticed a gap in the block sequence and NACKed the
+    /// sender: `seq` is the first missing sequence number, `span` how
+    /// many consecutive blocks the NACK covers.
+    NackSent {
+        conn: u32,
+        end: u8,
+        seq: u64,
+        span: u64,
+    },
+    /// A sender retransmitted block `seq` (NACK response or timeout).
+    RepairSent { conn: u32, seq: u64 },
+    /// A missing block was filled at the receiver — by retransmission
+    /// (`coded` = false) or erasure reconstruction (`coded` = true).
+    RepairDelivered { conn: u32, seq: u64, coded: bool },
+    /// A sender emitted the parity block closing the erasure-coding
+    /// generation that ends at data sequence `seq` and spans `data`
+    /// data blocks.
+    ParitySent { conn: u32, seq: u64, data: u64 },
+    /// Loss on `conn` exhausted the policy's retry budget; the member
+    /// escalated to epoch recovery (or wedged, when recovery is off).
+    LossEscalated { conn: u32 },
 }
 
 struct Inner {

@@ -124,10 +124,27 @@ enum Side {
 
 #[derive(Clone, Debug)]
 enum CompletedWr {
-    Send { wr_id: WrId },
-    Recv { wr_id: WrId, len: u64, imm: u64 },
-    WriteLocal { wr_id: WrId },
-    WriteRemote { tag: u64, payload: Bytes },
+    Send {
+        wr_id: WrId,
+    },
+    Recv {
+        wr_id: WrId,
+        len: u64,
+        imm: u64,
+    },
+    /// A receive whose payload the fault model corrupted in flight.
+    RecvCorrupt {
+        wr_id: WrId,
+        len: u64,
+        imm: u64,
+    },
+    WriteLocal {
+        wr_id: WrId,
+    },
+    WriteRemote {
+        tag: u64,
+        payload: Bytes,
+    },
 }
 
 /// Internal event/work counters, for performance debugging.
@@ -148,6 +165,12 @@ pub struct FabricStats {
     /// zero on healthy runs (§4.2); a non-zero count means senders are
     /// racing ahead of receive posting and burning retry budget.
     pub rnr_arms: u64,
+    /// Payloads the fault model dropped on the wire (receiver-side
+    /// completion suppressed; the sender still completed).
+    pub payload_drops: u64,
+    /// Payloads the fault model corrupted in flight (delivered as
+    /// [`Delivery::RecvCorrupted`], or discarded for one-sided writes).
+    pub payload_corruptions: u64,
 }
 
 /// A snapshot of one queue-pair endpoint's posting state, for static
@@ -203,6 +226,12 @@ pub struct Fabric {
     /// attached, [`Fabric::advance`] routes tie-breaks through it
     /// instead of the queue's schedule-order default.
     scheduler: Option<crate::sched::SharedScheduler>,
+    /// Seeded wire fault model; `None` (the default) is the paper's
+    /// lossless fabric and costs nothing on the completion path.
+    faults: Option<simnet::FaultProfile>,
+    /// Remaining deliver-or-drop choice points to offer the attached
+    /// scheduler (model-checking mode); 0 disables loss choice points.
+    loss_choices: u64,
 }
 
 impl Fabric {
@@ -240,7 +269,46 @@ impl Fabric {
             stats: FabricStats::default(),
             recorder: trace::Recorder::disabled(),
             scheduler: None,
+            faults: None,
+            loss_choices: 0,
         }
+    }
+
+    /// Attaches a seeded wire fault model ([`simnet::FaultProfile`]):
+    /// completed transfers may be dropped (receiver-side completion
+    /// suppressed — the sender still completes, SDR-RDMA's sender-local
+    /// semantics) or corrupted (surfaced as [`Delivery::RecvCorrupted`]).
+    /// Only allocator-managed transfers (larger than the control bypass
+    /// threshold) are subject to faults: control-sized traffic models a
+    /// separately protected reliable channel, which is what keeps
+    /// membership, credits, and NACKs working on a lossy fabric.
+    ///
+    /// An all-clean profile is behaviourally identical to no profile,
+    /// and runs without one are untouched — the lossless default stays
+    /// bit-for-bit what it was.
+    pub fn set_fault_profile(&mut self, profile: simnet::FaultProfile) {
+        self.faults = if profile.is_clean() {
+            None
+        } else {
+            Some(profile)
+        };
+    }
+
+    /// The attached fault model, if any (its drop/corruption counters
+    /// included).
+    pub fn fault_profile(&self) -> Option<&simnet::FaultProfile> {
+        self.faults.as_ref()
+    }
+
+    /// Grants the attached scheduler `budget` deliver-or-drop choice
+    /// points ([`crate::sched::PointKind::LossSite`]): while the budget
+    /// lasts, every eligible completed transfer asks the scheduler
+    /// whether to deliver or drop instead of sampling the fault
+    /// profile. Model checkers use this to enumerate loss placements
+    /// exhaustively; each offered site spends one unit of budget
+    /// whatever the answer, so the explored depth stays bounded.
+    pub fn set_loss_choice_budget(&mut self, budget: u64) {
+        self.loss_choices = budget;
     }
 
     /// Attaches a controlled scheduler: same-instant delivery races
@@ -712,7 +780,11 @@ impl Fabric {
     fn candidate(seq: u64, node: NodeId, delivery: &Delivery) -> crate::sched::Candidate {
         use crate::sched::CandidateKind as K;
         let (conn, kind) = match delivery {
-            Delivery::RecvDone { qp, .. } => (Some(qp.conn), K::Recv),
+            // A corrupted receive races like any other receive
+            // completion; the payload's fate is already decided.
+            Delivery::RecvDone { qp, .. } | Delivery::RecvCorrupted { qp, .. } => {
+                (Some(qp.conn), K::Recv)
+            }
             Delivery::SendDone { qp, .. } => (Some(qp.conn), K::Send),
             Delivery::WriteDone { qp, .. } => (Some(qp.conn), K::WriteDone),
             Delivery::WriteArrived { qp, tag, .. } => {
@@ -845,7 +917,7 @@ impl Fabric {
     /// follow-up NetWake re-aim (still at `now`).
     fn process_due_flows(&mut self, now: SimTime) {
         while let Some((_, flow)) = self.net.next_due(now) {
-            self.net.complete_flow(now, flow);
+            let path = self.net.complete_flow(now, flow);
             let Some((conn_idx, dir)) = self.find_inflight(flow) else {
                 continue;
             };
@@ -856,28 +928,78 @@ impl Fabric {
                 .expect("inflight send vanished");
             let latency = conn.latency[dir as usize];
             let nic_op = self.params.nic_op_overhead;
+            // The wire fault model gets one verdict per traversal. Note
+            // a dropped two-sided send already consumed its claimed
+            // receive at flow start — exactly like a real RC NIC, whose
+            // RQE is gone once the first packet matches it; software
+            // above sees one fewer receive completion, never an RNR.
+            let outcome = self.fault_outcome(now, &path, conn_idx, dir);
             // Receiver-side hardware completion: one-way latency + NIC
             // processing after the last byte left the sender.
-            let recv_wr = match &send.kind {
-                SendKind::TwoSided { imm } => CompletedWr::Recv {
-                    wr_id: claimed_recv.expect("two-sided send without claimed recv"),
-                    len: send.bytes,
-                    imm: *imm,
-                },
-                SendKind::Write { tag, payload } => CompletedWr::WriteRemote {
-                    tag: *tag,
-                    payload: payload.clone(),
-                },
+            let recv_wr = match (&send.kind, outcome) {
+                (_, simnet::FaultOutcome::Drop) => None,
+                (SendKind::TwoSided { imm }, simnet::FaultOutcome::Deliver) => {
+                    Some(CompletedWr::Recv {
+                        wr_id: claimed_recv.expect("two-sided send without claimed recv"),
+                        len: send.bytes,
+                        imm: *imm,
+                    })
+                }
+                (SendKind::TwoSided { imm }, simnet::FaultOutcome::Corrupt) => {
+                    Some(CompletedWr::RecvCorrupt {
+                        wr_id: claimed_recv.expect("two-sided send without claimed recv"),
+                        len: send.bytes,
+                        imm: *imm,
+                    })
+                }
+                (SendKind::Write { tag, payload }, simnet::FaultOutcome::Deliver) => {
+                    Some(CompletedWr::WriteRemote {
+                        tag: *tag,
+                        payload: payload.clone(),
+                    })
+                }
+                // A corrupted one-sided write never surfaces: the
+                // target's software checks the region's integrity and
+                // ignores garbage, which is indistinguishable from the
+                // write not having landed.
+                (SendKind::Write { .. }, simnet::FaultOutcome::Corrupt) => None,
             };
-            self.queue.schedule_at(
-                now + latency + nic_op,
-                Ev::HwComplete {
-                    conn: conn_idx,
-                    dir,
-                    side: Side::Receiver,
-                    wr: recv_wr,
-                },
-            );
+            if outcome != simnet::FaultOutcome::Deliver {
+                let dropped = outcome == simnet::FaultOutcome::Drop;
+                if dropped {
+                    self.stats.payload_drops += 1;
+                } else {
+                    self.stats.payload_corruptions += 1;
+                }
+                let receiver = self.conns[conn_idx as usize].nodes[1 - dir as usize];
+                let imm = match &send.kind {
+                    SendKind::TwoSided { imm } => *imm,
+                    SendKind::Write { .. } => 0,
+                };
+                self.recorder.record_at(
+                    now.as_nanos(),
+                    trace::Scope::node(receiver.index() as u32),
+                    || {
+                        let (conn, end, wr) = (conn_idx, 1 - dir, send.wr_id.0);
+                        if dropped {
+                            trace::EventKind::PayloadDropped { conn, end, wr, imm }
+                        } else {
+                            trace::EventKind::PayloadCorrupted { conn, end, wr, imm }
+                        }
+                    },
+                );
+            }
+            if let Some(recv_wr) = recv_wr {
+                self.queue.schedule_at(
+                    now + latency + nic_op,
+                    Ev::HwComplete {
+                        conn: conn_idx,
+                        dir,
+                        side: Side::Receiver,
+                        wr: recv_wr,
+                    },
+                );
+            }
             // Sender-side completion: the hardware ack makes the round trip.
             let send_wr = match &send.kind {
                 SendKind::TwoSided { .. } => CompletedWr::Send { wr_id: send.wr_id },
@@ -900,6 +1022,46 @@ impl Fabric {
     fn find_inflight(&mut self, flow: FlowId) -> Option<(u32, u8)> {
         self.stats.inflight_scans += 1;
         self.inflight_index.remove(&flow)
+    }
+
+    /// Decides the fate of one completed transfer: a scheduler with
+    /// loss-choice budget gets an explicit deliver-or-drop choice
+    /// point; otherwise the fault profile samples; otherwise (the
+    /// lossless default) the payload is delivered.
+    fn fault_outcome(
+        &mut self,
+        now: SimTime,
+        path: &[LinkId],
+        conn_idx: u32,
+        dir: u8,
+    ) -> simnet::FaultOutcome {
+        use simnet::FaultOutcome as O;
+        if self.loss_choices > 0 {
+            if let Some(sched) = self.scheduler.clone() {
+                self.loss_choices -= 1;
+                let receiver = self.conns[conn_idx as usize].nodes[1 - dir as usize];
+                let cand = |i, drop| crate::sched::Candidate {
+                    seq: i,
+                    node: receiver.index() as u32,
+                    conn: Some(conn_idx),
+                    kind: crate::sched::CandidateKind::Loss { drop },
+                };
+                let cands = [cand(0, false), cand(1, true)];
+                let idx = crate::sched::pick(
+                    &sched,
+                    &crate::sched::ChoicePoint {
+                        time_ns: now.as_nanos(),
+                        kind: crate::sched::PointKind::LossSite,
+                        candidates: &cands,
+                    },
+                );
+                return if idx == 1 { O::Drop } else { O::Deliver };
+            }
+        }
+        match &mut self.faults {
+            Some(f) => f.sample(path),
+            None => O::Deliver,
+        }
     }
 
     /// Attempts to start the head-of-line send on `(conn, dir)`.
@@ -1161,12 +1323,14 @@ impl Fabric {
                         recv: false,
                     }
                 }
-                CompletedWr::Recv { wr_id, .. } => trace::EventKind::WrCompleted {
-                    conn: conn_idx,
-                    end,
-                    wr: wr_id.0,
-                    recv: true,
-                },
+                CompletedWr::Recv { wr_id, .. } | CompletedWr::RecvCorrupt { wr_id, .. } => {
+                    trace::EventKind::WrCompleted {
+                        conn: conn_idx,
+                        end,
+                        wr: wr_id.0,
+                        recv: true,
+                    }
+                }
                 CompletedWr::WriteRemote { tag, .. } => trace::EventKind::WriteDelivered {
                     conn: conn_idx,
                     end,
@@ -1180,7 +1344,9 @@ impl Fabric {
             CompletedWr::Send { wr_id } | CompletedWr::WriteLocal { wr_id } => {
                 Some((conn_idx, end, wr_id.0))
             }
-            CompletedWr::Recv { wr_id, .. } => Some((conn_idx, end, wr_id.0)),
+            CompletedWr::Recv { wr_id, .. } | CompletedWr::RecvCorrupt { wr_id, .. } => {
+                Some((conn_idx, end, wr_id.0))
+            }
             CompletedWr::WriteRemote { .. } => None,
         };
         if let Some(key) = dep_key {
@@ -1204,6 +1370,12 @@ impl Fabric {
         let delivery = match wr {
             CompletedWr::Send { wr_id } => Delivery::SendDone { qp, wr_id },
             CompletedWr::Recv { wr_id, len, imm } => Delivery::RecvDone {
+                qp,
+                wr_id,
+                len,
+                imm,
+            },
+            CompletedWr::RecvCorrupt { wr_id, len, imm } => Delivery::RecvCorrupted {
                 qp,
                 wr_id,
                 len,

@@ -59,6 +59,15 @@ pub enum CandidateKind {
         /// The node to crash.
         victim: u32,
     },
+    /// One outcome at a wire loss site: deliver the payload intact, or
+    /// drop it on the floor. Offered per completed data transfer while
+    /// the fabric's loss-choice budget lasts, so model checkers can
+    /// enumerate retransmit/escalation interleavings instead of
+    /// sampling them.
+    Loss {
+        /// True for the drop outcome, false for intact delivery.
+        drop: bool,
+    },
 }
 
 /// One enabled event at a choice point.
@@ -87,6 +96,8 @@ pub enum PointKind {
     PacerTie,
     /// Crash/flap injection sites offered before traffic starts.
     FaultSite,
+    /// Deliver-or-drop outcomes at a wire loss site.
+    LossSite,
 }
 
 /// A choice point: two or more enabled candidates at one instant.

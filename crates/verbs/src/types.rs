@@ -24,6 +24,20 @@ pub struct QpHandle {
     pub(crate) end: u8,
 }
 
+impl QpHandle {
+    /// The connection index shared by both endpoints — the `conn` the
+    /// flight recorder stamps on every wire-level event, so drivers can
+    /// correlate their own records with the fabric's.
+    pub fn conn_id(self) -> u32 {
+        self.conn
+    }
+
+    /// Which side of the connection this endpoint is (0 or 1).
+    pub fn endpoint(self) -> u8 {
+        self.end
+    }
+}
+
 /// Caller-chosen work-request identifier, echoed in completions.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WrId(pub u64);
@@ -122,6 +136,23 @@ pub enum Delivery {
         tag: u64,
         /// The written bytes.
         payload: Bytes,
+    },
+    /// A two-sided receive completed, but the payload failed its
+    /// integrity check (injected corruption): the posted receive was
+    /// consumed and the buffer contents must be discarded by software.
+    /// Only surfaced when a fault model is attached
+    /// ([`Fabric::set_fault_profile`](crate::Fabric::set_fault_profile));
+    /// lossless fabrics never emit it.
+    RecvCorrupted {
+        /// Local queue pair the receive was posted on.
+        qp: QpHandle,
+        /// The consumed posted receive's work request id.
+        wr_id: WrId,
+        /// Payload length in bytes (the garbage is full-length).
+        len: u64,
+        /// The sender-attached immediate value (assumed intact — real
+        /// NICs protect headers and payload with separate CRCs).
+        imm: u64,
     },
     /// The connection failed (peer crashed, RNR retries exhausted, or a
     /// receive was too small). Every outstanding work request on the
