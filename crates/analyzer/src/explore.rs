@@ -145,6 +145,13 @@ pub struct ExploreScenario {
     /// apply). Mutually exclusive with `fault_sites` (atomic groups do
     /// not reconfigure).
     pub atomic: bool,
+    /// Multi-sender atomic multicast (the Derecho overlay): every
+    /// member is a sender, `messages` submissions rotate round-robin
+    /// through one RDMC subgroup per sender, and every execution is
+    /// checked for cross-rank delivery-log agreement. Built via
+    /// [`ExploreScenario::atomic`]; mutually exclusive with `atomic`
+    /// and `reliability`.
+    pub multi_sender: bool,
     /// Crash-injection sites `(protocol step, victim node)`. When
     /// non-empty, the execution's *first* choice point picks one site —
     /// or none — and recovery is enabled so the run can finish.
@@ -176,10 +183,27 @@ impl ExploreScenario {
             ready_window: 1,
             max_outstanding_sends: 1,
             atomic: true,
+            multi_sender: false,
             fault_sites: Vec::new(),
             loss_choices: 0,
             reliability: None,
             mutations: Vec::new(),
+        }
+    }
+
+    /// The multi-sender CI tier: an `n`-member *atomic multicast* group
+    /// (one rotated RDMC subgroup per sender, SST stability frontiers,
+    /// total-order delivery), one full rotation of `k`-block messages,
+    /// sized so exhaustive enumeration stays tractable. Every explored
+    /// interleaving is checked for the cross-rank
+    /// delivery-log-agreement invariant: all members must deliver the
+    /// identical `(slot, sender, seq, size)` sequence.
+    pub fn atomic(algorithm: Algorithm, n: u32, k: u32) -> Self {
+        ExploreScenario {
+            atomic: false,
+            multi_sender: true,
+            messages: n,
+            ..Self::small(algorithm, n, k)
         }
     }
 
@@ -405,23 +429,36 @@ fn run_with(scenario: &ExploreScenario, pick: Pick) -> ExecutionResult {
         for &m in &scenario.mutations {
             cluster.seed_mutation(m);
         }
-        let group = cluster.create_group(GroupSpec {
+        let spec = GroupSpec {
             members: (0..scenario.n as usize).collect(),
             algorithm: scenario.algorithm.clone(),
             block_size: scenario.block_size,
             ready_window: scenario.ready_window,
             max_outstanding_sends: scenario.max_outstanding_sends,
-        });
-        if scenario.atomic {
-            cluster.enable_atomic_delivery(group);
-        }
-        if let Some(policy) = scenario.reliability {
-            cluster.set_reliability(group, policy);
-        }
+        };
+        let group = if scenario.multi_sender {
+            let ag = cluster.create_atomic_group(spec);
+            // The anchor subgroup's id names the overlay group for the
+            // epoch-agreement check below.
+            cluster.atomic_subgroups(ag)[0]
+        } else {
+            let group = cluster.create_group(spec);
+            if scenario.atomic {
+                cluster.enable_atomic_delivery(group);
+            }
+            if let Some(policy) = scenario.reliability {
+                cluster.set_reliability(group, policy);
+            }
+            group
+        };
         let injected = offer_fault_choice(scenario, &shared, &mut cluster);
         for _ in 0..scenario.messages {
             let size = scenario.block_size * u64::from(scenario.k);
-            let _ = cluster.submit_send(group, size);
+            if scenario.multi_sender {
+                let _ = cluster.submit_atomic(0, size);
+            } else {
+                let _ = cluster.submit_send(group, size);
+            }
         }
         while cluster.step() {}
         (cluster, group, injected)
@@ -572,6 +609,39 @@ fn check_invariants(
             }
             if stable.windows(2).any(|w| w[1] < w[0]) {
                 violations.push(format!("rank {rank}: stable-delivery times regressed"));
+            }
+        }
+    }
+    // The multi-sender total order: every live member's delivery log
+    // must be the identical `(slot, sender, seq, size)` sequence in
+    // strictly increasing slot order — the atomic multicast's defining
+    // guarantee, checked across every explored interleaving.
+    if scenario.multi_sender {
+        let live = cluster.atomic_live_members(0);
+        if let Some((&first, rest)) = live.split_first() {
+            let reference = cluster.atomic_log(0, first);
+            if !injected && reference.len() != scenario.messages as usize {
+                violations.push(format!(
+                    "member {first}: {} of {} atomic messages delivered in a crash-free run",
+                    reference.len(),
+                    scenario.messages
+                ));
+            }
+            if reference.windows(2).any(|w| w[0].slot >= w[1].slot) {
+                violations.push(format!("member {first}: delivery slots not increasing"));
+            }
+            for &m in rest {
+                let log = cluster.atomic_log(0, m);
+                if log.len() != reference.len()
+                    || reference
+                        .iter()
+                        .zip(log)
+                        .any(|(a, b)| (a.slot, a.sender, a.seq) != (b.slot, b.sender, b.seq))
+                {
+                    violations.push(format!(
+                        "delivery logs disagree: members {first} and {m} ordered slots differently"
+                    ));
+                }
             }
         }
     }

@@ -37,6 +37,7 @@ fn json_summary(
     sections: &[SectionPerf],
     trace_overhead: Option<&e::TraceOverhead>,
     multigroup: Option<&e::MultigroupReport>,
+    atomic: Option<&e::AtomicReport>,
     reliability: Option<&e::ReliabilityReport>,
     scale: Option<&e::ScaleReport>,
     explore: Option<&e::ExploreBench>,
@@ -54,6 +55,9 @@ fn json_summary(
     }
     if let Some(m) = multigroup {
         out.push_str(&format!("  \"multigroup\": {},\n", m.to_json()));
+    }
+    if let Some(a) = atomic {
+        out.push_str(&format!("  \"atomic\": {},\n", a.to_json()));
     }
     if let Some(r) = reliability {
         out.push_str(&format!("  \"reliability\": {},\n", r.to_json()));
@@ -158,6 +162,19 @@ fn main() {
     } else {
         None
     };
+    // The atomic multicast sweep (committed ops/s, multi-sender vs
+    // single-sender) reports through the JSON summary as well as text,
+    // so it runs outside the plain-text section list.
+    let atomic = if only.is_empty() || only.iter().any(|o| o == "atomic") {
+        let t = std::time::Instant::now();
+        let a = e::atomic_sweep(quick);
+        println!("==================== atomic ====================");
+        println!("{}", a.text());
+        eprintln!("[atomic took {:.1}s]", t.elapsed().as_secs_f64());
+        Some(a)
+    } else {
+        None
+    };
     // The lossy-WAN reliability sweep reports through the JSON summary
     // as well as text, so it runs outside the plain-text section list.
     let reliability = if only.is_empty() || only.iter().any(|o| o == "reliability") {
@@ -225,6 +242,7 @@ fn main() {
         &perf,
         trace_overhead.as_ref(),
         multigroup.as_ref(),
+        atomic.as_ref(),
         reliability.as_ref(),
         scale.as_ref(),
         explore_bench.as_ref(),

@@ -1436,6 +1436,242 @@ pub fn multigroup_sweep(quick: bool) -> MultigroupReport {
     MultigroupReport { cells }
 }
 
+/// One cell of the atomic multicast sweep: the sharded serving
+/// workload replayed through one ordering mode at one shard-count /
+/// offered-load point.
+pub struct AtomicCell {
+    /// `"multi_sender"` (rotated atomic overlay) or `"single_sender"`
+    /// (raw RDMC from the shard root, legacy §4.6 stability path).
+    pub mode: &'static str,
+    /// Number of shard groups sharing the fabric.
+    pub shards: usize,
+    /// Aggregate offered load across all shards, Gb/s.
+    pub offered_gbps: f64,
+    /// Messages the schedule offered (all commit before quiescence).
+    pub messages: usize,
+    /// Committed (delivered-at-every-member) operations per second over
+    /// the run's makespan.
+    pub committed_ops_per_s: f64,
+    /// Median commit latency (arrival to the last member's upcall), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile commit latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The atomic sweep's results, renderable as text and as the `atomic`
+/// section of `BENCH_simnet.json`.
+pub struct AtomicReport {
+    /// One cell per (shards, load, mode) run.
+    pub cells: Vec<AtomicCell>,
+}
+
+impl AtomicReport {
+    /// Text table for the report output.
+    pub fn text(&self) -> String {
+        let mut out = String::from(
+            "Atomic multicast: committed ops/s, rotated multi-sender vs single-sender RDMC\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                row![
+                    c.mode,
+                    c.shards,
+                    format!("{:.0}", c.offered_gbps),
+                    c.messages,
+                    format!("{:.0}", c.committed_ops_per_s),
+                    format!("{:.2}", c.p50_ms),
+                    format!("{:.2}", c.p99_ms)
+                ]
+            })
+            .collect();
+        out.push_str(&render(
+            &row![
+                "mode",
+                "shards",
+                "offered Gb/s",
+                "messages",
+                "committed/s",
+                "p50 ms",
+                "p99 ms"
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        out
+    }
+
+    /// The `atomic` JSON array (keys in fixed order, byte-stable for a
+    /// given cell list).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"shards\": {}, \"offered_gbps\": {:.1}, \
+                 \"messages\": {}, \"committed_ops_per_s\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}}}{}\n",
+                c.mode,
+                c.shards,
+                c.offered_gbps,
+                c.messages,
+                c.committed_ops_per_s,
+                c.p50_ms,
+                c.p99_ms,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+/// Runs the sharded workload once at one point in one ordering mode and
+/// measures commit latency (arrival to the last member's total-order
+/// upcall) for every message.
+fn atomic_point(shards: usize, offered_gbps: f64, messages: usize, multi: bool) -> AtomicCell {
+    const NODES: usize = 16;
+    // The small-message end of the serving story (Spindle's regime):
+    // dissemination latency, not fabric bandwidth, is what bounds a
+    // single sender here, which is exactly where rotating the sender
+    // role multiplies the in-flight message budget.
+    let workload = ShardedWorkload {
+        seed: 0xA70,
+        nodes: NODES,
+        shards,
+        replication_factor: 4,
+        offered_gbps,
+        median_bytes: 192e3,
+        mean_bytes: 256e3,
+        min_bytes: 64 << 10,
+        max_bytes: MB,
+    };
+    let group_spec = |members: Vec<usize>| GroupSpec {
+        members,
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: 64 << 10,
+        ready_window: 2,
+        max_outstanding_sends: 1,
+    };
+    let arrivals = workload.generate(messages);
+    let spec = ClusterSpec::fractus(NODES);
+    // (arrival ns, commit time) per message, either mode.
+    let mut commits: Vec<(u64, simnet::SimTime)> = Vec::with_capacity(arrivals.len());
+    if multi {
+        let mut builder = ClusterBuilder::new(spec);
+        for s in 0..shards {
+            builder = builder.atomic(group_spec(workload.members(s)));
+        }
+        let mut cluster = builder.build();
+        let mut pending: Vec<(usize, rdmc_sim::MessageId, u64)> = Vec::new();
+        for a in &arrivals {
+            let id = cluster.schedule_atomic_send_at(
+                a.shard,
+                simnet::SimTime::from_nanos(a.at_ns),
+                a.size,
+            );
+            pending.push((a.shard, id, a.at_ns));
+        }
+        cluster.run();
+        for (s, id, at_ns) in pending {
+            let commit = cluster
+                .atomic_live_members(s)
+                .iter()
+                .map(|&m| {
+                    cluster
+                        .atomic_log(s, m)
+                        .iter()
+                        .find(|d| d.message == id)
+                        .expect("every offered message commits")
+                        .at
+                })
+                .max()
+                .expect("atomic group has members");
+            commits.push((at_ns, commit));
+        }
+    } else {
+        let mut cluster = ClusterBuilder::new(spec).build();
+        let groups: Vec<rdmc_sim::GroupId> = (0..shards)
+            .map(|s| {
+                let g = cluster.create_group(group_spec(workload.members(s)));
+                cluster.enable_atomic_delivery(g);
+                g
+            })
+            .collect();
+        let mut per_group: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for a in &arrivals {
+            cluster.schedule_send_at(
+                groups[a.shard],
+                simnet::SimTime::from_nanos(a.at_ns),
+                a.size,
+            );
+            per_group[a.shard].push(a.at_ns);
+        }
+        cluster.run();
+        for (s, &g) in groups.iter().enumerate() {
+            let n = workload.members(s).len();
+            // Single-sender FIFO: the k-th stable delivery is the k-th
+            // arrival of that shard; commit = slowest member's upcall.
+            for (k, &at_ns) in per_group[s].iter().enumerate() {
+                let commit = (0..n)
+                    .map(|r| cluster.stable_deliveries(g, r as u32)[k])
+                    .max()
+                    .expect("group has members");
+                commits.push((at_ns, commit));
+            }
+        }
+    }
+    let latencies: Vec<f64> = commits
+        .iter()
+        .map(|&(at_ns, commit)| (commit.as_secs_f64() - at_ns as f64 / 1e9) * 1e3)
+        .collect();
+    let first_arrival = commits.iter().map(|&(at, _)| at).min().unwrap_or(0) as f64 / 1e9;
+    let last_commit = commits
+        .iter()
+        .map(|&(_, c)| c)
+        .max()
+        .map_or(0.0, |c| c.as_secs_f64());
+    AtomicCell {
+        mode: if multi {
+            "multi_sender"
+        } else {
+            "single_sender"
+        },
+        shards,
+        offered_gbps,
+        messages,
+        committed_ops_per_s: commits.len() as f64 / (last_commit - first_arrival).max(1e-9),
+        p50_ms: stats::percentile(&latencies, 50.0),
+        p99_ms: stats::percentile(&latencies, 99.0),
+    }
+}
+
+/// The atomic multicast sweep: the ShardedWorkload serving story at the
+/// small-message end, each shard ordered either by the rotated
+/// multi-sender overlay or by a single root sender on raw RDMC (the
+/// legacy §4.6 stability path), measured as *committed* operations per
+/// second — a message counts only once every member has issued its
+/// total-order upcall. Rotation multiplies the per-shard in-flight
+/// budget by the member count, which is what keeps the committed rate
+/// at the offered rate when a lone sender's dissemination latency
+/// cannot.
+pub fn atomic_sweep(quick: bool) -> AtomicReport {
+    let messages = if quick { 48 } else { 120 };
+    // Per-shard offered capacity scale (Gb/s) x load factors: light,
+    // and past what one sender can serialize.
+    let points: [(usize, f64); 3] = [(8, 0.5), (8, 1.5), (16, 1.2)];
+    let mut configs = Vec::new();
+    for &(shards, factor) in &points {
+        for &multi in &[true, false] {
+            configs.push((shards, factor * 16.0 * shards as f64, multi));
+        }
+    }
+    let cells = par_map(&configs, |(shards, offered, multi)| {
+        atomic_point(*shards, *offered, messages, *multi)
+    });
+    AtomicReport { cells }
+}
+
 /// One cell of the lossy-WAN reliability sweep: one policy at one
 /// per-WAN-link loss rate, aggregated over independent seeded runs.
 pub struct ReliabilityCell {

@@ -70,6 +70,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod rotation;
 pub mod schedule;
 mod types;
 

@@ -12,7 +12,7 @@
 use simnet::{FaultProfile, JitterModel};
 use verbs::{CompletionMode, Fabric, NodeId, SharedScheduler};
 
-use crate::cluster::{RecoveryConfig, SimCluster};
+use crate::cluster::{GroupSpec, RecoveryConfig, SimCluster};
 use crate::pacer::PacerConfig;
 use crate::profiles::ClusterSpec;
 use crate::reliability::ReliabilityPolicy;
@@ -49,6 +49,7 @@ pub struct ClusterBuilder {
     scheduler: Option<SharedScheduler>,
     fault_profile: Option<FaultProfile>,
     reliability: Option<ReliabilityPolicy>,
+    atomic_groups: Vec<GroupSpec>,
 }
 
 impl ClusterBuilder {
@@ -71,6 +72,7 @@ impl ClusterBuilder {
             scheduler: None,
             fault_profile: None,
             reliability: None,
+            atomic_groups: Vec::new(),
         }
     }
 
@@ -162,6 +164,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Declares a multi-sender **atomic multicast** group (the
+    /// Derecho construction over RDMC): every member of `spec.members`
+    /// becomes a sender, backed by one RDMC subgroup per sender with
+    /// the member list rotated so that sender sits at rank 0, and
+    /// deliveries come out in an identical total order at every member.
+    /// Groups declared here receive ids `0..` in declaration order;
+    /// submit with [`SimCluster::submit_atomic`] and read logs with
+    /// [`SimCluster::atomic_log`]. Equivalent to calling
+    /// [`SimCluster::create_atomic_group`] right after `build()`.
+    pub fn atomic(mut self, spec: GroupSpec) -> Self {
+        self.atomic_groups.push(spec);
+        self
+    }
+
     /// Builds the configured cluster.
     pub fn build(mut self) -> SimCluster {
         if self.intern_paths {
@@ -191,6 +207,9 @@ impl ClusterBuilder {
         }
         if let Some(scheduler) = self.scheduler {
             cluster.set_scheduler(scheduler);
+        }
+        for spec in std::mem::take(&mut self.atomic_groups) {
+            let _ = cluster.create_atomic_group(spec);
         }
         cluster
     }

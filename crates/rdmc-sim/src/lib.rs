@@ -18,6 +18,10 @@
 //! - [`ClusterBuilder::pacing`]: the multi-tenant admission layer — a
 //!   bound on each NIC's concurrent outbound block sends plus a
 //!   [`PacingPolicy`] ordering the queued sends of overlapping groups.
+//! - [`ClusterBuilder::atomic`]: the Derecho-style atomic multicast
+//!   overlay — one RDMC subgroup per sender (rotated member lists),
+//!   SST stability frontiers, and total-order delivery logs identical
+//!   at every member (see [`SimCluster::atomic_log`]).
 //! - [`run_single_multicast`] and friends: the one-line harnesses the
 //!   benchmark suite sweeps.
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod builder;
 mod cluster;
 mod experiment;
@@ -55,6 +60,7 @@ mod pacer;
 mod profiles;
 mod reliability;
 
+pub use atomic::{AtomicDelivery, AtomicGroupId};
 pub use builder::ClusterBuilder;
 pub use cluster::{
     DetectionRecord, GroupId, GroupSpec, MessageId, MessageResult, Mutation, ReconfigRecord,

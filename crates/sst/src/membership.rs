@@ -31,6 +31,9 @@ use crate::table::SstTable;
 const COL_SUSPECT: u32 = 0;
 /// Installed-epoch column.
 const COL_EPOCH: u32 = 1;
+/// First per-sender stability-frontier column (one per sender when the
+/// tracker is built with [`ViewTracker::with_frontiers`]).
+const COL_FRONTIER_BASE: u32 = 2;
 
 /// An agreed membership view: the output of epidemic failure agreement.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -85,6 +88,105 @@ impl ViewTracker {
         }
     }
 
+    /// Like [`ViewTracker::new`], but each row additionally carries
+    /// `senders` **stability-frontier** cells: column `2 + j` of row `r`
+    /// holds how many of sender `j`'s message slots member `r` has
+    /// received (counted gaplessly from slot 0). Frontiers are monotone
+    /// counters merged by `max`, exactly as Derecho's SST uses them —
+    /// the min over live rows is the stability frontier that gates
+    /// atomic delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ViewTracker::new`].
+    pub fn with_frontiers(rank: u32, num_nodes: u32, senders: u32) -> Self {
+        assert!(num_nodes <= 64, "suspicion mask is a single u64 cell");
+        ViewTracker {
+            table: SstTable::new(rank, num_nodes, 2 + senders),
+        }
+    }
+
+    /// Number of per-sender frontier columns this tracker carries
+    /// (zero when built with [`ViewTracker::new`]).
+    pub fn num_senders(&self) -> u32 {
+        self.table.columns() - COL_FRONTIER_BASE
+    }
+
+    /// Raises our own received-frontier for `sender` to `count`.
+    /// Returns the encoded row update to replicate, or `None` if the
+    /// frontier already stood at `count` or beyond (frontiers are
+    /// monotone; a stale advance is a no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` has no frontier column.
+    pub fn advance_frontier(&mut self, sender: u32, count: u64) -> Option<Vec<u8>> {
+        assert!(
+            sender < self.num_senders(),
+            "sender {sender} has no frontier"
+        );
+        let me = self.table.rank();
+        if self.table.get(me, COL_FRONTIER_BASE + sender) >= count {
+            return None;
+        }
+        Some(self.table.set_local(COL_FRONTIER_BASE + sender, count))
+    }
+
+    /// Member `row`'s published received-frontier for `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` has no frontier column.
+    pub fn frontier(&self, row: u32, sender: u32) -> u64 {
+        assert!(
+            sender < self.num_senders(),
+            "sender {sender} has no frontier"
+        );
+        self.table.get(row, COL_FRONTIER_BASE + sender)
+    }
+
+    /// Merges the knowledge that member `row` published a
+    /// received-frontier of at least `count` for `sender` — the
+    /// view-change state exchange: on a reconfiguration the survivors
+    /// pool their replicas so everyone's picture of every row (in
+    /// particular the *dead* rows, which will never publish again) is
+    /// the union of what any survivor saw. Monotone max-merge; a no-op
+    /// for our own row, which is single-writer and always freshest
+    /// locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` has no frontier column.
+    pub fn resync_frontier(&mut self, row: u32, sender: u32, count: u64) {
+        assert!(
+            sender < self.num_senders(),
+            "sender {sender} has no frontier"
+        );
+        if row == self.table.rank() || self.table.get(row, COL_FRONTIER_BASE + sender) >= count {
+            return;
+        }
+        let mut payload = Vec::with_capacity(12);
+        payload.extend_from_slice(&(COL_FRONTIER_BASE + sender).to_le_bytes());
+        payload.extend_from_slice(&count.to_le_bytes());
+        self.table.apply_remote(row, &payload);
+    }
+
+    /// The stability frontier for `sender`: the minimum received-frontier
+    /// over the `live` rows. Every slot of `sender` below this count has
+    /// been received by every live member, so delivering it can never be
+    /// undone by a ragged trim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live` is empty or `sender` has no frontier column.
+    pub fn stable_frontier(&self, sender: u32, live: &[u32]) -> u64 {
+        assert!(!live.is_empty(), "stability needs at least one live row");
+        live.iter()
+            .map(|&r| self.frontier(r, sender))
+            .min()
+            .expect("non-empty live set")
+    }
+
     /// This member's original rank.
     pub fn rank(&self) -> u32 {
         self.table.rank()
@@ -137,7 +239,10 @@ impl ViewTracker {
         let val = u64::from_le_bytes(payload[4..12].try_into().expect("payload val"));
         let merged = match col {
             COL_SUSPECT => self.table.get(from_rank, COL_SUSPECT) | val,
+            // Epochs and stability frontiers are both monotone counters:
+            // merge by max so a reordered stale payload cannot regress.
             COL_EPOCH => self.table.get(from_rank, COL_EPOCH).max(val),
+            c if c < self.table.columns() => self.table.get(from_rank, c).max(val),
             _ => panic!("unknown membership column {col}"),
         };
         let mut monotone = Vec::with_capacity(12);
@@ -342,5 +447,96 @@ mod tests {
         assert!(t.suspect(1).is_some());
         assert!(t.suspect(1).is_none());
         assert_eq!(t.suspected(), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn frontiers_propagate_and_min_gates_stability() {
+        let mut ts: Vec<Option<ViewTracker>> = (0..3)
+            .map(|r| Some(ViewTracker::with_frontiers(r, 3, 3)))
+            .collect();
+        // Ranks 0 and 1 have received two of sender 2's slots; rank 2
+        // has only received one. The min pins stability at 1.
+        for (r, count) in [(0u32, 2u64), (1, 2), (2, 1)] {
+            let up = ts[r as usize]
+                .as_mut()
+                .unwrap()
+                .advance_frontier(2, count)
+                .unwrap();
+            broadcast(&mut ts, r, up);
+        }
+        let live = [0u32, 1, 2];
+        for t in ts.iter().flatten() {
+            assert_eq!(t.stable_frontier(2, &live), 1, "rank {}", t.rank());
+            assert_eq!(t.frontier(0, 2), 2);
+            assert_eq!(t.frontier(2, 2), 1);
+        }
+        // Rank 2 catches up; everyone's min advances to 2.
+        let up = ts[2].as_mut().unwrap().advance_frontier(2, 2).unwrap();
+        broadcast(&mut ts, 2, up);
+        for t in ts.iter().flatten() {
+            assert_eq!(t.stable_frontier(2, &live), 2, "rank {}", t.rank());
+        }
+        // Excluding the laggard row from the live set raises the min —
+        // the ragged-trim rule after a failure.
+        assert_eq!(ts[0].as_ref().unwrap().stable_frontier(2, &[0, 1]), 2);
+    }
+
+    #[test]
+    fn stale_frontier_updates_are_monotone_no_ops() {
+        let mut a = ViewTracker::with_frontiers(0, 2, 2);
+        let mut b = ViewTracker::with_frontiers(1, 2, 2);
+        let up2 = a.advance_frontier(1, 2).unwrap();
+        let up5 = a.advance_frontier(1, 5).unwrap();
+        assert!(a.advance_frontier(1, 5).is_none(), "re-advance is a no-op");
+        assert!(a.advance_frontier(1, 3).is_none(), "regress is a no-op");
+        // Deliver the updates out of order: max-merge keeps row 0 at 5.
+        b.apply_remote(0, &up5);
+        b.apply_remote(0, &up2);
+        assert_eq!(b.frontier(0, 1), 5);
+        assert_eq!(b.frontier(1, 1), 0);
+        assert_eq!(b.num_senders(), 2);
+    }
+
+    #[test]
+    fn frontier_columns_coexist_with_membership_agreement() {
+        let mut ts: Vec<Option<ViewTracker>> = (0..3)
+            .map(|r| Some(ViewTracker::with_frontiers(r, 3, 3)))
+            .collect();
+        let up = ts[0].as_mut().unwrap().advance_frontier(0, 4).unwrap();
+        broadcast(&mut ts, 0, up);
+        ts[2] = None;
+        let up = ts[1].as_mut().unwrap().suspect(2).unwrap();
+        broadcast(&mut ts, 1, up);
+        for t in ts.iter().flatten() {
+            let v = t.agreed_view().expect("agreed");
+            assert_eq!(v.members, vec![0, 1]);
+            assert_eq!(t.frontier(0, 0), 4, "frontier survives agreement");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has no frontier")]
+    fn plain_tracker_rejects_frontier_reads() {
+        ViewTracker::new(0, 3).frontier(0, 0);
+    }
+
+    #[test]
+    fn resync_pools_survivor_knowledge_of_dead_rows() {
+        // Member 2 announced frontier 3 to member 0 only, then died.
+        let mut a = ViewTracker::with_frontiers(0, 3, 3);
+        let b = ViewTracker::with_frontiers(1, 3, 3);
+        a.resync_frontier(2, 2, 3);
+        assert_eq!(a.frontier(2, 2), 3);
+        assert_eq!(b.frontier(2, 2), 0, "b never heard it");
+        // The view-change exchange: b adopts the max any survivor saw.
+        let mut b = b;
+        b.resync_frontier(2, 2, a.frontier(2, 2));
+        assert_eq!(b.frontier(2, 2), 3);
+        // Stale resyncs and own-row resyncs are no-ops.
+        b.resync_frontier(2, 2, 1);
+        assert_eq!(b.frontier(2, 2), 3);
+        b.advance_frontier(1, 5);
+        b.resync_frontier(1, 1, 9);
+        assert_eq!(b.frontier(1, 1), 5, "own row is single-writer");
     }
 }

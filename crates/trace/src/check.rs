@@ -34,6 +34,15 @@
 //!    trace-wide `ReconfigInstalled`/`NodeCrashed`). A lost block
 //!    that is neither is a hang in the making — exactly what the
 //!    reliability policies exist to rule out.
+//! 8. **Atomic ordering** — an `AtomicDelivered` for the `seq`-th slot
+//!    of `sender` at a member requires that member's own received
+//!    frontier for `sender` to already cover it (local receipt,
+//!    `FrontierAdvanced ≥ seq + 1`) *and* its stability frontier to
+//!    already cover it (`StableFrontier ≥ seq + 1` — the min over live
+//!    members' frontiers). Frontiers are monotone, per-member delivered
+//!    slots strictly increase, and at end of trace every pair of
+//!    members of one atomic group must have delivered identical slot
+//!    sequences up to the shorter log (total order, prefix agreement).
 //!
 //! The oracle requires a *complete* trace: run the recorder in
 //! [`Mode::Full`](crate::Mode::Full), or confirm
@@ -45,7 +54,7 @@ use crate::{EventKind, TraceEvent};
 // keyed by trace-supplied ids, never iterated — so their randomized
 // order cannot leak into the verdict or the violation list.
 #[allow(clippy::disallowed_types)]
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Model parameters the oracle checks against; compute these from the
 /// analyzer for the algorithm under test. `None` disables a check.
@@ -90,6 +99,9 @@ pub struct CheckStats {
     pub losses: u64,
     /// Repair deliveries (retransmissions and reconstructions).
     pub repairs: u64,
+    /// Atomic (total-order) delivery upcalls, each proven locally
+    /// received and stable before delivery.
+    pub atomic_deliveries: u64,
 }
 
 /// Wire conventions shared between the reliability layer (`rdmc-sim`)
@@ -153,6 +165,9 @@ struct MemberState {
 
 type Chan = (u32, u64, u32, u32); // (group, epoch, sender, receiver)
 type Member = (u32, u32); // (group, rank)
+/// One atomic group's delivery logs for the end-of-trace agreement
+/// sweep: each rank's delivered `(slot, sender, seq)` sequence.
+type RankLogs<'a> = Vec<(u32, &'a Vec<(u64, u32, u64)>)>;
 
 /// Checks every invariant over a complete event stream. Returns summary
 /// counters on success, or every violation found (never just the
@@ -181,6 +196,12 @@ pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckSta
     let mut last_repair: HashMap<(u32, u64), u64> = HashMap::new();
     let mut last_escalation: HashMap<u32, u64> = HashMap::new();
     let mut last_recovery: Option<u64> = None;
+    // Atomic-ordering rule: per (member, sender) own and stable
+    // frontiers, and each member's delivered-slot log. BTreeMap so the
+    // end-of-trace prefix-agreement sweep reports in rank order.
+    let mut own_frontier: HashMap<(Member, u32), u64> = HashMap::new();
+    let mut min_frontier: HashMap<(Member, u32), u64> = HashMap::new();
+    let mut atomic_logs: BTreeMap<Member, Vec<(u64, u32, u64)>> = BTreeMap::new();
 
     for ev in events {
         match &ev.kind {
@@ -363,6 +384,61 @@ pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckSta
                     }
                 }
             }
+            EventKind::FrontierAdvanced { sender, frontier } => {
+                let f = own_frontier.entry((member, *sender)).or_insert(0);
+                if *frontier < *f {
+                    violations.push(place(&format!(
+                        "received frontier for sender {sender} regressed {f} -> {frontier}"
+                    )));
+                }
+                *f = (*f).max(*frontier);
+            }
+            EventKind::StableFrontier { sender, frontier } => {
+                let received = own_frontier.get(&(member, *sender)).copied().unwrap_or(0);
+                if *frontier > received {
+                    violations.push(place(&format!(
+                        "stable frontier {frontier} for sender {sender} exceeds this \
+                         member's own received frontier {received} — stability cannot \
+                         outrun local receipt"
+                    )));
+                }
+                let f = min_frontier.entry((member, *sender)).or_insert(0);
+                if *frontier < *f {
+                    violations.push(place(&format!(
+                        "stable frontier for sender {sender} regressed {f} -> {frontier}"
+                    )));
+                }
+                *f = (*f).max(*frontier);
+            }
+            EventKind::AtomicDelivered {
+                slot, sender, seq, ..
+            } => {
+                stats.atomic_deliveries += 1;
+                let received = own_frontier.get(&(member, *sender)).copied().unwrap_or(0);
+                if received < seq + 1 {
+                    violations.push(place(&format!(
+                        "atomic delivery of slot {slot} (sender {sender} seq {seq}) \
+                         before local receipt: own frontier is {received}"
+                    )));
+                }
+                let stable = min_frontier.get(&(member, *sender)).copied().unwrap_or(0);
+                if stable < seq + 1 {
+                    violations.push(place(&format!(
+                        "atomic delivery of slot {slot} (sender {sender} seq {seq}) \
+                         before stability: min frontier is {stable}"
+                    )));
+                }
+                let log = atomic_logs.entry(member).or_default();
+                if let Some(&(last, ..)) = log.last() {
+                    if *slot <= last {
+                        violations.push(place(&format!(
+                            "atomic delivery of slot {slot} after slot {last} — total \
+                             order must be strictly increasing"
+                        )));
+                    }
+                }
+                log.push((*slot, *sender, *seq));
+            }
             EventKind::Delivered { .. } => {
                 stats.deliveries += 1;
                 let st = members.entry(member).or_default();
@@ -382,6 +458,36 @@ pub fn check_events(events: &[TraceEvent], cfg: &CheckConfig) -> Result<CheckSta
                 recvs_at.retain(|&(m, _, _), _| m != member);
             }
             _ => {}
+        }
+    }
+
+    // Total-order agreement: within one atomic group, every member's
+    // delivered-slot sequence must be a prefix of the longest member's
+    // (two prefixes of a common sequence always agree pairwise).
+    let mut groups: BTreeMap<u32, RankLogs> = BTreeMap::new();
+    for (&(group, rank), log) in &atomic_logs {
+        groups.entry(group).or_default().push((rank, log));
+    }
+    for (group, logs) in &groups {
+        let (long_rank, longest) = logs
+            .iter()
+            .max_by_key(|(_, l)| l.len())
+            .copied()
+            .expect("group with no logs is unrepresentable");
+        for &(rank, log) in logs {
+            if log[..] != longest[..log.len()] {
+                let at = log
+                    .iter()
+                    .zip(&longest[..log.len()])
+                    .position(|(a, b)| a != b)
+                    .expect("a non-prefix diverges somewhere");
+                violations.push(format!(
+                    "group {group}: rank {rank}'s atomic delivery log diverges from \
+                     rank {long_rank}'s at position {at} ({:?} vs {:?}) — members must \
+                     deliver identical sequences",
+                    log[at], longest[at]
+                ));
+            }
         }
     }
 
@@ -679,6 +785,144 @@ mod tests {
             imm: wire::pack_imm(1, 64),
         });
         assert!(check_events(&r.events(), &CheckConfig::default()).is_err());
+    }
+
+    /// A clean atomic-overlay trace: sender 0 owns slot 0; both members
+    /// advance their received frontier, observe stability, and deliver.
+    fn atomic_clean() -> Vec<TraceEvent> {
+        let r = Recorder::full();
+        let g = 0;
+        r.record(Scope::group_rank(g, 0), || EventKind::AtomicSubmitted {
+            slot: 0,
+            sender: 0,
+            null: false,
+            size: 64,
+        });
+        for m in 0..2u32 {
+            r.record(Scope::group_rank(g, m), || EventKind::FrontierAdvanced {
+                sender: 0,
+                frontier: 1,
+            });
+        }
+        for m in 0..2u32 {
+            r.record(Scope::group_rank(g, m), || EventKind::StableFrontier {
+                sender: 0,
+                frontier: 1,
+            });
+            r.record(Scope::group_rank(g, m), || EventKind::AtomicDelivered {
+                slot: 0,
+                sender: 0,
+                seq: 0,
+                size: 64,
+            });
+        }
+        r.events()
+    }
+
+    #[test]
+    fn clean_atomic_trace_passes() {
+        let stats = check_events(&atomic_clean(), &CheckConfig::default()).expect("clean");
+        assert_eq!(stats.atomic_deliveries, 2);
+    }
+
+    #[test]
+    fn atomic_delivery_without_stability_is_flagged() {
+        // Strip rank 1's StableFrontier: its delivery is now premature.
+        let ev: Vec<TraceEvent> = atomic_clean()
+            .into_iter()
+            .filter(|e| {
+                !(e.scope.rank == Some(1) && matches!(e.kind, EventKind::StableFrontier { .. }))
+            })
+            .collect();
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("before stability")));
+    }
+
+    #[test]
+    fn atomic_delivery_reordered_before_stability_is_flagged() {
+        // Swap rank 1's StableFrontier and AtomicDelivered: same events,
+        // wrong order — the oracle must still reject it.
+        let mut ev = atomic_clean();
+        let s = ev
+            .iter()
+            .position(|e| {
+                e.scope.rank == Some(1) && matches!(e.kind, EventKind::StableFrontier { .. })
+            })
+            .unwrap();
+        ev.swap(s, s + 1);
+        assert!(matches!(ev[s].kind, EventKind::AtomicDelivered { .. }));
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("before stability")));
+    }
+
+    #[test]
+    fn atomic_delivery_without_local_receipt_is_flagged() {
+        // Strip rank 1's own FrontierAdvanced. Its StableFrontier now
+        // claims more than the member received, and the delivery lacks
+        // local receipt — both rules fire.
+        let ev: Vec<TraceEvent> = atomic_clean()
+            .into_iter()
+            .filter(|e| {
+                !(e.scope.rank == Some(1) && matches!(e.kind, EventKind::FrontierAdvanced { .. }))
+            })
+            .collect();
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("before local receipt")));
+        assert!(err
+            .iter()
+            .any(|v| v.contains("cannot outrun local receipt")));
+    }
+
+    #[test]
+    fn diverging_atomic_logs_are_flagged() {
+        // Rank 1 delivers a different slot in position 0 than rank 0.
+        let mut ev = atomic_clean();
+        for e in &mut ev {
+            if e.scope.rank == Some(1) {
+                if let EventKind::AtomicDelivered { slot, seq, .. } = &mut e.kind {
+                    *slot = 1;
+                    *seq = 1;
+                }
+                if let EventKind::FrontierAdvanced { frontier, .. }
+                | EventKind::StableFrontier { frontier, .. } = &mut e.kind
+                {
+                    *frontier = 2; // keep the per-member rules satisfied
+                }
+            }
+        }
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("diverges")));
+    }
+
+    #[test]
+    fn frontier_regression_is_flagged() {
+        let r = Recorder::full();
+        r.record(Scope::group_rank(0, 0), || EventKind::FrontierAdvanced {
+            sender: 1,
+            frontier: 3,
+        });
+        r.record(Scope::group_rank(0, 0), || EventKind::FrontierAdvanced {
+            sender: 1,
+            frontier: 2,
+        });
+        let err = check_events(&r.events(), &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("regressed 3 -> 2")));
+    }
+
+    #[test]
+    fn non_monotone_slot_order_is_flagged() {
+        let mut ev = atomic_clean();
+        // Duplicate rank 0's delivery: slot 0 delivered twice.
+        let d = ev
+            .iter()
+            .position(|e| {
+                e.scope.rank == Some(0) && matches!(e.kind, EventKind::AtomicDelivered { .. })
+            })
+            .unwrap();
+        let dup = ev[d].clone();
+        ev.insert(d + 1, dup);
+        let err = check_events(&ev, &CheckConfig::default()).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("strictly increasing")));
     }
 
     #[test]

@@ -292,6 +292,49 @@ fn fields(kind: &EventKind) -> (&'static str, Vec<(&'static str, Val)>) {
             ],
         ),
         LossEscalated { conn } => ("loss_escalated", vec![("conn", U(u64::from(*conn)))]),
+        AtomicSubmitted {
+            slot,
+            sender,
+            null,
+            size,
+        } => (
+            "atomic_submitted",
+            vec![
+                ("slot", U(*slot)),
+                ("sender", U(u64::from(*sender))),
+                ("null", B(*null)),
+                ("size", U(*size)),
+            ],
+        ),
+        FrontierAdvanced { sender, frontier } => (
+            "frontier_advanced",
+            vec![
+                ("sender", U(u64::from(*sender))),
+                ("frontier", U(*frontier)),
+            ],
+        ),
+        StableFrontier { sender, frontier } => (
+            "stable_frontier",
+            vec![
+                ("sender", U(u64::from(*sender))),
+                ("frontier", U(*frontier)),
+            ],
+        ),
+        AtomicDelivered {
+            slot,
+            sender,
+            seq,
+            size,
+        } => (
+            "atomic_delivered",
+            vec![
+                ("slot", U(*slot)),
+                ("sender", U(u64::from(*sender))),
+                ("seq", U(*seq)),
+                ("size", U(*size)),
+            ],
+        ),
+        AtomicTrimmed { slot } => ("atomic_trimmed", vec![("slot", U(*slot))]),
     }
 }
 

@@ -304,6 +304,42 @@ pub enum EventKind {
     /// Loss on `conn` exhausted the policy's retry budget; the member
     /// escalated to epoch recovery (or wedged, when recovery is off).
     LossEscalated { conn: u32 },
+
+    // ---- rdmc-sim: atomic multicast (Derecho-style overlay) --------
+    //
+    // Scope convention: `group` is the atomic group's *anchor* RDMC
+    // subgroup id, `rank` is the member's index in the atomic group's
+    // (unrotated) member list, and `sender` fields use that same
+    // member-index numbering.
+    /// A message slot was appended to an atomic group's total order.
+    /// `sender` owns the slot; `null` marks an elided send (an idle
+    /// sender's slot resolved by a frontier bump, no data multicast).
+    AtomicSubmitted {
+        slot: u64,
+        sender: u32,
+        null: bool,
+        size: u64,
+    },
+    /// This member's own received-frontier row for `sender` advanced to
+    /// `frontier` (it has resolved that many of `sender`'s slots, in
+    /// slot order).
+    FrontierAdvanced { sender: u32, frontier: u64 },
+    /// This member's *stability* frontier for `sender` — the min of the
+    /// received-frontiers over all live members, read from its local
+    /// SST replica — advanced to `frontier`.
+    StableFrontier { sender: u32, frontier: u64 },
+    /// The atomic delivery upcall: slot `slot` (the `seq`-th slot owned
+    /// by `sender`) became stable and was delivered in total order.
+    AtomicDelivered {
+        slot: u64,
+        sender: u32,
+        seq: u64,
+        size: u64,
+    },
+    /// A slot was ragged-trimmed during reconfiguration: its sender
+    /// died before the slot could stabilize, so every survivor removes
+    /// it from the total order (all-or-nothing delivery).
+    AtomicTrimmed { slot: u64 },
 }
 
 struct Inner {
