@@ -40,6 +40,7 @@ fn json_summary(
     atomic: Option<&e::AtomicReport>,
     reliability: Option<&e::ReliabilityReport>,
     scale: Option<&e::ScaleReport>,
+    transport: Option<&e::TransportReport>,
     explore: Option<&e::ExploreBench>,
 ) -> String {
     let mut out = String::from("{\n");
@@ -64,6 +65,9 @@ fn json_summary(
     }
     if let Some(s) = scale {
         out.push_str(&format!("  \"scale\": {},\n", s.to_json()));
+    }
+    if let Some(t) = transport {
+        out.push_str(&format!("  \"transport\": {},\n", t.to_json()));
     }
     if let Some(x) = explore {
         out.push_str(&format!("  \"explore\": {},\n", x.to_json()));
@@ -199,6 +203,19 @@ fn main() {
     } else {
         None
     };
+    // The transport benchmark runs the same workload over real loopback
+    // sockets and over the simulated fabric at a matched configuration;
+    // both cells land in the JSON summary.
+    let transport = if only.is_empty() || only.iter().any(|o| o == "transport") {
+        let t = std::time::Instant::now();
+        let r = e::transport_benchmark(quick);
+        println!("==================== transport ====================");
+        println!("{}", r.text());
+        eprintln!("[transport took {:.1}s]", t.elapsed().as_secs_f64());
+        Some(r)
+    } else {
+        None
+    };
     // The explorer-throughput probe rides along whenever the explore
     // section is in scope; its record (executions, explored states per
     // second) lands in the JSON summary.
@@ -245,6 +262,7 @@ fn main() {
         atomic.as_ref(),
         reliability.as_ref(),
         scale.as_ref(),
+        transport.as_ref(),
         explore_bench.as_ref(),
     );
     let path = std::env::var("RDMC_BENCH_JSON").unwrap_or_else(|_| "BENCH_simnet.json".to_owned());

@@ -2284,3 +2284,155 @@ pub fn scale_benchmark(quick: bool) -> ScaleReport {
         churn: scale_churn(quick),
     }
 }
+
+// ---------------------------------------------------------------------
+// Transport benchmark: real TCP vs simulated prediction (§5.3).
+// ---------------------------------------------------------------------
+
+/// One transport's measurement at the matched configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportCell {
+    /// p50 of per-member delivery latency, milliseconds.
+    pub p50_ms: f64,
+    /// p99 of per-member delivery latency, milliseconds.
+    pub p99_ms: f64,
+    /// Payload goodput (messages x size, first submit to last
+    /// delivery) in gigabits per second.
+    pub goodput_gbps: f64,
+    /// Wall-clock cost of the run (for TCP this is the measurement;
+    /// for the simulation it is the cost of predicting it).
+    pub wall_s: f64,
+}
+
+/// Real-TCP loopback run vs the simulated prediction at a matched
+/// configuration (same group spec, node count, message schedule).
+#[derive(Debug, Clone, Copy)]
+pub struct TransportReport {
+    /// In-process node count (>= 64 in the full run).
+    pub nodes: usize,
+    /// Messages pushed back-to-back through the group.
+    pub messages: usize,
+    /// Bytes per message.
+    pub message_bytes: u64,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// The discrete-event prediction (100 Gb/s flat switch).
+    pub simulated: TransportCell,
+    /// The measurement over real loopback sockets.
+    pub tcp: TransportCell,
+}
+
+impl TransportReport {
+    /// Text table for the report output.
+    pub fn text(&self) -> String {
+        let mut out = format!(
+            "Transport check: {} in-process nodes, {} x {} binomial pipeline \
+             ({} blocks), simulated 100 Gb/s switch vs real loopback TCP\n",
+            self.nodes,
+            self.messages,
+            bytes_label(self.message_bytes),
+            bytes_label(self.block_bytes),
+        );
+        let line = |name: &str, c: &TransportCell| {
+            row![
+                name,
+                format!("{:.2}", c.p50_ms),
+                format!("{:.2}", c.p99_ms),
+                format!("{:.2}", c.goodput_gbps),
+                format!("{:.2}s", c.wall_s)
+            ]
+        };
+        out.push_str(&render(
+            &row!["transport", "p50 ms", "p99 ms", "goodput Gb/s", "wall"],
+            &[line("simulated", &self.simulated), line("tcp", &self.tcp)],
+        ));
+        out
+    }
+
+    /// The `transport` JSON object (keys in fixed order).
+    pub fn to_json(&self) -> String {
+        let cell = |c: &TransportCell| {
+            format!(
+                "{{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"goodput_gbps\": {:.3}, \"wall_s\": {:.3}}}",
+                c.p50_ms, c.p99_ms, c.goodput_gbps, c.wall_s
+            )
+        };
+        format!(
+            "{{\n    \"nodes\": {}, \"messages\": {}, \"message_bytes\": {}, \
+             \"block_bytes\": {},\n    \"simulated\": {},\n    \"tcp\": {}\n  }}",
+            self.nodes,
+            self.messages,
+            self.message_bytes,
+            self.block_bytes,
+            cell(&self.simulated),
+            cell(&self.tcp),
+        )
+    }
+}
+
+/// Runs the matched workload on an already-built cluster and reduces
+/// the per-member delivery latencies. Returns the cell plus the
+/// transport, so the TCP side can do an error-surfacing shutdown.
+fn transport_run<T: verbs::Transport>(
+    mut cluster: rdmc_sim::Cluster<T>,
+    spec: GroupSpec,
+    messages: usize,
+    size: u64,
+) -> (TransportCell, T) {
+    let wall = std::time::Instant::now();
+    let group = cluster.create_group(spec);
+    for _ in 0..messages {
+        cluster.submit_send(group, size);
+    }
+    cluster.run();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut latencies_ms = Vec::new();
+    let mut first_submit = u64::MAX;
+    let mut last_delivery = 0u64;
+    for r in cluster.message_results() {
+        first_submit = first_submit.min(r.submitted.as_nanos());
+        for d in &r.delivered_at {
+            let d = d.expect("benchmark message must deliver");
+            last_delivery = last_delivery.max(d.as_nanos());
+            latencies_ms.push((d.as_nanos() - r.submitted.as_nanos()) as f64 / 1e6);
+        }
+    }
+    let span_s = (last_delivery - first_submit) as f64 / 1e9;
+    let cell = TransportCell {
+        p50_ms: stats::percentile(&latencies_ms, 50.0),
+        p99_ms: stats::percentile(&latencies_ms, 99.0),
+        goodput_gbps: (messages as u64 * size) as f64 * 8.0 / span_s / 1e9,
+        wall_s,
+    };
+    assert!(cluster.destroy_group(group), "clean close (§4.6)");
+    (cell, cluster.into_transport())
+}
+
+/// The transport benchmark: the same binomial-pipeline workload over
+/// the discrete-event fabric and over real loopback sockets, at a
+/// matched configuration with at least 64 in-process nodes (full run).
+pub fn transport_benchmark(quick: bool) -> TransportReport {
+    let nodes = if quick { 16 } else { 64 };
+    let messages = if quick { 3 } else { 6 };
+    let size = if quick { MB } else { 2 * MB };
+    let block = 64 << 10;
+    let spec = pipeline_group_spec((0..nodes).collect(), block, Algorithm::BinomialPipeline);
+
+    let sim = ClusterBuilder::new(ClusterSpec::fractus(nodes)).build();
+    let (simulated, _) = transport_run(sim, spec.clone(), messages, size);
+
+    let tcp = rdmc_tcp::builder(nodes).expect("loopback listener").build();
+    let (tcp_cell, fabric) = transport_run(tcp, spec, messages, size);
+    fabric.shutdown().expect("clean socket teardown");
+
+    TransportReport {
+        nodes,
+        messages,
+        message_bytes: size,
+        block_bytes: block,
+        simulated,
+        tcp: tcp_cell,
+    }
+}

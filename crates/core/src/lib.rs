@@ -18,9 +18,10 @@
 //! - [`analysis`] — the paper's §4.4–4.5 closed forms (slack, slow-link
 //!   bandwidth bound, delay absorption) and empirical cross-checks.
 //!
-//! Drivers live in sibling crates: `rdmc-sim` (simulated RDMA verbs) and
-//! `rdmc-tcp` (real TCP sockets, the paper's §5.3 port, exposing the
-//! Fig. 1 `create_group` / `destroy_group` / `send` API).
+//! Drivers live in sibling crates: the orchestration in `rdmc-sim` is
+//! generic over the `verbs` `Transport` trait, so one driver runs the
+//! engine over both simulated RDMA verbs and the real-TCP backend in
+//! `rdmc-tcp` (the paper's §5.3 port).
 //!
 //! ## Example: planning and inspecting a schedule
 //!

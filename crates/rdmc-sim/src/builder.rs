@@ -1,23 +1,28 @@
-//! Typed, one-shot construction of [`SimCluster`]s.
+//! Typed, one-shot construction of [`Cluster`]s over any transport.
 //!
-//! The builder replaces the grow-as-you-go mutator API
-//! (`SimCluster::new` followed by `enable_recovery`, `enable_tracing`,
-//! `set_completion_mode`, …): every knob is declared up front, the
-//! cluster comes out of [`ClusterBuilder::build`] fully configured, and
-//! configuration that must precede traffic (recovery, pacing, the
-//! flight recorder) cannot be applied too late by accident. The legacy
-//! mutators remain as deprecated shims and produce bit-for-bit the same
-//! clusters.
+//! The builder replaces the grow-as-you-go mutator API: every knob is
+//! declared up front, the cluster comes out of [`ClusterBuilder::build`]
+//! fully configured, and configuration that must precede traffic
+//! (recovery, pacing, the flight recorder) cannot be applied too late
+//! by accident. The builder is generic over the datapath: started from
+//! a [`ClusterSpec`] or a [`Fabric`] it produces the classic
+//! [`SimCluster`](crate::SimCluster); started from any other [`Transport`] (e.g.
+//! `rdmc-tcp`'s nonblocking event-loop backend via
+//! [`ClusterBuilder::from_transport`]) the same protocol-level knobs —
+//! recovery, pacing, reliability, tracing, atomic groups — apply
+//! unchanged, while the simulation-only knobs (completion modes,
+//! jitter, fault injection, path interning) are only offered when the
+//! transport is the simulated fabric.
 
 use simnet::{FaultProfile, JitterModel};
-use verbs::{CompletionMode, Fabric, NodeId, SharedScheduler};
+use verbs::{CompletionMode, Fabric, NodeId, SharedScheduler, Transport};
 
-use crate::cluster::{GroupSpec, RecoveryConfig, SimCluster};
+use crate::cluster::{Cluster, GroupSpec, RecoveryConfig};
 use crate::pacer::PacerConfig;
 use crate::profiles::ClusterSpec;
 use crate::reliability::ReliabilityPolicy;
 
-/// Declarative configuration of a [`SimCluster`].
+/// Declarative configuration of a [`Cluster`].
 ///
 /// # Example
 ///
@@ -38,53 +43,28 @@ use crate::reliability::ReliabilityPolicy;
 /// assert!(cluster.result(id).expect("submitted").latency().is_some());
 /// ```
 #[must_use = "call `.build()` to obtain the cluster"]
-pub struct ClusterBuilder {
-    fabric: Fabric,
+pub struct ClusterBuilder<T: Transport = Fabric> {
+    transport: T,
     recorder_mode: Option<trace::Mode>,
     recovery: Option<RecoveryConfig>,
     pacing: Option<PacerConfig>,
-    completion_modes: Vec<(usize, CompletionMode)>,
-    jitter: Vec<(usize, JitterModel)>,
-    intern_paths: bool,
     scheduler: Option<SharedScheduler>,
-    fault_profile: Option<FaultProfile>,
     reliability: Option<ReliabilityPolicy>,
     atomic_groups: Vec<GroupSpec>,
+    engine_log: bool,
 }
 
-impl ClusterBuilder {
+impl ClusterBuilder<Fabric> {
     /// Starts from a cluster profile (topology + host model); see the
     /// [`ClusterSpec`] presets.
     pub fn new(spec: ClusterSpec) -> Self {
         Self::from_fabric(spec.build())
     }
 
-    /// Starts from an already-built fabric, for hand-rolled topologies.
+    /// Starts from an already-built simulated fabric, for hand-rolled
+    /// topologies.
     pub fn from_fabric(fabric: Fabric) -> Self {
-        ClusterBuilder {
-            fabric,
-            recorder_mode: None,
-            recovery: None,
-            pacing: None,
-            completion_modes: Vec::new(),
-            jitter: Vec::new(),
-            intern_paths: false,
-            scheduler: None,
-            fault_profile: None,
-            reliability: None,
-            atomic_groups: Vec::new(),
-        }
-    }
-
-    /// Attaches a controlled scheduler: same-instant delivery races in
-    /// the fabric and admission ties in the pacer become explicit choice
-    /// points resolved by `scheduler` instead of the queue's default
-    /// tie-break. This is how the `analyzer` crate's interleaving
-    /// explorer drives the cluster through alternative executions; a
-    /// scheduler that always answers 0 reproduces the default run.
-    pub fn scheduler(mut self, scheduler: SharedScheduler) -> Self {
-        self.scheduler = Some(scheduler);
-        self
+        Self::from_transport(fabric)
     }
 
     /// Turns on flow-set interning in the kernel: flows sharing an
@@ -94,7 +74,66 @@ impl ClusterBuilder {
     /// only floating-point summation order differs, so keep this off for
     /// byte-exact comparisons against legacy runs.
     pub fn intern_paths(mut self) -> Self {
-        self.intern_paths = true;
+        self.transport.set_path_interning(true);
+        self
+    }
+
+    /// Sets one node's completion mode (polling / interrupt / hybrid).
+    pub fn completion_mode(mut self, node: usize, mode: CompletionMode) -> Self {
+        self.transport
+            .set_completion_mode(NodeId(node as u32), mode);
+        self
+    }
+
+    /// Sets one node's scheduling-jitter model.
+    pub fn jitter(mut self, node: usize, jitter: JitterModel) -> Self {
+        self.transport.set_jitter(NodeId(node as u32), jitter);
+        self
+    }
+
+    /// Attaches a seeded fault model to the fabric (see
+    /// [`simnet::FaultProfile`]): data-plane transfers become subject to
+    /// per-link loss, burst loss, and corruption. Control writes under
+    /// the tiny-write bypass stay reliable. A clean profile leaves the
+    /// fabric bit-for-bit lossless. Pair with
+    /// [`ClusterBuilder::reliability`] — an unprotected group on a lossy
+    /// fabric stalls or wedges, exactly as the paper's §2.2 lossless
+    /// assumption predicts.
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.transport.set_fault_profile(profile);
+        self
+    }
+}
+
+impl<T: Transport> ClusterBuilder<T> {
+    /// Starts from any [`Transport`] — the entry point for non-simulated
+    /// backends such as `rdmc-tcp`'s nonblocking event loop. All
+    /// protocol-level knobs apply; the simulation-only ones
+    /// (completion modes, jitter, fault injection) are absent because
+    /// they have no meaning off the simulated fabric.
+    pub fn from_transport(transport: T) -> Self {
+        ClusterBuilder {
+            transport,
+            recorder_mode: None,
+            recovery: None,
+            pacing: None,
+            scheduler: None,
+            reliability: None,
+            atomic_groups: Vec::new(),
+            engine_log: false,
+        }
+    }
+
+    /// Attaches a controlled scheduler: same-instant delivery races in
+    /// the fabric and admission ties in the pacer become explicit choice
+    /// points resolved by `scheduler` instead of the queue's default
+    /// tie-break. This is how the `analyzer` crate's interleaving
+    /// explorer drives the cluster through alternative executions; a
+    /// scheduler that always answers 0 reproduces the default run.
+    /// (Non-simulated transports ignore the fabric half and only route
+    /// pacer ties through the scheduler.)
+    pub fn scheduler(mut self, scheduler: SharedScheduler) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 
@@ -113,11 +152,19 @@ impl ClusterBuilder {
     }
 
     /// Attaches a flight recorder in the given capture mode; every layer
-    /// (flow network, verbs, engines, membership orchestration) streams
+    /// (transport, verbs, engines, membership orchestration) streams
     /// structured events into it. Retrieve the handle from the built
-    /// cluster via [`SimCluster::recorder`].
+    /// cluster via [`Cluster::recorder`].
     pub fn flight_recorder(mut self, mode: trace::Mode) -> Self {
         self.recorder_mode = Some(mode);
+        self
+    }
+
+    /// Captures every engine event fed on the cluster (see
+    /// [`Cluster::engine_log`]) — the raw material of the
+    /// `transport_equivalence` gate.
+    pub fn engine_log(mut self) -> Self {
+        self.engine_log = true;
         self
     }
 
@@ -129,36 +176,11 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets one node's completion mode (polling / interrupt / hybrid).
-    pub fn completion_mode(mut self, node: usize, mode: CompletionMode) -> Self {
-        self.completion_modes.push((node, mode));
-        self
-    }
-
-    /// Sets one node's scheduling-jitter model.
-    pub fn jitter(mut self, node: usize, jitter: JitterModel) -> Self {
-        self.jitter.push((node, jitter));
-        self
-    }
-
-    /// Attaches a seeded fault model to the fabric (see
-    /// [`simnet::FaultProfile`]): data-plane transfers become subject to
-    /// per-link loss, burst loss, and corruption. Control writes under
-    /// the tiny-write bypass stay reliable. A clean profile leaves the
-    /// fabric bit-for-bit lossless. Pair with
-    /// [`ClusterBuilder::reliability`] — an unprotected group on a lossy
-    /// fabric stalls or wedges, exactly as the paper's §2.2 lossless
-    /// assumption predicts.
-    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
-        self.fault_profile = Some(profile);
-        self
-    }
-
     /// Default [`ReliabilityPolicy`] for every group created on the
     /// cluster: block sends carry per-connection sequence numbers, and
-    /// fabric losses are repaired by selective retransmission, erasure
+    /// transport losses are repaired by selective retransmission, erasure
     /// parity, or escalation to epoch recovery instead of stalling the
-    /// transfer. Override per group with [`SimCluster::set_reliability`].
+    /// transfer. Override per group with [`Cluster::set_reliability`].
     pub fn reliability(mut self, policy: ReliabilityPolicy) -> Self {
         self.reliability = Some(policy);
         self
@@ -170,29 +192,20 @@ impl ClusterBuilder {
     /// the member list rotated so that sender sits at rank 0, and
     /// deliveries come out in an identical total order at every member.
     /// Groups declared here receive ids `0..` in declaration order;
-    /// submit with [`SimCluster::submit_atomic`] and read logs with
-    /// [`SimCluster::atomic_log`]. Equivalent to calling
-    /// [`SimCluster::create_atomic_group`] right after `build()`.
+    /// submit with [`SimCluster::submit_atomic`](crate::SimCluster) and read logs with
+    /// [`Cluster::atomic_log`](crate::Cluster::atomic_log). Equivalent to calling
+    /// [`Cluster::create_atomic_group`](crate::Cluster::create_atomic_group) right after `build()`.
     pub fn atomic(mut self, spec: GroupSpec) -> Self {
         self.atomic_groups.push(spec);
         self
     }
 
     /// Builds the configured cluster.
-    pub fn build(mut self) -> SimCluster {
-        if self.intern_paths {
-            self.fabric.set_path_interning(true);
+    pub fn build(mut self) -> Cluster<T> {
+        let mut cluster = Cluster::from_transport(self.transport);
+        if self.engine_log {
+            cluster.enable_engine_log();
         }
-        for (node, mode) in self.completion_modes.drain(..) {
-            self.fabric.set_completion_mode(NodeId(node as u32), mode);
-        }
-        for (node, jitter) in self.jitter.drain(..) {
-            self.fabric.set_jitter(NodeId(node as u32), jitter);
-        }
-        if let Some(profile) = self.fault_profile {
-            self.fabric.set_fault_profile(profile);
-        }
-        let mut cluster = SimCluster::from_fabric(self.fabric);
         if let Some(policy) = self.reliability {
             cluster.set_default_reliability(policy);
         }

@@ -44,10 +44,10 @@ use rdmc::rotation;
 use rdmc::schedule::SchedulePlanner;
 use rdmc::{Algorithm, Rank};
 use recovery::{plan_message_resume, resume_transfers, MessagePlan, ResumeStrategy};
-use simnet::{JitterModel, SimDuration, SimTime};
+use simnet::{SimDuration, SimTime};
 use sst::{View, ViewTracker};
 use trace::check::wire;
-use verbs::{CompletionMode, CpuReport, Delivery, Fabric, NodeId, QpHandle, WrId};
+use verbs::{CpuReport, Delivery, Fabric, NodeId, QpHandle, Transport, WrId};
 
 /// One-sided-write tag for ready-for-block notices.
 const TAG_READY: u64 = 0;
@@ -384,9 +384,15 @@ struct AtomicState {
     stable_at: Vec<Vec<SimTime>>,
 }
 
-/// A simulated RDMC deployment: fabric + engines + bookkeeping.
-pub struct SimCluster {
-    fabric: Fabric,
+/// An RDMC deployment over any [`Transport`]: transport + engines +
+/// bookkeeping. The orchestration — group creation, pacer admission,
+/// epoch recovery, reliability policies, atomic overlays, the flight
+/// recorder — is written once against the [`Transport`] contract and
+/// runs unchanged over the simulated verbs fabric
+/// (`Cluster<Fabric>`, aliased [`SimCluster`]) or the real nonblocking
+/// TCP backend (`rdmc-tcp`'s `TcpFabric`).
+pub struct Cluster<T: Transport = Fabric> {
+    fabric: T,
     groups: Vec<GroupRuntime>,
     qp_owner: BTreeMap<QpHandle, (GroupId, Rank, Rank)>,
     timers: BTreeMap<u64, TimerAction>,
@@ -440,7 +446,30 @@ pub struct SimCluster {
     /// [`SimCluster::create_atomic_group`]); each owns one RDMC
     /// subgroup per sender.
     atomics: Vec<AtomicRuntime>,
+    /// When capturing ([`Cluster::enable_engine_log`]), every engine
+    /// event in feed order — the raw material of the
+    /// `transport_equivalence` gate.
+    engine_log: Option<Vec<EngineLogEntry>>,
 }
+
+/// One captured engine event (see [`Cluster::enable_engine_log`]): the
+/// exact [`Event`] fed to `group`'s engine at `rank`, in feed order.
+/// Deliberately time-free, so logs from different transports compare
+/// bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineLogEntry {
+    /// The group whose engine received the event.
+    pub group: GroupId,
+    /// The member rank the event was fed to.
+    pub rank: Rank,
+    /// The protocol event itself.
+    pub event: Event,
+}
+
+/// A cluster over the simulated verbs fabric — the classic simulation
+/// driver, and the reference [`Transport`] every other backend is
+/// gated against.
+pub type SimCluster = Cluster<Fabric>;
 
 /// A deliberately seeded ordering bug, for mutation-testing the
 /// `analyzer::explore` harness: each variant re-introduces a class of
@@ -479,18 +508,11 @@ pub enum Mutation {
     FrontierOffByOne,
 }
 
-impl SimCluster {
-    /// Wraps a built fabric (see
-    /// [`ClusterSpec::build`](crate::ClusterSpec::build)).
-    #[deprecated(note = "construct through `ClusterBuilder` instead")]
-    pub fn new(fabric: Fabric) -> Self {
-        Self::from_fabric(fabric)
-    }
-
+impl<T: Transport> Cluster<T> {
     /// The constructor proper ([`crate::ClusterBuilder::build`] ends
     /// here).
-    pub(crate) fn from_fabric(fabric: Fabric) -> Self {
-        SimCluster {
+    pub(crate) fn from_transport(fabric: T) -> Self {
+        Cluster {
             fabric,
             groups: Vec::new(),
             qp_owner: BTreeMap::new(),
@@ -514,7 +536,24 @@ impl SimCluster {
             rel_recv: BTreeMap::new(),
             rel_stats: ReliabilityStats::default(),
             atomics: Vec::new(),
+            engine_log: None,
         }
+    }
+
+    /// Starts capturing every engine event ([`EngineLogEntry`]) fed
+    /// from now on. The log is the transport-equivalence evidence: two
+    /// backends carrying the same workload must produce identical
+    /// per-channel event sequences. Call before any traffic.
+    pub fn enable_engine_log(&mut self) {
+        if self.engine_log.is_none() {
+            self.engine_log = Some(Vec::new());
+        }
+    }
+
+    /// The captured engine events, in feed order (empty unless
+    /// [`Cluster::enable_engine_log`] ran first).
+    pub fn engine_log(&self) -> &[EngineLogEntry] {
+        self.engine_log.as_deref().unwrap_or(&[])
     }
 
     /// Attaches a controlled scheduler ([`crate::ClusterBuilder::scheduler`]
@@ -580,32 +619,6 @@ impl SimCluster {
         self.rel_stats
     }
 
-    /// Attaches a fault model to the fabric: allocator-visible transfers
-    /// (block sends, retransmissions, parity — anything above the tiny
-    /// control-write bypass) become subject to seeded loss and
-    /// corruption per [`simnet::FaultProfile`]. A clean profile leaves
-    /// the fabric lossless and runs bit-for-bit identical to one that
-    /// never called this.
-    pub fn set_fault_profile(&mut self, profile: simnet::FaultProfile) {
-        self.fabric.set_fault_profile(profile);
-    }
-
-    /// Offers up to `budget` deliver-or-drop choice points to the
-    /// attached controlled scheduler (model-checking loss sites instead
-    /// of sampling them; requires a scheduler).
-    pub fn set_loss_choice_budget(&mut self, budget: u64) {
-        self.fabric.set_loss_choice_budget(budget);
-    }
-
-    /// Turns on epoch-based failure recovery (see the module docs):
-    /// failures stop wedging groups forever and instead trigger
-    /// agreement, reconfiguration, and block-wise resumption. Applies to
-    /// every group, present and future. Call before injecting failures.
-    #[deprecated(note = "use `ClusterBuilder::recovery` instead")]
-    pub fn enable_recovery(&mut self, config: RecoveryConfig) {
-        self.set_recovery(config);
-    }
-
     /// Recovery switch proper ([`crate::ClusterBuilder::recovery`]).
     pub(crate) fn set_recovery(&mut self, config: RecoveryConfig) {
         self.recovery_config = Some(config);
@@ -640,26 +653,12 @@ impl SimCluster {
             .unwrap_or(0)
     }
 
-    /// Enables protocol-event tracing (Table 1 / Fig. 5 instrumentation):
-    /// shorthand for attaching a full-capture flight recorder.
-    #[deprecated(note = "use `ClusterBuilder::tracing` instead")]
-    pub fn enable_tracing(&mut self) {
-        if !self.recorder.is_enabled() {
-            let _ = self.attach_recorder(trace::Mode::Full);
-        }
-    }
-
-    /// Attaches a flight recorder in the given capture mode. The fabric
-    /// stamps it with virtual time and every layer — flow network, verbs,
-    /// protocol engines (present and future), membership orchestration —
-    /// streams structured events into it. Returns a clone of the handle
-    /// for direct export/analysis; calling again replaces the recorder.
-    #[deprecated(note = "use `ClusterBuilder::flight_recorder` instead")]
-    pub fn enable_flight_recorder(&mut self, mode: trace::Mode) -> trace::Recorder {
-        self.attach_recorder(mode)
-    }
-
     /// Recorder attach proper ([`crate::ClusterBuilder::flight_recorder`]).
+    /// The transport stamps the recorder with its own clock and every
+    /// layer — flow network, verbs, protocol engines (present and
+    /// future), membership orchestration — streams structured events
+    /// into it. Returns a clone of the handle for direct
+    /// export/analysis; calling again replaces the recorder.
     pub(crate) fn attach_recorder(&mut self, mode: trace::Mode) -> trace::Recorder {
         let recorder = trace::Recorder::new(mode);
         self.recorder = recorder.clone();
@@ -678,8 +677,8 @@ impl SimCluster {
     }
 
     /// The attached flight recorder (disabled unless
-    /// [`SimCluster::enable_flight_recorder`] or
-    /// [`SimCluster::enable_tracing`] ran).
+    /// [`crate::ClusterBuilder::flight_recorder`] or
+    /// [`crate::ClusterBuilder::tracing`] configured one).
     pub fn recorder(&self) -> &trace::Recorder {
         &self.recorder
     }
@@ -689,26 +688,44 @@ impl SimCluster {
         self.recorder.events()
     }
 
-    /// Access the underlying fabric (topology, link accounting, CPU).
-    pub fn fabric(&self) -> &Fabric {
-        &self.fabric
-    }
-
-    /// Sets one node's completion mode (polling / interrupt / hybrid).
-    #[deprecated(note = "use `ClusterBuilder::completion_mode` instead")]
-    pub fn set_completion_mode(&mut self, node: usize, mode: CompletionMode) {
-        self.fabric.set_completion_mode(NodeId(node as u32), mode);
-    }
-
-    /// Sets one node's scheduling-jitter model.
-    #[deprecated(note = "use `ClusterBuilder::jitter` instead")]
-    pub fn set_jitter(&mut self, node: usize, jitter: JitterModel) {
-        self.fabric.set_jitter(NodeId(node as u32), jitter);
-    }
-
     /// One node's CPU usage report.
     pub fn cpu_report(&self, node: usize) -> CpuReport {
         self.fabric.cpu_report(NodeId(node as u32))
+    }
+
+    /// Access the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.fabric
+    }
+
+    /// Consumes the cluster and returns the transport — how a real
+    /// backend (e.g. `rdmc-tcp`) gets its sockets back for an
+    /// error-surfacing shutdown.
+    pub fn into_transport(self) -> T {
+        self.fabric
+    }
+
+    /// Closes a group — the §4.6 close barrier. Drains every
+    /// outstanding event first (like [`Cluster::run`]), then reports
+    /// whether delivery is *certified*: no member crashed, every
+    /// engine is idle and unwedged, and every submitted message was
+    /// delivered at every member. A `true` from every member's
+    /// destroy proves every message reached every destination; a
+    /// failure or incomplete transfer anywhere reports `false`.
+    pub fn destroy_group(&mut self, group: GroupId) -> bool {
+        self.run();
+        let g = &self.groups[group];
+        let all_live = g
+            .spec
+            .members
+            .iter()
+            .all(|&m| !self.fabric.is_crashed(NodeId(m as u32)));
+        let engines_quiet = g.engines.iter().all(|e| e.is_idle() && !e.is_wedged());
+        let delivered = g
+            .results
+            .iter()
+            .all(|m| m.delivered_at.iter().all(|d| d.is_some()));
+        all_live && engines_quiet && delivered
     }
 
     /// Creates a group; all members instantiate their engines and
@@ -739,7 +756,7 @@ impl SimCluster {
     ) -> GroupId {
         assert!(!spec.members.is_empty(), "group needs members");
         let n = spec.members.len() as u32;
-        let total_nodes = self.fabric.topology().num_nodes();
+        let total_nodes = self.fabric.num_nodes();
         let mut rank_of_node = BTreeMap::new();
         for (rank, &node) in spec.members.iter().enumerate() {
             assert!(node < total_nodes, "member node {node} outside topology");
@@ -982,7 +999,7 @@ impl SimCluster {
             .collect()
     }
 
-    /// The trace of one member (empty unless [`SimCluster::enable_tracing`]
+    /// The trace of one member (empty unless [`ClusterBuilder::tracing`](crate::ClusterBuilder::tracing)
     /// or the flight recorder was enabled before the transfer), projected
     /// from the recorder's event stream into the coarse [`TraceKind`]
     /// vocabulary the Table 1 / Fig. 5 reports consume.
@@ -1362,6 +1379,13 @@ impl SimCluster {
         if self.fabric.is_crashed(NodeId(node as u32)) {
             return; // dead software runs no handlers
         }
+        if let Some(log) = self.engine_log.as_mut() {
+            log.push(EngineLogEntry {
+                group,
+                rank,
+                event: event.clone(),
+            });
+        }
         let mut actions = self.action_pool.pop().unwrap_or_default();
         self.groups[group].engines[rank as usize]
             .handle_into(event, &mut actions)
@@ -1725,12 +1749,38 @@ impl SimCluster {
     }
 }
 
+/// Simulation-only surface: knobs and accessors that exist on the
+/// simulated verbs [`Fabric`] but have no meaning on a real transport.
+impl Cluster<Fabric> {
+    /// Attaches a fault model to the fabric: allocator-visible transfers
+    /// (block sends, retransmissions, parity — anything above the tiny
+    /// control-write bypass) become subject to seeded loss and
+    /// corruption per [`simnet::FaultProfile`]. A clean profile leaves
+    /// the fabric lossless and runs bit-for-bit identical to one that
+    /// never called this.
+    pub fn set_fault_profile(&mut self, profile: simnet::FaultProfile) {
+        self.fabric.set_fault_profile(profile);
+    }
+
+    /// Offers up to `budget` deliver-or-drop choice points to the
+    /// attached controlled scheduler (model-checking loss sites instead
+    /// of sampling them; requires a scheduler).
+    pub fn set_loss_choice_budget(&mut self, budget: u64) {
+        self.fabric.set_loss_choice_budget(budget);
+    }
+
+    /// Access the underlying fabric (topology, link accounting, CPU).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
 /// Failure injection and the epoch-based recovery orchestration (the
 /// module docs' "membership service"). Everything here runs *outside*
 /// the protocol engines: engines only ever see `PeerFailed` events and
 /// `install_epoch` calls, exactly like a real RDMC deployment under an
 /// external membership layer (§2.4).
-impl SimCluster {
+impl<T: Transport> Cluster<T> {
     /// Crashes a node immediately: its queues drop, in-flight work is
     /// flushed, and peers detect the broken connections.
     pub fn crash_now(&mut self, node: usize) {
@@ -2406,7 +2456,7 @@ impl SimCluster {
 /// fabric and the protocol engines: engines still see a gap-free FIFO
 /// of `BlockReceived` events per peer, exactly as on a lossless fabric
 /// — the shim reorders, repairs, reconstructs, or escalates underneath.
-impl SimCluster {
+impl<T: Transport> Cluster<T> {
     /// Records a reliability-layer event under `rank`'s full scope.
     fn record_rel<F: FnOnce() -> trace::EventKind>(&self, group: GroupId, rank: Rank, f: F) {
         let node = self.groups[group].spec.members[rank as usize] as u32;
@@ -2874,14 +2924,14 @@ impl SimCluster {
 }
 
 /// The Derecho-style **atomic multicast** overlay (see the
-/// [`crate::atomic`] module docs): one RDMC subgroup per sender with
+/// `atomic` module docs): one RDMC subgroup per sender with
 /// the member list rotated so each sender roots its own subgroup,
 /// per-sender received/stability frontiers in SST rows spread
 /// epidemically over `TAG_FRONTIER` control writes, and a per-member
 /// delivery engine that holds completed RDMC messages until the
 /// live-minimum frontier makes them stable, then issues total-order
 /// upcalls in global slot order.
-impl SimCluster {
+impl<T: Transport> Cluster<T> {
     /// Creates a multi-sender **atomic** group: every node in
     /// `spec.members` becomes a sender of a Derecho-style atomic
     /// multicast. Internally this creates one RDMC subgroup per sender
@@ -3491,9 +3541,9 @@ impl SimCluster {
     }
 }
 
-impl std::fmt::Debug for SimCluster {
+impl<T: Transport> std::fmt::Debug for Cluster<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimCluster")
+        f.debug_struct("Cluster")
             .field("now", &self.fabric.now())
             .field("groups", &self.groups.len())
             .finish()

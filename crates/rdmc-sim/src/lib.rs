@@ -63,8 +63,8 @@ mod reliability;
 pub use atomic::{AtomicDelivery, AtomicGroupId};
 pub use builder::ClusterBuilder;
 pub use cluster::{
-    DetectionRecord, GroupId, GroupSpec, MessageId, MessageResult, Mutation, ReconfigRecord,
-    RecoveryConfig, RecoveryStats, SimCluster, TraceKind, TraceRecord,
+    Cluster, DetectionRecord, EngineLogEntry, GroupId, GroupSpec, MessageId, MessageResult,
+    Mutation, ReconfigRecord, RecoveryConfig, RecoveryStats, SimCluster, TraceKind, TraceRecord,
 };
 pub use experiment::{
     run_concurrent_overlapping, run_open_loop, run_open_loop_with, run_single_multicast,

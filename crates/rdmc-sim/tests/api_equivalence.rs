@@ -1,21 +1,17 @@
-//! API-equivalence suite for the [`ClusterBuilder`] redesign: the typed
-//! builder and the legacy grow-as-you-go mutator API (kept as
-//! `#[deprecated]` shims) must configure bit-for-bit identical clusters.
+//! Configuration-equivalence suite for the [`ClusterBuilder`] API (the
+//! single construction path, now that the PR-5 deprecation cycle is
+//! complete and the legacy mutator shims are gone).
 //!
 //! Three angles, from cheapest to most adversarial:
 //!
-//! 1. the builder reproduces the checked-in golden traces byte-for-byte
-//!    (so does the legacy path), proving the redesign shifted no event,
-//!    timestamp, or serialization detail;
-//! 2. a jittered multi-group run configured through both paths exports
-//!    identical flight recordings;
-//! 3. a crash/recovery run configured through both paths agrees on the
-//!    full chaos digest — events fed, final virtual time, every
-//!    reconfiguration record, and every per-rank delivery time.
-//!
-//! The deprecated mutators are exercised *on purpose*: each legacy arm
-//! carries its own `#[allow(deprecated)]` so the lint still bites if a
-//! deprecated call sneaks in anywhere else.
+//! 1. the builder reproduces the checked-in golden traces byte-for-byte,
+//!    proving the deprecation cleanup shifted no event, timestamp, or
+//!    serialization detail;
+//! 2. shorthand knobs configure bit-for-bit the same clusters as their
+//!    explicit spellings (`tracing()` vs `flight_recorder(Full)`);
+//! 3. two identically-configured builds of a jittered multi-group run
+//!    and of a crash/recovery run agree on full flight recordings and
+//!    chaos digests — builder construction is deterministic.
 
 use rdmc::Algorithm;
 use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec, RecoveryConfig, SimCluster};
@@ -49,10 +45,9 @@ fn checked_in_golden(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"))
 }
 
-/// Both construction paths replay every checked-in golden trace
-/// byte-for-byte.
+/// The builder replays every checked-in golden trace byte-for-byte.
 #[test]
-fn both_apis_reproduce_checked_in_golden_traces() {
+fn builder_reproduces_checked_in_golden_traces() {
     let cases = [
         ("sequential", Algorithm::Sequential),
         ("binomial_tree", Algorithm::BinomialTree),
@@ -61,47 +56,33 @@ fn both_apis_reproduce_checked_in_golden_traces() {
     ];
     for (name, algorithm) in cases {
         let want = checked_in_golden(name);
-
         let built = ClusterBuilder::new(ClusterSpec::fractus(4))
             .flight_recorder(trace::Mode::Full)
             .build();
         assert_eq!(
-            golden_scenario(built, algorithm.clone()),
+            golden_scenario(built, algorithm),
             want,
             "builder path diverged from golden {name}"
-        );
-
-        #[allow(deprecated)]
-        let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
-        #[allow(deprecated)]
-        let _ = legacy.enable_flight_recorder(trace::Mode::Full);
-        assert_eq!(
-            golden_scenario(legacy, algorithm),
-            want,
-            "legacy mutator path diverged from golden {name}"
         );
     }
 }
 
-/// `enable_tracing` is the same switch as
-/// `flight_recorder(trace::Mode::Full)`.
+/// `tracing()` is the same switch as `flight_recorder(trace::Mode::Full)`.
 #[test]
-fn enable_tracing_matches_flight_recorder_full() {
-    let built = ClusterBuilder::new(ClusterSpec::fractus(4))
+fn tracing_matches_flight_recorder_full() {
+    let shorthand = ClusterBuilder::new(ClusterSpec::fractus(4))
         .tracing()
         .build();
-    let a = golden_scenario(built, Algorithm::Chain);
+    let a = golden_scenario(shorthand, Algorithm::Chain);
 
-    #[allow(deprecated)]
-    let mut legacy = SimCluster::new(ClusterSpec::fractus(4).build());
-    #[allow(deprecated)]
-    legacy.enable_tracing();
-    let b = golden_scenario(legacy, Algorithm::Chain);
+    let explicit = ClusterBuilder::new(ClusterSpec::fractus(4))
+        .flight_recorder(trace::Mode::Full)
+        .build();
+    let b = golden_scenario(explicit, Algorithm::Chain);
     assert_eq!(a, b);
 }
 
-/// A jittered, completion-mode-mixed, two-group run: the builder and the
-/// legacy mutators produce identical flight recordings.
+/// A jittered, completion-mode-mixed, two-group run.
 fn overlapping_run(mut cluster: SimCluster) -> (String, u64) {
     let recorder = cluster.recorder().clone();
     let g0 = cluster.create_group(GroupSpec {
@@ -128,8 +109,11 @@ fn overlapping_run(mut cluster: SimCluster) -> (String, u64) {
     )
 }
 
+/// Two identically-configured builds produce identical flight
+/// recordings: node-targeted knobs (jitter, completion modes) land
+/// deterministically regardless of the builder being a one-shot value.
 #[test]
-fn jitter_and_completion_modes_agree_across_apis() {
+fn jittered_builds_are_deterministic() {
     let jitter = |node: u64| {
         JitterModel::new(
             0xBEEF ^ node,
@@ -138,37 +122,27 @@ fn jitter_and_completion_modes_agree_across_apis() {
             SimDuration::from_micros(200),
         )
     };
+    let build = || {
+        let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
+            .flight_recorder(trace::Mode::Full)
+            .completion_mode(1, CompletionMode::Interrupt)
+            .completion_mode(4, CompletionMode::Hybrid);
+        for node in 0..6u64 {
+            builder = builder.jitter(node as usize, jitter(node));
+        }
+        builder.build()
+    };
 
-    let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
-        .flight_recorder(trace::Mode::Full)
-        .completion_mode(1, CompletionMode::Interrupt)
-        .completion_mode(4, CompletionMode::Hybrid);
-    for node in 0..6u64 {
-        builder = builder.jitter(node as usize, jitter(node));
-    }
-    let (trace_a, t_a) = overlapping_run(builder.build());
-
-    #[allow(deprecated)]
-    let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
-    #[allow(deprecated)]
-    let _ = legacy.enable_flight_recorder(trace::Mode::Full);
-    #[allow(deprecated)]
-    legacy.set_completion_mode(1, CompletionMode::Interrupt);
-    #[allow(deprecated)]
-    legacy.set_completion_mode(4, CompletionMode::Hybrid);
-    #[allow(deprecated)]
-    for node in 0..6u64 {
-        legacy.set_jitter(node as usize, jitter(node));
-    }
-    let (trace_b, t_b) = overlapping_run(legacy);
+    let (trace_a, t_a) = overlapping_run(build());
+    let (trace_b, t_b) = overlapping_run(build());
 
     assert_eq!(trace_a, trace_b, "flight recordings diverged");
     assert_eq!(t_a, t_b, "final virtual times diverged");
 }
 
-/// A crash/recovery run under jitter through one construction path,
-/// digested: events fed, final virtual time, full trace export,
-/// reconfiguration records, and per-rank delivery times.
+/// A crash/recovery run under jitter, digested: events fed, final
+/// virtual time, full trace export, reconfiguration records, and
+/// per-rank delivery times.
 fn chaos_digest(mut cluster: SimCluster) -> String {
     let recorder = cluster.recorder().clone();
     let group = cluster.create_group(GroupSpec {
@@ -206,7 +180,7 @@ fn chaos_digest(mut cluster: SimCluster) -> String {
 }
 
 #[test]
-fn recovery_chaos_digest_agrees_across_apis() {
+fn recovery_chaos_digest_is_deterministic() {
     let jitter = |node: u64| {
         JitterModel::new(
             0x5EED ^ node,
@@ -215,29 +189,18 @@ fn recovery_chaos_digest_agrees_across_apis() {
             SimDuration::from_micros(200),
         )
     };
+    let build = || {
+        let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
+            .flight_recorder(trace::Mode::Full)
+            .recovery(RecoveryConfig::default());
+        for node in 0..6u64 {
+            builder = builder.jitter(node as usize, jitter(node));
+        }
+        builder.build()
+    };
 
-    let mut builder = ClusterBuilder::new(ClusterSpec::fractus(6))
-        .flight_recorder(trace::Mode::Full)
-        .recovery(RecoveryConfig::default());
-    for node in 0..6u64 {
-        builder = builder.jitter(node as usize, jitter(node));
-    }
-    let a = chaos_digest(builder.build());
+    let a = chaos_digest(build());
+    let b = chaos_digest(build());
 
-    #[allow(deprecated)]
-    let mut legacy = SimCluster::new(ClusterSpec::fractus(6).build());
-    #[allow(deprecated)]
-    let _ = legacy.enable_flight_recorder(trace::Mode::Full);
-    #[allow(deprecated)]
-    legacy.enable_recovery(RecoveryConfig::default());
-    #[allow(deprecated)]
-    for node in 0..6u64 {
-        legacy.set_jitter(node as usize, jitter(node));
-    }
-    let b = chaos_digest(legacy);
-
-    assert_eq!(
-        a, b,
-        "chaos digests diverged between builder and legacy APIs"
-    );
+    assert_eq!(a, b, "chaos digests diverged between identical builds");
 }

@@ -1,290 +1,220 @@
-//! End-to-end tests of RDMC over real loopback TCP: byte-exact delivery,
-//! all algorithms, multiple messages, multiple groups, the close barrier,
-//! and failure propagation.
-
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+//! Integration suite for the TCP backend behind the unified
+//! [`rdmc_sim::ClusterBuilder`] API: every algorithm, multi-message
+//! ordering, overlapping groups, the §4.6 close barrier (clean and
+//! unclean), shutdown hygiene across repeated launches, and the
+//! zero-RNR discipline observed on real sockets.
 
 use rdmc::Algorithm;
-use rdmc_tcp::{GroupConfig, LocalCluster};
+use rdmc_sim::{GroupSpec, RecoveryConfig};
+use simnet::SimDuration;
+use verbs::Transport;
 
-/// Deterministic pseudo-random payload so corruption or misplaced blocks
-/// are caught byte-for-byte.
-fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len)
-        .map(|i| (i as u64 * 2654435761 + seed as u64) as u8)
-        .collect()
-}
+const KB: u64 = 1 << 10;
 
-/// Creates group `number` on all nodes, returning a receiver that yields
-/// `(node_id, message_bytes)` for every completion upcall.
-fn create_everywhere(
-    cluster: &LocalCluster,
-    number: u64,
-    config: &GroupConfig,
-) -> mpsc::Receiver<(u32, Vec<u8>)> {
-    let (tx, rx) = mpsc::channel();
-    for node in cluster.nodes() {
-        let tx = tx.clone();
-        let id = node.id();
-        assert!(node.create_group(
-            number,
-            config.clone(),
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(move |data| {
-                tx.send((id, data.to_vec())).expect("collector alive");
-            }),
-        ));
+fn spec(members: Vec<usize>, algorithm: Algorithm) -> GroupSpec {
+    GroupSpec {
+        members,
+        algorithm,
+        block_size: 8 * KB,
+        ready_window: 2,
+        max_outstanding_sends: 2,
     }
-    rx
 }
 
+/// Every dissemination algorithm delivers to every member over TCP.
 #[test]
-fn bytes_arrive_intact_over_tcp() {
-    let cluster = LocalCluster::launch(4).unwrap();
-    let config = GroupConfig {
-        block_size: 4096,
-        ..GroupConfig::new(vec![0, 1, 2, 3])
-    };
-    let rx = create_everywhere(&cluster, 1, &config);
-    let msg = pattern(50_000, 3); // 13 blocks, ragged tail
-    assert!(cluster.nodes()[0].send(1, msg.clone()));
-    for _ in 0..4 {
-        let (_, data) = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-        assert_eq!(data, msg, "payload corrupted in flight");
-    }
-    for node in cluster.nodes() {
-        assert!(node.destroy_group(1), "clean close expected");
-    }
-    cluster.shutdown();
-}
-
-#[test]
-fn all_algorithms_work_over_tcp() {
-    for (i, alg) in [
+fn all_algorithms_deliver() {
+    let algorithms = [
         Algorithm::Sequential,
         Algorithm::Chain,
         Algorithm::BinomialTree,
         Algorithm::BinomialPipeline,
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let cluster = LocalCluster::launch(5).unwrap();
-        let config = GroupConfig {
-            algorithm: alg.clone(),
-            block_size: 1024,
-            ..GroupConfig::new(vec![0, 1, 2, 3, 4])
-        };
-        let rx = create_everywhere(&cluster, i as u64, &config);
-        let msg = pattern(10_000, i as u8);
-        assert!(cluster.nodes()[0].send(i as u64, msg.clone()));
-        for _ in 0..5 {
-            let (_, data) = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-            assert_eq!(data, msg, "{alg}");
+    ];
+    for algorithm in algorithms {
+        let mut cluster = rdmc_tcp::builder(5).expect("launch").build();
+        let group = cluster.create_group(spec((0..5).collect(), algorithm.clone()));
+        cluster.submit_send(group, 60 * KB);
+        cluster.run();
+        assert!(cluster.all_quiescent(), "{algorithm:?}: not quiescent");
+        for r in cluster.message_results() {
+            assert!(
+                r.delivered_at.iter().all(|d| d.is_some()),
+                "{algorithm:?}: a member missed the message"
+            );
         }
-        cluster.shutdown();
+        rdmc_tcp::shutdown(cluster).expect("clean shutdown");
     }
 }
 
+/// The rack-aware hybrid schedule (§4.3) also runs over TCP.
 #[test]
-fn several_messages_arrive_in_order() {
-    let cluster = LocalCluster::launch(3).unwrap();
-    let config = GroupConfig {
-        block_size: 512,
-        ..GroupConfig::new(vec![0, 1, 2])
-    };
-    let per_node: Arc<Mutex<std::collections::BTreeMap<u32, Vec<Vec<u8>>>>> =
-        Arc::new(Mutex::new(std::collections::BTreeMap::new()));
-    let (done_tx, done_rx) = mpsc::channel();
-    for node in cluster.nodes() {
-        let per_node = Arc::clone(&per_node);
-        let done = done_tx.clone();
-        let id = node.id();
-        assert!(node.create_group(
-            9,
-            config.clone(),
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(move |data| {
-                let mut map = per_node.lock().unwrap();
-                let list = map.entry(id).or_default();
-                list.push(data.to_vec());
-                if list.len() == 5 {
-                    done.send(id).unwrap();
-                }
-            }),
-        ));
-    }
-    let messages: Vec<Vec<u8>> = (0..5).map(|i| pattern(2_000 + i * 777, i as u8)).collect();
-    for m in &messages {
-        assert!(cluster.nodes()[0].send(9, m.clone()));
-    }
-    for _ in 0..3 {
-        done_rx
-            .recv_timeout(std::time::Duration::from_secs(10))
-            .unwrap();
-    }
-    let map = per_node.lock().unwrap();
-    for id in 0..3u32 {
-        assert_eq!(map[&id], messages, "node {id}: wrong order or contents");
-    }
-    drop(map);
-    for node in cluster.nodes() {
-        assert!(node.destroy_group(9));
-    }
-    cluster.shutdown();
-}
-
-#[test]
-fn overlapping_groups_with_different_roots() {
-    let cluster = LocalCluster::launch(3).unwrap();
-    // Group 1 rooted at node 0, group 2 rooted at node 2 — same members.
-    let config_a = GroupConfig {
-        block_size: 1024,
-        ..GroupConfig::new(vec![0, 1, 2])
-    };
-    let config_b = GroupConfig {
-        block_size: 1024,
-        ..GroupConfig::new(vec![2, 1, 0])
-    };
-    let rx_a = create_everywhere(&cluster, 1, &config_a);
-    let rx_b = create_everywhere(&cluster, 2, &config_b);
-    let msg_a = pattern(8_000, 1);
-    let msg_b = pattern(6_000, 2);
-    assert!(cluster.nodes()[0].send(1, msg_a.clone()));
-    assert!(cluster.nodes()[2].send(2, msg_b.clone()));
-    for _ in 0..3 {
-        assert_eq!(
-            rx_a.recv_timeout(std::time::Duration::from_secs(10))
-                .unwrap()
-                .1,
-            msg_a
-        );
-        assert_eq!(
-            rx_b.recv_timeout(std::time::Duration::from_secs(10))
-                .unwrap()
-                .1,
-            msg_b
-        );
-    }
-    cluster.shutdown();
-}
-
-#[test]
-fn non_root_send_is_rejected() {
-    let cluster = LocalCluster::launch(2).unwrap();
-    let config = GroupConfig::new(vec![0, 1]);
-    let _rx = create_everywhere(&cluster, 3, &config);
-    assert!(!cluster.nodes()[1].send(3, vec![1, 2, 3]));
-    cluster.shutdown();
-}
-
-#[test]
-fn unknown_group_send_is_rejected() {
-    let cluster = LocalCluster::launch(2).unwrap();
-    assert!(!cluster.nodes()[0].send(99, vec![1]));
-    cluster.shutdown();
-}
-
-#[test]
-fn empty_message_delivers() {
-    let cluster = LocalCluster::launch(3).unwrap();
-    let config = GroupConfig::new(vec![0, 1, 2]);
-    let rx = create_everywhere(&cluster, 4, &config);
-    assert!(cluster.nodes()[0].send(4, Vec::new()));
-    for _ in 0..3 {
-        let (_, data) = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-        assert!(data.is_empty());
-    }
-    cluster.shutdown();
-}
-
-#[test]
-fn destroy_reports_failure_when_a_node_dies() {
-    let cluster = LocalCluster::launch(3).unwrap();
-    let config = GroupConfig::new(vec![0, 1, 2]);
-    let rx = create_everywhere(&cluster, 5, &config);
-    let msg = pattern(4_000, 5);
-    assert!(cluster.nodes()[0].send(5, msg));
-    for _ in 0..3 {
-        rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-    }
-    // Node 2 dies without voting; survivors' close must report unclean.
-    cluster.nodes()[2].shutdown();
-    assert!(!cluster.nodes()[0].destroy_group(5));
-    assert!(!cluster.nodes()[1].destroy_group(5));
-    cluster.shutdown();
-}
-
-#[test]
-fn larger_group_hybrid_algorithm_over_tcp() {
-    let cluster = LocalCluster::launch(6).unwrap();
-    let config = GroupConfig {
-        algorithm: Algorithm::Hybrid {
-            rack_of: vec![0, 0, 0, 1, 1, 1],
+fn hybrid_algorithm_delivers() {
+    let mut cluster = rdmc_tcp::builder(6).expect("launch").build();
+    let group = cluster.create_group(spec(
+        (0..6).collect(),
+        Algorithm::Hybrid {
+            rack_of: vec![0, 0, 1, 1, 2, 2],
         },
-        block_size: 2048,
-        ..GroupConfig::new(vec![0, 1, 2, 3, 4, 5])
-    };
-    let rx = create_everywhere(&cluster, 6, &config);
-    let msg = pattern(30_000, 6);
-    assert!(cluster.nodes()[0].send(6, msg.clone()));
-    for _ in 0..6 {
-        let (_, data) = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-        assert_eq!(data, msg);
+    ));
+    cluster.submit_send(group, 48 * KB);
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    for r in cluster.message_results() {
+        assert!(r.delivered_at.iter().all(|d| d.is_some()));
     }
-    cluster.shutdown();
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
 }
 
+/// Multiple messages complete in initiation order at every member
+/// (§3 property 4), including a 1-byte message.
 #[test]
-fn filecast_delivers_verified_files_everywhere() {
-    use rdmc_tcp::{CastFile, FileCast};
-
-    let cluster = LocalCluster::launch(4).unwrap();
-    let files: Vec<CastFile> = (0..6)
-        .map(|i| CastFile {
-            name: format!("pkg/part-{i}.bin"),
-            content: pattern(10_000 + i * 3_333, i as u8),
-        })
-        .collect();
-    let (tx, rx) = mpsc::channel();
-    let mut sessions = Vec::new();
-    for node in &cluster.nodes()[1..] {
-        let tx = tx.clone();
-        let id = node.id();
-        let session = FileCast::receive(
-            node,
-            7,
-            GroupConfig {
-                block_size: 2048,
-                ..GroupConfig::new(vec![0, 1, 2, 3])
-            },
-            move |file| tx.send((id, file)).unwrap(),
-        )
-        .expect("receiver joined");
-        sessions.push(session);
+fn several_messages_deliver_in_order() {
+    let mut cluster = rdmc_tcp::builder(4).expect("launch").build();
+    let group = cluster.create_group(spec((0..4).collect(), Algorithm::BinomialPipeline));
+    let sizes = [24 * KB, 1, 33 * KB, 9 * KB];
+    for &size in &sizes {
+        cluster.submit_send(group, size);
     }
-    let clean = FileCast::send(
-        &cluster.nodes()[0],
-        7,
-        GroupConfig {
-            block_size: 2048,
-            ..GroupConfig::new(vec![0, 1, 2, 3])
-        },
-        &files,
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    let results = cluster.message_results();
+    assert_eq!(results.len(), sizes.len());
+    for member in 0..4 {
+        let mut last = None;
+        for r in &results {
+            let t = r.delivered_at[member].expect("delivered");
+            assert!(
+                last.is_none_or(|prev| prev <= t),
+                "member {member} reordered"
+            );
+            last = Some(t);
+        }
+    }
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
+}
+
+/// Two groups with overlapping membership share the fabric without
+/// interfering.
+#[test]
+fn overlapping_groups_coexist() {
+    let mut cluster = rdmc_tcp::builder(6).expect("launch").build();
+    let g0 = cluster.create_group(spec(vec![0, 1, 2, 3], Algorithm::BinomialPipeline));
+    let g1 = cluster.create_group(spec(vec![2, 3, 4, 5], Algorithm::Chain));
+    cluster.submit_send(g0, 40 * KB);
+    cluster.submit_send(g1, 24 * KB);
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    for r in cluster.message_results() {
+        assert!(r.delivered_at.iter().all(|d| d.is_some()));
+    }
+    assert!(cluster.destroy_group(g0));
+    assert!(cluster.destroy_group(g1));
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
+}
+
+/// The close barrier under concurrent sends: `destroy_group` drains all
+/// in-flight traffic first and certifies every message reached every
+/// member (§4.6 — a clean close proves delivery).
+#[test]
+fn close_barrier_under_concurrent_sends() {
+    let mut cluster = rdmc_tcp::builder(5).expect("launch").build();
+    let group = cluster.create_group(spec((0..5).collect(), Algorithm::BinomialPipeline));
+    for _ in 0..4 {
+        cluster.submit_send(group, 32 * KB);
+    }
+    // No run() in between: destroy must drain the concurrent sends
+    // itself before judging the history.
+    assert!(
+        cluster.destroy_group(group),
+        "clean history must close clean"
     );
-    assert!(clean, "close barrier must certify delivery");
-    for session in sessions {
-        assert!(session.finish());
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
+}
+
+/// The close barrier reports an unclean history when a member dies
+/// mid-transfer.
+#[test]
+fn close_barrier_reports_lost_member() {
+    let mut cluster = rdmc_tcp::builder(4).expect("launch").build();
+    let group = cluster.create_group(spec((0..4).collect(), Algorithm::BinomialPipeline));
+    cluster.submit_send(group, 64 * KB);
+    cluster.crash_now(2);
+    cluster.run();
+    assert!(
+        !cluster.destroy_group(group),
+        "close must report the lost member"
+    );
+    rdmc_tcp::shutdown(cluster).expect("shutdown still clean after crash");
+}
+
+/// Epoch recovery runs over TCP: survivors reconfigure around a crash
+/// and later messages reach the new view.
+#[test]
+fn recovery_reconfigures_over_tcp() {
+    let mut cluster = rdmc_tcp::builder(5)
+        .expect("launch")
+        .recovery(RecoveryConfig {
+            grace: SimDuration::from_millis(50),
+            ..RecoveryConfig::default()
+        })
+        .build();
+    let group = cluster.create_group(spec((0..5).collect(), Algorithm::BinomialPipeline));
+    cluster.submit_send(group, 40 * KB);
+    cluster.run();
+    cluster.crash_now(1);
+    cluster.run();
+    cluster.submit_send(group, 24 * KB);
+    cluster.run();
+    assert!(cluster.live_quiescent());
+    assert_eq!(cluster.surviving_ranks(group), vec![0, 2, 3, 4]);
+    rdmc_tcp::shutdown(cluster).expect("shutdown clean after recovery");
+}
+
+/// Repeated launch/shutdown cycles in one process leak nothing: every
+/// socket is torn down, every error surfaced, and the next cluster
+/// starts clean.
+#[test]
+fn repeated_launch_shutdown_cycles_are_clean() {
+    for round in 0..5 {
+        let mut cluster = rdmc_tcp::builder(8).expect("launch").build();
+        let group = cluster.create_group(spec((0..8).collect(), Algorithm::BinomialPipeline));
+        cluster.submit_send(group, 64 * KB);
+        cluster.run();
+        assert!(cluster.all_quiescent(), "round {round}: not quiescent");
+        rdmc_tcp::shutdown(cluster).unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
-    // Every receiver got every file, in order, byte-exact.
-    let mut per_node: std::collections::BTreeMap<u32, Vec<CastFile>> =
-        std::collections::BTreeMap::new();
-    while let Ok((id, file)) = rx.try_recv() {
-        per_node.entry(id).or_default().push(file);
+}
+
+/// The §4.2 receive-before-send discipline holds on real sockets: no
+/// data frame ever arrives before its receive is posted.
+#[test]
+fn zero_rnr_discipline_over_tcp() {
+    let mut cluster = rdmc_tcp::builder(6).expect("launch").build();
+    let group = cluster.create_group(spec((0..6).collect(), Algorithm::BinomialPipeline));
+    for _ in 0..3 {
+        cluster.submit_send(group, 48 * KB);
     }
-    for id in 1..4u32 {
-        assert_eq!(per_node[&id], files, "node {id}");
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    assert_eq!(
+        cluster.transport().stats().rnr_arms,
+        0,
+        "a block arrived before its receive was posted"
+    );
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
+}
+
+/// A larger in-process cluster (the event loop carries dozens of nodes
+/// without a thread per peer).
+#[test]
+fn thirty_two_nodes_in_one_process() {
+    let mut cluster = rdmc_tcp::builder(32).expect("launch").build();
+    let group = cluster.create_group(spec((0..32).collect(), Algorithm::BinomialPipeline));
+    cluster.submit_send(group, 128 * KB);
+    cluster.run();
+    assert!(cluster.all_quiescent());
+    for r in cluster.message_results() {
+        assert!(r.delivered_at.iter().all(|d| d.is_some()));
     }
-    cluster.shutdown();
+    rdmc_tcp::shutdown(cluster).expect("clean shutdown");
 }

@@ -58,10 +58,12 @@
 mod fabric;
 pub mod perf;
 pub mod sched;
+pub mod transport;
 mod types;
 
 pub use fabric::{Fabric, FabricStats, PostingSnapshot};
 pub use sched::{Candidate, CandidateKind, ChoicePoint, PointKind, Scheduler, SharedScheduler};
+pub use transport::Transport;
 pub use types::{
     CompletionMode, CpuReport, Delivery, FabricParams, NodeId, QpHandle, VerbsError, WaitSpec, WrId,
 };

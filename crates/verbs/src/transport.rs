@@ -1,0 +1,231 @@
+//! The datapath contract shared by every RDMC backend.
+//!
+//! [`Transport`] is the exact subset of the simulated [`Fabric`] surface
+//! that the protocol orchestration (`rdmc-sim`'s cluster, pacer, epoch
+//! recovery, reliability shim, and atomic overlay) consumes: reliable
+//! connections, two-sided send/receive with immediates, one-sided
+//! writes, driver timers, crash/break notifications, and a pull-based
+//! completion loop ([`Transport::advance`]). Anything that implements it
+//! — the simulated verbs fabric here, the nonblocking TCP event loop in
+//! `rdmc-tcp` — can run the full RDMC stack unchanged, which is what the
+//! paper's §5.3 "RDMC over TCP works surprisingly well" observation and
+//! Derecho's dual verbs/TCP deployment call for.
+//!
+//! The contract inherits the fabric's ordering guarantees, and backends
+//! must preserve them for the protocol to stay correct *and* for the
+//! `transport_equivalence` gate to hold:
+//!
+//! - **Per-connection-direction FIFO**: two-sided sends and one-sided
+//!   writes posted on one endpoint are delivered to the peer in posting
+//!   order, sharing a single queue (hardware RC semantics; a TCP socket
+//!   per direction gives the same property).
+//! - **Flush-then-break**: when a connection breaks, every outstanding
+//!   work request is flushed ([`Delivery::WrFlushed`]) in posting order
+//!   before the [`Delivery::QpBroken`] notice.
+//! - **Crash silence**: no deliveries (including timers) ever surface on
+//!   a crashed node; surviving peers learn of the crash only through
+//!   their failure-detect timeout breaking the connection.
+//! - **Timers before I/O**: all timers due at or before the current
+//!   instant fire before later completions are surfaced, so e.g. every
+//!   failure-detect break on a node batches ahead of gossip arriving
+//!   from peers.
+
+use bytes::Bytes;
+use simnet::{HostProfile, SimDuration, SimTime};
+
+use crate::fabric::{Fabric, FabricStats, PostingSnapshot};
+use crate::types::{CpuReport, Delivery, NodeId, QpHandle, VerbsError, WaitSpec, WrId};
+
+/// A reliable, connection-oriented datapath capable of carrying RDMC.
+///
+/// See the [module docs](self) for the ordering guarantees every
+/// implementation must uphold. Method semantics are specified on the
+/// [`Fabric`] inherent methods of the same names, which this trait was
+/// extracted from; `Fabric` is the reference implementation.
+pub trait Transport {
+    /// Current transport time. Simulated backends report virtual time;
+    /// real backends report elapsed wall-clock time since creation.
+    fn now(&self) -> SimTime;
+
+    /// Advances the transport and surfaces the next completion, or
+    /// `None` when the transport is quiescent (no deliveries pending,
+    /// nothing in flight, no timers armed for live nodes).
+    fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)>;
+
+    /// Establishes a reliable connection between two nodes, returning
+    /// the bound endpoints `(a's queue pair, b's queue pair)`.
+    fn connect(&mut self, a: NodeId, b: NodeId) -> (QpHandle, QpHandle);
+
+    /// Posts a two-sided send of `bytes` with immediate `imm`; consumes
+    /// one posted receive at the peer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    fn post_send(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        bytes: u64,
+        imm: u64,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError>;
+
+    /// Posts a one-sided write of `payload` into the peer's region
+    /// `tag`; the peer observes [`Delivery::WriteArrived`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    fn post_write(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        tag: u64,
+        payload: Bytes,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError>;
+
+    /// Posts a receive of capacity `max_len`, consumed in order by
+    /// incoming two-sided sends.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is broken or the local node crashed.
+    fn post_recv(&mut self, qp: QpHandle, wr_id: WrId, max_len: u64) -> Result<(), VerbsError>;
+
+    /// Arms a one-shot driver timer on `node`; fires as
+    /// [`Delivery::Timer`] carrying `token` after `delay`.
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64);
+
+    /// Accounts `dur` of software handler time against `node`'s CPU.
+    /// Backends without a CPU model treat this as a no-op.
+    fn consume_cpu(&mut self, node: NodeId, dur: SimDuration);
+
+    /// Fail-stops `node`: its queue pairs go silent, peers detect the
+    /// failure after the failure-detect interval and see their
+    /// connections break.
+    fn crash(&mut self, node: NodeId);
+
+    /// Whether `node` has crashed.
+    fn is_crashed(&self, node: NodeId) -> bool;
+
+    /// Breaks one connection immediately (both ends flush and report
+    /// [`Delivery::QpBroken`]), without crashing either node.
+    fn break_qp(&mut self, qp: QpHandle);
+
+    /// The host performance model for `node`. Backends without a host
+    /// model return a default profile.
+    fn profile(&self, node: NodeId) -> &HostProfile;
+
+    /// Snapshot of one endpoint's posting state, for invariant checks.
+    fn posting_snapshot(&self, qp: QpHandle) -> PostingSnapshot;
+
+    /// Attaches a flight recorder; the transport stamps it with the
+    /// current time and streams wire-level events into it.
+    fn set_recorder(&mut self, recorder: trace::Recorder);
+
+    /// Transport-level counters (see [`FabricStats`]).
+    fn stats(&self) -> FabricStats;
+
+    /// Per-node CPU usage summary.
+    fn cpu_report(&self, node: NodeId) -> CpuReport;
+
+    /// Number of nodes attached to the transport.
+    fn num_nodes(&self) -> usize;
+
+    /// Attaches a controlled scheduler resolving same-instant races.
+    /// Only meaningful on simulated backends; the default is a no-op so
+    /// generic configuration code can call it unconditionally.
+    fn set_scheduler(&mut self, scheduler: crate::sched::SharedScheduler) {
+        let _ = scheduler;
+    }
+}
+
+impl Transport for Fabric {
+    fn now(&self) -> SimTime {
+        Fabric::now(self)
+    }
+
+    fn advance(&mut self) -> Option<(SimTime, NodeId, Delivery)> {
+        Fabric::advance(self)
+    }
+
+    fn connect(&mut self, a: NodeId, b: NodeId) -> (QpHandle, QpHandle) {
+        Fabric::connect(self, a, b)
+    }
+
+    fn post_send(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        bytes: u64,
+        imm: u64,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError> {
+        Fabric::post_send(self, qp, wr_id, bytes, imm, wait_for)
+    }
+
+    fn post_write(
+        &mut self,
+        qp: QpHandle,
+        wr_id: WrId,
+        tag: u64,
+        payload: Bytes,
+        wait_for: Option<WaitSpec>,
+    ) -> Result<(), VerbsError> {
+        Fabric::post_write(self, qp, wr_id, tag, payload, wait_for)
+    }
+
+    fn post_recv(&mut self, qp: QpHandle, wr_id: WrId, max_len: u64) -> Result<(), VerbsError> {
+        Fabric::post_recv(self, qp, wr_id, max_len)
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        Fabric::schedule_timer(self, node, delay, token)
+    }
+
+    fn consume_cpu(&mut self, node: NodeId, dur: SimDuration) {
+        Fabric::consume_cpu(self, node, dur)
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        Fabric::crash(self, node)
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        Fabric::is_crashed(self, node)
+    }
+
+    fn break_qp(&mut self, qp: QpHandle) {
+        Fabric::break_qp(self, qp)
+    }
+
+    fn profile(&self, node: NodeId) -> &HostProfile {
+        Fabric::profile(self, node)
+    }
+
+    fn posting_snapshot(&self, qp: QpHandle) -> PostingSnapshot {
+        Fabric::posting_snapshot(self, qp)
+    }
+
+    fn set_recorder(&mut self, recorder: trace::Recorder) {
+        Fabric::set_recorder(self, recorder)
+    }
+
+    fn stats(&self) -> FabricStats {
+        Fabric::stats(self)
+    }
+
+    fn cpu_report(&self, node: NodeId) -> CpuReport {
+        Fabric::cpu_report(self, node)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.topology().num_nodes()
+    }
+
+    fn set_scheduler(&mut self, scheduler: crate::sched::SharedScheduler) {
+        Fabric::set_scheduler(self, scheduler)
+    }
+}

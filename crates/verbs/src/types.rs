@@ -25,6 +25,15 @@ pub struct QpHandle {
 }
 
 impl QpHandle {
+    /// Assembles a queue-pair handle from a connection index and an
+    /// endpoint side. External [`Transport`](crate::Transport)
+    /// implementations use this to mint the handles
+    /// [`connect`](crate::Transport::connect) returns; the simulated
+    /// fabric constructs its own internally.
+    pub fn from_parts(conn: u32, end: u8) -> Self {
+        QpHandle { conn, end }
+    }
+
     /// The connection index shared by both endpoints — the `conn` the
     /// flight recorder stamps on every wire-level event, so drivers can
     /// correlate their own records with the fabric's.

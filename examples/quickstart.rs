@@ -1,15 +1,12 @@
 //! Quickstart: one multicast over the simulated RDMA fabric, and the same
-//! multicast over real loopback TCP.
+//! multicast — same builder, same group API — over real loopback TCP.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::mpsc;
-
 use rdmc::Algorithm;
 use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
-use rdmc_tcp::{GroupConfig, LocalCluster};
 
 const MB: u64 = 1 << 20;
 
@@ -32,32 +29,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.bandwidth_gbps().expect("completed"),
     );
 
-    // ---- 2. Real TCP sockets: the paper's Fig. 1 API. ------------------
-    let tcp = LocalCluster::launch(4)?;
-    let (tx, rx) = mpsc::channel();
-    for node in tcp.nodes() {
-        let tx = tx.clone();
-        let id = node.id();
-        node.create_group(
-            1,
-            GroupConfig::new(vec![0, 1, 2, 3]),
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(move |data| {
-                tx.send((id, data.len())).expect("main thread alive");
-            }),
+    // ---- 2. Real TCP sockets: same API, different transport. -----------
+    let mut tcp = rdmc_tcp::builder(4)?.build();
+    let group = tcp.create_group(GroupSpec {
+        members: vec![0, 1, 2, 3],
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: 256 << 10,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
+    tcp.submit_send(group, 4 * MB);
+    tcp.run();
+    for (member, at) in tcp.message_results()[0].delivered_at.iter().enumerate() {
+        println!(
+            "TCP: member {member} completed at {}",
+            at.expect("delivered")
         );
     }
-    let message = vec![0xAB; 4 * MB as usize];
-    assert!(tcp.nodes()[0].send(1, message));
-    for _ in 0..4 {
-        let (node, len) = rx.recv()?;
-        println!("TCP: node {node} completed a {len}-byte message");
-    }
     // A successful close certifies every message reached every member.
-    for node in tcp.nodes() {
-        assert!(node.destroy_group(1), "close barrier must report clean");
-    }
-    tcp.shutdown();
+    assert!(tcp.destroy_group(group), "close barrier must report clean");
+    rdmc_tcp::shutdown(tcp)?;
     println!("TCP group closed cleanly: delivery certified");
     Ok(())
 }

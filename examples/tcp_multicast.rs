@@ -1,67 +1,49 @@
 //! RDMC over plain TCP (the paper's §5.3 direction): an in-process
-//! cluster of real sockets streaming a sequence of checksummed messages
-//! through the binomial pipeline, with end-to-end integrity verification
-//! and a clean close barrier.
+//! cluster of real sockets streaming a sequence of large messages
+//! through the binomial pipeline — the same `ClusterBuilder` API as the
+//! simulated fabric, backed by one nonblocking event loop — finishing
+//! with the §4.6 close barrier and a clean socket teardown.
 //!
 //! ```sh
 //! cargo run --release --example tcp_multicast
 //! ```
 
-use std::sync::mpsc;
 use std::time::Instant;
 
 use rdmc::Algorithm;
-use rdmc_tcp::{GroupConfig, LocalCluster};
+use rdmc_sim::GroupSpec;
 
 const NODES: usize = 5;
 const MESSAGES: usize = 8;
-const SIZE: usize = 4 << 20;
-
-fn checksum(data: &[u8]) -> u64 {
-    data.iter()
-        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
-}
+const SIZE: u64 = 4 << 20;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = LocalCluster::launch(NODES)?;
-    let (tx, rx) = mpsc::channel();
-    for node in cluster.nodes() {
-        let tx = tx.clone();
-        let id = node.id();
-        node.create_group(
-            42,
-            GroupConfig {
-                algorithm: Algorithm::BinomialPipeline,
-                block_size: 256 << 10,
-                ..GroupConfig::new((0..NODES as u32).collect())
-            },
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(move |data| {
-                tx.send((id, checksum(data))).expect("collector alive");
-            }),
-        );
-    }
+    let mut cluster = rdmc_tcp::builder(NODES)?.build();
+    let group = cluster.create_group(GroupSpec {
+        members: (0..NODES).collect(),
+        algorithm: Algorithm::BinomialPipeline,
+        block_size: 256 << 10,
+        ready_window: 3,
+        max_outstanding_sends: 3,
+    });
 
     let start = Instant::now();
-    let mut expected = Vec::new();
-    for i in 0..MESSAGES {
-        let payload: Vec<u8> = (0..SIZE).map(|j| ((j * 31 + i * 7) % 251) as u8).collect();
-        expected.push(checksum(&payload));
-        assert!(cluster.nodes()[0].send(42, payload));
+    for _ in 0..MESSAGES {
+        cluster.submit_send(group, SIZE);
     }
-    // Every member (including the root) gets a completion per message.
-    let mut seen = [0usize; NODES];
-    for _ in 0..NODES * MESSAGES {
-        let (node, sum) = rx.recv()?;
-        let idx = seen[node as usize];
-        assert_eq!(
-            sum, expected[idx],
-            "node {node}: message {idx} checksum mismatch"
-        );
-        seen[node as usize] += 1;
-    }
+    cluster.run();
     let elapsed = start.elapsed().as_secs_f64();
-    let goodput = (MESSAGES * SIZE) as f64 * 8.0 / elapsed / 1e9;
+
+    let results = cluster.message_results();
+    assert_eq!(results.len(), MESSAGES);
+    for r in &results {
+        assert!(
+            r.delivered_at.iter().all(|d| d.is_some()),
+            "message {} missed a member",
+            r.index
+        );
+    }
+    let goodput = (MESSAGES as u64 * SIZE) as f64 * 8.0 / elapsed / 1e9;
     println!(
         "{} x {} MB to {} receivers over loopback TCP in {:.2}s ({:.2} Gb/s goodput)",
         MESSAGES,
@@ -70,10 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed,
         goodput
     );
-    for node in cluster.nodes() {
-        assert!(node.destroy_group(42));
-    }
-    cluster.shutdown();
-    println!("all checksums verified; group closed cleanly");
+
+    // A successful close certifies every message reached every member.
+    assert!(cluster.destroy_group(group), "close barrier must be clean");
+    rdmc_tcp::shutdown(cluster)?;
+    println!("all messages delivered; group closed cleanly");
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! - [`rdmc`] — the paper's contribution: schedules, protocol engine, API.
 //! - [`simnet`] / [`verbs`] — the simulated datacenter + RDMA substrate.
 //! - [`rdmc_sim`] — binds the engine to the simulated fabric.
-//! - [`rdmc_tcp`] — the real-TCP port of the protocol (paper section 5.3).
+//! - [`rdmc_tcp`] — the real-TCP `Transport` backend (paper section 5.3).
 //! - [`sst`], [`baselines`], [`workloads`] — comparators and workloads.
 //! - [`trace`] — flight recorder, stall attribution, trace oracle.
 

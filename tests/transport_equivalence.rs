@@ -1,163 +1,244 @@
-//! The same protocol engine runs over simulated RDMA and over real TCP;
-//! these tests check the two transports agree on *what* happens (delivery
-//! sets, ordering, failure semantics), leaving *how fast* to the fabric.
+//! The standing transport-equivalence gate: the same protocol
+//! orchestration runs over the simulated verbs fabric and over real TCP
+//! sockets, and the two must agree **bit-for-bit** on *what* happened —
+//! the engine event logs and the delivery digests — leaving only *when*
+//! to the fabric.
+//!
+//! Raw engine logs interleave differently across transports (wall-clock
+//! completion timing is not virtual-time completion timing), but RDMC's
+//! §4.2 design makes each *channel* deterministic: per (group, rank,
+//! event class, peer) the sequence of events is fixed by the block
+//! schedule and the per-connection FIFO guarantee. Canonicalizing the
+//! log per channel therefore yields a transport-independent fingerprint
+//! that any lost, duplicated, reordered, or misrouted event breaks.
+//!
+//! On mismatch each test writes both canonical logs under
+//! `target/transport_equivalence/` so CI can upload them as artifacts.
 
-use std::sync::mpsc;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
-use rdmc::Algorithm;
-use rdmc_repro::*;
-use rdmc_sim::{ClusterBuilder, ClusterSpec, GroupSpec};
-use rdmc_tcp::{GroupConfig, LocalCluster};
+use rdmc::engine::Event;
+use rdmc::{Algorithm, Rank};
+use rdmc_sim::{
+    Cluster, ClusterBuilder, ClusterSpec, EngineLogEntry, GroupId, GroupSpec, PacerConfig,
+    PacingPolicy, RecoveryConfig,
+};
+use simnet::SimDuration;
+use verbs::Transport;
 
 const KB: u64 = 1 << 10;
+const BLOCK: u64 = 16 * KB;
 
-fn algorithms() -> Vec<Algorithm> {
-    vec![
-        Algorithm::Sequential,
-        Algorithm::Chain,
-        Algorithm::BinomialTree,
-        Algorithm::BinomialPipeline,
-    ]
-}
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Sequential,
+    Algorithm::Chain,
+    Algorithm::BinomialTree,
+    Algorithm::BinomialPipeline,
+];
 
-/// Both transports deliver the same number of completions, in the same
-/// per-member order, for a mixed-size message sequence.
-#[test]
-fn both_transports_deliver_identical_message_sequences() {
-    let n = 5usize;
-    let sizes: Vec<u64> = vec![10 * KB, 1, 64 * KB, 3 * KB];
-    for alg in algorithms() {
-        // Simulated RDMA.
-        let mut sim = ClusterBuilder::new(ClusterSpec::fractus(n)).build();
-        let group = sim.create_group(GroupSpec {
-            members: (0..n).collect(),
-            algorithm: alg.clone(),
-            block_size: 4 * KB,
-            ready_window: 3,
-            max_outstanding_sends: 3,
-        });
-        for &s in &sizes {
-            sim.submit_send(group, s);
-        }
-        sim.run();
-        assert!(sim.all_quiescent(), "{alg}: sim not quiescent");
-        let sim_deliveries = sim.message_results().len();
-        assert_eq!(sim_deliveries, sizes.len());
-
-        // Real TCP.
-        let tcp = LocalCluster::launch(n).unwrap();
-        let (tx, rx) = mpsc::channel();
-        for node in tcp.nodes() {
-            let tx = tx.clone();
-            let id = node.id();
-            assert!(node.create_group(
-                1,
-                GroupConfig {
-                    algorithm: alg.clone(),
-                    block_size: 4 * KB,
-                    ..GroupConfig::new((0..n as u32).collect())
-                },
-                Box::new(|size| vec![0; size as usize]),
-                Box::new(move |data| tx.send((id, data.len() as u64)).unwrap()),
-            ));
-        }
-        for &s in &sizes {
-            let payload: Vec<u8> = (0..s).map(|i| (i % 256) as u8).collect();
-            assert!(tcp.nodes()[0].send(1, payload));
-        }
-        let mut per_node: Vec<Vec<u64>> = vec![Vec::new(); n];
-        for _ in 0..n * sizes.len() {
-            let (node, len) = rx
-                .recv_timeout(std::time::Duration::from_secs(15))
-                .unwrap_or_else(|_| panic!("{alg}: TCP delivery timed out"));
-            per_node[node as usize].push(len);
-        }
-        for (node, got) in per_node.iter().enumerate() {
-            assert_eq!(got, &sizes, "{alg}: node {node} size sequence differs");
-        }
-        for node in tcp.nodes() {
-            assert!(node.destroy_group(1), "{alg}: close must be clean");
-        }
-        tcp.shutdown();
+fn spec(n: usize, algorithm: Algorithm) -> GroupSpec {
+    GroupSpec {
+        members: (0..n).collect(),
+        algorithm,
+        block_size: BLOCK,
+        ready_window: 2,
+        max_outstanding_sends: 2,
     }
 }
 
-/// The §4.6 close guarantee, on both transports: a clean close implies
-/// every message reached every destination; a failure makes the close
-/// report it.
-#[test]
-fn close_barrier_semantics_match() {
-    // Simulated: quiescent after a clean run.
-    let mut sim = ClusterBuilder::new(ClusterSpec::fractus(4)).build();
-    let group = sim.create_group(GroupSpec {
-        members: (0..4).collect(),
-        algorithm: Algorithm::BinomialPipeline,
-        block_size: 8 * KB,
-        ready_window: 3,
-        max_outstanding_sends: 3,
-    });
-    sim.submit_send(group, 100 * KB);
-    sim.run();
-    assert!(sim.all_quiescent());
-
-    // TCP: destroy returns true on the same clean history.
-    let tcp = LocalCluster::launch(4).unwrap();
-    let (tx, rx) = mpsc::channel();
-    for node in tcp.nodes() {
-        let tx = tx.clone();
-        assert!(node.create_group(
-            2,
-            GroupConfig {
-                block_size: 8 * KB,
-                ..GroupConfig::new(vec![0, 1, 2, 3])
-            },
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(move |data| tx.send(data.len()).unwrap()),
-        ));
+/// Collapses an engine log into its per-channel canonical form: one
+/// line per (group, rank, class, peer) channel listing that channel's
+/// events in log order. Within a channel the order is fixed by the
+/// protocol, so equal canonical logs mean equal protocol executions.
+fn canonicalize(log: &[EngineLogEntry]) -> String {
+    let mut channels: BTreeMap<(GroupId, Rank, &'static str, i64), Vec<String>> = BTreeMap::new();
+    for entry in log {
+        let (class, peer, detail) = match entry.event {
+            Event::StartSend { size } => ("start", -1, format!("{size}")),
+            Event::BlockReceived { from, total_size } => {
+                ("block", i64::from(from), format!("{total_size}"))
+            }
+            Event::ReadyReceived { from } => ("ready", i64::from(from), String::new()),
+            Event::SendCompleted { to } => ("sendc", i64::from(to), String::new()),
+            Event::PeerFailed { rank } => ("fail", i64::from(rank), String::new()),
+        };
+        channels
+            .entry((entry.group, entry.rank, class, peer))
+            .or_default()
+            .push(detail);
     }
-    assert!(tcp.nodes()[0].send(2, vec![7; 100 * KB as usize]));
-    for _ in 0..4 {
-        rx.recv_timeout(std::time::Duration::from_secs(15)).unwrap();
+    let mut out = String::new();
+    for ((group, rank, class, peer), events) in channels {
+        let _ = writeln!(
+            out,
+            "g{group} r{rank} {class} p{peer} n{} [{}]",
+            events.len(),
+            events.join(",")
+        );
     }
-    for node in tcp.nodes() {
-        assert!(node.destroy_group(2));
-    }
-    tcp.shutdown();
+    out
 }
 
-/// Failure propagation: on the simulated fabric a crash wedges all
-/// survivors; over TCP a vanished peer makes the close barrier report an
-/// unclean history.
-#[test]
-fn failure_surfaces_on_both_transports() {
-    // Simulated fabric.
-    let mut sim = ClusterBuilder::new(ClusterSpec::fractus(6)).build();
-    let group = sim.create_group(GroupSpec {
-        members: (0..6).collect(),
-        algorithm: Algorithm::BinomialPipeline,
-        block_size: 1 << 20,
-        ready_window: 3,
-        max_outstanding_sends: 3,
-    });
-    sim.submit_send(group, 128 << 20);
-    sim.schedule_crash_at(3, simnet::SimTime::from_nanos(1_500_000));
-    sim.run();
-    assert_eq!(sim.wedged_members(group).len(), 5);
-
-    // TCP.
-    let tcp = LocalCluster::launch(3).unwrap();
-    for node in tcp.nodes() {
-        assert!(node.create_group(
-            3,
-            GroupConfig::new(vec![0, 1, 2]),
-            Box::new(|size| vec![0; size as usize]),
-            Box::new(|_| {}),
-        ));
+/// Time-free delivery digest: which message reached which member, per
+/// group in send order — the observable the paper's reliability claims
+/// are about.
+fn delivery_digest<T: Transport>(cluster: &Cluster<T>) -> String {
+    let mut out = String::new();
+    for r in cluster.message_results() {
+        let delivered: String = r
+            .delivered_at
+            .iter()
+            .map(|d| if d.is_some() { 'y' } else { 'n' })
+            .collect();
+        let _ = writeln!(
+            out,
+            "g{} i{} size={} delivered={delivered}",
+            r.group, r.index, r.size
+        );
     }
-    tcp.nodes()[1].shutdown(); // node 1 silently disappears
-    assert!(
-        !tcp.nodes()[0].destroy_group(3),
-        "close must report the lost member"
+    out
+}
+
+/// Asserts both fingerprints match, dumping them for CI on divergence.
+fn assert_equivalent(name: &str, sim: &(String, String), tcp: &(String, String)) {
+    if sim == tcp {
+        return;
+    }
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/transport_equivalence");
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(
+        dir.join(format!("{name}.sim.log")),
+        format!("{}{}", sim.0, sim.1),
     );
-    tcp.shutdown();
+    let _ = std::fs::write(
+        dir.join(format!("{name}.tcp.log")),
+        format!("{}{}", tcp.0, tcp.1),
+    );
+    assert_eq!(
+        sim, tcp,
+        "{name}: transports diverged (canonical logs dumped to target/transport_equivalence/)"
+    );
+}
+
+/// One mixed-size multicast workload, returning the canonical engine
+/// log and the delivery digest.
+fn plain_workload<T: Transport>(mut cluster: Cluster<T>, algorithm: Algorithm) -> (String, String) {
+    let group = cluster.create_group(spec(5, algorithm));
+    for size in [4 * BLOCK, 1, 6 * BLOCK + 17] {
+        cluster.submit_send(group, size);
+    }
+    cluster.run();
+    assert!(cluster.all_quiescent(), "workload failed to quiesce");
+    (
+        canonicalize(cluster.engine_log()),
+        delivery_digest(&cluster),
+    )
+}
+
+/// All four algorithms: identical engine event logs and delivery
+/// digests over simulated verbs and over real TCP.
+#[test]
+fn all_algorithms_equivalent_across_transports() {
+    for algorithm in ALGORITHMS {
+        let sim = plain_workload(
+            ClusterBuilder::new(ClusterSpec::fractus(5))
+                .engine_log()
+                .build(),
+            algorithm.clone(),
+        );
+        let tcp = plain_workload(
+            rdmc_tcp::builder(5)
+                .expect("tcp launch")
+                .engine_log()
+                .build(),
+            algorithm.clone(),
+        );
+        assert_equivalent(&format!("plain_{algorithm:?}"), &sim, &tcp);
+    }
+}
+
+/// Pacer admission (FIFO, bounded inflight) composes identically with
+/// both transports.
+fn paced_workload<T: Transport>(mut cluster: Cluster<T>) -> (String, String) {
+    let group = cluster.create_group(spec(4, Algorithm::BinomialPipeline));
+    for _ in 0..3 {
+        cluster.submit_send(group, 5 * BLOCK);
+    }
+    cluster.run();
+    assert!(cluster.all_quiescent(), "paced workload failed to quiesce");
+    (
+        canonicalize(cluster.engine_log()),
+        delivery_digest(&cluster),
+    )
+}
+
+#[test]
+fn paced_workload_equivalent_across_transports() {
+    let pacing = PacerConfig::new(1, PacingPolicy::Fifo);
+    let sim = paced_workload(
+        ClusterBuilder::new(ClusterSpec::fractus(4))
+            .engine_log()
+            .pacing(pacing)
+            .build(),
+    );
+    let tcp = paced_workload(
+        rdmc_tcp::builder(4)
+            .expect("tcp launch")
+            .engine_log()
+            .pacing(pacing)
+            .build(),
+    );
+    assert_equivalent("paced_fifo", &sim, &tcp);
+}
+
+/// The crash/recovery case: a message completes, a non-root member
+/// fail-stops at quiescence, epoch recovery reconfigures, and a second
+/// message reaches the survivors — identically on both transports.
+fn recovery_workload<T: Transport>(mut cluster: Cluster<T>) -> (String, String) {
+    let group = cluster.create_group(spec(5, Algorithm::BinomialPipeline));
+    cluster.submit_send(group, 4 * BLOCK);
+    cluster.run();
+    assert!(cluster.all_quiescent(), "first message failed to quiesce");
+
+    cluster.crash_now(3);
+    cluster.run(); // detection, gossip, epoch agreement, reconfiguration
+
+    cluster.submit_send(group, 3 * BLOCK);
+    cluster.run();
+    assert!(cluster.live_quiescent(), "survivors failed to quiesce");
+    assert_eq!(
+        cluster.surviving_ranks(group),
+        vec![0, 1, 2, 4],
+        "recovery installed the wrong view"
+    );
+    (
+        canonicalize(cluster.engine_log()),
+        delivery_digest(&cluster),
+    )
+}
+
+#[test]
+fn crash_recovery_equivalent_across_transports() {
+    // A generous grace keeps wall-clock failure detection (TCP) and
+    // virtual-time detection (sim) on the same side of every protocol
+    // deadline.
+    let recovery = RecoveryConfig {
+        grace: SimDuration::from_millis(100),
+        ..RecoveryConfig::default()
+    };
+    let sim = recovery_workload(
+        ClusterBuilder::new(ClusterSpec::fractus(5))
+            .engine_log()
+            .recovery(recovery.clone())
+            .build(),
+    );
+    let tcp = recovery_workload(
+        rdmc_tcp::builder(5)
+            .expect("tcp launch")
+            .engine_log()
+            .recovery(recovery)
+            .build(),
+    );
+    assert_equivalent("crash_recovery", &sim, &tcp);
 }
